@@ -1,0 +1,155 @@
+//! E6/E7: the baselines the paper argues against.
+//!
+//! * **Minimum rule** (§1.1): a T-bounded adversary erases the minority
+//!   value, waits arbitrarily long, then revives one copy — the min rule
+//!   re-cascades, so no stable consensus within any time bound. The median
+//!   rule shrugs the revival off.
+//! * **Mean rule** (§1.2): converges to a *number*, not to one of the
+//!   initial values — it fails validity, the defining property of consensus.
+
+use std::sync::Arc;
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::protocol::ProtocolSpec;
+use stabcon_core::runner::SimSpec;
+use stabcon_util::table::{fmt_sig, Table};
+
+use crate::experiment::run_trials;
+
+/// The last observed round with more than one value present, per trial
+/// (requires trajectories). `None` if the run never had support > 1 after
+/// round 0 — not expected here.
+fn last_unsettled_round(spec: &SimSpec, trials: u64, seed: u64, threads: usize) -> Vec<u64> {
+    let results = run_trials(spec, trials, seed, threads);
+    results
+        .iter()
+        .map(|r| {
+            r.trajectory
+                .as_ref()
+                .expect("trajectory recording required")
+                .iter()
+                .filter(|obs| obs.support > 1)
+                .map(|obs| obs.round)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// E6: median vs minimum rule under the hide-and-revive adversary.
+///
+/// For each revive delay `d`, both rules run with full horizon
+/// `d + horizon_slack` and we report the mean *last unsettled round* — the
+/// round after which the system never again left consensus. For the min rule
+/// this tracks `d` (unbounded); for the median rule it stays `O(log n)`.
+pub fn min_rule_table(
+    n: usize,
+    delays: &[u64],
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Table {
+    let t_budget = crate::figure1::sqrt_budget(n);
+    let mut table = Table::new(
+        format!(
+            "Minimum rule counterexample (E6): hide-and-revive adversary, n = {n}, T = {t_budget}"
+        ),
+        &[
+            "revive delay d",
+            "median: last unsettled",
+            "min: last unsettled",
+            "min tracks d?",
+        ],
+    );
+    let horizon_slack = 40 * (n.max(2) as f64).log2().ceil() as u64;
+    for &d in delays {
+        // Initial state from the paper's story: at most T processes hold the
+        // smaller value.
+        let init = InitialCondition::TwoBins {
+            left: (t_budget as usize).min(n / 4).max(1),
+        };
+        let base = |p: ProtocolSpec| {
+            SimSpec::new(n)
+                .init(init.clone())
+                .protocol(p)
+                .adversary(AdversarySpec::Reviver { revive_at: d }, t_budget)
+                .max_rounds(d + horizon_slack)
+                .full_horizon(true)
+                .record_trajectory(true)
+        };
+        let median_last = last_unsettled_round(&base(ProtocolSpec::Median), trials, seed ^ d, threads);
+        let min_last = last_unsettled_round(&base(ProtocolSpec::Min), trials, seed ^ (d << 8), threads);
+        let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64;
+        let median_mean = mean(&median_last);
+        let min_mean = mean(&min_last);
+        table.push_row(vec![
+            d.to_string(),
+            fmt_sig(median_mean),
+            fmt_sig(min_mean),
+            if min_mean >= d as f64 { "yes".into() } else { "no".into() },
+        ]);
+    }
+    table.push_note("min rule: revival at round d forces a fresh cascade, so settlement ≥ d (unbounded)");
+    table.push_note("median rule: one revived ball cannot move the median — settles in O(log n) regardless of d");
+    table
+}
+
+/// E7: validity of median vs mean rule on a two-value instance `{0, K}`.
+pub fn mean_rule_table(n: usize, trials: u64, seed: u64, threads: usize) -> Table {
+    const K: u32 = 1_000_000;
+    let init: Arc<Vec<u32>> = Arc::new(
+        (0..n)
+            .map(|i| if i % 2 == 0 { 0 } else { K })
+            .collect(),
+    );
+    let mut table = Table::new(
+        format!("Mean rule validity failure (E7): values {{0, {K}}}, n = {n}"),
+        &["rule", "converged%", "validity%", "mean winner", "winner in {0,K}?"],
+    );
+    for p in [ProtocolSpec::Median, ProtocolSpec::Mean] {
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::Custom(Arc::clone(&init)))
+            .protocol(p)
+            .max_rounds(4000);
+        let results = run_trials(&spec, trials, seed ^ p.label().len() as u64, threads);
+        let converged = results
+            .iter()
+            .filter(|r| r.consensus_round.is_some())
+            .count();
+        let valid = results.iter().filter(|r| r.winner_valid).count();
+        let mean_winner: f64 =
+            results.iter().map(|r| r.winner as f64).sum::<f64>() / results.len() as f64;
+        let all_endpoint = results.iter().all(|r| r.winner == 0 || r.winner == K);
+        table.push_row(vec![
+            p.label(),
+            format!("{:.0}", converged as f64 / results.len() as f64 * 100.0),
+            format!("{:.0}", valid as f64 / results.len() as f64 * 100.0),
+            fmt_sig(mean_winner),
+            if all_endpoint { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    table.push_note("median: winner always one of the initial values (validity)");
+    table.push_note("mean: settles near K/2 — a value nobody proposed (the §1.2 objection)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_rule_tracks_delay_median_does_not() {
+        let t = min_rule_table(256, &[40], 3, 11, 2);
+        assert_eq!(t.len(), 1);
+        let text = t.to_text();
+        assert!(text.contains("yes"), "min rule should track d:\n{text}");
+    }
+
+    #[test]
+    fn mean_rule_fails_validity() {
+        let t = mean_rule_table(512, 4, 13, 2);
+        let text = t.to_text();
+        assert!(text.contains("NO"), "mean rule must fail validity:\n{text}");
+    }
+}

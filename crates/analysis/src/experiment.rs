@@ -1,0 +1,157 @@
+//! Parallel trial sweeps and convergence statistics.
+
+use stabcon_core::runner::{RunResult, SimSpec};
+use stabcon_util::rng::derive_seed;
+use stabcon_util::stats::Quantiles;
+
+/// Which hitting time a sweep aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitMetric {
+    /// First round with full consensus (support 1) — the no-adversary
+    /// "stable consensus" metric.
+    Consensus,
+    /// Start of the sustained almost-stable window — the adversarial
+    /// metric (falls back to consensus when it was recorded first).
+    AlmostStable,
+}
+
+impl HitMetric {
+    /// Extract the metric from one run.
+    pub fn of(&self, r: &RunResult) -> Option<u64> {
+        match self {
+            HitMetric::Consensus => r.consensus_round,
+            HitMetric::AlmostStable => r.almost_stable_round.or(r.consensus_round),
+        }
+    }
+}
+
+/// Run `trials` independent trials of `spec` in parallel; trial `i` uses
+/// seed `derive_seed(master_seed, i)`, so results are reproducible and
+/// thread-count independent.
+pub fn run_trials(spec: &SimSpec, trials: u64, master_seed: u64, threads: usize) -> Vec<RunResult> {
+    let seeds: Vec<u64> = (0..trials).map(|i| derive_seed(master_seed, i)).collect();
+    stabcon_par::par_map(threads, &seeds, |&s| spec.run_seeded(s))
+}
+
+/// Aggregated convergence behaviour of a batch of trials.
+#[derive(Debug, Clone)]
+pub struct ConvergenceStats {
+    /// Total trials.
+    pub trials: u64,
+    /// Trials that hit the metric within the round budget.
+    pub hits: u64,
+    /// Trials that exhausted `max_rounds` without hitting.
+    pub timeouts: u64,
+    /// Quantiles of the hitting time over successful trials (`None` when
+    /// no trial hit).
+    pub rounds: Option<Quantiles>,
+    /// Fraction of trials whose winner was an initial value.
+    pub validity_rate: f64,
+}
+
+impl ConvergenceStats {
+    /// Aggregate a batch under the chosen metric.
+    pub fn from_results(results: &[RunResult], metric: HitMetric) -> Self {
+        let trials = results.len() as u64;
+        let hit_times: Vec<f64> = results
+            .iter()
+            .filter_map(|r| metric.of(r))
+            .map(|t| t as f64)
+            .collect();
+        let hits = hit_times.len() as u64;
+        let valid = results.iter().filter(|r| r.winner_valid).count();
+        Self {
+            trials,
+            hits,
+            timeouts: trials - hits,
+            rounds: (!hit_times.is_empty()).then(|| Quantiles::from(&hit_times)),
+            validity_rate: if trials == 0 {
+                0.0
+            } else {
+                valid as f64 / trials as f64
+            },
+        }
+    }
+
+    /// Mean hitting time (`NaN` if nothing hit — callers print "—").
+    pub fn mean(&self) -> f64 {
+        self.rounds.as_ref().map(|q| q.mean).unwrap_or(f64::NAN)
+    }
+
+    /// 95th percentile hitting time.
+    pub fn p95(&self) -> f64 {
+        self.rounds.as_ref().map(|q| q.p95).unwrap_or(f64::NAN)
+    }
+
+    /// Fraction of trials that hit.
+    pub fn hit_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Format a possibly-NaN cell.
+pub fn cell(x: f64) -> String {
+    if x.is_nan() {
+        "—".to_string()
+    } else {
+        stabcon_util::table::fmt_sig(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_core::init::InitialCondition;
+
+    #[test]
+    fn trials_are_reproducible_and_thread_independent() {
+        let spec = SimSpec::new(256).init(InitialCondition::TwoBins { left: 128 });
+        let a = run_trials(&spec, 8, 42, 1);
+        let b = run_trials(&spec, 8, 42, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.consensus_round, y.consensus_round);
+            assert_eq!(x.winner, y.winner);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_sanely() {
+        let spec = SimSpec::new(256).init(InitialCondition::TwoBins { left: 128 });
+        let results = run_trials(&spec, 16, 7, 4);
+        let stats = ConvergenceStats::from_results(&results, HitMetric::Consensus);
+        assert_eq!(stats.trials, 16);
+        assert_eq!(stats.hits, 16, "all two-bin runs must converge");
+        assert_eq!(stats.timeouts, 0);
+        assert!(stats.validity_rate == 1.0);
+        let q = stats.rounds.expect("hits recorded");
+        assert!(q.mean > 0.0 && q.mean < 200.0);
+        assert!(q.p95 >= q.p50);
+    }
+
+    #[test]
+    fn metric_fallback() {
+        let spec = SimSpec::new(128).init(InitialCondition::TwoBins { left: 64 });
+        let results = run_trials(&spec, 4, 9, 2);
+        for r in &results {
+            // Without adversary: threshold 0, so almost-stable == consensus.
+            assert_eq!(
+                HitMetric::AlmostStable.of(r),
+                HitMetric::Consensus.of(r).map(|c| {
+                    // almost-stable may trail consensus by the window, but
+                    // falls back to consensus when missing.
+                    r.almost_stable_round.unwrap_or(c)
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn nan_cells_render_as_dash() {
+        assert_eq!(cell(f64::NAN), "—");
+        assert_eq!(cell(12.0), "12.0");
+    }
+}

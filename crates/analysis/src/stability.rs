@@ -1,0 +1,97 @@
+//! E12: once almost-stable, disagreement stays O(T) under continuous attack.
+//!
+//! The paper's definition demands more than hitting a good state once — it
+//! must *persist*: for every round after `r`, all but `O(T)` processes hold
+//! `v`. We run past the hit for a long horizon under each adversary and
+//! report the worst disagreement ever seen after stabilization.
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_util::table::Table;
+
+use crate::experiment::run_trials;
+
+/// For each adversary, run `horizon_mult·⌈log₂ n⌉` rounds at `T = √n` and
+/// report: hit rate, mean hit round, and the maximum post-hit disagreement
+/// (in units of `T`).
+pub fn stability_horizon_table(
+    n: usize,
+    adversaries: &[AdversarySpec],
+    trials: u64,
+    horizon_mult: u64,
+    seed: u64,
+    threads: usize,
+) -> Table {
+    let t_budget = crate::figure1::sqrt_budget(n);
+    let lg = (n.max(2) as f64).log2().ceil() as u64;
+    let horizon = horizon_mult * lg;
+    let mut table = Table::new(
+        format!(
+            "Stability horizon (E12): n = {n}, T = {t_budget}, horizon = {horizon} rounds"
+        ),
+        &[
+            "adversary",
+            "stabilized%",
+            "mean hit round",
+            "max post-hit disagreement",
+            "…in units of T",
+        ],
+    );
+    for &adv in adversaries {
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .adversary(adv, t_budget)
+            .max_rounds(horizon)
+            .full_horizon(true);
+        let results = run_trials(&spec, trials, seed ^ adv.label().len() as u64, threads);
+        let hits: Vec<&stabcon_core::runner::RunResult> = results
+            .iter()
+            .filter(|r| r.almost_stable_round.is_some())
+            .collect();
+        let hit_rate = hits.len() as f64 / results.len() as f64;
+        let mean_hit: f64 = if hits.is_empty() {
+            f64::NAN
+        } else {
+            hits.iter()
+                .map(|r| r.almost_stable_round.expect("filtered") as f64)
+                .sum::<f64>()
+                / hits.len() as f64
+        };
+        let worst_post = hits
+            .iter()
+            .filter_map(|r| r.max_disagreement_after_stable)
+            .max()
+            .unwrap_or(0);
+        table.push_row(vec![
+            adv.label().to_string(),
+            format!("{:.0}", hit_rate * 100.0),
+            crate::experiment::cell(mean_hit),
+            worst_post.to_string(),
+            format!("{:.2}", worst_post as f64 / t_budget as f64),
+        ]);
+    }
+    table.push_note("paper: after round r, all but O(T) processes agree — the last column is the measured constant");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_table_bounds_disagreement() {
+        let t = stability_horizon_table(
+            1024,
+            &[AdversarySpec::Random, AdversarySpec::Balancer],
+            4,
+            30,
+            3,
+            2,
+        );
+        assert_eq!(t.len(), 2);
+        let text = t.to_text();
+        assert!(text.contains("random"), "{text}");
+        assert!(text.contains("balancer"), "{text}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Theorem 2 (E4): constant number of initial values + √n-bounded
+//! adversary ⇒ almost stable consensus in O(log n) rounds.
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_util::table::Table;
+
+use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use crate::scaling::{describe_line, fit_log_n};
+
+/// E4: for each constant `m`, sweep `n` with a √n balancing/random adversary
+/// and fit `log n`.
+pub fn constant_m_table(
+    ms: &[u32],
+    ns: &[usize],
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Table {
+    let mut table = Table::new(
+        "Theorem 2 (E4): constant #values, √n-bounded adversary — rounds to almost stable consensus",
+        &["m", "n", "T", "balancer mean", "balancer p95", "random mean", "hit%"],
+    );
+    for &m in ms {
+        let mut pts = Vec::new();
+        for &n in ns {
+            let t = crate::figure1::sqrt_budget(n);
+            let base = SimSpec::new(n).init(InitialCondition::MBinsEqual { m });
+            let bal = ConvergenceStats::from_results(
+                &run_trials(
+                    &base.clone().adversary(AdversarySpec::Balancer, t),
+                    trials,
+                    seed ^ (m as u64) << 32 ^ n as u64,
+                    threads,
+                ),
+                HitMetric::AlmostStable,
+            );
+            let rnd = ConvergenceStats::from_results(
+                &run_trials(
+                    &base.clone().adversary(AdversarySpec::Random, t),
+                    trials,
+                    seed ^ (m as u64) << 33 ^ n as u64,
+                    threads,
+                ),
+                HitMetric::AlmostStable,
+            );
+            if bal.mean().is_finite() {
+                pts.push((n as f64, bal.mean()));
+            }
+            table.push_row(vec![
+                m.to_string(),
+                n.to_string(),
+                t.to_string(),
+                cell(bal.mean()),
+                cell(bal.p95()),
+                cell(rnd.mean()),
+                format!("{:.0}", bal.hit_rate() * 100.0),
+            ]);
+        }
+        if pts.len() >= 2 {
+            let (ns_f, ts): (Vec<f64>, Vec<f64>) = pts.iter().copied().unzip();
+            table.push_note(format!(
+                "m = {m}: {}",
+                describe_line(&fit_log_n(&ns_f, &ts), "ln n")
+            ));
+        }
+    }
+    table.push_note("paper: O(log n) for any constant m (Thm 2)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_m_small_run() {
+        let t = constant_m_table(&[2, 3], &[128, 256], 4, 5, 2);
+        assert_eq!(t.len(), 4);
+        assert!(t.to_text().contains("m = 2"));
+    }
+}

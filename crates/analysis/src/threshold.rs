@@ -1,0 +1,147 @@
+//! E5: tightness of the √n adversary bound.
+//!
+//! The paper remarks after Theorem 2 that `T = Ω̃(√n)` defeats the median
+//! rule: a balancing adversary can hold two equal camps in perfect balance
+//! for polynomially long. We sweep `T = n^α` with the balancing adversary on
+//! a tied two-bin instance and report how many trials stabilize within a
+//! fixed multiple of `log n` rounds — the stabilization probability should
+//! collapse as α crosses 1/2.
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_util::table::Table;
+
+use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+
+/// Sweep `T = n^α` for the given exponents; a trial "stabilizes" if it
+/// reaches almost-stability within `round_cap_mult · ⌈log₂ n⌉` rounds.
+pub fn threshold_table(
+    n: usize,
+    alphas: &[f64],
+    trials: u64,
+    round_cap_mult: u64,
+    seed: u64,
+    threads: usize,
+) -> Table {
+    let lg = (n.max(2) as f64).log2().ceil() as u64;
+    let cap = round_cap_mult * lg;
+    let mut table = Table::new(
+        format!("Adversary threshold (E5): balancer with T = n^α at n = {n}, cap = {cap} rounds"),
+        &["alpha", "T", "stabilized%", "mean rounds", "p95 rounds"],
+    );
+    for &alpha in alphas {
+        assert!((0.0..1.0).contains(&alpha), "alpha out of range");
+        let t = (n as f64).powf(alpha).round().max(1.0) as u64;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .adversary(AdversarySpec::Balancer, t)
+            .max_rounds(cap);
+        let stats = ConvergenceStats::from_results(
+            &run_trials(&spec, trials, seed ^ t, threads),
+            HitMetric::AlmostStable,
+        );
+        table.push_row(vec![
+            format!("{alpha:.2}"),
+            t.to_string(),
+            format!("{:.0}", stats.hit_rate() * 100.0),
+            cell(stats.mean()),
+            cell(stats.p95()),
+        ]);
+    }
+    table.push_note("paper: stabilizes w.h.p. for T ≤ √n; Ω̃(√n) budget lets the balancer stall the drift");
+    table
+}
+
+/// E5 at populations far beyond dense reach: the same α sweep on the
+/// histogram engine (`O(m²)` per round regardless of `n`), with the
+/// histogram-level balancer. This shows the √n crossover *moving* with n —
+/// the cleanest signature that the threshold really is a power of n.
+pub fn threshold_hist_table(
+    log2_ns: &[u32],
+    alphas: &[f64],
+    trials: u64,
+    round_cap_mult: u64,
+    seed: u64,
+) -> Table {
+    use stabcon_core::adversary::HistAdversarySpec;
+    use stabcon_core::histogram::Histogram;
+    use stabcon_core::runner::HistSpec;
+
+    let mut table = Table::new(
+        "Adversary threshold at scale (E5b): histogram engine, balancer with T = n^α",
+        &["n", "alpha", "T", "stabilized%", "mean rounds"],
+    );
+    for &lg in log2_ns {
+        let n = 1u64 << lg;
+        let cap = round_cap_mult * lg as u64;
+        for &alpha in alphas {
+            assert!((0.0..1.0).contains(&alpha), "alpha out of range");
+            let t = (n as f64).powf(alpha).round().max(1.0) as u64;
+            let init = Histogram::new(&[(0, n / 2), (1, n - n / 2)]);
+            let spec = HistSpec::new(init)
+                .adversary(HistAdversarySpec::Balancer, t)
+                .max_rounds(cap);
+            let mut hits = 0u64;
+            let mut total = 0.0f64;
+            for tr in 0..trials {
+                let r = spec.run_seeded(stabcon_util::rng::derive_seed(seed ^ n, tr));
+                if let Some(h) = r.almost_stable_round {
+                    hits += 1;
+                    total += h as f64;
+                }
+            }
+            table.push_row(vec![
+                format!("2^{lg}"),
+                format!("{alpha:.2}"),
+                t.to_string(),
+                format!("{:.0}", hits as f64 / trials as f64 * 100.0),
+                if hits > 0 {
+                    format!("{:.1}", total / hits as f64)
+                } else {
+                    "—".into()
+                },
+            ]);
+        }
+    }
+    table.push_note("same sweep as E5 but at populations the dense engine cannot touch (up to 2^40)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_sweep_runs_and_orders() {
+        // Tiny instance: low alpha should stabilize at least as often as
+        // the (over-)budgeted balancer.
+        let t = threshold_table(256, &[0.2, 0.9], 6, 30, 7, 2);
+        assert_eq!(t.len(), 2);
+        let text = t.to_text();
+        assert!(text.contains("alpha"), "{text}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_must_be_fraction() {
+        threshold_table(64, &[1.5], 1, 10, 1, 1);
+    }
+
+    #[test]
+    fn hist_threshold_low_alpha_stabilizes() {
+        let t = threshold_hist_table(&[20], &[0.25], 4, 40, 3);
+        let text = t.to_text();
+        assert!(text.contains("100"), "α=0.25 at n=2^20 must stabilize:\n{text}");
+    }
+
+    #[test]
+    fn hist_threshold_high_alpha_stalls() {
+        let t = threshold_hist_table(&[20], &[0.75], 3, 40, 4);
+        let text = t.to_text();
+        assert!(
+            text.contains(" 0 "),
+            "α=0.75 at n=2^20 must stall the balancer sweep:\n{text}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! E5 — tightness of the √n bound: the balancing adversary with budget
+//! T = n^α. Stabilization probability should collapse as α crosses ≈ 1/2.
+
+use stabcon_analysis::threshold::{threshold_hist_table, threshold_table};
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let n = 1 << 14;
+    let alphas = [0.30, 0.40, 0.45, 0.50, 0.55, 0.60, 0.70];
+    let trials = scaled_trials(30, 6);
+    eprintln!("[E5] n = {n}, α sweep × {trials} trials…");
+    let table = threshold_table(
+        n,
+        &alphas,
+        trials,
+        60,
+        0xE5AD,
+        stabcon_par::default_threads(),
+    );
+    println!("{}", table.to_text());
+
+    // The same sweep at populations only the histogram engine reaches.
+    let trials = scaled_trials(10, 3);
+    eprintln!("[E5b] histogram engine, n ∈ {{2^20, 2^30, 2^40}} × {trials} trials…");
+    let table = threshold_hist_table(&[20, 30, 40], &alphas, trials, 60, 0xE5B0);
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,14 @@
+//! E7 — the §1.2 mean-rule comparison: the mean rule converges to a number
+//! nobody proposed (validity failure); the median rule never leaves the
+//! initial value set.
+
+use stabcon_analysis::baselines::mean_rule_table;
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let n = 1 << 12;
+    let trials = scaled_trials(30, 6);
+    eprintln!("[E7] n = {n} × {trials} trials…");
+    let table = mean_rule_table(n, trials, 0xE73A, stabcon_par::default_threads());
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,15 @@
+//! E6 — the §1.1 minimum-rule counterexample: hide-and-revive adversary.
+//! The min rule's settlement time tracks the revive delay (unbounded); the
+//! median rule settles in O(log n) regardless.
+
+use stabcon_analysis::baselines::min_rule_table;
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let n = 1 << 11;
+    let delays = [50u64, 200, 800, 2000];
+    let trials = scaled_trials(15, 4);
+    eprintln!("[E6] n = {n}, delays {delays:?} × {trials} trials…");
+    let table = min_rule_table(n, &delays, trials, 0xE63E, stabcon_par::default_threads());
+    print!("{}", table.to_text());
+}

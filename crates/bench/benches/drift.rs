@@ -1,0 +1,21 @@
+//! E10/E11 — the two-bin drift lemmas: one-step growth factors (Lemmas 12 &
+//! 15) and the O(log log n) doubling regime (Lemma 11).
+
+use stabcon_analysis::drift::{doubling_regime_table, one_step_drift_table};
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let trials = scaled_trials(400, 50);
+    eprintln!("[E10] one-step drift × {trials} trials…");
+    let t1 = one_step_drift_table(1 << 14, &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0], trials, 0xE10);
+    println!("{}", t1.to_text());
+
+    let trials = scaled_trials(60, 10);
+    eprintln!("[E11] doubling regime × {trials} trials…");
+    let t2 = doubling_regime_table(
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18],
+        trials,
+        0xE11,
+    );
+    print!("{}", t2.to_text());
+}

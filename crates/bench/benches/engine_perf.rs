@@ -1,0 +1,71 @@
+//! P1 — engine performance (criterion): cost of one median-rule round under
+//! each engine, and the parallel speedup of the dense engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stabcon_core::engine::{dense, hist, MessageConfig, MessageEngine};
+use stabcon_core::histogram::Histogram;
+use stabcon_core::protocol::MedianRule;
+use stabcon_core::value::Value;
+use stabcon_util::rng::Xoshiro256pp;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_round");
+    group.sample_size(10);
+    for exp in [14u32, 16, 18] {
+        let n = 1usize << exp;
+        let old: Vec<Value> = (0..n as u32).map(|i| i % 64).collect();
+        let mut new = vec![0 as Value; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| dense::step_seq(&old, &mut new, &MedianRule, 42, 1));
+        });
+        let threads = stabcon_par::default_threads();
+        group.bench_with_input(
+            BenchmarkId::new(format!("par{threads}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| dense::step_par(threads, &old, &mut new, &MedianRule, 42, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hist_round");
+    group.sample_size(10);
+    for m in [16u32, 256, 1024] {
+        // 2^40 balls spread over m bins: population size is irrelevant to
+        // the engine's cost.
+        let pairs: Vec<(Value, u64)> = (0..m).map(|v| (v, (1u64 << 40) / m as u64)).collect();
+        let h = Histogram::new(&pairs);
+        let mut rng = Xoshiro256pp::seed(7);
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
+            b.iter(|| hist::step(&h, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_message(c: &mut Criterion) {
+    let mut group = c.benchmark_group("message_round");
+    group.sample_size(10);
+    for exp in [10u32, 12] {
+        let n = 1usize << exp;
+        let old: Vec<Value> = (0..n as u32).map(|i| i % 2).collect();
+        let mut new = vec![0 as Value; n];
+        let mut engine = MessageEngine::new(n, MessageConfig::default(), 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            let mut round = 0u64;
+            b.iter(|| {
+                engine.step(&old, &mut new, &MedianRule, 5, round);
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_hist, bench_message);
+criterion_main!(benches);

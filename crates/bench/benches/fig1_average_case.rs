@@ -1,0 +1,16 @@
+//! E3 — Figure 1 row 3 / Theorems 4 & 21: average case over m bins.
+//! The table interleaves odd and even m — the parity effect should be
+//! visible row by row: odd m fast (O(log m + log log n)), even m pinned to
+//! the two-bin Θ(log n) time.
+
+use stabcon_analysis::figure1::average_case_table;
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let n = 1 << 14;
+    let ms: Vec<u32> = (2..=24).collect();
+    let trials = scaled_trials(50, 8);
+    eprintln!("[E3] n = {n}, m ∈ 2..=24 × {trials} trials…");
+    let table = average_case_table(n, &ms, trials, 0xE3AC, stabcon_par::default_threads());
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,18 @@
+//! E2 — Figure 1 row 2 / Theorems 1 & 20: worst-case m bins (all-distinct,
+//! m = n). Expect O(log n) without adversary; the adversarial column carries
+//! the extra log m·log log n term.
+
+use stabcon_analysis::figure1::{m_bins_table, SweepCfg};
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let cfg = SweepCfg {
+        ns: vec![1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13],
+        trials: scaled_trials(40, 6),
+        seed: 0xE23B,
+        threads: stabcon_par::default_threads(),
+    };
+    eprintln!("[E2] {} sizes × {} trials…", cfg.ns.len(), cfg.trials);
+    let table = m_bins_table(&cfg);
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,17 @@
+//! E1 — Figure 1 row 1 / Theorem 10: worst-case two bins, with and without
+//! the √n-bounded balancing adversary. Expect both columns ≈ a + b·ln n.
+
+use stabcon_analysis::figure1::{two_bins_table, SweepCfg};
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let cfg = SweepCfg {
+        ns: vec![1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14],
+        trials: scaled_trials(60, 8),
+        seed: 0xE12B,
+        threads: stabcon_par::default_threads(),
+    };
+    eprintln!("[E1] {} sizes × {} trials…", cfg.ns.len(), cfg.trials);
+    let table = two_bins_table(&cfg);
+    print!("{}", table.to_text());
+}

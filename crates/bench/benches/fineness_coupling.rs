@@ -1,0 +1,59 @@
+//! E9 — Lemma 17: the fineness partial order, verified by exact coupling.
+//! Running a configuration and its monotone coarsening with identical
+//! randomness must keep them related by `f` forever, and the finer run must
+//! never finish first.
+
+use stabcon_core::fineness::verify_coupling;
+use stabcon_core::value::Value;
+use stabcon_util::table::Table;
+
+fn main() {
+    let n = 4096usize;
+    let trials = 20u64;
+    let mut table = Table::new(
+        format!("Fineness coupling (E9, Lemma 17): n = {n}, {trials} coupled runs each"),
+        &[
+            "map",
+            "invariant held",
+            "coarse ≤ fine (rounds)",
+            "mean fine",
+            "mean coarse",
+        ],
+    );
+
+    type MapFn = fn(Value) -> Value;
+    let maps: Vec<(&str, MapFn)> = vec![
+        ("v ↦ v/2 (halve 8 values)", |v| v / 2),
+        ("v ↦ v/4", |v| v / 4),
+        ("v ↦ min(v, 3) (clamp)", |v| v.min(3)),
+        ("v ↦ c (constant)", |_| 1),
+    ];
+
+    for (name, f) in maps {
+        let mut all_held = true;
+        let mut all_ordered = true;
+        let mut fine_sum = 0.0;
+        let mut coarse_sum = 0.0;
+        let mut hits = 0u64;
+        for t in 0..trials {
+            let fine0: Vec<Value> = (0..n as u32).map(|i| i % 8).collect();
+            let report = verify_coupling(&fine0, &f, 5000, 0xE917 + t);
+            all_held &= report.invariant_held;
+            if let (Some(fc), Some(cc)) = (report.fine_consensus, report.coarse_consensus) {
+                all_ordered &= cc <= fc;
+                fine_sum += fc as f64;
+                coarse_sum += cc as f64;
+                hits += 1;
+            }
+        }
+        table.push_row(vec![
+            name.into(),
+            if all_held { "yes" } else { "NO" }.into(),
+            if all_ordered { "yes" } else { "NO" }.into(),
+            format!("{:.1}", fine_sum / hits.max(1) as f64),
+            format!("{:.1}", coarse_sum / hits.max(1) as f64),
+        ]);
+    }
+    table.push_note("Lemma 17: median commutes with monotone maps, so the coupling is exact — pointwise in the probability space");
+    print!("{}", table.to_text());
+}

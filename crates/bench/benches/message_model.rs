@@ -1,0 +1,146 @@
+//! E13 — the communication model: median rule under real request/response
+//! rounds with logarithmic inbox caps and (adversarial) drop selection.
+//! Convergence should stay O(log n), degrading gracefully as the cap
+//! tightens.
+
+use stabcon_analysis::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use stabcon_bench::scaled_trials;
+use stabcon_core::engine::{DropSpec, EngineSpec, MessageConfig, OnMissing};
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_util::table::Table;
+
+fn main() {
+    let n = 1 << 12;
+    let trials = scaled_trials(25, 5);
+    let threads = stabcon_par::default_threads();
+    eprintln!("[E13] n = {n} × {trials} trials…");
+
+    let mut table = Table::new(
+        format!("Message model (E13): two bins at n = {n}, cap = c·⌈log₂ n⌉"),
+        &["engine", "cap c", "drop policy", "mean rounds", "p95", "hit%", "drop rate %"],
+    );
+
+    // Idealized baseline.
+    let dense = SimSpec::new(n).init(InitialCondition::TwoBins { left: n / 2 });
+    let stats = ConvergenceStats::from_results(
+        &run_trials(&dense, trials, 0xE13, threads),
+        HitMetric::Consensus,
+    );
+    table.push_row(vec![
+        "dense (ideal)".into(),
+        "—".into(),
+        "—".into(),
+        cell(stats.mean()),
+        cell(stats.p95()),
+        format!("{:.0}", stats.hit_rate() * 100.0),
+        "0.00".into(),
+    ]);
+
+    let drops = [
+        DropSpec::Random,
+        DropSpec::KeepFirst,
+        DropSpec::StarveFirstK { k: n / 16 },
+    ];
+    for cap in [1usize, 2, 3] {
+        for drop in drops {
+            let cfg = MessageConfig {
+                cap_mult: cap,
+                drop,
+                on_missing: OnMissing::KeepOwn,
+            };
+            let spec = SimSpec::new(n)
+                .init(InitialCondition::TwoBins { left: n / 2 })
+                .engine(EngineSpec::Message(cfg));
+            let results = run_trials(&spec, trials, 0xE13 ^ (cap as u64) << 8, threads);
+            let stats = ConvergenceStats::from_results(&results, HitMetric::Consensus);
+            let (dropped, requests) = results
+                .iter()
+                .filter_map(|r| r.net_totals)
+                .fold((0u64, 0u64), |(d, q), m| (d + m.dropped, q + m.requests));
+            table.push_row(vec![
+                "message".into(),
+                cap.to_string(),
+                drop.label().into(),
+                cell(stats.mean()),
+                cell(stats.p95()),
+                format!("{:.0}", stats.hit_rate() * 100.0),
+                format!("{:.2}", dropped as f64 / requests.max(1) as f64 * 100.0),
+            ]);
+        }
+    }
+    table.push_note("paper model (§1.1): a process answers only Θ(log n) requests per round, the rest are dropped — possibly selected by an adversary");
+    table.push_note("the Θ(log n) cap sits above the max inbox load w.h.p. — drop rate ≈ 0 is the *correct* physics of the model");
+    println!("{}", table.to_text());
+
+    // Stress: sub-logarithmic absolute caps, where drops actually bite.
+    stress_fixed_caps(n, trials);
+}
+
+/// Drive the message engine manually with absolute inbox caps far below
+/// log₂ n: the regime the model's cap rule protects against.
+fn stress_fixed_caps(n: usize, trials: u64) {
+    use stabcon_core::engine::MessageEngine;
+    use stabcon_core::protocol::MedianRule;
+    use stabcon_core::value::Value;
+    use stabcon_util::rng::derive_seed;
+    use stabcon_util::stats::RunningStats;
+
+    let mut table = Table::new(
+        format!("Message model stress: absolute inbox caps at n = {n}"),
+        &["cap (absolute)", "mean rounds", "max", "hit%", "drop rate %"],
+    );
+    for cap in [1usize, 2, 3, 6] {
+        let mut stats = RunningStats::new();
+        let mut hits = 0u64;
+        let mut dropped = 0u64;
+        let mut requests = 0u64;
+        for t in 0..trials {
+            let seed = derive_seed(0xE13F ^ cap as u64, t);
+            let mut engine = MessageEngine::new(
+                n,
+                MessageConfig {
+                    cap_mult: 1,
+                    drop: DropSpec::Random,
+                    on_missing: OnMissing::KeepOwn,
+                },
+                seed,
+            )
+            .with_inbox_cap(cap);
+            let mut state: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+            let mut scratch = vec![0 as Value; n];
+            let mut converged = None;
+            for round in 0..4000u64 {
+                if state.iter().all(|&v| v == state[0]) {
+                    converged = Some(round);
+                    break;
+                }
+                engine.step(&state, &mut scratch, &MedianRule, seed, round);
+                std::mem::swap(&mut state, &mut scratch);
+            }
+            if let Some(r) = converged {
+                stats.push(r as f64);
+                hits += 1;
+            }
+            dropped += engine.totals().dropped;
+            requests += engine.totals().requests;
+        }
+        table.push_row(vec![
+            cap.to_string(),
+            if stats.count() > 0 {
+                format!("{:.1}", stats.mean())
+            } else {
+                "—".into()
+            },
+            if stats.count() > 0 {
+                format!("{:.0}", stats.max())
+            } else {
+                "—".into()
+            },
+            format!("{:.0}", hits as f64 / trials as f64 * 100.0),
+            format!("{:.2}", dropped as f64 / requests.max(1) as f64 * 100.0),
+        ]);
+    }
+    table.push_note("even with a cap of 1 answered request per round the median rule converges — degraded samples fall back to the ball's own value");
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,21 @@
+//! E12 — almost stability is *sustained*: post-hit disagreement stays O(T)
+//! for a long horizon under continuous attack.
+
+use stabcon_analysis::stability::stability_horizon_table;
+use stabcon_bench::scaled_trials;
+use stabcon_core::adversary::AdversarySpec;
+
+fn main() {
+    let n = 1 << 13;
+    let advs = [
+        AdversarySpec::Random,
+        AdversarySpec::Balancer,
+        AdversarySpec::MedianPusher,
+        AdversarySpec::Stubborn,
+    ];
+    let trials = scaled_trials(20, 4);
+    eprintln!("[E12] n = {n}, 3 adversaries × {trials} trials…");
+    let table =
+        stability_horizon_table(n, &advs, trials, 60, 0xE12, stabcon_par::default_threads());
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,79 @@
+//! Substrate micro-benchmarks (criterion): the primitives the engines are
+//! built on. These pin the cost model the DESIGN.md discussion relies on
+//! (counter-RNG word ≈ a few ns, binomial draw O(1), alias sample O(1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stabcon_net::FeistelPerm;
+use stabcon_util::dist::{AliasTable, Binomial};
+use stabcon_util::rng::{gen_index, CounterRng, Xoshiro256pp};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("xoshiro256pp_next", |b| {
+        let mut rng = Xoshiro256pp::seed(1);
+        b.iter(|| rng.next());
+    });
+    group.bench_function("counter_rng_word", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            CounterRng::word(42, 7, k)
+        });
+    });
+    group.bench_function("gen_index_1e6", |b| {
+        let mut rng = Xoshiro256pp::seed(2);
+        b.iter(|| gen_index(&mut rng, 1_000_000));
+    });
+    group.finish();
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial");
+    group.throughput(Throughput::Elements(1));
+    for (label, n, p) in [
+        ("binv_np5", 1000u64, 0.005),
+        ("btrs_np40", 100, 0.4),
+        ("btrs_huge_n", 1 << 40, 0.3),
+    ] {
+        let dist = Binomial::new(n, p);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dist, |b, d| {
+            let mut rng = Xoshiro256pp::seed(3);
+            b.iter(|| d.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias");
+    for m in [16usize, 1024] {
+        let weights: Vec<f64> = (1..=m).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("build", m), &weights, |b, w| {
+            b.iter(|| AliasTable::new(w));
+        });
+        let table = AliasTable::new(&weights);
+        group.bench_with_input(BenchmarkId::new("sample", m), &table, |b, t| {
+            let mut rng = Xoshiro256pp::seed(4);
+            b.iter(|| t.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feistel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feistel");
+    group.throughput(Throughput::Elements(1));
+    let perm = FeistelPerm::new(1_000_000, 9);
+    group.bench_function("apply_1e6", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1_000_000;
+            perm.apply(i)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_binomial, bench_alias, bench_feistel);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! E4 — Theorem 2: constant number of initial values under √n-bounded
+//! adversaries. Expect O(log n) for every fixed m.
+
+use stabcon_analysis::theorems::constant_m_table;
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let ms = [2u32, 3, 4, 8];
+    let ns = [1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13];
+    let trials = scaled_trials(40, 6);
+    eprintln!("[E4] m ∈ {ms:?} × n ∈ {ns:?} × {trials} trials…");
+    let table = constant_m_table(&ms, &ns, trials, 0xE4C0, stabcon_par::default_threads());
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,20 @@
+//! Protocol × adversary tournament plus the α-asynchrony ablation —
+//! the robustness studies the paper's conclusion asks for.
+
+use stabcon_analysis::robustness::{asynchrony_table, tournament_table};
+use stabcon_bench::scaled_trials;
+
+fn main() {
+    let n = 1 << 12;
+    let trials = scaled_trials(20, 4);
+    let threads = stabcon_par::default_threads();
+    eprintln!("[tournament] n = {n} × {trials} trials…");
+    println!("{}", tournament_table(n, trials, 0x70E1, threads).to_text());
+
+    eprintln!("[asynchrony] …");
+    let alphas = [1.0, 0.5, 0.25, 0.1];
+    print!(
+        "{}",
+        asynchrony_table(n, &alphas, trials, 0x70E2, threads).to_text()
+    );
+}

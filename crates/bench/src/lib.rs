@@ -1,0 +1,40 @@
+//! Shared helpers for the stabcon benchmark harness.
+//!
+//! Each bench target regenerates one paper table/figure; this crate hosts
+//! the tiny amount of shared glue (environment-variable scaling knobs).
+
+#![forbid(unsafe_code)]
+
+/// Read a scale factor from `STABCON_BENCH_SCALE` (default 1.0).
+///
+/// Benches multiply their trial counts and maximum `n` by this factor, so
+/// CI can run quick smoke versions (`STABCON_BENCH_SCALE=0.1`) while paper
+/// reproduction runs use the default or larger.
+pub fn bench_scale() -> f64 {
+    std::env::var("STABCON_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scale a trial count, keeping at least `min`.
+pub fn scaled_trials(base: u64, min: u64) -> u64 {
+    ((base as f64 * bench_scale()) as u64).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_default_is_identity() {
+        // Note: assumes the variable is unset in the test environment.
+        if std::env::var("STABCON_BENCH_SCALE").is_err() {
+            assert_eq!(super::scaled_trials(100, 1), 100);
+        }
+    }
+
+    #[test]
+    fn scaled_trials_respects_min() {
+        assert!(super::scaled_trials(0, 5) >= 5);
+    }
+}

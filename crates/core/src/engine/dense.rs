@@ -1,0 +1,316 @@
+//! The dense engine: `O(n)` per round over a flat value vector.
+//!
+//! Each ball's two (or `k`) samples are drawn from a [`CounterRng`] at
+//! coordinates `(seed, round·n + ball)`. Consequences:
+//!
+//! * sequential and parallel execution produce **identical** states;
+//! * a round can be recomputed for any single ball (useful in tests);
+//! * rejection in the bounded-uniform sampler consumes extra words from the
+//!   ball's *own* stream only, so streams never interfere.
+
+use stabcon_util::rng::{gen_index, CounterRng};
+
+use crate::protocol::{Protocol, MAX_SAMPLES};
+use crate::value::Value;
+
+/// Advance one synchronous round sequentially: reads `old`, writes `new`.
+///
+/// # Panics
+/// Panics if `old.len() != new.len()` or the protocol requests more than
+/// [`MAX_SAMPLES`] samples.
+pub fn step_seq(old: &[Value], new: &mut [Value], protocol: &dyn Protocol, seed: u64, round: u64) {
+    assert_eq!(old.len(), new.len(), "state buffers differ in length");
+    update_range(old, new, 0, protocol, seed, round);
+}
+
+/// Advance one synchronous round with `threads` workers. Bit-identical to
+/// [`step_seq`].
+pub fn step_par(
+    threads: usize,
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &dyn Protocol,
+    seed: u64,
+    round: u64,
+) {
+    assert_eq!(old.len(), new.len(), "state buffers differ in length");
+    if threads <= 1 || old.len() < 4096 {
+        update_range(old, new, 0, protocol, seed, round);
+        return;
+    }
+    stabcon_par::par_chunks_mut(threads, new, 1024, |offset, chunk| {
+        update_range(old, chunk, offset, protocol, seed, round);
+    });
+}
+
+/// Compute the new values for balls `offset..offset + chunk.len()`.
+fn update_range(
+    old: &[Value],
+    chunk: &mut [Value],
+    offset: usize,
+    protocol: &dyn Protocol,
+    seed: u64,
+    round: u64,
+) {
+    let n = old.len() as u64;
+    let k = protocol.samples();
+    assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
+    let mut samples = [0 as Value; MAX_SAMPLES];
+    for (j, slot) in chunk.iter_mut().enumerate() {
+        let ball = (offset + j) as u64;
+        let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball));
+        for sample in samples.iter_mut().take(k) {
+            *sample = old[gen_index(&mut rng, n) as usize];
+        }
+        *slot = protocol.combine(old[ball as usize], &samples[..k]);
+    }
+}
+
+/// Advance one *partially synchronous* round: each ball updates
+/// independently with probability `update_prob`, otherwise keeps its value
+/// (the α-asynchrony ablation — the paper assumes fully synchronized rounds;
+/// this knob checks the dynamics survive partial participation).
+///
+/// The participation coin is the first word of each ball's counter stream,
+/// so sequential/parallel determinism is preserved.
+///
+/// # Panics
+/// Panics if `update_prob ∉ [0, 1]` or buffer lengths differ.
+pub fn step_partial(
+    threads: usize,
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &dyn Protocol,
+    seed: u64,
+    round: u64,
+    update_prob: f64,
+) {
+    assert!(
+        (0.0..=1.0).contains(&update_prob),
+        "update_prob = {update_prob}"
+    );
+    assert_eq!(old.len(), new.len(), "state buffers differ in length");
+    if update_prob >= 1.0 {
+        step_par(threads, old, new, protocol, seed, round);
+        return;
+    }
+    let body = |offset: usize, chunk: &mut [Value]| {
+        let n = old.len() as u64;
+        let k = protocol.samples();
+        let mut samples = [0 as Value; MAX_SAMPLES];
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let ball = (offset + j) as u64;
+            let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball));
+            if stabcon_util::rng::gen_f64(&mut rng) >= update_prob {
+                *slot = old[ball as usize];
+                continue;
+            }
+            for sample in samples.iter_mut().take(k) {
+                *sample = old[gen_index(&mut rng, n) as usize];
+            }
+            *slot = protocol.combine(old[ball as usize], &samples[..k]);
+        }
+    };
+    if threads <= 1 || old.len() < 4096 {
+        body(0, new);
+    } else {
+        stabcon_par::par_chunks_mut(threads, new, 1024, body);
+    }
+}
+
+/// Recompute the post-round value of a single ball (test/debug helper).
+pub fn replay_ball(
+    old: &[Value],
+    ball: usize,
+    protocol: &dyn Protocol,
+    seed: u64,
+    round: u64,
+) -> Value {
+    let n = old.len() as u64;
+    let k = protocol.samples();
+    let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball as u64));
+    let mut samples = [0 as Value; MAX_SAMPLES];
+    for sample in samples.iter_mut().take(k) {
+        *sample = old[gen_index(&mut rng, n) as usize];
+    }
+    protocol.combine(old[ball], &samples[..k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{MedianRule, MinRule, VoterRule};
+
+    fn all_distinct(n: usize) -> Vec<Value> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn seq_equals_par_exactly() {
+        let old = all_distinct(10_000);
+        let mut seq = vec![0; old.len()];
+        step_seq(&old, &mut seq, &MedianRule, 42, 3);
+        for threads in [2, 4, 8] {
+            let mut par = vec![0; old.len()];
+            step_par(threads, &old, &mut par, &MedianRule, 42, 3);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn replay_matches_step() {
+        let old = all_distinct(500);
+        let mut new = vec![0; old.len()];
+        step_seq(&old, &mut new, &MedianRule, 7, 11);
+        for ball in [0usize, 1, 250, 499] {
+            assert_eq!(replay_ball(&old, ball, &MedianRule, 7, 11), new[ball]);
+        }
+    }
+
+    #[test]
+    fn different_rounds_differ() {
+        let old = all_distinct(1000);
+        let mut a = vec![0; old.len()];
+        let mut b = vec![0; old.len()];
+        step_seq(&old, &mut a, &MedianRule, 5, 0);
+        step_seq(&old, &mut b, &MedianRule, 5, 1);
+        assert_ne!(a, b, "round index must enter the randomness");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let old = all_distinct(1000);
+        let mut a = vec![0; old.len()];
+        let mut b = vec![0; old.len()];
+        step_seq(&old, &mut a, &MedianRule, 5, 0);
+        step_seq(&old, &mut b, &MedianRule, 6, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_median() {
+        let old = vec![17 as Value; 2000];
+        let mut new = vec![0; old.len()];
+        step_seq(&old, &mut new, &MedianRule, 1, 0);
+        assert_eq!(old, new, "median of identical values must not move");
+    }
+
+    #[test]
+    fn min_rule_monotone_nonincreasing() {
+        let old = all_distinct(2000);
+        let mut new = vec![0; old.len()];
+        step_seq(&old, &mut new, &MinRule, 3, 0);
+        for (o, n) in old.iter().zip(&new) {
+            assert!(n <= o, "min rule may never increase a value");
+        }
+    }
+
+    #[test]
+    fn voter_output_subset_of_input() {
+        let old: Vec<Value> = (0..997u32).map(|i| i % 13).collect();
+        let mut new = vec![0; old.len()];
+        step_seq(&old, &mut new, &VoterRule, 9, 2);
+        for v in &new {
+            assert!(*v < 13);
+        }
+    }
+
+    #[test]
+    fn median_validity_over_many_rounds() {
+        // The median rule may only ever hold initial values.
+        let mut state: Vec<Value> = (0..512u32).map(|i| (i % 7) * 100).collect();
+        let allowed: std::collections::HashSet<Value> = state.iter().copied().collect();
+        let mut scratch = vec![0; state.len()];
+        for round in 0..50 {
+            step_seq(&state, &mut scratch, &MedianRule, 123, round);
+            std::mem::swap(&mut state, &mut scratch);
+            for v in &state {
+                assert!(allowed.contains(v), "median invented value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_update_prob_one_equals_full_step() {
+        let old = all_distinct(5000);
+        let mut full = vec![0; old.len()];
+        let mut partial = vec![0; old.len()];
+        step_seq(&old, &mut full, &MedianRule, 8, 4);
+        step_partial(1, &old, &mut partial, &MedianRule, 8, 4, 1.0);
+        assert_eq!(full, partial);
+    }
+
+    #[test]
+    fn partial_update_prob_zero_freezes() {
+        let old = all_distinct(1000);
+        let mut new = vec![0; old.len()];
+        step_partial(1, &old, &mut new, &MedianRule, 8, 0, 0.0);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn partial_update_fraction_roughly_alpha() {
+        // With all-distinct values, an updating ball almost surely changes
+        // value; count changed balls ≈ α·n.
+        let n = 20_000usize;
+        let old = all_distinct(n);
+        let mut new = vec![0; n];
+        step_partial(1, &old, &mut new, &MedianRule, 77, 0, 0.3);
+        let changed = old.iter().zip(&new).filter(|(a, b)| a != b).count();
+        let frac = changed as f64 / n as f64;
+        // An updating ball keeps its value iff it is the median of the
+        // sampled triple; for the all-distinct configuration that happens
+        // with probability 2·E[x(1−x)] = 1/3, so the expected change rate is
+        // α·(2/3) = 0.2.
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "changed fraction {frac} vs expected 0.2"
+        );
+    }
+
+    #[test]
+    fn partial_update_seq_equals_par() {
+        let old = all_distinct(10_000);
+        let mut seq = vec![0; old.len()];
+        let mut par = vec![0; old.len()];
+        step_partial(1, &old, &mut seq, &MedianRule, 9, 2, 0.5);
+        step_partial(4, &old, &mut par, &MedianRule, 9, 2, 0.5);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn partial_update_still_converges() {
+        let n = 2048usize;
+        let mut state: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let mut scratch = vec![0; n];
+        let mut converged = false;
+        for round in 0..3000u64 {
+            if state.iter().all(|&v| v == state[0]) {
+                converged = true;
+                break;
+            }
+            step_partial(1, &state, &mut scratch, &MedianRule, 3, round, 0.25);
+            std::mem::swap(&mut state, &mut scratch);
+        }
+        assert!(converged, "α = 0.25 asynchrony should only slow convergence");
+    }
+
+    #[test]
+    fn two_bins_converge_within_bound() {
+        // n = 4096, balanced split: O(log n) rounds w.h.p. — give 40× slack.
+        let n = 4096usize;
+        let mut state: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let mut scratch = vec![0; n];
+        let mut converged = None;
+        for round in 0..500u64 {
+            if state.iter().all(|&v| v == state[0]) {
+                converged = Some(round);
+                break;
+            }
+            step_seq(&state, &mut scratch, &MedianRule, 2024, round);
+            std::mem::swap(&mut state, &mut scratch);
+        }
+        let r = converged.expect("median rule failed to converge in 500 rounds");
+        assert!(r <= 500);
+    }
+}

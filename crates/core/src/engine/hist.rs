@@ -1,0 +1,208 @@
+//! The histogram engine: `O(m²)` per round, independent of `n`.
+//!
+//! For a ball in bin `b` (bins indexed `0..m` in value order, load CDF `F`),
+//! the median-rule destination law is fully determined by `F`:
+//!
+//! * destination `c < b`: both samples land at or below `c`, the higher one
+//!   exactly at `c` → `P = F(c)² − F(c−1)²`;
+//! * destination `c = b`: not both samples strictly below, not both strictly
+//!   above → `P = 1 − F(b−1)² − (1 − F(b))²`;
+//! * destination `c > b`: with `G(c) = 1 − F(c−1)` (mass at or above `c`),
+//!   `P = G(c)² − G(c+1)²`.
+//!
+//! These sum to 1 exactly (telescoping). All `k_b` balls of bin `b` then
+//! move via **one multinomial draw**, so a round costs `m` multinomials of
+//! dimension `m` — populations of 2^52 balls simulate as fast as 2^10.
+
+use rand::RngCore;
+use stabcon_util::dist::multinomial_into;
+
+use crate::histogram::Histogram;
+use crate::value::Value;
+
+/// The destination distribution for a ball currently in bin index `b`.
+///
+/// `cdf[i]` is the load CDF at bin `i` (see [`Histogram::cdf`]). Returns a
+/// probability vector over bin indices `0..m`.
+pub fn destination_law(cdf: &[f64], b: usize) -> Vec<f64> {
+    let mut law = vec![0.0; cdf.len()];
+    destination_law_into(cdf, b, &mut law);
+    law
+}
+
+/// In-place variant of [`destination_law`] for the hot loop.
+///
+/// # Panics
+/// Panics if `law.len() != cdf.len()` or `b` is out of range.
+pub fn destination_law_into(cdf: &[f64], b: usize, law: &mut [f64]) {
+    let m = cdf.len();
+    assert_eq!(law.len(), m, "law buffer size mismatch");
+    assert!(b < m, "bin index out of range");
+    let f = |i: isize| -> f64 {
+        if i < 0 {
+            0.0
+        } else {
+            cdf[i as usize]
+        }
+    };
+    // Mass at or above bin c.
+    let g = |c: usize| -> f64 { 1.0 - f(c as isize - 1) };
+
+    for (c, slot) in law.iter_mut().enumerate().take(b) {
+        *slot = (f(c as isize) * f(c as isize) - f(c as isize - 1) * f(c as isize - 1)).max(0.0);
+    }
+    let below = f(b as isize - 1);
+    let above = 1.0 - f(b as isize);
+    law[b] = (1.0 - below * below - above * above).max(0.0);
+    for (c, slot) in law.iter_mut().enumerate().skip(b + 1) {
+        let gc = g(c);
+        let gc1 = if c + 1 < m { g(c + 1) } else { 0.0 };
+        *slot = (gc * gc - gc1 * gc1).max(0.0);
+    }
+}
+
+/// Advance the median rule one round on aggregated loads.
+pub fn step<R: RngCore + ?Sized>(hist: &Histogram, rng: &mut R) -> Histogram {
+    let bins = hist.bins();
+    let m = bins.len();
+    if m == 1 {
+        return hist.clone();
+    }
+    let cdf = hist.cdf();
+    let mut law = vec![0.0f64; m];
+    let mut draws = vec![0u64; m];
+    let mut new_loads = vec![0u64; m];
+    for (b, &(_, load)) in bins.iter().enumerate() {
+        destination_law_into(&cdf, b, &mut law);
+        multinomial_into(rng, load, &law, &mut draws);
+        for (acc, &d) in new_loads.iter_mut().zip(&draws) {
+            *acc += d;
+        }
+    }
+    let pairs: Vec<(Value, u64)> = bins
+        .iter()
+        .zip(&new_loads)
+        .map(|(&(v, _), &c)| (v, c))
+        .collect();
+    Histogram::new(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_util::rng::Xoshiro256pp;
+
+    #[test]
+    fn law_sums_to_one() {
+        let h = Histogram::new(&[(0, 10), (5, 20), (9, 5), (12, 65)]);
+        let cdf = h.cdf();
+        for b in 0..4 {
+            let law = destination_law(&cdf, b);
+            let total: f64 = law.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "bin {b}: total {total}");
+            for (c, &p) in law.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&p), "law[{c}] = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn law_matches_hand_computation_two_bins() {
+        // Bins (0: 1/4 of mass) and (1: 3/4). For a ball in bin 0:
+        //   stay: 1 − 0 − (3/4)² = 7/16;  move right: (3/4)² = 9/16.
+        let h = Histogram::new(&[(0, 1), (1, 3)]);
+        let law0 = destination_law(&h.cdf(), 0);
+        assert!((law0[0] - 7.0 / 16.0).abs() < 1e-12);
+        assert!((law0[1] - 9.0 / 16.0).abs() < 1e-12);
+        // Ball in bin 1: move left needs both ≤ bin0: (1/4)².
+        let law1 = destination_law(&h.cdf(), 1);
+        assert!((law1[0] - 1.0 / 16.0).abs() < 1e-12);
+        assert!((law1[1] - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn law_matches_two_bin_closed_form() {
+        // §3 of the paper: a ball in the smaller bin (load fraction q) stays
+        // with probability 1 − (1 − q)², a ball in the larger bin moves to
+        // the smaller with probability q².
+        for &(l, r) in &[(30u64, 70u64), (50, 50), (1, 99)] {
+            let h = Histogram::new(&[(0, l), (1, r)]);
+            let q = l as f64 / (l + r) as f64;
+            let law0 = destination_law(&h.cdf(), 0);
+            assert!((law0[1] - (1.0 - q) * (1.0 - q)).abs() < 1e-12);
+            let law1 = destination_law(&h.cdf(), 1);
+            assert!((law1[0] - q * q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_preserves_population_and_support() {
+        let mut rng = Xoshiro256pp::seed(1);
+        let mut h = Histogram::new(&[(3, 1000), (7, 2000), (11, 500), (20, 1500)]);
+        let n = h.n();
+        let values: Vec<Value> = h.bins().iter().map(|&(v, _)| v).collect();
+        for _ in 0..20 {
+            h = step(&h, &mut rng);
+            assert_eq!(h.n(), n, "population must be conserved");
+            for &(v, _) in h.bins() {
+                assert!(values.contains(&v), "value {v} invented");
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_is_absorbing() {
+        let mut rng = Xoshiro256pp::seed(2);
+        let h = Histogram::new(&[(9, 12345)]);
+        let next = step(&h, &mut rng);
+        assert_eq!(next, h);
+    }
+
+    #[test]
+    fn two_bins_converge() {
+        let mut rng = Xoshiro256pp::seed(3);
+        let mut h = Histogram::new(&[(0, 2048), (1, 2048)]);
+        let mut rounds = 0u64;
+        while h.support_size() > 1 && rounds < 500 {
+            h = step(&h, &mut rng);
+            rounds += 1;
+        }
+        assert_eq!(h.support_size(), 1, "no consensus after {rounds} rounds");
+        assert!(rounds < 200, "suspiciously slow: {rounds}");
+    }
+
+    #[test]
+    fn huge_population_converges() {
+        // 2^40 balls in three bins — impossible densely, trivial here.
+        let mut rng = Xoshiro256pp::seed(4);
+        let big = 1u64 << 40;
+        let mut h = Histogram::new(&[(1, big), (2, big), (3, big)]);
+        let mut rounds = 0u64;
+        while h.support_size() > 1 && rounds < 2000 {
+            h = step(&h, &mut rng);
+            rounds += 1;
+        }
+        assert_eq!(h.support_size(), 1);
+        assert_eq!(h.n(), 3 * big);
+    }
+
+    #[test]
+    fn median_bin_attracts() {
+        // One step from a symmetric 3-bin config must, in expectation, grow
+        // the middle bin; check the empirical mean over repeats.
+        let mut rng = Xoshiro256pp::seed(5);
+        let start = Histogram::new(&[(0, 300), (1, 400), (2, 300)]);
+        let mut mid_sum = 0u64;
+        let reps = 300;
+        for _ in 0..reps {
+            let next = step(&start, &mut rng);
+            mid_sum += next.disagreement_with(0) + next.disagreement_with(2) - next.n();
+            // disagreement_with(0)+disagreement_with(2) = (n-c0)+(n-c2) = n + c1.
+        }
+        let mean_mid = mid_sum as f64 / reps as f64;
+        assert!(
+            mean_mid > 420.0,
+            "median bin should grow from 400: got {mean_mid}"
+        );
+    }
+}

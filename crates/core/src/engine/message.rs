@@ -1,0 +1,299 @@
+//! The message-level engine: protocol rounds over the real communication
+//! model (`stabcon-net`), including logarithmic inbox caps, drop policies,
+//! and anonymous private numbering.
+//!
+//! Where the dense engine *assumes* each ball learns its two samples, this
+//! engine actually routes request/response messages: a sample is lost when
+//! the target's inbox overflowed and the drop policy discarded the request.
+//! [`OnMissing`] decides how the protocol degrades.
+
+use stabcon_net::{
+    log_inbox_cap, run_round, DropPolicy, FeistelPerm, KeepFirst, ProcessId, RandomDrop,
+    RoundConfig, RoundMetrics, StarveSet,
+};
+use stabcon_util::rng::{gen_index, hash3, CounterRng, Xoshiro256pp};
+
+use crate::protocol::{Protocol, MAX_SAMPLES};
+use crate::value::Value;
+
+/// What a process does about a sample that never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnMissing {
+    /// Substitute its own value (conservative: a ball with no information
+    /// keeps its opinion).
+    KeepOwn,
+    /// Substitute the first response that did arrive (aggressive; if nothing
+    /// arrived, falls back to its own value).
+    Adopt,
+}
+
+/// Drop-policy selector (mirrors `stabcon-net` policies, plus parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropSpec {
+    /// Uniformly random subset survives.
+    Random,
+    /// First `cap` requests in arrival order survive.
+    KeepFirst,
+    /// Adversarial: requests from the first `k` processes are dropped first.
+    StarveFirstK {
+        /// Number of starved processes.
+        k: usize,
+    },
+}
+
+impl DropSpec {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropSpec::Random => "random",
+            DropSpec::KeepFirst => "keep-first",
+            DropSpec::StarveFirstK { .. } => "starve",
+        }
+    }
+
+    fn build(&self, n: usize) -> Box<dyn DropPolicy + Send> {
+        match *self {
+            DropSpec::Random => Box::new(RandomDrop),
+            DropSpec::KeepFirst => Box::new(KeepFirst),
+            DropSpec::StarveFirstK { k } => Box::new(StarveSet::first_k(n, k)),
+        }
+    }
+}
+
+/// Message-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageConfig {
+    /// Inbox cap multiplier: cap = `cap_mult · ⌈log₂ n⌉`.
+    pub cap_mult: usize,
+    /// Drop policy for overloaded inboxes.
+    pub drop: DropSpec,
+    /// Missing-sample handling.
+    pub on_missing: OnMissing,
+}
+
+impl Default for MessageConfig {
+    fn default() -> Self {
+        Self {
+            cap_mult: 2,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+        }
+    }
+}
+
+/// Stream id used to derive per-process anonymity keys (arbitrary tag).
+const ANON_STREAM: u64 = 0xA11CE5;
+
+/// A reusable message-level engine for one population size.
+pub struct MessageEngine {
+    cfg: MessageConfig,
+    round_cfg: RoundConfig,
+    policy: Box<dyn DropPolicy + Send>,
+    net_rng: Xoshiro256pp,
+    targets: Vec<ProcessId>,
+    responses: Vec<Vec<(ProcessId, Value)>>,
+    totals: RoundMetrics,
+}
+
+impl MessageEngine {
+    /// Build an engine for `n` processes. `seed` keys both the anonymity
+    /// permutations and the network-side randomness (drop selection).
+    pub fn new(n: usize, cfg: MessageConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            round_cfg: RoundConfig {
+                inbox_cap: log_inbox_cap(n, cfg.cap_mult.max(1)),
+                self_bypass: true,
+            },
+            policy: cfg.drop.build(n),
+            net_rng: Xoshiro256pp::seed(hash3(seed, ANON_STREAM, 1)),
+            targets: Vec::new(),
+            responses: vec![Vec::new(); n],
+            totals: RoundMetrics::default(),
+        }
+    }
+
+    /// The effective inbox cap.
+    pub fn inbox_cap(&self) -> usize {
+        self.round_cfg.inbox_cap
+    }
+
+    /// Override the inbox cap with an absolute value (stress-testing knob:
+    /// the canonical `c·⌈log₂ n⌉` cap sits *above* the maximum inbox load
+    /// w.h.p., so drops are rare; sub-logarithmic caps make them bite).
+    pub fn with_inbox_cap(mut self, cap: usize) -> Self {
+        self.round_cfg.inbox_cap = cap.max(1);
+        self
+    }
+
+    /// Accumulated delivery metrics over all rounds stepped so far.
+    pub fn totals(&self) -> &RoundMetrics {
+        &self.totals
+    }
+
+    /// Advance one round: reads `old`, writes `new`.
+    ///
+    /// Sampling matches the dense engine's coordinates (`seed`,
+    /// `round·n + ball`), but each draw is routed through the ball's private
+    /// numbering (anonymity) and then through the network with caps.
+    ///
+    /// # Panics
+    /// Panics if buffer sizes disagree with the engine's `n`.
+    pub fn step(
+        &mut self,
+        old: &[Value],
+        new: &mut [Value],
+        protocol: &dyn Protocol,
+        seed: u64,
+        round: u64,
+    ) -> RoundMetrics {
+        let n = old.len();
+        assert_eq!(new.len(), n, "state buffers differ in length");
+        assert_eq!(self.responses.len(), n, "engine built for different n");
+        let k = protocol.samples();
+        assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
+
+        // Phase 1: draw targets through private numberings.
+        self.targets.clear();
+        self.targets.reserve(n * k);
+        for i in 0..n {
+            let perm = FeistelPerm::new(n as u64, hash3(seed, ANON_STREAM, i as u64));
+            let mut rng = CounterRng::new(seed, round.wrapping_mul(n as u64) + i as u64);
+            for _ in 0..k {
+                let local = gen_index(&mut rng, n as u64);
+                self.targets.push(perm.apply(local) as ProcessId);
+            }
+        }
+
+        // Phase 2: route through the network.
+        let metrics = run_round(
+            old,
+            &self.targets,
+            k,
+            &self.round_cfg,
+            self.policy.as_mut(),
+            &mut self.net_rng,
+            &mut self.responses,
+        );
+        self.totals.absorb(&metrics);
+
+        // Phase 3: combine.
+        let mut samples = [0 as Value; MAX_SAMPLES];
+        for (i, slot) in new.iter_mut().enumerate() {
+            let got = &self.responses[i];
+            let own = old[i];
+            let fallback = match self.cfg.on_missing {
+                OnMissing::KeepOwn => own,
+                OnMissing::Adopt => got.first().map(|&(_, v)| v).unwrap_or(own),
+            };
+            for (j, sample) in samples.iter_mut().take(k).enumerate() {
+                *sample = got.get(j).map(|&(_, v)| v).unwrap_or(fallback);
+            }
+            *slot = protocol.combine(own, &samples[..k]);
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MedianRule;
+
+    fn converge(n: usize, cfg: MessageConfig, seed: u64, max_rounds: u64) -> Option<u64> {
+        let mut engine = MessageEngine::new(n, cfg, seed);
+        let mut state: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let mut scratch = vec![0; n];
+        for round in 0..max_rounds {
+            if state.iter().all(|&v| v == state[0]) {
+                return Some(round);
+            }
+            engine.step(&state, &mut scratch, &MedianRule, seed, round);
+            std::mem::swap(&mut state, &mut scratch);
+        }
+        None
+    }
+
+    #[test]
+    fn converges_under_random_drops() {
+        let cfg = MessageConfig::default();
+        let r = converge(2048, cfg, 11, 600).expect("no consensus");
+        assert!(r < 400, "took {r} rounds");
+    }
+
+    #[test]
+    fn converges_with_tight_cap() {
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+        };
+        assert!(converge(1024, cfg, 12, 800).is_some());
+    }
+
+    #[test]
+    fn converges_under_adversarial_drops() {
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::StarveFirstK { k: 64 },
+            on_missing: OnMissing::KeepOwn,
+        };
+        assert!(converge(1024, cfg, 13, 800).is_some());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let n = 512;
+        let mut engine = MessageEngine::new(n, MessageConfig::default(), 3);
+        let state: Vec<Value> = (0..n).map(|i| i as Value).collect();
+        let mut scratch = vec![0; n];
+        let m1 = engine.step(&state, &mut scratch, &MedianRule, 3, 0);
+        assert_eq!(
+            m1.requests + m1.self_requests,
+            (n * 2) as u64,
+            "every ball sends 2 requests"
+        );
+        let _ = engine.step(&state, &mut scratch, &MedianRule, 3, 1);
+        assert!(engine.totals().requests >= m1.requests);
+    }
+
+    #[test]
+    fn dropped_plus_delivered_is_total() {
+        let n = 256;
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+        };
+        let mut engine = MessageEngine::new(n, cfg, 4);
+        let state: Vec<Value> = vec![5; n];
+        let mut scratch = vec![0; n];
+        let m = engine.step(&state, &mut scratch, &MedianRule, 4, 0);
+        assert_eq!(m.delivered + m.dropped, m.requests);
+    }
+
+    #[test]
+    fn consensus_absorbing_even_with_drops() {
+        let n = 512;
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::KeepFirst,
+            on_missing: OnMissing::KeepOwn,
+        };
+        let mut engine = MessageEngine::new(n, cfg, 5);
+        let state: Vec<Value> = vec![9; n];
+        let mut scratch = vec![0; n];
+        engine.step(&state, &mut scratch, &MedianRule, 5, 0);
+        assert_eq!(scratch, state);
+    }
+
+    #[test]
+    fn adopt_policy_also_converges() {
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::Adopt,
+        };
+        assert!(converge(1024, cfg, 14, 800).is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulation engines: three interchangeable ways to advance one round.
+//!
+//! | engine | cost/round | population limit | communication model |
+//! |--------|-----------|------------------|---------------------|
+//! | [`dense`] | `O(n)` (seq or parallel) | memory (`4n` bytes) | idealized sampling |
+//! | [`hist`]  | `O(m²)` | `2^52` balls | idealized sampling |
+//! | [`message`] | `O(n + messages)` | memory | full request/response with logarithmic inbox caps and drop policies |
+//!
+//! Dense parallel and dense sequential are **bit-identical** for any thread
+//! count: per-ball randomness is addressed by counter-RNG coordinates
+//! `(seed, round·n + ball)`, not by draw order.
+
+pub mod dense;
+pub mod hist;
+pub mod message;
+
+pub use message::{DropSpec, MessageConfig, MessageEngine, OnMissing};
+
+/// Engine selector for [`crate::runner::SimSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// Dense sequential engine.
+    DenseSeq,
+    /// Dense engine with deterministic parallel rounds.
+    DensePar {
+        /// Worker threads (1 falls back to sequential).
+        threads: usize,
+    },
+    /// Full message-level engine on `stabcon-net`.
+    Message(MessageConfig),
+}
+
+impl EngineSpec {
+    /// Table label.
+    pub fn label(&self) -> String {
+        match self {
+            EngineSpec::DenseSeq => "dense".into(),
+            EngineSpec::DensePar { threads } => format!("dense-par({threads})"),
+            EngineSpec::Message(cfg) => format!(
+                "message(cap={}x,drop={})",
+                cfg.cap_mult,
+                cfg.drop.label()
+            ),
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The fineness partial order (paper §4.1, Lemma 17) and its exact coupling.
+//!
+//! An assignment `(k_i)` is *finer* than `(k̃_i)` if a monotone bin map `f`
+//! turns one into the other. Lemma 17's proof rests on one algebraic fact —
+//! monotone maps commute with the median:
+//! `median(f(a), f(b), f(c)) = f(median(a, b, c))` — so running both
+//! configurations with the **same** random choices keeps them related by `f`
+//! forever, pointwise in the probability space.
+//!
+//! Our dense engine addresses randomness by `(seed, round, ball)`, so the
+//! coupling is literally "run both with the same seed". [`verify_coupling`]
+//! checks the invariant `coarse_t[j] = f(fine_t[j])` round by round.
+
+use crate::engine::dense;
+use crate::protocol::MedianRule;
+use crate::value::Value;
+
+/// Whether load sequence `fine` (in bin order) is finer than `coarse`:
+/// `coarse` must be obtainable by summing consecutive groups of `fine`.
+///
+/// Both slices list the loads of *non-empty* bins in increasing value order.
+pub fn is_finer(fine: &[u64], coarse: &[u64]) -> bool {
+    if fine.iter().sum::<u64>() != coarse.iter().sum::<u64>() {
+        return false;
+    }
+    let mut fi = 0usize;
+    for &target in coarse {
+        let mut acc = 0u64;
+        while acc < target {
+            let Some(&load) = fine.get(fi) else {
+                return false;
+            };
+            acc += load;
+            fi += 1;
+        }
+        if acc != target {
+            return false; // overshoot: group boundaries cannot match
+        }
+    }
+    fi == fine.len()
+}
+
+/// Check that `f` is monotone (non-decreasing) on the given support.
+pub fn is_monotone_on(support: &[Value], f: &dyn Fn(Value) -> Value) -> bool {
+    let mut sorted = support.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).all(|w| f(w[0]) <= f(w[1]))
+}
+
+/// Apply a monotone bin map to every ball.
+///
+/// # Panics
+/// Panics if `f` is not monotone on the support of `state` (a non-monotone
+/// map breaks the median-commutation property the coupling relies on).
+pub fn coarsen(state: &[Value], f: &dyn Fn(Value) -> Value) -> Vec<Value> {
+    let support: Vec<Value> = {
+        let mut s = state.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    assert!(
+        is_monotone_on(&support, f),
+        "coarsen: map is not monotone on the support"
+    );
+    state.iter().map(|&v| f(v)).collect()
+}
+
+/// Outcome of a coupled execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Whether `coarse_t = f ∘ fine_t` held at every round.
+    pub invariant_held: bool,
+    /// Round at which the fine run reached consensus (if it did).
+    pub fine_consensus: Option<u64>,
+    /// Round at which the coarse run reached consensus (if it did).
+    pub coarse_consensus: Option<u64>,
+}
+
+/// Run the median rule on `fine0` and on `f(fine0)` with identical
+/// randomness for `rounds` rounds (or until both reach consensus), checking
+/// the Lemma 17 invariant along the way.
+pub fn verify_coupling(
+    fine0: &[Value],
+    f: &dyn Fn(Value) -> Value,
+    rounds: u64,
+    seed: u64,
+) -> CouplingReport {
+    let mut fine = fine0.to_vec();
+    let mut coarse = coarsen(fine0, f);
+    let n = fine.len();
+    let mut fine_scratch = vec![0 as Value; n];
+    let mut coarse_scratch = vec![0 as Value; n];
+    let mut fine_consensus = None;
+    let mut coarse_consensus = None;
+    let mut invariant_held = true;
+    let mut executed = 0u64;
+
+    for round in 0..rounds {
+        if fine_consensus.is_none() && fine.iter().all(|&v| v == fine[0]) {
+            fine_consensus = Some(round);
+        }
+        if coarse_consensus.is_none() && coarse.iter().all(|&v| v == coarse[0]) {
+            coarse_consensus = Some(round);
+        }
+        if fine_consensus.is_some() && coarse_consensus.is_some() {
+            break;
+        }
+        dense::step_seq(&fine, &mut fine_scratch, &MedianRule, seed, round);
+        dense::step_seq(&coarse, &mut coarse_scratch, &MedianRule, seed, round);
+        std::mem::swap(&mut fine, &mut fine_scratch);
+        std::mem::swap(&mut coarse, &mut coarse_scratch);
+        executed += 1;
+        // Invariant: the coarse run is the image of the fine run.
+        if !fine.iter().zip(&coarse).all(|(&a, &b)| f(a) == b) {
+            invariant_held = false;
+            break;
+        }
+    }
+    if fine_consensus.is_none() && fine.iter().all(|&v| v == fine[0]) {
+        fine_consensus = Some(executed);
+    }
+    if coarse_consensus.is_none() && coarse.iter().all(|&v| v == coarse[0]) {
+        coarse_consensus = Some(executed);
+    }
+    CouplingReport {
+        rounds: executed,
+        invariant_held,
+        fine_consensus,
+        coarse_consensus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_one_is_finer_than_everything() {
+        // Paper: the all-one assignment is finer than every assignment.
+        let fine = vec![1u64; 8];
+        assert!(is_finer(&fine, &[3, 5]));
+        assert!(is_finer(&fine, &[8]));
+        assert!(is_finer(&fine, &[1, 1, 1, 1, 1, 1, 1, 1]));
+        assert!(is_finer(&fine, &[2, 2, 2, 2]));
+    }
+
+    #[test]
+    fn fineness_needs_consecutive_groups() {
+        // (2, 3) can form (5) and (2,3) but not (3,2) or (4,1).
+        assert!(is_finer(&[2, 3], &[5]));
+        assert!(is_finer(&[2, 3], &[2, 3]));
+        assert!(!is_finer(&[2, 3], &[3, 2]));
+        assert!(!is_finer(&[2, 3], &[4, 1]));
+    }
+
+    #[test]
+    fn fineness_rejects_different_populations() {
+        assert!(!is_finer(&[2, 2], &[5]));
+        assert!(!is_finer(&[5], &[2, 2]));
+    }
+
+    #[test]
+    fn fineness_is_reflexive() {
+        assert!(is_finer(&[4, 1, 7], &[4, 1, 7]));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let support = vec![1u32, 5, 9];
+        assert!(is_monotone_on(&support, &|v| v / 2));
+        assert!(is_monotone_on(&support, &|_| 3));
+        assert!(!is_monotone_on(&support, &|v| 10 - v));
+    }
+
+    #[test]
+    #[should_panic]
+    fn coarsen_rejects_non_monotone() {
+        let state = vec![1u32, 5, 9];
+        coarsen(&state, &|v| 10 - v);
+    }
+
+    #[test]
+    fn coupling_invariant_holds_under_median() {
+        // Lemma 17's mechanism, mechanically verified: collapse values
+        // {0..7} by halving.
+        let fine0: Vec<Value> = (0..512u32).map(|i| i % 8).collect();
+        let report = verify_coupling(&fine0, &|v| v / 2, 400, 77);
+        assert!(report.invariant_held, "median must commute with monotone f");
+        let fc = report.fine_consensus.expect("fine should converge");
+        let cc = report.coarse_consensus.expect("coarse should converge");
+        // Lemma 17: the finer instance upper-bounds the coarser, pointwise.
+        assert!(cc <= fc, "coarse ({cc}) must not be slower than fine ({fc})");
+    }
+
+    #[test]
+    fn coupling_with_constant_map() {
+        // Mapping everything to one bin: coarse is in consensus from round 0.
+        let fine0: Vec<Value> = (0..128u32).collect();
+        let report = verify_coupling(&fine0, &|_| 42, 400, 5);
+        assert!(report.invariant_held);
+        assert_eq!(report.coarse_consensus, Some(0));
+    }
+
+    #[test]
+    fn coupling_with_identity_map() {
+        let fine0: Vec<Value> = (0..128u32).map(|i| i % 4).collect();
+        let report = verify_coupling(&fine0, &|v| v, 400, 6);
+        assert!(report.invariant_held);
+        assert_eq!(report.fine_consensus, report.coarse_consensus);
+    }
+}

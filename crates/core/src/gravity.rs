@@ -1,0 +1,128 @@
+//! Gravity (paper §4.2, Equation 1): the expected number of balls that
+//! choose ball `i` as their median in the next step, for the all-distinct
+//! ("all-one") configuration with the balls ordered by value.
+//!
+//! The paper estimates `g(i) = 6·(n−i)·i / n² + O(1/n)`; we provide the
+//! closed form, the exact sum it approximates, and an empirical estimator on
+//! the dense engine — the three agree, which pins the engine's sampling law
+//! to the quantity the analysis actually uses.
+
+use stabcon_util::rng::{derive_seed, Xoshiro256pp};
+use stabcon_util::stats::RunningStats;
+
+use crate::engine::dense;
+use crate::protocol::MedianRule;
+use crate::value::Value;
+
+/// Equation (1): `6·(n−i)·i / n²` for the 1-indexed ball `i` of `n`.
+pub fn gravity_formula(n: u64, i: u64) -> f64 {
+    assert!(i >= 1 && i <= n, "ball index out of range");
+    6.0 * ((n - i) as f64) * (i as f64) / ((n as f64) * (n as f64))
+}
+
+/// The exact expected attraction of ball `i` (1-indexed) in the all-distinct
+/// configuration, summed from the per-ball destination law:
+///
+/// * each of the `n − i` balls above `i` picks `i` with prob `(2i−1)/n²`;
+/// * each of the `i − 1` balls below picks `i` with prob `(2(n−i)+1)/n²`;
+/// * ball `i` stays with prob `1 − ((i−1)² + (n−i)²)/n²`.
+pub fn gravity_exact(n: u64, i: u64) -> f64 {
+    assert!(i >= 1 && i <= n, "ball index out of range");
+    let nf = n as f64;
+    let i_f = i as f64;
+    let n2 = nf * nf;
+    let from_above = (nf - i_f) * (2.0 * i_f - 1.0) / n2;
+    let from_below = (i_f - 1.0) * (2.0 * (nf - i_f) + 1.0) / n2;
+    let stay = 1.0 - ((i_f - 1.0) * (i_f - 1.0) + (nf - i_f) * (nf - i_f)) / n2;
+    from_above + from_below + stay
+}
+
+/// Empirically estimate `g(i)` by running one median-rule step from the
+/// all-distinct configuration `trials` times and counting balls that end at
+/// value `i − 1` (the 1-indexed ball `i` holds 0-indexed value `i − 1`).
+pub fn gravity_empirical(n: u64, i: u64, trials: u64, seed: u64) -> RunningStats {
+    assert!(i >= 1 && i <= n);
+    let n_us = n as usize;
+    let old: Vec<Value> = (0..n as u32).collect();
+    let target: Value = (i - 1) as u32;
+    let mut stats = RunningStats::new();
+    let mut new = vec![0 as Value; n_us];
+    for t in 0..trials {
+        let trial_seed = derive_seed(seed, t);
+        // One protocol step; every trial re-randomizes via the seed.
+        let _ = Xoshiro256pp::seed(trial_seed); // (reserved for future use)
+        dense::step_seq(&old, &mut new, &MedianRule, trial_seed, 0);
+        let count = new.iter().filter(|&&v| v == target).count();
+        stats.push(count as f64);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_maximized_at_median_ball() {
+        let n = 1001u64;
+        let mid = gravity_formula(n, n.div_ceil(2));
+        for &i in &[1u64, 100, 400, 900, n] {
+            assert!(gravity_formula(n, i) <= mid + 1e-12, "i = {i}");
+        }
+        // Peak value approaches 3/2.
+        assert!((mid - 1.5).abs() < 0.01, "mid = {mid}");
+    }
+
+    #[test]
+    fn exact_close_to_formula() {
+        // |exact − formula| = O(1/n), uniformly over i.
+        let n = 10_000u64;
+        for &i in &[1u64, 10, 100, n / 4, n / 2, 3 * n / 4, n] {
+            let e = gravity_exact(n, i);
+            let f = gravity_formula(n, i);
+            assert!(
+                (e - f).abs() < 20.0 / n as f64,
+                "i = {i}: exact {e} formula {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sums_to_n() {
+        // Total gravity = expected total balls next round = n.
+        let n = 500u64;
+        let total: f64 = (1..=n).map(|i| gravity_exact(n, i)).sum();
+        assert!((total - n as f64).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn endpoints_have_low_gravity() {
+        let n = 1000u64;
+        // Extreme balls attract almost nothing beyond their own stay-mass.
+        assert!(gravity_exact(n, 1) < 1.0);
+        assert!(gravity_exact(n, n) < 1.0);
+    }
+
+    #[test]
+    fn empirical_matches_exact() {
+        let n = 512u64;
+        let trials = 400;
+        for &i in &[1u64, n / 4, n / 2, n] {
+            let stats = gravity_empirical(n, i, trials, 99);
+            let expect = gravity_exact(n, i);
+            let tol = 6.0 * stats.std_err() + 0.02;
+            assert!(
+                (stats.mean() - expect).abs() < tol,
+                "i = {i}: empirical {} ± {} vs exact {expect}",
+                stats.mean(),
+                stats.std_err()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        gravity_formula(10, 11);
+    }
+}

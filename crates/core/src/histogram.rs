@@ -1,0 +1,204 @@
+//! Aggregated configurations: bin loads instead of per-ball values.
+//!
+//! The histogram view makes two things possible:
+//!
+//! * the **histogram engine**, whose per-round cost is `O(m²)` independent
+//!   of `n` — the median rule's destination law depends only on the load
+//!   CDF, so all balls of a bin move via one multinomial draw;
+//! * cheap observables for huge synthetic populations (up to 2^52 balls).
+
+use crate::config::Config;
+use crate::value::Value;
+
+/// A configuration aggregated by value: sorted `(value, load)` pairs with
+/// strictly increasing values and strictly positive loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<(Value, u64)>,
+    n: u64,
+}
+
+impl Histogram {
+    /// Build from `(value, load)` pairs (any order; zero loads dropped,
+    /// duplicate values merged).
+    ///
+    /// # Panics
+    /// Panics if the total load is zero or exceeds 2^52.
+    pub fn new(pairs: &[(Value, u64)]) -> Self {
+        let mut bins: Vec<(Value, u64)> = pairs.iter().copied().filter(|&(_, c)| c > 0).collect();
+        bins.sort_unstable_by_key(|&(v, _)| v);
+        // Merge duplicates.
+        let mut merged: Vec<(Value, u64)> = Vec::with_capacity(bins.len());
+        for (v, c) in bins {
+            match merged.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => merged.push((v, c)),
+            }
+        }
+        let n: u64 = merged.iter().map(|&(_, c)| c).sum();
+        assert!(n > 0, "Histogram: empty");
+        assert!(n <= 1 << 52, "Histogram: n exceeds 2^52");
+        Self { bins: merged, n }
+    }
+
+    /// Aggregate a dense configuration.
+    pub fn from_config(config: &Config) -> Self {
+        Self::new(&config.counts())
+    }
+
+    /// Expand into a dense configuration (requires `n` to fit memory).
+    pub fn to_config(&self) -> Config {
+        let mut values = Vec::with_capacity(self.n as usize);
+        for &(v, c) in &self.bins {
+            values.extend(std::iter::repeat_n(v, c as usize));
+        }
+        Config::new(values)
+    }
+
+    /// Total number of balls.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The sorted `(value, load)` pairs.
+    #[inline]
+    pub fn bins(&self) -> &[(Value, u64)] {
+        &self.bins
+    }
+
+    /// Number of non-empty bins.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `Some(v)` iff all balls share value `v`.
+    pub fn consensus_value(&self) -> Option<Value> {
+        (self.bins.len() == 1).then(|| self.bins[0].0)
+    }
+
+    /// Most loaded bin `(value, load)`, ties toward the smaller value.
+    pub fn plurality(&self) -> (Value, u64) {
+        self.bins
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("nonempty histogram")
+    }
+
+    /// Balls not holding `v`.
+    pub fn disagreement_with(&self, v: Value) -> u64 {
+        self.n
+            - self
+                .bins
+                .iter()
+                .find(|&&(bv, _)| bv == v)
+                .map(|&(_, c)| c)
+                .unwrap_or(0)
+    }
+
+    /// The median bin `m_t`: value of the ⌈n/2⌉-th smallest ball.
+    pub fn median_value(&self) -> Value {
+        let target = self.n.div_ceil(2);
+        let mut acc = 0u64;
+        for &(v, c) in &self.bins {
+            acc += c;
+            if acc >= target {
+                return v;
+            }
+        }
+        unreachable!("loads must cover all balls")
+    }
+
+    /// Load prefix-CDF evaluated at each bin: `cdf[i] = Σ_{j ≤ i} load_j / n`.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0u64;
+        self.bins
+            .iter()
+            .map(|&(_, c)| {
+                acc += c;
+                acc as f64 / self.n as f64
+            })
+            .collect()
+    }
+
+    /// Two-bin imbalance Δ (same convention as [`Config::imbalance`]).
+    pub fn imbalance(&self) -> f64 {
+        let mut loads: Vec<u64> = self.bins.iter().map(|&(_, c)| c).collect();
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        let top = loads.first().copied().unwrap_or(0);
+        let second = loads.get(1).copied().unwrap_or(0);
+        (top as f64 - second as f64) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_merges_drops_zeros() {
+        let h = Histogram::new(&[(5, 2), (1, 3), (5, 1), (9, 0)]);
+        assert_eq!(h.bins(), &[(1, 3), (5, 3)]);
+        assert_eq!(h.n(), 6);
+        assert_eq!(h.support_size(), 2);
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let c = Config::new(vec![2, 7, 2, 2, 9]);
+        let h = Histogram::from_config(&c);
+        assert_eq!(h.bins(), &[(2, 3), (7, 1), (9, 1)]);
+        let c2 = h.to_config();
+        // to_config emits values in ascending order.
+        assert_eq!(c2.values(), &[2, 2, 2, 7, 9]);
+        assert_eq!(Histogram::from_config(&c2), h);
+    }
+
+    #[test]
+    fn observables_match_dense() {
+        let c = Config::new(vec![1, 1, 2, 9, 9, 9]);
+        let h = Histogram::from_config(&c);
+        assert_eq!(h.median_value(), c.median_value());
+        assert_eq!(h.plurality(), c.plurality());
+        assert_eq!(h.disagreement_with(9), c.disagreement_with(9));
+        assert_eq!(h.imbalance(), c.imbalance());
+        assert_eq!(h.consensus_value(), None);
+    }
+
+    #[test]
+    fn consensus() {
+        let h = Histogram::new(&[(4, 100)]);
+        assert_eq!(h.consensus_value(), Some(4));
+        assert_eq!(h.median_value(), 4);
+        assert_eq!(h.disagreement_with(4), 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_to_one() {
+        let h = Histogram::new(&[(1, 1), (2, 2), (3, 3), (4, 4)]);
+        let cdf = h.cdf();
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((cdf[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_population() {
+        let big = 1u64 << 40;
+        let h = Histogram::new(&[(0, big), (1, big + 7)]);
+        assert_eq!(h.n(), 2 * big + 7);
+        assert_eq!(h.median_value(), 1);
+        assert_eq!(h.plurality(), (1, big + 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        Histogram::new(&[(1, 0)]);
+    }
+}

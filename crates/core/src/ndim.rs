@@ -1,0 +1,210 @@
+//! The d-dimensional median rule — the paper's open problem (§6).
+//!
+//! "Unfortunately, we were only able to rigorously analyze its performance
+//! for the one-dimensional case. It would be very interesting though
+//! probably very challenging to prove a time bound of O(log n) also for
+//! higher dimensions."
+//!
+//! We implement the natural candidate: values are points in `ℕ^D` and every
+//! ball applies the **coordinate-wise median** of its own point and the two
+//! sampled points (the same sampled pair for all coordinates). Two caveats
+//! the experiments surface, faithfully to why the problem is hard:
+//!
+//! * the coordinate-wise median of three points need **not** be one of the
+//!   three points — validity holds per coordinate, not per point;
+//! * convergence is no longer monotone in any obvious potential, which is
+//!   exactly why the proof did not generalize. Empirically it still
+//!   converges in `O(log n)`-looking time (see `benches/higher_dims.rs`).
+
+use stabcon_util::rng::{gen_index, CounterRng};
+
+use crate::value::{median3, Value};
+
+/// A point in `D` dimensions.
+pub type Point<const D: usize> = [Value; D];
+
+/// Coordinate-wise median of three points.
+#[inline]
+pub fn median3_nd<const D: usize>(a: &Point<D>, b: &Point<D>, c: &Point<D>) -> Point<D> {
+    let mut out = [0 as Value; D];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = median3(a[i], b[i], c[i]);
+    }
+    out
+}
+
+/// Advance one synchronous round of the d-dimensional median rule
+/// (sequential; same counter-RNG addressing as the scalar dense engine).
+///
+/// # Panics
+/// Panics if buffer lengths differ.
+pub fn step_seq<const D: usize>(
+    old: &[Point<D>],
+    new: &mut [Point<D>],
+    seed: u64,
+    round: u64,
+) {
+    assert_eq!(old.len(), new.len(), "state buffers differ in length");
+    let n = old.len() as u64;
+    for (i, slot) in new.iter_mut().enumerate() {
+        let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(i as u64));
+        let a = &old[gen_index(&mut rng, n) as usize];
+        let b = &old[gen_index(&mut rng, n) as usize];
+        *slot = median3_nd(&old[i], a, b);
+    }
+}
+
+/// Result of a d-dimensional run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdRunResult<const D: usize> {
+    /// First round with a single point (if reached).
+    pub consensus_round: Option<u64>,
+    /// Rounds executed.
+    pub rounds_executed: u64,
+    /// The final (or consensus) plurality point.
+    pub winner: Point<D>,
+    /// Distinct points at the end.
+    pub final_support: usize,
+    /// Whether the winner was one of the initial points (point-validity —
+    /// can be `false` in d ≥ 2, unlike the scalar rule).
+    pub winner_was_initial: bool,
+    /// Whether every coordinate of the winner appeared in the initial
+    /// points at that coordinate (coordinate-validity — always true).
+    pub winner_coordinate_valid: bool,
+}
+
+/// Number of distinct points.
+pub fn support_size<const D: usize>(points: &[Point<D>]) -> usize {
+    let mut sorted: Vec<Point<D>> = points.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Run the d-dimensional median rule from `init` for up to `max_rounds`.
+pub fn run_nd<const D: usize>(init: &[Point<D>], max_rounds: u64, seed: u64) -> NdRunResult<D> {
+    assert!(!init.is_empty(), "run_nd: empty population");
+    let mut state = init.to_vec();
+    let mut scratch = vec![[0 as Value; D]; init.len()];
+    let mut consensus_round = None;
+    let mut executed = 0u64;
+    for round in 0..max_rounds {
+        if state.iter().all(|p| p == &state[0]) {
+            consensus_round = Some(round);
+            break;
+        }
+        step_seq(&state, &mut scratch, seed, round);
+        std::mem::swap(&mut state, &mut scratch);
+        executed += 1;
+    }
+    if consensus_round.is_none() && state.iter().all(|p| p == &state[0]) {
+        consensus_round = Some(executed);
+    }
+    // Plurality point.
+    let mut sorted = state.clone();
+    sorted.sort_unstable();
+    let mut winner = sorted[0];
+    let mut best = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let j = sorted[i..].iter().take_while(|p| **p == sorted[i]).count();
+        if j > best {
+            best = j;
+            winner = sorted[i];
+        }
+        i += j;
+    }
+    let winner_was_initial = init.contains(&winner);
+    let winner_coordinate_valid = (0..D).all(|d| init.iter().any(|p| p[d] == winner[d]));
+    NdRunResult {
+        consensus_round,
+        rounds_executed: executed,
+        winner,
+        final_support: support_size(&state),
+        winner_was_initial,
+        winner_coordinate_valid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median3_nd_componentwise() {
+        let a = [1u32, 9];
+        let b = [5, 2];
+        let c = [3, 4];
+        assert_eq!(median3_nd(&a, &b, &c), [3, 4]);
+    }
+
+    #[test]
+    fn median3_nd_can_invent_points() {
+        // The coordinate-wise median of three *corner* points is a point
+        // none of them: the reason scalar validity does not generalize.
+        let a = [0u32, 0];
+        let b = [1, 1];
+        let c = [0, 1];
+        let m = median3_nd(&a, &b, &c);
+        assert_eq!(m, [0, 1]); // here it is c...
+        // A genuinely invented point: three "rotated" points whose
+        // coordinate-wise median matches none of them.
+        let p = [0u32, 2];
+        let q = [1, 0];
+        let r = [2, 1];
+        let m2 = median3_nd(&p, &q, &r);
+        assert_eq!(m2, [1, 1]);
+        assert!(m2 != p && m2 != q && m2 != r, "median invented a new point");
+    }
+
+    #[test]
+    fn consensus_is_absorbing_nd() {
+        let state = vec![[7u32, 3, 9]; 500];
+        let mut new = vec![[0u32; 3]; 500];
+        step_seq(&state, &mut new, 1, 0);
+        assert_eq!(state, new);
+    }
+
+    #[test]
+    fn two_dim_grid_converges() {
+        // 2×2 product grid of opinions.
+        let n = 1024usize;
+        let init: Vec<Point<2>> = (0..n)
+            .map(|i| [(i % 2) as u32, ((i / 2) % 2) as u32])
+            .collect();
+        let r = run_nd(&init, 2000, 42);
+        assert!(
+            r.consensus_round.is_some(),
+            "2-d median rule failed to converge: {r:?}"
+        );
+        assert!(r.winner_coordinate_valid);
+    }
+
+    #[test]
+    fn three_dim_converges() {
+        let n = 512usize;
+        let init: Vec<Point<3>> = (0..n)
+            .map(|i| [(i % 3) as u32, ((i / 3) % 3) as u32, ((i / 9) % 3) as u32])
+            .collect();
+        let r = run_nd(&init, 3000, 7);
+        assert!(r.consensus_round.is_some(), "{r:?}");
+        assert!(r.winner_coordinate_valid);
+        for d in 0..3 {
+            assert!(r.winner[d] < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let init: Vec<Point<2>> = (0..256).map(|i| [i as u32 % 4, i as u32 % 5]).collect();
+        let a = run_nd(&init, 1000, 9);
+        let b = run_nd(&init, 1000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn support_size_counts_points() {
+        let pts: Vec<Point<2>> = vec![[0, 0], [0, 1], [0, 0], [1, 1]];
+        assert_eq!(support_size(&pts), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Values ("bins") and the initial-value-set constraint.
+//!
+//! The paper identifies values with natural numbers that fit in `O(log n)`
+//! bits; `u32` covers every simulation size we run. The *initial value set*
+//! `{v₁, …, v_n}` matters because (a) validity requires the final consensus
+//! value to come from it and (b) the T-bounded adversary may only write
+//! values from it.
+
+/// A process value / bin identifier.
+pub type Value = u32;
+
+/// Median of three values (the median rule's combine step).
+///
+/// Branch-free formulation: `max(min(a,b), min(max(a,b), c))`.
+#[inline(always)]
+pub fn median3(a: Value, b: Value, c: Value) -> Value {
+    let lo = a.min(b);
+    let hi = a.max(b);
+    lo.max(hi.min(c))
+}
+
+/// Median of a small odd-length scratch buffer (k-sample median ablation).
+///
+/// For even lengths this returns the **lower** middle element, which keeps
+/// the rule well-defined and validity-preserving.
+///
+/// # Panics
+/// Panics if `vals` is empty.
+pub fn median_small(vals: &mut [Value]) -> Value {
+    assert!(!vals.is_empty(), "median of empty slice");
+    vals.sort_unstable();
+    vals[(vals.len() - 1) / 2]
+}
+
+/// The set of initial values, supporting membership tests and "nearest
+/// allowed value" queries for adversaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueSet {
+    sorted: Vec<Value>,
+}
+
+impl ValueSet {
+    /// Build from any collection of values (dedupes and sorts).
+    pub fn from_values(values: &[Value]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(!sorted.is_empty(), "ValueSet: empty");
+        Self { sorted }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Value) -> bool {
+        self.sorted.binary_search(&v).is_ok()
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> Value {
+        self.sorted[0]
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> Value {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// All values, ascending.
+    pub fn values(&self) -> &[Value] {
+        &self.sorted
+    }
+
+    /// The i-th smallest value.
+    pub fn nth(&self, i: usize) -> Value {
+        self.sorted[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median3_all_orders() {
+        let perms = [
+            (1, 2, 3),
+            (1, 3, 2),
+            (2, 1, 3),
+            (2, 3, 1),
+            (3, 1, 2),
+            (3, 2, 1),
+        ];
+        for (a, b, c) in perms {
+            assert_eq!(median3(a, b, c), 2, "median3({a},{b},{c})");
+        }
+    }
+
+    #[test]
+    fn median3_with_ties() {
+        assert_eq!(median3(5, 5, 9), 5);
+        assert_eq!(median3(9, 5, 5), 5);
+        assert_eq!(median3(5, 9, 5), 5);
+        assert_eq!(median3(7, 7, 7), 7);
+        assert_eq!(median3(0, u32::MAX, 7), 7);
+    }
+
+    #[test]
+    fn median3_paper_example() {
+        // "if vi = 10, vj = 12 and vk = 100, then the new value of vi is 12"
+        assert_eq!(median3(10, 12, 100), 12);
+    }
+
+    #[test]
+    fn median_small_odd_and_even() {
+        assert_eq!(median_small(&mut [3]), 3);
+        assert_eq!(median_small(&mut [3, 1, 2]), 2);
+        assert_eq!(median_small(&mut [4, 1, 3, 2]), 2); // lower middle
+        assert_eq!(median_small(&mut [5, 1, 4, 2, 3]), 3);
+    }
+
+    #[test]
+    fn median_small_matches_median3() {
+        for a in 0..6u32 {
+            for b in 0..6 {
+                for c in 0..6 {
+                    assert_eq!(median_small(&mut [a, b, c]), median3(a, b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_set_basics() {
+        let s = ValueSet::from_values(&[5, 1, 5, 9, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), &[1, 5, 9]);
+        assert!(s.contains(5));
+        assert!(!s.contains(2));
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 9);
+        assert_eq!(s.nth(1), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_value_set_panics() {
+        ValueSet::from_values(&[]);
+    }
+}

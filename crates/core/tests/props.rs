@@ -1,0 +1,181 @@
+//! Property-based tests for the dynamics core.
+
+use proptest::prelude::*;
+use stabcon_core::adversary::{AdversarySpec, Corruptor, HistCorruptor};
+use stabcon_core::engine::{dense, hist};
+use stabcon_core::histogram::Histogram;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::ndim::{median3_nd, run_nd};
+use stabcon_core::protocol::{KMedianRule, MedianRule};
+use stabcon_core::value::{median3, ValueSet};
+use stabcon_util::rng::Xoshiro256pp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- configuration/histogram agreement ----------------------------------
+
+    #[test]
+    fn histogram_and_config_observables_agree(values in prop::collection::vec(0u32..20, 1..200)) {
+        let config = stabcon_core::config::Config::new(values);
+        let h = Histogram::from_config(&config);
+        prop_assert_eq!(h.n() as usize, config.n());
+        prop_assert_eq!(h.support_size(), config.support_size());
+        prop_assert_eq!(h.plurality(), config.plurality());
+        prop_assert_eq!(h.median_value(), config.median_value());
+        prop_assert_eq!(h.consensus_value(), config.consensus_value());
+        prop_assert_eq!(h.imbalance(), config.imbalance());
+        for v in 0..20u32 {
+            prop_assert_eq!(h.disagreement_with(v), config.disagreement_with(v));
+        }
+    }
+
+    // --- engines -------------------------------------------------------------
+
+    #[test]
+    fn k_median_engine_never_invents(values in prop::collection::vec(0u32..9, 4..100),
+                                     k in 1usize..6, seed in any::<u64>()) {
+        let rule = KMedianRule::new(k);
+        let mut new = vec![0u32; values.len()];
+        dense::step_seq(&values, &mut new, &rule, seed, 0);
+        for v in &new {
+            prop_assert!(values.contains(v));
+        }
+    }
+
+    #[test]
+    fn hist_step_keeps_values_sorted_unique(loads in prop::collection::vec(1u64..500, 1..10),
+                                            seed in any::<u64>()) {
+        let pairs: Vec<(u32, u64)> = loads.iter().enumerate().map(|(v, &c)| (v as u32 * 3, c)).collect();
+        let h = Histogram::new(&pairs);
+        let mut rng = Xoshiro256pp::seed(seed);
+        let next = hist::step(&h, &mut rng);
+        let bins = next.bins();
+        for w in bins.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "values must stay sorted/unique");
+        }
+        for &(_, c) in bins {
+            prop_assert!(c > 0, "zero bins must be dropped");
+        }
+    }
+
+    #[test]
+    fn partial_step_changes_subset_of_full(values in prop::collection::vec(0u32..6, 16..128),
+                                           seed in any::<u64>()) {
+        // α = 0: identity.
+        let mut frozen = vec![0u32; values.len()];
+        dense::step_partial(1, &values, &mut frozen, &MedianRule, seed, 0, 1e-12);
+        let identical = frozen.iter().zip(&values).filter(|(a, b)| a == b).count();
+        prop_assert!(identical >= values.len() - 1, "α≈0 must freeze almost surely");
+    }
+
+    // --- adversary enforcement -----------------------------------------------
+
+    #[test]
+    fn every_adversary_respects_budget_and_set(
+        values in prop::collection::vec(0u32..8, 8..120),
+        budget in 0u64..16,
+        seed in any::<u64>(),
+        which in 0usize..5,
+    ) {
+        let specs = [
+            AdversarySpec::Random,
+            AdversarySpec::Balancer,
+            AdversarySpec::Reviver { revive_at: 2 },
+            AdversarySpec::MedianPusher,
+            AdversarySpec::Stubborn,
+        ];
+        let set = ValueSet::from_values(&values);
+        let mut adv = specs[which].build();
+        let mut rng = Xoshiro256pp::seed(seed);
+        let mut state = values.clone();
+        for round in 0..4u64 {
+            let before = state.clone();
+            {
+                let mut c = Corruptor::new(&mut state, &set, budget);
+                adv.corrupt(round, &mut c, &mut rng);
+            }
+            let changed = state.iter().zip(&before).filter(|(a, b)| a != b).count() as u64;
+            prop_assert!(changed <= budget,
+                "{:?} changed {} > budget {}", specs[which], changed, budget);
+            for v in &state {
+                prop_assert!(set.contains(*v), "{:?} wrote {}", specs[which], v);
+            }
+        }
+    }
+
+    #[test]
+    fn hist_corruptor_conserves_population(loads in prop::collection::vec(1u64..100, 2..8),
+                                           budget in 0u64..50,
+                                           from in 0usize..8, to in 0usize..8) {
+        let pairs: Vec<(u32, u64)> = loads.iter().enumerate().map(|(v, &c)| (v as u32, c)).collect();
+        let set = ValueSet::from_values(&pairs.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+        let total: u64 = loads.iter().sum();
+        let mut working = pairs.clone();
+        let moved = {
+            let mut c = HistCorruptor::new(&mut working, &set, budget);
+            c.move_balls(from as u32, to as u32, 30)
+        };
+        prop_assert!(moved <= budget);
+        let after: u64 = working.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(after, total, "population changed");
+    }
+
+    // --- d-dimensional extension ---------------------------------------------
+
+    #[test]
+    fn nd_median_is_componentwise(a in prop::collection::vec(0u32..100, 3),
+                                  b in prop::collection::vec(0u32..100, 3),
+                                  c in prop::collection::vec(0u32..100, 3)) {
+        let pa = [a[0], a[1], a[2]];
+        let pb = [b[0], b[1], b[2]];
+        let pc = [c[0], c[1], c[2]];
+        let m = median3_nd(&pa, &pb, &pc);
+        for d in 0..3 {
+            prop_assert_eq!(m[d], median3(pa[d], pb[d], pc[d]));
+        }
+    }
+
+    #[test]
+    fn nd_coordinate_validity_always_holds(seed in any::<u64>(), side in 2u32..4) {
+        let n = 128usize;
+        let init: Vec<[u32; 2]> = (0..n)
+            .map(|i| [(i as u32) % side, (i as u32 / side) % side])
+            .collect();
+        let r = run_nd(&init, 400, seed);
+        prop_assert!(r.winner_coordinate_valid);
+        for d in 0..2 {
+            prop_assert!(r.winner[d] < side);
+        }
+    }
+
+    // --- runner invariants -----------------------------------------------------
+
+    #[test]
+    fn trajectory_support_monotone_without_adversary(seed in any::<u64>(), m in 2u32..8) {
+        use stabcon_core::runner::SimSpec;
+        let spec = SimSpec::new(256)
+            .init(InitialCondition::UniformRandom { m })
+            .record_trajectory(true);
+        let r = spec.run_seeded(seed);
+        let traj = r.trajectory.expect("requested");
+        for w in traj.windows(2) {
+            prop_assert!(w[1].support <= w[0].support,
+                "support grew without adversary: {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn protocol_combine_total_for_all_sample_counts(own in any::<u32>(),
+                                                    samples in prop::collection::vec(any::<u32>(), 8)) {
+        // Every protocol must accept exactly its declared arity without
+        // panicking, for arbitrary u32 values (no overflow).
+        use stabcon_core::protocol::ProtocolSpec;
+        for spec in [ProtocolSpec::Median, ProtocolSpec::Min, ProtocolSpec::Max,
+                     ProtocolSpec::Mean, ProtocolSpec::Majority, ProtocolSpec::Voter,
+                     ProtocolSpec::KMedian(1), ProtocolSpec::KMedian(8)] {
+            let p = spec.build();
+            let _ = p.combine(own, &samples[..p.samples()]);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The synchronous round executor: requests → inbox capping → responses.
+
+use rand::RngCore;
+
+use crate::policy::DropPolicy;
+use crate::ProcessId;
+
+/// Static per-round network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundConfig {
+    /// Maximum number of requests a process answers per round (the paper's
+    /// "logarithmic number"). Use [`log_inbox_cap`] for the canonical value.
+    pub inbox_cap: usize,
+    /// Whether a request to oneself is answered locally without consuming
+    /// network capacity (the median rule's self-sample needs no message).
+    pub self_bypass: bool,
+}
+
+impl RoundConfig {
+    /// Canonical config for an `n`-process network: cap `c·⌈log₂ n⌉`,
+    /// self-samples bypass the network.
+    pub fn logarithmic(n: usize, c: usize) -> Self {
+        Self {
+            inbox_cap: log_inbox_cap(n, c),
+            self_bypass: true,
+        }
+    }
+}
+
+/// The canonical logarithmic inbox cap `max(1, c·⌈log₂ n⌉)`.
+pub fn log_inbox_cap(n: usize, c: usize) -> usize {
+    let log = usize::BITS - n.max(2).next_power_of_two().leading_zeros() - 1;
+    (c * log as usize).max(1)
+}
+
+/// Delivery statistics for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundMetrics {
+    /// Requests entering the network (excludes self-bypassed ones).
+    pub requests: u64,
+    /// Requests answered locally (self-samples with `self_bypass`).
+    pub self_requests: u64,
+    /// Responses delivered.
+    pub delivered: u64,
+    /// Requests dropped by overloaded inboxes.
+    pub dropped: u64,
+    /// Largest inbox observed this round.
+    pub max_inbox: usize,
+    /// Number of processes whose inbox exceeded the cap.
+    pub overloaded: u64,
+}
+
+impl RoundMetrics {
+    /// Accumulate another round's metrics (for experiment totals).
+    pub fn absorb(&mut self, other: &RoundMetrics) {
+        self.requests += other.requests;
+        self.self_requests += other.self_requests;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.max_inbox = self.max_inbox.max(other.max_inbox);
+        self.overloaded += other.overloaded;
+    }
+}
+
+/// Execute one synchronous request/response round.
+///
+/// * `values[i]` — the value process `i` would report this round;
+/// * `targets` — flattened sample targets, `k` consecutive entries per
+///   process (`targets.len() == k·n`); entry `targets[i·k + j]` is the j-th
+///   process that requester `i` contacts;
+/// * `policy` — drop selection for overloaded inboxes;
+/// * `responses[i]` receives `(responder, value)` pairs for every answered
+///   request of process `i` (buffers are cleared and reused).
+///
+/// Returns per-round delivery metrics.
+///
+/// # Panics
+/// Panics if the shapes disagree (`targets.len() != values.len()·k`,
+/// `responses.len() != values.len()`) or a target id is out of range.
+pub fn run_round<V, P, R>(
+    values: &[V],
+    targets: &[ProcessId],
+    k: usize,
+    cfg: &RoundConfig,
+    policy: &mut P,
+    rng: &mut R,
+    responses: &mut [Vec<(ProcessId, V)>],
+) -> RoundMetrics
+where
+    V: Copy,
+    P: DropPolicy + ?Sized,
+    R: RngCore,
+{
+    let n = values.len();
+    assert_eq!(targets.len(), n * k, "targets shape mismatch");
+    assert_eq!(responses.len(), n, "responses shape mismatch");
+
+    let mut metrics = RoundMetrics::default();
+    for buf in responses.iter_mut() {
+        buf.clear();
+    }
+
+    // Phase 1: route requests into inboxes.
+    let mut inbox: Vec<Vec<ProcessId>> = vec![Vec::new(); n];
+    for (i, window) in targets.chunks_exact(k).enumerate() {
+        for &t in window {
+            let t_us = t as usize;
+            assert!(t_us < n, "target {t} out of range (n = {n})");
+            if cfg.self_bypass && t_us == i {
+                // Answer locally: deliver own value without network traffic.
+                responses[i].push((t, values[t_us]));
+                metrics.self_requests += 1;
+            } else {
+                inbox[t_us].push(i as ProcessId);
+                metrics.requests += 1;
+            }
+        }
+    }
+
+    // Phase 2: cap overloaded inboxes via the drop policy.
+    for (t, requesters) in inbox.iter_mut().enumerate() {
+        metrics.max_inbox = metrics.max_inbox.max(requesters.len());
+        if requesters.len() > cfg.inbox_cap {
+            metrics.overloaded += 1;
+            let before = requesters.len();
+            policy.select(t as ProcessId, requesters, cfg.inbox_cap, rng);
+            assert!(
+                requesters.len() <= cfg.inbox_cap,
+                "drop policy exceeded the cap"
+            );
+            metrics.dropped += (before - requesters.len()) as u64;
+        }
+    }
+
+    // Phase 3: deliver responses.
+    for (t, requesters) in inbox.iter().enumerate() {
+        let value = values[t];
+        for &requester in requesters {
+            responses[requester as usize].push((t as ProcessId, value));
+            metrics.delivered += 1;
+        }
+    }
+
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{KeepFirst, RandomDrop};
+    use stabcon_util::rng::Xoshiro256pp;
+
+    fn fresh_responses(n: usize) -> Vec<Vec<(ProcessId, u32)>> {
+        vec![Vec::new(); n]
+    }
+
+    #[test]
+    fn log_cap_values() {
+        assert_eq!(log_inbox_cap(2, 1), 1);
+        assert_eq!(log_inbox_cap(1024, 1), 10);
+        assert_eq!(log_inbox_cap(1024, 3), 30);
+        assert_eq!(log_inbox_cap(1025, 1), 11); // next power of two is 2048
+        assert!(log_inbox_cap(1, 1) >= 1);
+    }
+
+    #[test]
+    fn all_delivered_when_under_cap() {
+        let values: Vec<u32> = vec![10, 20, 30, 40];
+        // Everyone asks process 0 and process 1 once: inboxes ≤ 4 ≤ cap.
+        let targets: Vec<ProcessId> = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let cfg = RoundConfig {
+            inbox_cap: 8,
+            self_bypass: true,
+        };
+        let mut rng = Xoshiro256pp::seed(1);
+        let mut responses = fresh_responses(4);
+        let m = run_round(
+            &values,
+            &targets,
+            2,
+            &cfg,
+            &mut KeepFirst,
+            &mut rng,
+            &mut responses,
+        );
+        assert_eq!(m.dropped, 0);
+        // Process 0's request to 0 and process 1's request to 1 bypass.
+        assert_eq!(m.self_requests, 2);
+        assert_eq!(m.delivered + m.self_requests, 8);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.len(), 2, "process {i} got {resp:?}");
+            assert_eq!(resp[0].1 % 10, 0);
+        }
+    }
+
+    #[test]
+    fn overloaded_inbox_drops_to_cap() {
+        let n = 64usize;
+        let values: Vec<u32> = (0..n as u32).collect();
+        // Everyone sends both requests to process 0.
+        let targets: Vec<ProcessId> = vec![0; n * 2];
+        let cfg = RoundConfig {
+            inbox_cap: 5,
+            self_bypass: false,
+        };
+        let mut rng = Xoshiro256pp::seed(2);
+        let mut responses = fresh_responses(n);
+        let m = run_round(
+            &values,
+            &targets,
+            2,
+            &cfg,
+            &mut RandomDrop,
+            &mut rng,
+            &mut responses,
+        );
+        assert_eq!(m.requests, (n * 2) as u64);
+        assert_eq!(m.delivered, 5);
+        assert_eq!(m.dropped, (n * 2 - 5) as u64);
+        assert_eq!(m.overloaded, 1);
+        assert_eq!(m.max_inbox, n * 2);
+        let got: usize = responses.iter().map(|r| r.len()).sum();
+        assert_eq!(got, 5);
+    }
+
+    #[test]
+    fn self_bypass_off_routes_self_requests() {
+        let values: Vec<u32> = vec![7, 8];
+        let targets: Vec<ProcessId> = vec![0, 0, 1, 1]; // everyone asks self twice
+        let cfg = RoundConfig {
+            inbox_cap: 10,
+            self_bypass: false,
+        };
+        let mut rng = Xoshiro256pp::seed(3);
+        let mut responses = fresh_responses(2);
+        let m = run_round(
+            &values,
+            &targets,
+            2,
+            &cfg,
+            &mut KeepFirst,
+            &mut rng,
+            &mut responses,
+        );
+        assert_eq!(m.self_requests, 0);
+        assert_eq!(m.requests, 4);
+        assert_eq!(responses[0], vec![(0, 7), (0, 7)]);
+    }
+
+    #[test]
+    fn responses_carry_correct_values() {
+        let values: Vec<u32> = vec![100, 200, 300];
+        let targets: Vec<ProcessId> = vec![1, 2, 2, 0, 0, 1];
+        let cfg = RoundConfig {
+            inbox_cap: 10,
+            self_bypass: true,
+        };
+        let mut rng = Xoshiro256pp::seed(4);
+        let mut responses = fresh_responses(3);
+        run_round(
+            &values,
+            &targets,
+            2,
+            &cfg,
+            &mut KeepFirst,
+            &mut rng,
+            &mut responses,
+        );
+        let mut r0 = responses[0].clone();
+        r0.sort_unstable();
+        assert_eq!(r0, vec![(1, 200), (2, 300)]);
+    }
+
+    #[test]
+    fn metrics_absorb_accumulates() {
+        let mut a = RoundMetrics {
+            requests: 10,
+            self_requests: 1,
+            delivered: 8,
+            dropped: 2,
+            max_inbox: 4,
+            overloaded: 1,
+        };
+        let b = RoundMetrics {
+            requests: 5,
+            self_requests: 0,
+            delivered: 5,
+            dropped: 0,
+            max_inbox: 9,
+            overloaded: 0,
+        };
+        a.absorb(&b);
+        assert_eq!(a.requests, 15);
+        assert_eq!(a.delivered, 13);
+        assert_eq!(a.max_inbox, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let values: Vec<u32> = vec![1, 2];
+        let targets: Vec<ProcessId> = vec![0, 1, 0]; // not 2·k
+        let cfg = RoundConfig {
+            inbox_cap: 1,
+            self_bypass: true,
+        };
+        let mut rng = Xoshiro256pp::seed(5);
+        let mut responses = fresh_responses(2);
+        run_round(
+            &values,
+            &targets,
+            2,
+            &cfg,
+            &mut KeepFirst,
+            &mut rng,
+            &mut responses,
+        );
+    }
+}

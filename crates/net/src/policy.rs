@@ -1,0 +1,200 @@
+//! Inbox-overflow drop policies.
+//!
+//! When more requests arrive at a process than its logarithmic answer budget
+//! allows, *someone* decides which requests are answered. The paper allows
+//! this selection to be adversarial ("possibly selected by an adversary").
+
+use rand::RngCore;
+use stabcon_util::rng::gen_index;
+
+use crate::ProcessId;
+
+/// Decides which requesters survive when an inbox exceeds its cap.
+pub trait DropPolicy {
+    /// Truncate `requesters` to at most `cap` surviving requesters.
+    /// `target` is the overloaded process; `rng` provides randomness for
+    /// randomized policies.
+    fn select(
+        &mut self,
+        target: ProcessId,
+        requesters: &mut Vec<ProcessId>,
+        cap: usize,
+        rng: &mut dyn RngCore,
+    );
+}
+
+/// Keep a uniformly random `cap`-subset (benign network).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomDrop;
+
+impl DropPolicy for RandomDrop {
+    fn select(
+        &mut self,
+        _target: ProcessId,
+        requesters: &mut Vec<ProcessId>,
+        cap: usize,
+        rng: &mut dyn RngCore,
+    ) {
+        if requesters.len() <= cap {
+            return;
+        }
+        // Partial Fisher–Yates: place a uniform random survivor in each of
+        // the first `cap` slots.
+        let len = requesters.len();
+        for i in 0..cap {
+            let j = i + gen_index(rng, (len - i) as u64) as usize;
+            requesters.swap(i, j);
+        }
+        requesters.truncate(cap);
+    }
+}
+
+/// Keep the first `cap` requesters in arrival order (deterministic FIFO; in
+/// the synchronous abstraction arrival order is requester-id order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeepFirst;
+
+impl DropPolicy for KeepFirst {
+    fn select(
+        &mut self,
+        _target: ProcessId,
+        requesters: &mut Vec<ProcessId>,
+        cap: usize,
+        _rng: &mut dyn RngCore,
+    ) {
+        requesters.truncate(cap);
+    }
+}
+
+/// Adversarial selection: requests from *victims* are dropped first, so a
+/// starved process systematically loses its samples. This implements the
+/// paper's "selected by an adversary" clause.
+#[derive(Debug, Clone)]
+pub struct StarveSet {
+    /// `victim[i]` marks process `i` as a victim whose requests are dropped
+    /// with highest priority.
+    victim: Vec<bool>,
+}
+
+impl StarveSet {
+    /// Build from a victim bitmap sized `n`.
+    pub fn new(victim: Vec<bool>) -> Self {
+        Self { victim }
+    }
+
+    /// Mark the first `k` processes as victims in a network of `n`.
+    pub fn first_k(n: usize, k: usize) -> Self {
+        let mut victim = vec![false; n];
+        for flag in victim.iter_mut().take(k.min(n)) {
+            *flag = true;
+        }
+        Self { victim }
+    }
+
+    /// Whether `p` is a victim.
+    pub fn is_victim(&self, p: ProcessId) -> bool {
+        self.victim.get(p as usize).copied().unwrap_or(false)
+    }
+}
+
+impl DropPolicy for StarveSet {
+    fn select(
+        &mut self,
+        _target: ProcessId,
+        requesters: &mut Vec<ProcessId>,
+        cap: usize,
+        _rng: &mut dyn RngCore,
+    ) {
+        if requesters.len() <= cap {
+            return;
+        }
+        // Stable partition: non-victims first, victims last, then truncate —
+        // victims are served only with leftover capacity.
+        requesters.sort_by_key(|&p| self.is_victim(p));
+        requesters.truncate(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_util::rng::Xoshiro256pp;
+
+    fn reqs(ids: &[u32]) -> Vec<ProcessId> {
+        ids.to_vec()
+    }
+
+    #[test]
+    fn random_drop_respects_cap_and_membership() {
+        let mut rng = Xoshiro256pp::seed(1);
+        let mut policy = RandomDrop;
+        let original = reqs(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut r = original.clone();
+        policy.select(0, &mut r, 3, &mut rng);
+        assert_eq!(r.len(), 3);
+        for id in &r {
+            assert!(original.contains(id));
+        }
+        // No duplicates introduced.
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn random_drop_noop_under_cap() {
+        let mut rng = Xoshiro256pp::seed(2);
+        let mut policy = RandomDrop;
+        let mut r = reqs(&[5, 6]);
+        policy.select(0, &mut r, 10, &mut rng);
+        assert_eq!(r, reqs(&[5, 6]));
+    }
+
+    #[test]
+    fn random_drop_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed(3);
+        let mut policy = RandomDrop;
+        let mut hits = [0u32; 10];
+        for _ in 0..20_000 {
+            let mut r: Vec<ProcessId> = (0..10).collect();
+            policy.select(0, &mut r, 1, &mut rng);
+            hits[r[0] as usize] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((h as i64 - 2000).abs() < 400, "requester {i}: {h}");
+        }
+    }
+
+    #[test]
+    fn keep_first_truncates_in_order() {
+        let mut rng = Xoshiro256pp::seed(4);
+        let mut policy = KeepFirst;
+        let mut r = reqs(&[9, 8, 7, 6]);
+        policy.select(0, &mut r, 2, &mut rng);
+        assert_eq!(r, reqs(&[9, 8]));
+    }
+
+    #[test]
+    fn starve_set_drops_victims_first() {
+        let mut rng = Xoshiro256pp::seed(5);
+        let mut policy = StarveSet::first_k(10, 5); // victims 0..5
+        let mut r = reqs(&[0, 1, 6, 7, 2, 8]);
+        policy.select(3, &mut r, 3, &mut rng);
+        assert_eq!(r.len(), 3);
+        // All survivors must be non-victims (there were exactly 3).
+        for id in &r {
+            assert!(!policy.is_victim(*id), "victim {id} survived");
+        }
+    }
+
+    #[test]
+    fn starve_set_serves_victims_with_leftover_capacity() {
+        let mut rng = Xoshiro256pp::seed(6);
+        let mut policy = StarveSet::first_k(10, 5);
+        let mut r = reqs(&[0, 1, 6]); // 2 victims, 1 non-victim
+        policy.select(3, &mut r, 2, &mut rng);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&6));
+    }
+}

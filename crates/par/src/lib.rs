@@ -1,0 +1,49 @@
+//! # stabcon-par
+//!
+//! A minimal data-parallel executor for the `stabcon` workspace.
+//!
+//! The reproduction needs two kinds of parallelism and the offline
+//! dependency set does not include `rayon`, so we build both on
+//! `crossbeam` + `parking_lot`:
+//!
+//! * **Scoped chunked parallelism** over borrowed data
+//!   ([`par_map`], [`par_map_indexed`], [`par_chunks_mut`], [`par_reduce`]):
+//!   used by the dense engine to update millions of balls per round, and by
+//!   the experiment harness to run independent trials. Work is split into
+//!   more chunks than threads and distributed through a multi-consumer
+//!   channel, which gives dynamic load balancing without unsafe code.
+//! * **A persistent work-stealing [`ThreadPool`]** (crossbeam deques:
+//!   per-worker FIFO queues + global injector) for fire-and-forget jobs with
+//!   `wait_idle` synchronization: used by long experiment campaigns to keep
+//!   workers warm across thousands of small simulations.
+//!
+//! Determinism note: simulation results never depend on scheduling — the
+//! engines derive randomness from counter-based RNG coordinates, and the
+//! combinators here always reassemble outputs in input order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod scope;
+
+pub use pool::ThreadPool;
+pub use scope::{par_chunks_mut, par_map, par_map_indexed, par_reduce};
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped to 16 (experiment sweeps are memory-bandwidth-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_threads_sane() {
+        let t = super::default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

@@ -1,0 +1,263 @@
+//! A persistent work-stealing thread pool.
+//!
+//! Architecture (the classic crossbeam-deque shape):
+//!
+//! * one global [`crossbeam::deque::Injector`] receives submitted jobs;
+//! * each worker owns a local FIFO [`crossbeam::deque::Worker`] queue and
+//!   holds [`crossbeam::deque::Stealer`]s for every other worker;
+//! * a worker pops local work first, then batch-steals from the injector,
+//!   then steals from siblings, and finally parks on a condvar.
+//!
+//! A pending-job counter with a condvar provides [`ThreadPool::wait_idle`],
+//! which experiment campaigns use as a barrier between sweep stages.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    /// Jobs submitted but not yet finished.
+    pending: AtomicUsize,
+    /// Guards wake-ups for both idle workers and `wait_idle` callers.
+    lock: Mutex<()>,
+    work_available: Condvar,
+    all_done: Condvar,
+}
+
+/// A fixed-size work-stealing thread pool for `'static` jobs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Job>> = workers.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            work_available: Condvar::new(),
+            all_done: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stabcon-pool-{idx}"))
+                    .spawn(move || worker_loop(idx, local, shared))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a job for execution.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.injector.push(Box::new(job));
+        let _guard = self.shared.lock.lock();
+        self.shared.work_available.notify_one();
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.lock.lock();
+        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+            self.shared.all_done.wait(&mut guard);
+        }
+    }
+
+    /// Current number of unfinished jobs (approximate, for monitoring).
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.lock.lock();
+            self.shared.work_available.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn find_job(idx: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    // Batch-steal from the injector into the local queue.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(job) => return Some(job),
+            crossbeam::deque::Steal::Empty => break,
+            crossbeam::deque::Steal::Retry => continue,
+        }
+    }
+    // Steal from siblings.
+    for (other, stealer) in shared.stealers.iter().enumerate() {
+        if other == idx {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(job) => return Some(job),
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = find_job(idx, &local, &shared) {
+            job();
+            let before = shared.pending.fetch_sub(1, Ordering::SeqCst);
+            if before == 1 {
+                let _guard = shared.lock.lock();
+                shared.all_done.notify_all();
+            }
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Nothing to do: park with a timeout so a lost wake-up cannot hang
+        // the pool.
+        let mut guard = shared.lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared
+            .work_available
+            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(2);
+        pool.wait_idle(); // must not hang
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn jobs_actually_parallel() {
+        // Two jobs that each wait for the other via atomics can only finish
+        // if at least two workers run concurrently.
+        let pool = ThreadPool::new(2);
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            pool.execute(move || {
+                a.store(true, Ordering::SeqCst);
+                while !b.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            pool.execute(move || {
+                b.store(true, Ordering::SeqCst);
+                while !a.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicU64::new(0));
+        for batch in 0..5 {
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(counter.load(Ordering::Relaxed), (batch + 1) * 100);
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait_idle();
+        } // drop here
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+}

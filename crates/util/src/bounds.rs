@@ -1,0 +1,196 @@
+//! The paper's probabilistic toolkit as numeric functions.
+//!
+//! §2.2 of the paper states three Chernoff bounds (Lemmas 5–7) and the proof
+//! of Lemma 14 uses two-sided bounds on the standard normal tail. Having
+//! these as code lets the experiment harness print *measured tail
+//! probability vs the bound the proof uses* side by side, which is the
+//! closest a simulation can get to "checking" the analysis.
+
+use std::f64::consts::PI;
+
+/// Lemma 5 (upper tail, simplified form):
+/// `Pr[X ≥ (1+δ)μ] ≤ exp(−min(δ², δ)·μ/3)` for a sum of independent
+/// Bernoulli variables with mean `μ`, any `δ > 0`.
+pub fn chernoff_upper(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && mu >= 0.0);
+    (-(delta * delta).min(delta) * mu / 3.0).exp().min(1.0)
+}
+
+/// Lemma 5 (upper tail, tight form): `((e^δ)/(1+δ)^(1+δ))^μ`, computed in
+/// log space.
+pub fn chernoff_upper_tight(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && mu >= 0.0);
+    let log_bound = mu * (delta - (1.0 + delta) * delta.ln_1p());
+    log_bound.exp().min(1.0)
+}
+
+/// Lemma 5 (lower tail): `Pr[X ≤ (1−δ)μ] ≤ exp(−δ²μ/2)` for `0 < δ < 1`.
+pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0 && mu >= 0.0);
+    (-delta * delta * mu / 2.0).exp().min(1.0)
+}
+
+/// Lemma 6 (geometric sums): for `X` a sum of `n` iid geometric(δ) variables,
+/// `Pr[X ≥ (1+ε)·n/δ] ≤ exp(−ε²n / (2(1+ε)))`.
+pub fn chernoff_geometric_sum(n: u64, eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    (-(eps * eps) * n as f64 / (2.0 * (1.0 + eps))).exp().min(1.0)
+}
+
+/// Lemma 7 (exponential-tail sums): same exponent as Lemma 6, with the bound
+/// valid against `(1+ε)μ + O(n)`; the exponential factor is
+/// `exp(−ε²n / (2(1+ε)))`.
+pub fn chernoff_exponential_tail_sum(n: u64, eps: f64) -> f64 {
+    chernoff_geometric_sum(n, eps)
+}
+
+/// Standard normal density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal CDF via `erf` (Abramowitz & Stegun 7.1.26 style rational
+/// approximation; absolute error < 1.5e-7 — ample for experiment reporting).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function, A&S 7.1.26 approximation with sign reflection.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The *lower* bound on the normal upper tail used in Lemma 14:
+/// `1 − Φ(x) ≥ e^{−x²/2} / (√(2π)(1+x))` for `x ≥ 0`.
+pub fn normal_tail_lower_bound(x: f64) -> f64 {
+    assert!(x >= 0.0);
+    (-(x * x) / 2.0).exp() / ((2.0 * PI).sqrt() * (1.0 + x))
+}
+
+/// The *upper* bound on the normal upper tail used in Lemma 14:
+/// `1 − Φ(x) ≤ e^{−x²/2} / (√π (1+x))` for `x ≥ 0`.
+pub fn normal_tail_upper_bound(x: f64) -> f64 {
+    assert!(x >= 0.0);
+    (-(x * x) / 2.0).exp() / (PI.sqrt() * (1.0 + x))
+}
+
+/// Lemma 14's explicit success-probability lower bound: with `c` the Lemma 12
+/// constant and any `ε > 0`,
+/// `Pr[Ψ_{t+1} ≥ c√n] ≥ e^{−8c²/3} / (√(2π)(1+4c/√3)) − ε`.
+pub fn lemma14_success_probability(c: f64, eps: f64) -> f64 {
+    ((-8.0 * c * c / 3.0).exp() / ((2.0 * PI).sqrt() * (1.0 + 4.0 * c / 3f64.sqrt())) - eps)
+        .max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_upper_is_probability_and_monotone() {
+        let mut prev = 1.0;
+        for i in 1..50 {
+            let delta = i as f64 * 0.1;
+            let b = chernoff_upper(20.0, delta);
+            assert!((0.0..=1.0).contains(&b));
+            assert!(b <= prev + 1e-15, "not monotone at δ={delta}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn tight_form_is_tighter() {
+        for &delta in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            for &mu in &[1.0, 10.0, 100.0] {
+                assert!(
+                    chernoff_upper_tight(mu, delta) <= chernoff_upper(mu, delta) + 1e-12,
+                    "δ={delta} μ={mu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chernoff_bounds_actually_bound_binomial_tails() {
+        // Exact tail of Bin(100, 0.3) vs the bound at a few deltas.
+        use crate::dist::ln_binomial_coeff;
+        let n = 100u64;
+        let p = 0.3;
+        let mu = n as f64 * p;
+        for &delta in &[0.2, 0.5, 1.0] {
+            let thresh = ((1.0 + delta) * mu).ceil() as u64;
+            let mut tail = 0.0;
+            for k in thresh..=n {
+                tail += (ln_binomial_coeff(n, k)
+                    + k as f64 * p.ln()
+                    + (n - k) as f64 * (1.0 - p).ln())
+                .exp();
+            }
+            assert!(
+                tail <= chernoff_upper_tight(mu, delta) + 1e-12,
+                "δ={delta}: tail {tail} > bound"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.1586553).abs() < 1e-5);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-5);
+        assert!((normal_cdf(3.0) - 0.9986501).abs() < 1e-5);
+    }
+
+    #[test]
+    fn erf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+        // The rational approximation is ~7e-10 off at the origin.
+        assert!(erf(0.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tail_bounds_sandwich_true_tail() {
+        for &x in &[0.0, 0.5, 1.0, 2.0, 3.0] {
+            let tail = 1.0 - normal_cdf(x);
+            let lo = normal_tail_lower_bound(x);
+            let hi = normal_tail_upper_bound(x);
+            assert!(
+                lo <= tail + 2e-7,
+                "x={x}: lower bound {lo} vs tail {tail}"
+            );
+            assert!(
+                tail <= hi + 2e-7,
+                "x={x}: tail {tail} vs upper bound {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_sum_bound_sane() {
+        let b = chernoff_geometric_sum(100, 0.5);
+        assert!(b > 0.0 && b < 1.0);
+        // More variables → smaller bound.
+        assert!(chernoff_geometric_sum(200, 0.5) < b);
+    }
+
+    #[test]
+    fn lemma14_probability_positive_for_small_c() {
+        let p = lemma14_success_probability(0.5, 0.01);
+        assert!(p > 0.0 && p < 1.0, "p = {p}");
+        // Larger c → smaller success probability.
+        assert!(lemma14_success_probability(1.0, 0.01) < p);
+    }
+}

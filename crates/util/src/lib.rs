@@ -1,0 +1,38 @@
+//! # stabcon-util
+//!
+//! Substrate crate for the `stabcon` reproduction of *"Stabilizing Consensus
+//! with the Power of Two Choices"* (Doerr, Goldberg, Minder, Sauerwald,
+//! Scheideler; SPAA 2011).
+//!
+//! Everything in here is infrastructure the paper's simulation study needs
+//! but which is not available in the allowed offline dependency set:
+//!
+//! * [`rng`] — deterministic pseudo-random generators: [`rng::SplitMix64`],
+//!   [`rng::Xoshiro256pp`], and the stateless, counter-based
+//!   [`rng::CounterRng`] used to make parallel simulation bit-reproducible
+//!   for any thread count.
+//! * [`dist`] — random variates built on raw 64-bit outputs: bounded uniforms
+//!   (Lemire), Bernoulli, geometric, exact binomial (inversion + transformed
+//!   rejection), multinomial, and Vose's alias method for categorical draws.
+//! * [`stats`] — running moments, quantiles, confidence intervals, and
+//!   ordinary least squares for the scaling-law fits in the experiment
+//!   harness.
+//! * [`bounds`] — the paper's probabilistic toolkit (Lemmas 5–7 Chernoff
+//!   bounds, the normal-tail bounds used in Lemma 14) as numeric functions so
+//!   experiments can compare empirical tails against theory.
+//! * [`markov`] — absorbing Markov chain helpers matching §2.3 of the paper
+//!   (Lemmas 8 and 9: multiplicative-drift chains and their hitting times).
+//! * [`table`] — plain-text / markdown / CSV table rendering for the
+//!   benchmark harness output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dist;
+pub mod markov;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use rng::{CounterRng, SplitMix64, Xoshiro256pp};

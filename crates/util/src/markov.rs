@@ -1,0 +1,242 @@
+//! Absorbing Markov chain helpers (paper §2.3, Lemmas 8 and 9).
+//!
+//! The paper's phase arguments reduce progress to chains with
+//! *multiplicative drift*: `Pr[X_{t+1} ≥ min(m, c₁·X_t)] ≥ 1 − e^{−c₂·X_t}`,
+//! which absorb in `O(log m)` steps w.h.p. This module provides
+//!
+//! * a generic hitting-time simulator over any step function,
+//! * a concrete [`MultiplicativeDriftChain`] implementing exactly the Lemma
+//!   8/9 hypotheses, used by the drift experiments (E10/E11) as a calibrated
+//!   reference process.
+
+use rand::RngCore;
+
+use crate::rng::gen_f64;
+use crate::stats::RunningStats;
+
+/// Outcome of a hitting-time simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hit {
+    /// Absorbed at the given step count.
+    At(u64),
+    /// Not absorbed within the step budget.
+    TimedOut,
+}
+
+impl Hit {
+    /// Steps if absorbed.
+    pub fn steps(self) -> Option<u64> {
+        match self {
+            Hit::At(t) => Some(t),
+            Hit::TimedOut => None,
+        }
+    }
+}
+
+/// Simulate a chain from `x0` until `absorbed` holds or `max_steps` elapse.
+///
+/// `step(x, rng)` produces the next state.
+pub fn hitting_time<S, R, FStep, FAbs>(
+    rng: &mut R,
+    x0: S,
+    mut step: FStep,
+    mut absorbed: FAbs,
+    max_steps: u64,
+) -> Hit
+where
+    R: RngCore + ?Sized,
+    S: Clone,
+    FStep: FnMut(&S, &mut R) -> S,
+    FAbs: FnMut(&S) -> bool,
+{
+    let mut x = x0;
+    for t in 0..max_steps {
+        if absorbed(&x) {
+            return Hit::At(t);
+        }
+        x = step(&x, rng);
+    }
+    if absorbed(&x) {
+        Hit::At(max_steps)
+    } else {
+        Hit::TimedOut
+    }
+}
+
+/// Estimate hitting-time statistics over repeated trials with per-trial
+/// seeds supplied by the caller. Returns `(stats over absorbed trials,
+/// number of timeouts)`.
+pub fn hitting_time_stats<S, FStep, FAbs, FRng, R>(
+    trials: u64,
+    mut make_rng: FRng,
+    x0: S,
+    step: FStep,
+    absorbed: FAbs,
+    max_steps: u64,
+) -> (RunningStats, u64)
+where
+    S: Clone,
+    R: RngCore,
+    FRng: FnMut(u64) -> R,
+    FStep: Fn(&S, &mut R) -> S + Copy,
+    FAbs: Fn(&S) -> bool + Copy,
+{
+    let mut stats = RunningStats::new();
+    let mut timeouts = 0u64;
+    for trial in 0..trials {
+        let mut rng = make_rng(trial);
+        match hitting_time(&mut rng, x0.clone(), step, absorbed, max_steps) {
+            Hit::At(t) => stats.push(t as f64),
+            Hit::TimedOut => timeouts += 1,
+        }
+    }
+    (stats, timeouts)
+}
+
+/// The Lemma 8/9 reference chain on `{0, …, m}`:
+///
+/// * with probability `1 − e^{−c₂·x}` the state jumps to `min(m, ⌈c₁·x⌉)`;
+/// * otherwise it falls back to `max(1, ⌊x/c₁⌋)` (an adversarial failure);
+/// * from 0 the state becomes 1 with probability `c₃` (Lemma 8 restart) or
+///   stays at 0 (Lemma 9's absorbing-zero variant if `c3 = 0`).
+///
+/// Lemma 8 then asserts absorption at `≥ c₄·log m` within `O(log m)` steps,
+/// Lemma 9 absorption in `{0, m}`; the drift benches verify both claims
+/// numerically on this chain.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiplicativeDriftChain {
+    /// Ceiling state `m`.
+    pub m: u64,
+    /// Growth factor `c₁ > 1`.
+    pub c1: f64,
+    /// Failure exponent `c₂ > 0`.
+    pub c2: f64,
+    /// Restart probability from 0 (`c₃`); set 0 for the Lemma 9 variant.
+    pub c3: f64,
+}
+
+impl MultiplicativeDriftChain {
+    /// Construct the chain; asserts the lemma hypotheses `c₁ > 1`, `c₂ > 0`.
+    pub fn new(m: u64, c1: f64, c2: f64, c3: f64) -> Self {
+        assert!(m >= 1);
+        assert!(c1 > 1.0, "need c1 > 1");
+        assert!(c2 > 0.0, "need c2 > 0");
+        assert!((0.0..=1.0).contains(&c3));
+        Self { m, c1, c2, c3 }
+    }
+
+    /// One transition.
+    pub fn step<R: RngCore + ?Sized>(&self, x: u64, rng: &mut R) -> u64 {
+        if x == 0 {
+            return if self.c3 > 0.0 && gen_f64(rng) < self.c3 {
+                1
+            } else {
+                0
+            };
+        }
+        if x >= self.m {
+            return self.m;
+        }
+        let fail_p = (-self.c2 * x as f64).exp();
+        if gen_f64(rng) < fail_p {
+            ((x as f64 / self.c1).floor() as u64).max(1)
+        } else {
+            (((x as f64) * self.c1).ceil() as u64).min(self.m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn hitting_time_immediate() {
+        let mut rng = Xoshiro256pp::seed(1);
+        let hit = hitting_time(&mut rng, 5u64, |x, _| x + 1, |&x| x >= 5, 100);
+        assert_eq!(hit, Hit::At(0));
+    }
+
+    #[test]
+    fn hitting_time_deterministic_counter() {
+        let mut rng = Xoshiro256pp::seed(2);
+        let hit = hitting_time(&mut rng, 0u64, |x, _| x + 1, |&x| x == 10, 100);
+        assert_eq!(hit, Hit::At(10));
+    }
+
+    #[test]
+    fn hitting_time_timeout() {
+        let mut rng = Xoshiro256pp::seed(3);
+        let hit = hitting_time(&mut rng, 0u64, |x, _| x + 1, |&x| x > 1000, 10);
+        assert_eq!(hit, Hit::TimedOut);
+    }
+
+    #[test]
+    fn drift_chain_absorbs_in_log_m(// Lemma 8 numerically: time to reach m scales like log m.
+    ) {
+        let mut times = Vec::new();
+        for &m in &[1u64 << 8, 1 << 12, 1 << 16] {
+            let chain = MultiplicativeDriftChain::new(m, 2.0, 1.0, 0.5);
+            let (stats, timeouts) = hitting_time_stats(
+                200,
+                |t| Xoshiro256pp::seed(1000 + t),
+                1u64,
+                |&x, rng| chain.step(x, rng),
+                |&x| x >= m,
+                10_000,
+            );
+            assert_eq!(timeouts, 0, "m = {m}");
+            times.push(stats.mean());
+        }
+        // log m doubles m by factor 16 → hitting time ratio should be ≈ 2 per
+        // 4 doublings with c1 = 2; allow generous slack but demand growth
+        // bounded well below linear in m.
+        assert!(times[1] > times[0]);
+        assert!(times[2] > times[1]);
+        assert!(
+            times[2] < times[0] * 4.0,
+            "not logarithmic: {times:?}"
+        );
+    }
+
+    #[test]
+    fn lemma9_variant_absorbs_at_zero_or_m() {
+        // With c3 = 0 and a weak drift, runs either die at 0 or reach m.
+        let m = 1 << 10;
+        let chain = MultiplicativeDriftChain::new(m, 1.5, 0.8, 0.0);
+        let mut zeros = 0;
+        let mut tops = 0;
+        for t in 0..200 {
+            let mut rng = Xoshiro256pp::seed(5000 + t);
+            let mut x = 1u64;
+            for _ in 0..5000 {
+                if x == 0 || x >= m {
+                    break;
+                }
+                x = chain.step(x, &mut rng);
+            }
+            if x == 0 {
+                zeros += 1;
+            } else if x >= m {
+                tops += 1;
+            }
+        }
+        assert_eq!(zeros + tops, 200, "all runs must absorb");
+        assert!(tops > 0, "drift should usually push to m");
+    }
+
+    #[test]
+    fn stats_helper_counts_timeouts() {
+        let (stats, timeouts) = hitting_time_stats(
+            10,
+            Xoshiro256pp::seed,
+            0u64,
+            |&x, _| x, // never moves
+            |&x| x > 0,
+            5,
+        );
+        assert_eq!(stats.count(), 0);
+        assert_eq!(timeouts, 10);
+    }
+}

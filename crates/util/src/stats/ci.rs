@@ -1,0 +1,188 @@
+//! Confidence intervals: normal-theory and bootstrap-percentile.
+
+use rand::RngCore;
+
+use super::quantile::quantile_sorted;
+use super::summary::RunningStats;
+use crate::rng::gen_index;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation; absolute
+/// error < 1.2e-9 over (0, 1)).
+///
+/// # Panics
+/// Panics if `p ∉ (0, 1)`.
+#[allow(clippy::excessive_precision)] // keep Acklam's published coefficients verbatim
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p = {p}");
+    // Coefficients from Peter Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (-p).ln_1p()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Normal-theory CI for the mean: `mean ± z · se`.
+pub fn normal_ci(stats: &RunningStats, level: f64) -> ConfidenceInterval {
+    assert!(level > 0.0 && level < 1.0, "normal_ci: level = {level}");
+    let z = normal_quantile(0.5 + level / 2.0);
+    let half = z * stats.std_err();
+    ConfidenceInterval {
+        estimate: stats.mean(),
+        lo: stats.mean() - half,
+        hi: stats.mean() + half,
+        level,
+    }
+}
+
+/// Bootstrap percentile CI for the mean (resamples with replacement).
+///
+/// # Panics
+/// Panics if `xs` is empty or `level ∉ (0, 1)`.
+pub fn bootstrap_ci<R: RngCore + ?Sized>(
+    rng: &mut R,
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+) -> ConfidenceInterval {
+    assert!(!xs.is_empty(), "bootstrap_ci: empty sample");
+    assert!(level > 0.0 && level < 1.0);
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += xs[gen_index(rng, n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap means"));
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        estimate: xs.iter().sum::<f64>() / n as f64,
+        lo: quantile_sorted(&means, alpha),
+        hi: quantile_sorted(&means, 1.0 - alpha),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.8413447) - 1.0).abs() < 1e-4);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_quantile_symmetry() {
+        for &p in &[0.01, 0.1, 0.3, 0.45] {
+            assert!(
+                (normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-8,
+                "p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn normal_ci_covers_truth() {
+        // Sample from a known distribution; the 95% CI should contain the
+        // true mean in this fixed-seed instance.
+        let mut rng = Xoshiro256pp::seed(10);
+        let mut stats = RunningStats::new();
+        for _ in 0..10_000 {
+            stats.push(crate::rng::gen_f64(&mut rng));
+        }
+        let ci = normal_ci(&stats, 0.95);
+        assert!(ci.contains(0.5), "CI [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.half_width() < 0.01);
+    }
+
+    #[test]
+    fn bootstrap_roughly_matches_normal() {
+        let mut rng = Xoshiro256pp::seed(11);
+        let xs: Vec<f64> = (0..2000).map(|_| crate::rng::gen_f64(&mut rng)).collect();
+        let stats = RunningStats::from_slice(&xs);
+        let nci = normal_ci(&stats, 0.95);
+        let bci = bootstrap_ci(&mut rng, &xs, 0.95, 500);
+        assert!((nci.lo - bci.lo).abs() < 0.01);
+        assert!((nci.hi - bci.hi).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_domain() {
+        normal_quantile(0.0);
+    }
+}

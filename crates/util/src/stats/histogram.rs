@@ -1,0 +1,275 @@
+//! Streaming histograms for round-count distributions.
+//!
+//! Experiment sweeps produce thousands of hitting times; storing raw samples
+//! per cell gets expensive in big campaigns. [`StreamingHistogram`] keeps
+//! fixed-width linear buckets plus exact min/max/mean and supports merging
+//! (for parallel accumulation) and quantile estimation by interpolation
+//! inside the hit bucket.
+
+/// A fixed-range, fixed-width streaming histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    /// Samples below `lo` / above `hi`.
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHistogram {
+    /// Histogram over `[lo, hi)` with `buckets` equal-width cells.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `buckets ≥ 1`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "StreamingHistogram: empty range");
+        assert!(buckets >= 1, "StreamingHistogram: no buckets");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Merge a histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the ranges or bucket counts differ.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        assert_eq!(self.lo, other.lo, "merge: lo mismatch");
+        assert_eq!(self.hi, other.hi, "merge: hi mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "merge: bucket count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all observations (including under/overflow).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum (`−inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Observations outside the range, `(underflow, overflow)`.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Approximate quantile by linear interpolation inside the hit bucket.
+    /// Underflow mass maps to `lo`, overflow mass to `hi`. Exact for the
+    /// min (q=0 → exact min) and capped at the exact max.
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty or `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "quantile of empty histogram");
+        assert!((0.0..=1.0).contains(&q));
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if acc >= target {
+            return self.lo.max(self.min);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = acc + c as f64;
+            if next >= target {
+                let frac = (target - acc) / c as f64;
+                let est = self.lo + (i as f64 + frac) * width;
+                return est.clamp(self.min, self.max);
+            }
+            acc = next;
+        }
+        self.max
+    }
+
+    /// A one-line sparkline-style rendering for logs.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.buckets.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            return " ".repeat(self.buckets.len());
+        }
+        self.buckets
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    let lvl = (c * 7).div_ceil(peak) as usize;
+                    LEVELS[lvl.min(7)]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counting() {
+        let mut h = StreamingHistogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.buckets().iter().all(|&c| c == 1));
+        assert_eq!(h.outliers(), (0, 0));
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 9.5);
+    }
+
+    #[test]
+    fn outliers_tracked() {
+        let mut h = StreamingHistogram::new(0.0, 1.0, 4);
+        h.push(-5.0);
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 2.0);
+    }
+
+    #[test]
+    fn quantiles_approximate_uniform() {
+        let mut h = StreamingHistogram::new(0.0, 100.0, 100);
+        for i in 0..10_000 {
+            h.push((i % 100) as f64 + 0.5);
+        }
+        assert!((h.quantile(0.5) - 50.0).abs() < 2.0);
+        assert!((h.quantile(0.9) - 90.0).abs() < 2.0);
+        assert_eq!(h.quantile(0.0), 0.5);
+        assert_eq!(h.quantile(1.0), 99.5);
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = StreamingHistogram::new(0.0, 50.0, 25);
+        for i in 0..1000 {
+            h.push(((i * 7919) % 50) as f64);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev - 1e-9, "q={q}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = StreamingHistogram::new(0.0, 10.0, 5);
+        let mut b = StreamingHistogram::new(0.0, 10.0, 5);
+        let mut whole = StreamingHistogram::new(0.0, 10.0, 5);
+        for i in 0..100 {
+            let x = (i % 12) as f64 - 1.0; // includes outliers
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_mismatched_geometry_panics() {
+        let mut a = StreamingHistogram::new(0.0, 10.0, 5);
+        let b = StreamingHistogram::new(0.0, 10.0, 6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut h = StreamingHistogram::new(0.0, 3.0, 3);
+        for _ in 0..8 {
+            h.push(0.5);
+        }
+        h.push(1.5);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next_back(), Some(' '), "empty bucket blank");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_quantile_panics() {
+        StreamingHistogram::new(0.0, 1.0, 2).quantile(0.5);
+    }
+}

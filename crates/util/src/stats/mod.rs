@@ -1,0 +1,14 @@
+//! Statistics for the experiment harness: running moments, quantiles,
+//! confidence intervals, and least-squares scaling fits.
+
+mod ci;
+mod histogram;
+mod quantile;
+mod regression;
+mod summary;
+
+pub use ci::{bootstrap_ci, normal_ci, normal_quantile, ConfidenceInterval};
+pub use histogram::StreamingHistogram;
+pub use quantile::{median, quantile, Quantiles};
+pub use regression::{fit_line, ols, LineFit, OlsFit};
+pub use summary::RunningStats;

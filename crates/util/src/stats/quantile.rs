@@ -1,0 +1,128 @@
+//! Quantile estimation (R type-7 linear interpolation, the numpy default).
+
+/// Quantile `q ∈ [0, 1]` of unsorted data, linear interpolation between
+/// order statistics.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q ∉ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile: q = {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Quantile of pre-sorted data (no allocation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median shortcut.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// The quantile summary reported by every experiment table: mean, p50, p90,
+/// p95, p99, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Sample mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Compute the summary from unsorted data.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn from(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "Quantiles of empty slice");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Quantiles input"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            mean,
+            p50: quantile_sorted(&sorted, 0.50),
+            p90: quantile_sorted(&sorted, 0.90),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let xs = [0.0, 10.0];
+        assert!((quantile(&xs, 0.5) - 5.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.75) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs), 5.0);
+    }
+
+    #[test]
+    fn even_length_median() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+        let q = Quantiles::from(&[7.0]);
+        assert_eq!(q.mean, 7.0);
+        assert_eq!(q.max, 7.0);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let q = Quantiles::from(&xs);
+        assert!((q.mean - 50.5).abs() < 1e-12);
+        assert!(q.p50 <= q.p90 && q.p90 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max);
+        assert_eq!(q.max, 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text, markdown, and CSV table rendering for experiment output.
+//!
+//! Every bench target prints its reproduction of a paper table/figure
+//! through this module so the output format is uniform and easy to diff
+//! against `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — a malformed experiment table is a bug.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table '{}': row arity {} != header arity {}",
+            self.title,
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote line printed under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column-aligned plain text rendering.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, " {:<width$} ", h, width = widths[i]);
+            if i + 1 < cols {
+                out.push('|');
+            }
+        }
+        out.push('\n');
+        out.push_str(&line);
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, " {:>width$} ", cell, width = widths[i]);
+                if i + 1 < cols {
+                    out.push('|');
+                }
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  * {note}");
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n*{note}*");
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180 quoting for cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format with fixed decimals.
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Format to a sensible number of significant figures for table cells.
+pub fn fmt_sig(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let ax = x.abs();
+    if ax >= 1000.0 {
+        format!("{x:.0}")
+    } else if ax >= 10.0 {
+        format!("{x:.1}")
+    } else if ax >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "rounds", "note"]);
+        t.push_row(vec!["1024".into(), "13.5".into(), "ok".into()]);
+        t.push_row(vec!["2048".into(), "14.9".into(), "ok".into()]);
+        t.push_note("footnote");
+        t
+    }
+
+    #[test]
+    fn text_contains_everything() {
+        let s = sample().to_text();
+        assert!(s.contains("demo"));
+        assert!(s.contains("rounds"));
+        assert!(s.contains("14.9"));
+        assert!(s.contains("footnote"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let s = sample().to_markdown();
+        assert!(s.starts_with("### demo"));
+        assert!(s.contains("| n | rounds | note |"));
+        assert!(s.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new("q", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(12345.6), "12346");
+        assert_eq!(fmt_sig(12.34), "12.3");
+        assert_eq!(fmt_sig(0.1234), "0.123");
+        assert!(fmt_sig(0.0001234).contains('e'));
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: reach consensus with the median rule.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stabcon::prelude::*;
+
+fn main() {
+    // 4096 processes, two conflicting opinions split exactly 50/50 — the
+    // worst case for two values.
+    let n = 4096;
+    let spec = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .record_trajectory(true);
+
+    let result = spec.run_seeded(42);
+
+    println!("population            : {n}");
+    println!(
+        "consensus reached     : round {}",
+        result
+            .consensus_round
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "never".into())
+    );
+    println!("winning value         : {}", result.winner);
+    println!("winner is an initial value: {}", result.winner_valid);
+
+    println!("\nper-round support / larger-bin share:");
+    for obs in result.trajectory.as_deref().unwrap_or(&[]) {
+        println!(
+            "  round {:>3}: support {:>2}, plurality {:>5.1}%  |Δ| = {:>6.1}",
+            obs.round,
+            obs.support,
+            obs.plurality_count as f64 / n as f64 * 100.0,
+            obs.imbalance,
+        );
+        if obs.support == 1 {
+            break;
+        }
+    }
+
+    // The same dynamics under a √n-bounded adversary that keeps both camps
+    // balanced: the paper's Theorem 2 regime.
+    let t = ((n as f64).sqrt() / 2.0) as u64;
+    let adversarial = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .adversary(AdversarySpec::Balancer, t);
+    let result = adversarial.run_seeded(42);
+    println!(
+        "\nwith a balancing adversary (T = {t}): almost-stable at round {}",
+        result
+            .almost_stable_round
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "never".into())
+    );
+}

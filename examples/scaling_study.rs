@@ -1,0 +1,31 @@
+//! Reproduce Figure 1 rows 1 and 2 at a configurable scale.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study            # compact sweep
+//! STABCON_FULL=1 cargo run --release --example scaling_study   # paper scale
+//! ```
+
+use stabcon::analysis::figure1::{m_bins_table, two_bins_table, SweepCfg};
+
+fn main() {
+    let cfg = if std::env::var("STABCON_FULL").is_ok() {
+        SweepCfg::paper()
+    } else {
+        SweepCfg {
+            ns: vec![1 << 9, 1 << 10, 1 << 11, 1 << 12],
+            trials: 25,
+            seed: 0x5CA1E,
+            threads: stabcon::par::default_threads(),
+        }
+    };
+
+    println!(
+        "sweep: n ∈ {:?}, {} trials/point, {} threads\n",
+        cfg.ns, cfg.trials, cfg.threads
+    );
+    println!("{}", two_bins_table(&cfg).to_text());
+    print!("{}", m_bins_table(&cfg).to_text());
+    println!();
+    println!("Both \"mean\" columns should fit a + b·ln n with R² close to 1 —");
+    println!("that is the paper's O(log n) (Theorems 1 and 10).");
+}

@@ -1,0 +1,170 @@
+//! End-to-end adversarial behaviour: the paper's threat model, measured.
+
+use stabcon::prelude::*;
+
+fn sqrt_half(n: usize) -> u64 {
+    (((n as f64).sqrt() / 2.0) as u64).max(1)
+}
+
+#[test]
+fn sub_threshold_balancer_cannot_stop_stabilization() {
+    let n = 4096usize;
+    let spec = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .adversary(AdversarySpec::Balancer, sqrt_half(n))
+        .max_rounds(3000);
+    let mut hits = 0;
+    for s in 0..10u64 {
+        if spec.run_seeded(s).almost_stable_round.is_some() {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 8, "balancer below threshold stopped {}/10 runs", 10 - hits);
+}
+
+#[test]
+fn over_threshold_balancer_stalls() {
+    // T = 4√n: the balancer holds the tie for far longer than O(log n).
+    let n = 4096usize;
+    let t = 4 * (n as f64).sqrt() as u64;
+    let lg = (n as f64).log2().ceil() as u64;
+    let spec = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .adversary(AdversarySpec::Balancer, t)
+        .max_rounds(40 * lg);
+    let mut hits = 0;
+    for s in 0..6u64 {
+        if spec.run_seeded(s).almost_stable_round.is_some() {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, 0, "over-budget balancer should stall all runs");
+}
+
+#[test]
+fn min_rule_destabilized_median_not() {
+    let n = 1024usize;
+    let t = sqrt_half(n);
+    let revive_at = 150u64;
+    let horizon = revive_at + 400;
+
+    let run = |p: ProtocolSpec| {
+        SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: t as usize })
+            .protocol(p)
+            .adversary(AdversarySpec::Reviver { revive_at }, t)
+            .max_rounds(horizon)
+            .full_horizon(true)
+            .record_trajectory(true)
+            .run_seeded(99)
+    };
+
+    let median = run(ProtocolSpec::Median);
+    let min = run(ProtocolSpec::Min);
+
+    let last_unsettled = |r: &stabcon::core::runner::RunResult| {
+        r.trajectory
+            .as_ref()
+            .expect("trajectory")
+            .iter()
+            .filter(|o| o.support > 1)
+            .map(|o| o.round)
+            .max()
+            .unwrap_or(0)
+    };
+
+    let median_last = last_unsettled(&median);
+    let min_last = last_unsettled(&min);
+    assert!(
+        median_last < revive_at,
+        "median should settle before the revival and stay settled (last unsettled: {median_last})"
+    );
+    assert!(
+        min_last >= revive_at,
+        "min rule must be destabilized by the revival (last unsettled: {min_last})"
+    );
+    // And the min rule ends up on the revived (smaller) value. Note the
+    // latched `winner` field still shows the pre-revival value — the
+    // detector was fooled, which is exactly the §1.1 point — so check the
+    // final state.
+    let final_plurality = min
+        .trajectory
+        .as_ref()
+        .expect("trajectory")
+        .last()
+        .expect("nonempty")
+        .plurality_value;
+    assert_eq!(final_plurality, 0, "revived minimum must take over");
+}
+
+#[test]
+fn adversary_budget_is_actually_bounded() {
+    // With T = 0 an "adversary" must change nothing: identical to no
+    // adversary.
+    let n = 1024usize;
+    let base = SimSpec::new(n).init(InitialCondition::UniformRandom { m: 5 });
+    let clean = base.clone().run_seeded(7);
+    let zero_budget = base
+        .clone()
+        .adversary(AdversarySpec::MedianPusher, 0)
+        .run_seeded(7);
+    assert_eq!(clean.consensus_round, zero_budget.consensus_round);
+    assert_eq!(clean.winner, zero_budget.winner);
+}
+
+#[test]
+fn median_pusher_slows_but_does_not_stop() {
+    let n = 4096usize;
+    let t = sqrt_half(n);
+    let base = SimSpec::new(n).init(InitialCondition::UniformRandom { m: 9 });
+    let clean = base.clone().run_seeded(3);
+    let attacked = base
+        .clone()
+        .adversary(AdversarySpec::MedianPusher, t)
+        .max_rounds(4000)
+        .run_seeded(3);
+    assert!(clean.consensus_round.is_some());
+    assert!(
+        attacked.almost_stable_round.is_some(),
+        "median pusher with √n/2 budget must not prevent almost-stability"
+    );
+}
+
+#[test]
+fn random_adversary_keeps_disagreement_o_of_t() {
+    let n = 4096usize;
+    let t = sqrt_half(n);
+    let spec = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .adversary(AdversarySpec::Random, t)
+        .max_rounds(600)
+        .full_horizon(true);
+    let r = spec.run_seeded(21);
+    let hit = r.almost_stable_round.expect("stabilizes");
+    let max_dis = r.max_disagreement_after_stable.expect("tracked");
+    assert!(
+        max_dis <= 8 * t,
+        "post-stability disagreement {max_dis} ≫ O(T) with T = {t} (hit at {hit})"
+    );
+}
+
+#[test]
+fn winner_always_from_initial_set_under_attack() {
+    for (i, adv) in [
+        AdversarySpec::Random,
+        AdversarySpec::Balancer,
+        AdversarySpec::MedianPusher,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let n = 1024usize;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::UniformRandom { m: 6 })
+            .adversary(adv, sqrt_half(n))
+            .max_rounds(2000);
+        let r = spec.run_seeded(500 + i as u64);
+        assert!(r.winner_valid, "adversary #{i} produced invalid winner");
+        assert!(r.winner < 6);
+    }
+}

@@ -1,0 +1,122 @@
+//! The message-level communication model, end-to-end.
+
+use stabcon::core::engine::{DropSpec, EngineSpec, MessageConfig, OnMissing};
+use stabcon::prelude::*;
+
+fn message_spec(n: usize, cfg: MessageConfig) -> SimSpec {
+    SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .engine(EngineSpec::Message(cfg))
+}
+
+#[test]
+fn converges_under_every_drop_policy() {
+    let n = 1024usize;
+    for drop in [
+        DropSpec::Random,
+        DropSpec::KeepFirst,
+        DropSpec::StarveFirstK { k: n / 8 },
+    ] {
+        let cfg = MessageConfig {
+            cap_mult: 2,
+            drop,
+            on_missing: OnMissing::KeepOwn,
+        };
+        let r = message_spec(n, cfg).run_seeded(11);
+        assert!(
+            r.consensus_round.is_some(),
+            "drop policy {:?} prevented consensus",
+            drop
+        );
+    }
+}
+
+#[test]
+fn tight_caps_slow_but_do_not_break() {
+    let n = 1024usize;
+    let mean_rounds = |cap_mult: usize| -> f64 {
+        let cfg = MessageConfig {
+            cap_mult,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+        };
+        let mut total = 0.0;
+        let trials = 8;
+        for s in 0..trials {
+            total += message_spec(n, cfg)
+                .max_rounds(5000)
+                .run_seeded(s)
+                .consensus_round
+                .expect("converges") as f64;
+        }
+        total / trials as f64
+    };
+    let loose = mean_rounds(3);
+    let tight = mean_rounds(1);
+    assert!(
+        tight >= loose * 0.8,
+        "tight caps should not be faster: tight {tight} loose {loose}"
+    );
+}
+
+#[test]
+fn metrics_are_conserved() {
+    let n = 512usize;
+    let cfg = MessageConfig {
+        cap_mult: 1,
+        drop: DropSpec::Random,
+        on_missing: OnMissing::KeepOwn,
+    };
+    let r = message_spec(n, cfg).run_seeded(3);
+    let m = r.net_totals.expect("metrics");
+    assert_eq!(m.delivered + m.dropped, m.requests);
+    // 2 requests per ball per round.
+    assert_eq!(
+        m.requests + m.self_requests,
+        2 * n as u64 * r.rounds_executed
+    );
+}
+
+#[test]
+fn message_engine_is_deterministic() {
+    let n = 512usize;
+    let cfg = MessageConfig::default();
+    let a = message_spec(n, cfg).run_seeded(9);
+    let b = message_spec(n, cfg).run_seeded(9);
+    assert_eq!(a.consensus_round, b.consensus_round);
+    assert_eq!(a.winner, b.winner);
+    let (am, bm) = (a.net_totals.expect("a"), b.net_totals.expect("b"));
+    assert_eq!(am.requests, bm.requests);
+    assert_eq!(am.dropped, bm.dropped);
+}
+
+#[test]
+fn starved_minority_still_joins_consensus() {
+    // Starving n/8 processes' requests delays them but consensus must
+    // still be full (the starved ones are still *sampled by others* and
+    // keep their own medians via self-bypass).
+    let n = 1024usize;
+    let cfg = MessageConfig {
+        cap_mult: 1,
+        drop: DropSpec::StarveFirstK { k: n / 8 },
+        on_missing: OnMissing::KeepOwn,
+    };
+    let r = message_spec(n, cfg).max_rounds(5000).run_seeded(17);
+    assert_eq!(r.final_support, 1, "starved processes never agreed");
+    assert_eq!(r.final_disagreement, 0);
+}
+
+#[test]
+fn adopt_and_keep_own_both_valid() {
+    let n = 512usize;
+    for on_missing in [OnMissing::KeepOwn, OnMissing::Adopt] {
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing,
+        };
+        let r = message_spec(n, cfg).max_rounds(5000).run_seeded(23);
+        assert!(r.consensus_round.is_some(), "{on_missing:?} failed");
+        assert!(r.winner_valid);
+    }
+}
