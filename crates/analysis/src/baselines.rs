@@ -43,13 +43,7 @@ fn last_unsettled_round(spec: &SimSpec, trials: u64, seed: u64, threads: usize) 
 /// `d + horizon_slack` and we report the mean *last unsettled round* — the
 /// round after which the system never again left consensus. For the min rule
 /// this tracks `d` (unbounded); for the median rule it stays `O(log n)`.
-pub fn min_rule_table(
-    n: usize,
-    delays: &[u64],
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> Table {
+pub fn min_rule_table(n: usize, delays: &[u64], trials: u64, seed: u64, threads: usize) -> Table {
     let t_budget = crate::figure1::sqrt_budget(n);
     let mut table = Table::new(
         format!(
@@ -78,8 +72,10 @@ pub fn min_rule_table(
                 .full_horizon(true)
                 .record_trajectory(true)
         };
-        let median_last = last_unsettled_round(&base(ProtocolSpec::Median), trials, seed ^ d, threads);
-        let min_last = last_unsettled_round(&base(ProtocolSpec::Min), trials, seed ^ (d << 8), threads);
+        let median_last =
+            last_unsettled_round(&base(ProtocolSpec::Median), trials, seed ^ d, threads);
+        let min_last =
+            last_unsettled_round(&base(ProtocolSpec::Min), trials, seed ^ (d << 8), threads);
         let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64;
         let median_mean = mean(&median_last);
         let min_mean = mean(&min_last);
@@ -87,10 +83,16 @@ pub fn min_rule_table(
             d.to_string(),
             fmt_sig(median_mean),
             fmt_sig(min_mean),
-            if min_mean >= d as f64 { "yes".into() } else { "no".into() },
+            if min_mean >= d as f64 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
-    table.push_note("min rule: revival at round d forces a fresh cascade, so settlement ≥ d (unbounded)");
+    table.push_note(
+        "min rule: revival at round d forces a fresh cascade, so settlement ≥ d (unbounded)",
+    );
     table.push_note("median rule: one revived ball cannot move the median — settles in O(log n) regardless of d");
     table
 }
@@ -98,14 +100,16 @@ pub fn min_rule_table(
 /// E7: validity of median vs mean rule on a two-value instance `{0, K}`.
 pub fn mean_rule_table(n: usize, trials: u64, seed: u64, threads: usize) -> Table {
     const K: u32 = 1_000_000;
-    let init: Arc<Vec<u32>> = Arc::new(
-        (0..n)
-            .map(|i| if i % 2 == 0 { 0 } else { K })
-            .collect(),
-    );
+    let init: Arc<Vec<u32>> = Arc::new((0..n).map(|i| if i % 2 == 0 { 0 } else { K }).collect());
     let mut table = Table::new(
         format!("Mean rule validity failure (E7): values {{0, {K}}}, n = {n}"),
-        &["rule", "converged%", "validity%", "mean winner", "winner in {0,K}?"],
+        &[
+            "rule",
+            "converged%",
+            "validity%",
+            "mean winner",
+            "winner in {0,K}?",
+        ],
     );
     for p in [ProtocolSpec::Median, ProtocolSpec::Mean] {
         let spec = SimSpec::new(n)
@@ -126,7 +130,11 @@ pub fn mean_rule_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tabl
             format!("{:.0}", converged as f64 / results.len() as f64 * 100.0),
             format!("{:.0}", valid as f64 / results.len() as f64 * 100.0),
             fmt_sig(mean_winner),
-            if all_endpoint { "yes".into() } else { "NO".into() },
+            if all_endpoint {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     table.push_note("median: winner always one of the initial values (validity)");

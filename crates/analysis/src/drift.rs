@@ -34,7 +34,12 @@ pub fn one_step_drift_table(n: usize, deltas_sqrt: &[f64], trials: u64, seed: u6
     let mut table = Table::new(
         format!("One-step drift (E10, Lemmas 12/15) at n = {n}"),
         &[
-            "Δ0/√n", "Δ0", "E[Δ1/Δ0]", "Pr[Δ1 ≥ (4/3)Δ0]", "paper E-bound", "paper P-bound",
+            "Δ0/√n",
+            "Δ0",
+            "E[Δ1/Δ0]",
+            "Pr[Δ1 ≥ (4/3)Δ0]",
+            "paper E-bound",
+            "paper P-bound",
         ],
     );
     for &ds in deltas_sqrt {

@@ -43,7 +43,15 @@ impl SweepCfg {
     /// The paper-scale configuration used by the benches.
     pub fn paper() -> Self {
         Self {
-            ns: vec![1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16],
+            ns: vec![
+                1 << 10,
+                1 << 11,
+                1 << 12,
+                1 << 13,
+                1 << 14,
+                1 << 15,
+                1 << 16,
+            ],
             trials: 100,
             seed: 0xF162,
             threads: stabcon_par::default_threads(),
@@ -70,7 +78,13 @@ pub fn two_bins_table(cfg: &SweepCfg) -> Table {
     let mut table = Table::new(
         "Figure 1 row 1 (E1): worst-case 2 bins — rounds to (almost) stable consensus",
         &[
-            "n", "T", "no-adv mean", "no-adv p95", "no-adv hit%", "adv mean", "adv p95",
+            "n",
+            "T",
+            "no-adv mean",
+            "no-adv p95",
+            "no-adv hit%",
+            "adv mean",
+            "adv p95",
             "adv hit%",
         ],
     );
@@ -83,11 +97,14 @@ pub fn two_bins_table(cfg: &SweepCfg) -> Table {
             HitMetric::Consensus,
         );
         let t = sqrt_budget(n);
-        let adv_spec = base
-            .clone()
-            .adversary(AdversarySpec::Balancer, t);
+        let adv_spec = base.clone().adversary(AdversarySpec::Balancer, t);
         let adv = ConvergenceStats::from_results(
-            &run_trials(&adv_spec, cfg.trials, cfg.seed ^ (n as u64) << 1, cfg.threads),
+            &run_trials(
+                &adv_spec,
+                cfg.trials,
+                cfg.seed ^ (n as u64) << 1,
+                cfg.threads,
+            ),
             HitMetric::AlmostStable,
         );
         means_no.push((n as f64, no_adv.mean()));
@@ -114,7 +131,12 @@ pub fn m_bins_table(cfg: &SweepCfg) -> Table {
     let mut table = Table::new(
         "Figure 1 row 2 (E2): worst-case m bins (all-distinct, m = n)",
         &[
-            "n", "T", "no-adv mean", "no-adv p95", "rand-adv mean", "push-adv mean",
+            "n",
+            "T",
+            "no-adv mean",
+            "no-adv p95",
+            "rand-adv mean",
+            "push-adv mean",
             "push-adv hit%",
         ],
     );
@@ -158,7 +180,9 @@ pub fn m_bins_table(cfg: &SweepCfg) -> Table {
         ]);
     }
     add_logn_fits(&mut table, &means_no, &means_push);
-    table.push_note("paper: O(log n) without adversary (Thm 1); O(log m·log log n + log n) with (Thm 20)");
+    table.push_note(
+        "paper: O(log n) without adversary (Thm 1); O(log m·log log n + log n) with (Thm 20)",
+    );
     table
 }
 
@@ -168,7 +192,12 @@ pub fn average_case_table(n: usize, ms: &[u32], trials: u64, seed: u64, threads:
     let mut table = Table::new(
         format!("Figure 1 row 3 (E3): average-case m bins at n = {n}"),
         &[
-            "m", "parity", "no-adv mean", "no-adv p95", "adv mean", "adv hit%",
+            "m",
+            "parity",
+            "no-adv mean",
+            "no-adv p95",
+            "adv mean",
+            "adv hit%",
         ],
     );
     let t = sqrt_budget(n);
@@ -206,13 +235,14 @@ pub fn average_case_table(n: usize, ms: &[u32], trials: u64, seed: u64, threads:
     }
     if odd_pts.len() >= 2 {
         let (ms, ts): (Vec<f64>, Vec<f64>) = odd_pts.iter().copied().unzip();
-        table.push_note(format!("odd m:  {}", describe_line(&fit_log_m(&ms, &ts), "ln m")));
+        table.push_note(format!(
+            "odd m:  {}",
+            describe_line(&fit_log_m(&ms, &ts), "ln m")
+        ));
     }
     if even_pts.len() >= 2 && odd_pts.len() >= 2 {
-        let odd_mean: f64 =
-            odd_pts.iter().map(|&(_, t)| t).sum::<f64>() / odd_pts.len() as f64;
-        let even_mean: f64 =
-            even_pts.iter().map(|&(_, t)| t).sum::<f64>() / even_pts.len() as f64;
+        let odd_mean: f64 = odd_pts.iter().map(|&(_, t)| t).sum::<f64>() / odd_pts.len() as f64;
+        let even_mean: f64 = even_pts.iter().map(|&(_, t)| t).sum::<f64>() / even_pts.len() as f64;
         table.push_note(format!(
             "parity gap: mean(even) / mean(odd) = {} (paper: even m is Θ(log n), odd m is O(log m + log log n))",
             fmt_sig(even_mean / odd_mean)
@@ -224,7 +254,10 @@ pub fn average_case_table(n: usize, ms: &[u32], trials: u64, seed: u64, threads:
 fn add_logn_fits(table: &mut Table, no_adv: &[(f64, f64)], adv: &[(f64, f64)]) {
     if no_adv.len() >= 2 && no_adv.iter().all(|&(_, t)| t.is_finite()) {
         let (ns, ts): (Vec<f64>, Vec<f64>) = no_adv.iter().copied().unzip();
-        table.push_note(format!("no-adv: {}", describe_line(&fit_log_n(&ns, &ts), "ln n")));
+        table.push_note(format!(
+            "no-adv: {}",
+            describe_line(&fit_log_n(&ns, &ts), "ln n")
+        ));
     }
     let adv_ok: Vec<(f64, f64)> = adv
         .iter()
@@ -233,7 +266,10 @@ fn add_logn_fits(table: &mut Table, no_adv: &[(f64, f64)], adv: &[(f64, f64)]) {
         .collect();
     if adv_ok.len() >= 2 {
         let (ns, ts): (Vec<f64>, Vec<f64>) = adv_ok.iter().copied().unzip();
-        table.push_note(format!("adv:    {}", describe_line(&fit_log_n(&ns, &ts), "ln n")));
+        table.push_note(format!(
+            "adv:    {}",
+            describe_line(&fit_log_n(&ns, &ts), "ln n")
+        ));
     }
 }
 

@@ -9,7 +9,14 @@ use stabcon_util::table::{fmt_f64, Table};
 pub fn gravity_table(n: u64, positions: &[u64], trials: u64, seed: u64) -> Table {
     let mut table = Table::new(
         format!("Gravity (E8, Eq. 1): all-distinct configuration, n = {n}, {trials} trials"),
-        &["ball i", "empirical g(i)", "± se", "exact g(i)", "6(n−i)i/n²", "|emp − exact|/se"],
+        &[
+            "ball i",
+            "empirical g(i)",
+            "± se",
+            "exact g(i)",
+            "6(n−i)i/n²",
+            "|emp − exact|/se",
+        ],
     );
     for &i in positions {
         let stats = gravity_empirical(n, i, trials, seed ^ i);

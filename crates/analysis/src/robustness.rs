@@ -61,7 +61,9 @@ pub fn tournament_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tab
         table.push_row(row);
     }
     table.push_note("the median family tolerates every strategy shown; the min rule looks fast here but is destroyed by revival attacks (E6), and the voter model needs Θ(n) rounds");
-    table.push_note("curiosity: the stubborn adversary *helps* the voter model by pinning a growing camp");
+    table.push_note(
+        "curiosity: the stubborn adversary *helps* the voter model by pinning a growing camp",
+    );
     table
 }
 
@@ -90,7 +92,9 @@ pub fn asynchrony_table(n: usize, alphas: &[f64], trials: u64, seed: u64, thread
             format!("{:.0}", stats.hit_rate() * 100.0),
         ]);
     }
-    table.push_note("mean·α should be roughly constant: asynchrony rescales time without breaking convergence");
+    table.push_note(
+        "mean·α should be roughly constant: asynchrony rescales time without breaking convergence",
+    );
     table
 }
 

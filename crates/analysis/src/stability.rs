@@ -27,9 +27,7 @@ pub fn stability_horizon_table(
     let lg = (n.max(2) as f64).log2().ceil() as u64;
     let horizon = horizon_mult * lg;
     let mut table = Table::new(
-        format!(
-            "Stability horizon (E12): n = {n}, T = {t_budget}, horizon = {horizon} rounds"
-        ),
+        format!("Stability horizon (E12): n = {n}, T = {t_budget}, horizon = {horizon} rounds"),
         &[
             "adversary",
             "stabilized%",

@@ -11,13 +11,7 @@ use crate::scaling::{describe_line, fit_log_n};
 
 /// E4: for each constant `m`, sweep `n` with a √n balancing/random adversary
 /// and fit `log n`.
-pub fn constant_m_table(
-    ms: &[u32],
-    ns: &[usize],
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> Table {
+pub fn constant_m_table(ms: &[u32], ns: &[usize], trials: u64, seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "Theorem 2 (E4): constant #values, √n-bounded adversary — rounds to almost stable consensus",
         &["m", "n", "T", "balancer mean", "balancer p95", "random mean", "hit%"],

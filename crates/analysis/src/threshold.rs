@@ -49,7 +49,9 @@ pub fn threshold_table(
             cell(stats.p95()),
         ]);
     }
-    table.push_note("paper: stabilizes w.h.p. for T ≤ √n; Ω̃(√n) budget lets the balancer stall the drift");
+    table.push_note(
+        "paper: stabilizes w.h.p. for T ≤ √n; Ω̃(√n) budget lets the balancer stall the drift",
+    );
     table
 }
 
@@ -104,7 +106,9 @@ pub fn threshold_hist_table(
             ]);
         }
     }
-    table.push_note("same sweep as E5 but at populations the dense engine cannot touch (up to 2^40)");
+    table.push_note(
+        "same sweep as E5 but at populations the dense engine cannot touch (up to 2^40)",
+    );
     table
 }
 
@@ -132,7 +136,10 @@ mod tests {
     fn hist_threshold_low_alpha_stabilizes() {
         let t = threshold_hist_table(&[20], &[0.25], 4, 40, 3);
         let text = t.to_text();
-        assert!(text.contains("100"), "α=0.25 at n=2^20 must stabilize:\n{text}");
+        assert!(
+            text.contains("100"),
+            "α=0.25 at n=2^20 must stabilize:\n{text}"
+        );
     }
 
     #[test]

@@ -22,7 +22,14 @@ fn main() {
     eprintln!("[ablation k] n = {n} × {trials} trials…");
     let mut table = Table::new(
         format!("Power of k choices: rounds to consensus at n = {n}"),
-        &["k", "multiset", "two-bins mean", "two-bins p95", "uniform(9) mean", "hit%"],
+        &[
+            "k",
+            "multiset",
+            "two-bins mean",
+            "two-bins p95",
+            "uniform(9) mean",
+            "hit%",
+        ],
     );
     for k in 1..=6usize {
         // Odd k ⇒ even multiset size (own + k samples): the lower-median is
@@ -85,7 +92,12 @@ fn main() {
             .init(InitialCondition::AllDistinct)
             .protocol(p)
             .max_rounds(3000);
-        let results = run_trials(&spec, trials.min(15), 0xAB3 ^ p.label().len() as u64, threads);
+        let results = run_trials(
+            &spec,
+            trials.min(15),
+            0xAB3 ^ p.label().len() as u64,
+            threads,
+        );
         let stats = ConvergenceStats::from_results(&results, HitMetric::Consensus);
         table.push_row(vec![
             p.label(),

@@ -20,13 +20,9 @@ fn bench_dense(c: &mut Criterion) {
             b.iter(|| dense::step_seq(&old, &mut new, &MedianRule, 42, 1));
         });
         let threads = stabcon_par::default_threads();
-        group.bench_with_input(
-            BenchmarkId::new(format!("par{threads}"), n),
-            &n,
-            |b, _| {
-                b.iter(|| dense::step_par(threads, &old, &mut new, &MedianRule, 42, 1));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(format!("par{threads}"), n), &n, |b, _| {
+            b.iter(|| dense::step_par(threads, &old, &mut new, &MedianRule, 42, 1));
+        });
     }
     group.finish();
 }

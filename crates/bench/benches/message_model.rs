@@ -18,7 +18,15 @@ fn main() {
 
     let mut table = Table::new(
         format!("Message model (E13): two bins at n = {n}, cap = c·⌈log₂ n⌉"),
-        &["engine", "cap c", "drop policy", "mean rounds", "p95", "hit%", "drop rate %"],
+        &[
+            "engine",
+            "cap c",
+            "drop policy",
+            "mean rounds",
+            "p95",
+            "hit%",
+            "drop rate %",
+        ],
     );
 
     // Idealized baseline.
@@ -88,7 +96,13 @@ fn stress_fixed_caps(n: usize, trials: u64) {
 
     let mut table = Table::new(
         format!("Message model stress: absolute inbox caps at n = {n}"),
-        &["cap (absolute)", "mean rounds", "max", "hit%", "drop rate %"],
+        &[
+            "cap (absolute)",
+            "mean rounds",
+            "max",
+            "hit%",
+            "drop rate %",
+        ],
     );
     for cap in [1usize, 2, 3, 6] {
         let mut stats = RunningStats::new();

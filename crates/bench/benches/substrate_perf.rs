@@ -75,5 +75,11 @@ fn bench_feistel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rng, bench_binomial, bench_alias, bench_feistel);
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_binomial,
+    bench_alias,
+    bench_feistel
+);
 criterion_main!(benches);

@@ -1,0 +1,319 @@
+//! `BENCH_engine.json` emitter: engine round throughput over time.
+//!
+//! Records rounds/sec for dense-seq (monomorphized and `dyn`-dispatched),
+//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, plus the end-to-end
+//! wall time of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs
+//! `Adaptive`, so successive PRs have a perf trajectory to compare against.
+//!
+//! Usage: `cargo run --release --bin engine_bench [-- out.json]`
+//! (default output: `BENCH_engine.json` in the current directory). Scale
+//! measurement time with `STABCON_BENCH_SCALE` like the bench targets.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use stabcon_core::engine::{dense, hist, EngineSpec};
+use stabcon_core::histogram::Histogram;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::protocol::{MedianRule, Protocol};
+use stabcon_core::runner::SimSpec;
+use stabcon_core::value::Value;
+use stabcon_util::rng::Xoshiro256pp;
+
+/// Measure `step` repeatedly for roughly `budget`, returning rounds/sec.
+fn rounds_per_sec(budget: Duration, mut step: impl FnMut(u64)) -> f64 {
+    // Warm-up round (page in buffers, spin up pool threads).
+    step(0);
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    while start.elapsed() < budget || rounds < 3 {
+        rounds += 1;
+        step(rounds);
+    }
+    rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Mid-trial-shaped dense state: `support` values spread evenly.
+fn dense_state(n: usize, support: u32) -> Vec<Value> {
+    (0..n as u32).map(|i| i % support).collect()
+}
+
+/// The seed repository's dense round, verbatim: one `CounterRng::new` per
+/// ball (full 3-input hash per word), a `MAX_SAMPLES` scratch buffer sliced
+/// at runtime, and a `&dyn Protocol` virtual call per ball. This is the
+/// "dyn baseline" the monomorphized engine is measured against.
+fn legacy_step_seq(
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &dyn Protocol,
+    seed: u64,
+    round: u64,
+) {
+    use stabcon_core::protocol::MAX_SAMPLES;
+    use stabcon_util::rng::{gen_index, CounterRng};
+    let n = old.len() as u64;
+    let k = protocol.samples();
+    let mut samples = [0 as Value; MAX_SAMPLES];
+    for (j, slot) in new.iter_mut().enumerate() {
+        let ball = j as u64;
+        let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball));
+        for sample in samples.iter_mut().take(k) {
+            *sample = old[gen_index(&mut rng, n) as usize];
+        }
+        *slot = protocol.combine(old[ball as usize], &samples[..k]);
+    }
+}
+
+/// The seed runner's per-round observable pass, verbatim: a full `O(n)`
+/// hash-map rebuild (support, plurality, median, imbalance).
+fn legacy_observe(state: &[Value]) -> (usize, Value, u64, Value, f64) {
+    use std::collections::HashMap;
+    let mut counts: HashMap<Value, u64> = HashMap::with_capacity(64);
+    for &v in state {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let support = counts.len();
+    let (&pv, &pc) = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .expect("nonempty state");
+    let mut pairs: Vec<(Value, u64)> = counts.iter().map(|(&v, &c)| (v, c)).collect();
+    pairs.sort_unstable_by_key(|&(v, _)| v);
+    let target = (state.len() as u64).div_ceil(2);
+    let mut acc = 0u64;
+    let mut median = pairs[0].0;
+    for &(v, c) in &pairs {
+        acc += c;
+        if acc >= target {
+            median = v;
+            break;
+        }
+    }
+    let mut loads: Vec<u64> = pairs.iter().map(|&(_, c)| c).collect();
+    loads.sort_unstable_by(|a, b| b.cmp(a));
+    let imbalance = (loads[0] as f64 - loads.get(1).copied().unwrap_or(0) as f64) / 2.0;
+    (support, pv, pc, median, imbalance)
+}
+
+struct Record {
+    engine: &'static str,
+    n: u64,
+    rounds_per_sec: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let scale = stabcon_bench::bench_scale();
+    let budget = Duration::from_secs_f64(0.4 * scale.clamp(0.05, 10.0));
+    let threads = stabcon_par::default_threads();
+    let support = 64u32;
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut dyn_per_mono_ratio: Vec<(u64, f64)> = Vec::new();
+
+    for &n in &[10_000usize, 1_000_000] {
+        let old = dense_state(n, support);
+        let mut new = vec![0 as Value; n];
+
+        // Simulated rounds as the runner executes them — full trials from
+        // UniformRandom{64} to consensus, repeated until the budget is
+        // spent. New path: monomorphized step, load-sampled draws once the
+        // support is small, incremental O(m) observables.
+        let init = InitialCondition::UniformRandom { m: support };
+        let spec = SimSpec::new(n)
+            .init(init.clone())
+            .engine(EngineSpec::DenseSeq);
+        let mut trial_seed = 0u64;
+        let mut total_rounds = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trial_seed < 2 {
+            trial_seed += 1;
+            total_rounds += spec.run_seeded(trial_seed).rounds_executed;
+        }
+        let mono = total_rounds as f64 / start.elapsed().as_secs_f64();
+        records.push(Record {
+            engine: "dense-seq",
+            n: n as u64,
+            rounds_per_sec: mono,
+        });
+
+        // The pre-refactor baseline round, verbatim: dyn dispatch +
+        // per-ball CounterRng in the step, O(n) hash-map rebuild for the
+        // observables, same trial shape.
+        let dyn_protocol: &dyn Protocol = &MedianRule;
+        let mut trial_seed = 0u64;
+        let mut total_rounds = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trial_seed < 2 {
+            trial_seed += 1;
+            let mut rng = Xoshiro256pp::seed(trial_seed);
+            let mut state = init.materialize(n, &mut rng);
+            let mut scratch = vec![0 as Value; n];
+            for round in 0..10_000u64 {
+                let (support, _, pc, _, _) = legacy_observe(&state);
+                std::hint::black_box(support);
+                if support == 1 && pc == n as u64 {
+                    break;
+                }
+                legacy_step_seq(&state, &mut scratch, dyn_protocol, trial_seed, round);
+                std::mem::swap(&mut state, &mut scratch);
+                total_rounds += 1;
+            }
+        }
+        let dynamic = total_rounds as f64 / start.elapsed().as_secs_f64();
+        records.push(Record {
+            engine: "dense-seq-dyn",
+            n: n as u64,
+            rounds_per_sec: dynamic,
+        });
+        dyn_per_mono_ratio.push((n as u64, mono / dynamic));
+
+        // Step-only variants (no observables), for the raw engine cost.
+        let mono_step = rounds_per_sec(budget, |round| {
+            dense::step_seq(&old, &mut new, &MedianRule, 42, round);
+        });
+        records.push(Record {
+            engine: "dense-seq-step-only",
+            n: n as u64,
+            rounds_per_sec: mono_step,
+        });
+        let dyn_step = rounds_per_sec(budget, |round| {
+            legacy_step_seq(&old, &mut new, dyn_protocol, 42, round);
+        });
+        records.push(Record {
+            engine: "dense-seq-dyn-step-only",
+            n: n as u64,
+            rounds_per_sec: dyn_step,
+        });
+
+        // Parallel dense.
+        let par = rounds_per_sec(budget, |round| {
+            dense::step_par(threads, &old, &mut new, &MedianRule, 42, round);
+        });
+        records.push(Record {
+            engine: "dense-par",
+            n: n as u64,
+            rounds_per_sec: par,
+        });
+
+        // Histogram engine at the same population (m = support bins).
+        let pairs: Vec<(Value, u64)> = (0..support)
+            .map(|v| (v, (n as u64) / support as u64 + 1))
+            .collect();
+        let h0 = Histogram::new(&pairs);
+        let mut h = h0.clone();
+        let mut rng = Xoshiro256pp::seed(7);
+        let hist_rps = rounds_per_sec(budget, |round| {
+            h = hist::step(&h, &mut rng);
+            if round % 64 == 0 {
+                // Reset so the support doesn't collapse mid-measurement.
+                h = h0.clone();
+            }
+        });
+        records.push(Record {
+            engine: "hist",
+            n: n as u64,
+            rounds_per_sec: hist_rps,
+        });
+
+        // Adaptive: rounds/sec over full trials (the engine changes phase
+        // mid-trial, so a per-round number only makes sense trial-averaged).
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::UniformRandom { m: support })
+            .engine(EngineSpec::Adaptive {
+                threads,
+                handoff_support: 64,
+            });
+        let mut trial_seed = 0u64;
+        let mut total_rounds = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trial_seed < 3 {
+            trial_seed += 1;
+            total_rounds += spec.run_seeded(trial_seed).rounds_executed;
+        }
+        records.push(Record {
+            engine: "adaptive",
+            n: n as u64,
+            rounds_per_sec: total_rounds as f64 / start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // End-to-end: full TwoBins n = 10⁶ trial to consensus, DenseSeq vs
+    // Adaptive (the ≥5× acceptance criterion).
+    let n = 1_000_000usize;
+    let base = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .max_rounds(100_000);
+    let t0 = Instant::now();
+    let dense_result = base.clone().engine(EngineSpec::DenseSeq).run_seeded(1);
+    let dense_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let adaptive_result = base
+        .clone()
+        .engine(EngineSpec::Adaptive {
+            threads: 1,
+            handoff_support: 64,
+        })
+        .run_seeded(1);
+    let adaptive_secs = t1.elapsed().as_secs_f64();
+
+    let timestamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"stabcon-engine-bench/1\",");
+    let _ = writeln!(json, "  \"timestamp_unix\": {timestamp},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"support\": {support},");
+    json.push_str("  \"rounds_per_sec\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"n\": {}, \"rounds_per_sec\": {:.2}}}{}",
+            r.engine,
+            r.n,
+            r.rounds_per_sec,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"mono_over_dyn_speedup\": [\n");
+    for (i, (n, ratio)) in dyn_per_mono_ratio.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"speedup\": {ratio:.3}}}{}",
+            if i + 1 < dyn_per_mono_ratio.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"two_bins_1e6_end_to_end\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"dense_seq_secs\": {dense_secs:.4}, \"dense_seq_rounds\": {},",
+        dense_result.rounds_executed
+    );
+    let _ = writeln!(
+        json,
+        "    \"adaptive_secs\": {adaptive_secs:.4}, \"adaptive_rounds\": {},",
+        adaptive_result.rounds_executed
+    );
+    let _ = writeln!(
+        json,
+        "    \"adaptive_speedup\": {:.2}",
+        dense_secs / adaptive_secs.max(1e-12)
+    );
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing BENCH_engine.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -9,7 +9,7 @@
 //! [`HistCorruptor`] (histogram engine) that refuses over-budget writes and
 //! out-of-set values. A strategy cannot cheat even if buggy.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use rand::RngCore;
 use stabcon_util::rng::gen_index;
@@ -25,7 +25,9 @@ pub struct Corruptor<'a> {
     state: &'a mut [Value],
     allowed: &'a ValueSet,
     budget: u64,
-    touched: HashSet<u32>,
+    /// Touched process → its value *before* the first corrupting write this
+    /// round (lets the runner maintain incremental load counts).
+    touched: HashMap<u32, Value>,
 }
 
 impl<'a> Corruptor<'a> {
@@ -35,7 +37,7 @@ impl<'a> Corruptor<'a> {
             state,
             allowed,
             budget,
-            touched: HashSet::new(),
+            touched: HashMap::new(),
         }
     }
 
@@ -75,12 +77,12 @@ impl<'a> Corruptor<'a> {
         if !self.allowed.contains(v) {
             return false;
         }
-        if self.touched.contains(&(i as u32)) {
+        if self.touched.contains_key(&(i as u32)) {
             self.state[i] = v;
             return true;
         }
         if (self.touched.len() as u64) < self.budget {
-            self.touched.insert(i as u32);
+            self.touched.insert(i as u32, self.state[i]);
             self.state[i] = v;
             return true;
         }
@@ -90,6 +92,16 @@ impl<'a> Corruptor<'a> {
     /// The allowed (initial) value set.
     pub fn allowed(&self) -> &ValueSet {
         self.allowed
+    }
+
+    /// The net effect of this round's corruption: `(process, before, after)`
+    /// for every touched process. Processes written back to their original
+    /// value still appear (with `before == after`); consumers should treat
+    /// those as no-ops.
+    pub fn changes(&self) -> impl Iterator<Item = (usize, Value, Value)> + '_ {
+        self.touched
+            .iter()
+            .map(|(&i, &before)| (i as usize, before, self.state[i as usize]))
     }
 }
 
@@ -647,11 +659,7 @@ mod tests {
         let mut adv = RandomCorruptor;
         let mut c = Corruptor::new(&mut state, &set, 3);
         adv.corrupt(0, &mut c, &mut rng);
-        let changed = state
-            .iter()
-            .zip(&before)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = state.iter().zip(&before).filter(|(a, b)| a != b).count();
         assert!(changed <= 3, "budget violated: {changed}");
         for &v in &state {
             assert!(set.contains(v));

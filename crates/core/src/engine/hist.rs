@@ -59,6 +59,19 @@ pub fn destination_law_into(cdf: &[f64], b: usize, law: &mut [f64]) {
         let gc1 = if c + 1 < m { g(c + 1) } else { 0.0 };
         *slot = (gc * gc - gc1 * gc1).max(0.0);
     }
+    // The telescoping identity makes the law sum to 1 exactly in real
+    // arithmetic, but the `.max(0.0)` clamps above discard the negative
+    // rounding residue of catastrophic cancellation near F(c) ≈ 1, leaking
+    // mass (up to ~1e-15 per entry) into the multinomial draw. Renormalize
+    // so the total is 1 within 1e-12 again.
+    let total: f64 = law.iter().sum();
+    debug_assert!(total > 0.0, "destination law lost all mass");
+    if total > 0.0 && total != 1.0 {
+        let inv = 1.0 / total;
+        for slot in law.iter_mut() {
+            *slot *= inv;
+        }
+    }
 }
 
 /// Advance the median rule one round on aggregated loads.
@@ -103,6 +116,28 @@ mod tests {
             for (c, &p) in law.iter().enumerate() {
                 assert!((0.0..=1.0).contains(&p), "law[{c}] = {p}");
             }
+        }
+    }
+
+    #[test]
+    fn law_renormalized_under_cancellation() {
+        // A long tail of relatively tiny bins drives F(c) → 1 with heavy
+        // cancellation in F(c)² − F(c−1)²; post-clamp renormalization must
+        // keep every law summing to 1 within 1e-12.
+        let mut pairs: Vec<(Value, u64)> = vec![(0, u64::MAX >> 13)];
+        pairs.extend((1..400u32).map(|v| (v, 1 + (v as u64 % 3))));
+        let h = Histogram::new(&pairs);
+        let cdf = h.cdf();
+        let m = cdf.len();
+        let mut law = vec![0.0; m];
+        for b in [0usize, 1, m / 2, m - 2, m - 1] {
+            destination_law_into(&cdf, b, &mut law);
+            let total: f64 = law.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-12,
+                "bin {b}: total deviates by {}",
+                (total - 1.0).abs()
+            );
         }
     }
 

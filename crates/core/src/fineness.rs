@@ -192,7 +192,10 @@ mod tests {
         let fc = report.fine_consensus.expect("fine should converge");
         let cc = report.coarse_consensus.expect("coarse should converge");
         // Lemma 17: the finer instance upper-bounds the coarser, pointwise.
-        assert!(cc <= fc, "coarse ({cc}) must not be slower than fine ({fc})");
+        assert!(
+            cc <= fc,
+            "coarse ({cc}) must not be slower than fine ({fc})"
+        );
     }
 
     #[test]

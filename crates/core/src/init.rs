@@ -62,9 +62,7 @@ impl InitialCondition {
             }
             InitialCondition::UniformRandom { m } => {
                 assert!(*m > 0, "UniformRandom: m = 0");
-                (0..n)
-                    .map(|_| gen_index(rng, *m as u64) as Value)
-                    .collect()
+                (0..n).map(|_| gen_index(rng, *m as u64) as Value).collect()
             }
             InitialCondition::Custom(values) => {
                 assert_eq!(values.len(), n, "Custom: length mismatch");
@@ -164,6 +162,9 @@ mod tests {
     fn labels() {
         assert_eq!(InitialCondition::AllDistinct.label(), "all-distinct");
         assert_eq!(InitialCondition::TwoBins { left: 5 }.label(), "two-bins(5)");
-        assert_eq!(InitialCondition::UniformRandom { m: 7 }.label(), "uniform(7)");
+        assert_eq!(
+            InitialCondition::UniformRandom { m: 7 }.label(),
+            "uniform(7)"
+        );
     }
 }

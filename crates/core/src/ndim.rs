@@ -38,12 +38,7 @@ pub fn median3_nd<const D: usize>(a: &Point<D>, b: &Point<D>, c: &Point<D>) -> P
 ///
 /// # Panics
 /// Panics if buffer lengths differ.
-pub fn step_seq<const D: usize>(
-    old: &[Point<D>],
-    new: &mut [Point<D>],
-    seed: u64,
-    round: u64,
-) {
+pub fn step_seq<const D: usize>(old: &[Point<D>], new: &mut [Point<D>], seed: u64, round: u64) {
     assert_eq!(old.len(), new.len(), "state buffers differ in length");
     let n = old.len() as u64;
     for (i, slot) in new.iter_mut().enumerate() {
@@ -147,8 +142,8 @@ mod tests {
         let c = [0, 1];
         let m = median3_nd(&a, &b, &c);
         assert_eq!(m, [0, 1]); // here it is c...
-        // A genuinely invented point: three "rotated" points whose
-        // coordinate-wise median matches none of them.
+                               // A genuinely invented point: three "rotated" points whose
+                               // coordinate-wise median matches none of them.
         let p = [0u32, 2];
         let q = [1, 0];
         let r = [2, 1];

@@ -217,6 +217,13 @@ pub enum ProtocolSpec {
 }
 
 impl ProtocolSpec {
+    /// Whether this rule is the median rule *in law*: the 2-sample median,
+    /// whose destination distribution depends only on bin loads. These are
+    /// the specs the adaptive engine may hand off to the histogram engine.
+    pub fn is_median_law(&self) -> bool {
+        matches!(self, ProtocolSpec::Median | ProtocolSpec::KMedian(2))
+    }
+
     /// Instantiate the protocol object.
     pub fn build(&self) -> Box<dyn Protocol> {
         match *self {

@@ -8,16 +8,18 @@
 //! 2. every process samples and updates synchronously (the engine step);
 //! 3. the new state is observed for consensus / almost-stability.
 
-use std::collections::HashMap;
-
 use stabcon_net::RoundMetrics;
 use stabcon_util::rng::{derive_seed, Xoshiro256pp};
 
 use crate::adversary::{AdversarySpec, Corruptor, HistAdversarySpec, HistCorruptor};
+use crate::engine::adaptive::{observe_histogram, LoadCounts};
 use crate::engine::{dense, hist, EngineSpec, MessageEngine};
 use crate::histogram::Histogram;
 use crate::init::InitialCondition;
-use crate::protocol::ProtocolSpec;
+use crate::protocol::{
+    KMedianRule, MajorityRule, MaxRule, MeanRule, MedianRule, MinRule, Protocol, ProtocolSpec,
+    VoterRule,
+};
 use crate::stopping::{StabilityConfig, StabilityTracker};
 use crate::value::{Value, ValueSet};
 
@@ -192,17 +194,53 @@ impl SimSpec {
     }
 
     /// Run one trial, fully determined by `(self, seed)`.
+    ///
+    /// Dispatches the protocol *once* so the engine's hot loop runs
+    /// monomorphized (static dispatch, no per-ball virtual calls).
     pub fn run_seeded(&self, seed: u64) -> RunResult {
+        match self.protocol {
+            ProtocolSpec::Median => self.run_with_protocol(&MedianRule, seed),
+            ProtocolSpec::Min => self.run_with_protocol(&MinRule, seed),
+            ProtocolSpec::Max => self.run_with_protocol(&MaxRule, seed),
+            ProtocolSpec::Mean => self.run_with_protocol(&MeanRule, seed),
+            ProtocolSpec::Majority => self.run_with_protocol(&MajorityRule, seed),
+            ProtocolSpec::Voter => self.run_with_protocol(&VoterRule, seed),
+            ProtocolSpec::KMedian(k) => self.run_with_protocol(&KMedianRule::new(k), seed),
+        }
+    }
+
+    /// The trial loop, generic over the (concrete) protocol type.
+    fn run_with_protocol<P: Protocol>(&self, protocol: &P, seed: u64) -> RunResult {
         let mut init_rng = Xoshiro256pp::seed(derive_seed(seed, 0));
         let mut adv_rng = Xoshiro256pp::seed(derive_seed(seed, 1));
         let engine_seed = derive_seed(seed, 2);
+        // Dedicated stream for the post-handoff histogram phase (adaptive
+        // engine only); reserved unconditionally so seeds stay stable.
+        let mut hist_rng = Xoshiro256pp::seed(derive_seed(seed, 3));
 
         let mut state = self.init.materialize(self.n, &mut init_rng);
         let initial_set = ValueSet::from_values(&state);
-        let protocol = self.protocol.build();
         let mut adversary = self.adversary.build();
         let mut message_engine = match self.engine {
             EngineSpec::Message(cfg) => Some(MessageEngine::new(self.n, cfg, engine_seed)),
+            _ => None,
+        };
+
+        // Incrementally maintained bin loads: the one O(n) count here
+        // replaces the per-round O(n) rebuild the runner used to do.
+        let mut counts = LoadCounts::for_state(&state, protocol.validity_preserving());
+        // Post-handoff aggregated state (adaptive engine only). While this
+        // is `Some`, `state`/`counts` are frozen at the handoff round.
+        let mut hist_state: Option<Histogram> = None;
+        let handoff_support = match self.engine {
+            EngineSpec::Adaptive {
+                handoff_support, ..
+            } if self.budget == 0
+                && self.update_fraction >= 1.0
+                && self.protocol.is_median_law() =>
+            {
+                Some(handoff_support.max(1))
+            }
             _ => None,
         };
 
@@ -215,7 +253,7 @@ impl SimSpec {
         let mut max_after_stable: Option<u64> = None;
 
         // Observe the initial state (round 0).
-        let obs = observe(&state);
+        let obs = counts.observe();
         record(&mut trajectory, 0, &obs);
         let mut done = tracker.observe(0, obs.plurality_value, obs.plurality_count, self.n as u64);
 
@@ -225,62 +263,110 @@ impl SimSpec {
             if done && !self.full_horizon {
                 break;
             }
-            // 1. Adversary corrupts at the beginning of the round.
-            if self.budget > 0 {
-                let mut corruptor = Corruptor::new(&mut state, &initial_set, self.budget);
-                adversary.corrupt(round, &mut corruptor, &mut adv_rng);
-            }
-            // 2. Synchronous protocol step.
-            match self.engine {
-                EngineSpec::DenseSeq if self.update_fraction < 1.0 => {
-                    dense::step_partial(
-                        1,
-                        &state,
-                        &mut scratch,
-                        protocol.as_ref(),
-                        engine_seed,
-                        round,
-                        self.update_fraction,
-                    );
+            let obs = if let Some(h) = hist_state.as_mut() {
+                // Aggregated phase: one O(m²) multinomial round. (Handoff is
+                // gated on budget == 0, so there is no adversary step here.)
+                *h = hist::step(h, &mut hist_rng);
+                rounds_executed += 1;
+                observe_histogram(h)
+            } else {
+                // 1. Adversary corrupts at the beginning of the round.
+                if self.budget > 0 {
+                    let mut corruptor = Corruptor::new(&mut state, &initial_set, self.budget);
+                    adversary.corrupt(round, &mut corruptor, &mut adv_rng);
+                    for (_, before, after) in corruptor.changes() {
+                        counts.record_move(before, after);
+                    }
                 }
-                EngineSpec::DensePar { threads } if self.update_fraction < 1.0 => {
-                    dense::step_partial(
-                        threads,
-                        &state,
-                        &mut scratch,
-                        protocol.as_ref(),
-                        engine_seed,
-                        round,
-                        self.update_fraction,
-                    );
+                // 2. Synchronous protocol step. Full dense rounds sample
+                // peers through the live load prefix sums once the support
+                // is small (same law as indexing the state array, without
+                // the two random DRAM reads per ball).
+                let sampled_bins = (self.update_fraction >= 1.0
+                    && !matches!(self.engine, EngineSpec::Message(_))
+                    && self.n >= dense::SAMPLED_N_MIN
+                    && counts.support_size() <= dense::SAMPLED_SUPPORT_MAX)
+                    .then(|| counts.live_bins());
+                match self.engine {
+                    EngineSpec::DenseSeq if self.update_fraction < 1.0 => {
+                        dense::step_partial(
+                            1,
+                            &state,
+                            &mut scratch,
+                            protocol,
+                            engine_seed,
+                            round,
+                            self.update_fraction,
+                        );
+                    }
+                    EngineSpec::DensePar { threads } | EngineSpec::Adaptive { threads, .. }
+                        if self.update_fraction < 1.0 =>
+                    {
+                        dense::step_partial(
+                            threads,
+                            &state,
+                            &mut scratch,
+                            protocol,
+                            engine_seed,
+                            round,
+                            self.update_fraction,
+                        );
+                    }
+                    EngineSpec::DenseSeq => match &sampled_bins {
+                        Some(bins) => dense::step_seq_with_loads(
+                            &state,
+                            &mut scratch,
+                            protocol,
+                            engine_seed,
+                            round,
+                            bins,
+                        ),
+                        None => dense::step_seq(&state, &mut scratch, protocol, engine_seed, round),
+                    },
+                    EngineSpec::DensePar { threads } | EngineSpec::Adaptive { threads, .. } => {
+                        match &sampled_bins {
+                            Some(bins) => dense::step_par_with_loads(
+                                threads,
+                                &state,
+                                &mut scratch,
+                                protocol,
+                                engine_seed,
+                                round,
+                                bins,
+                            ),
+                            None => dense::step_par(
+                                threads,
+                                &state,
+                                &mut scratch,
+                                protocol,
+                                engine_seed,
+                                round,
+                            ),
+                        }
+                    }
+                    EngineSpec::Message(_) => {
+                        assert!(
+                            self.update_fraction >= 1.0,
+                            "update_fraction is a dense-engine ablation"
+                        );
+                        let engine = message_engine.as_mut().expect("message engine built");
+                        engine.step(&state, &mut scratch, protocol, engine_seed, round);
+                    }
                 }
-                EngineSpec::DenseSeq => {
-                    dense::step_seq(&state, &mut scratch, protocol.as_ref(), engine_seed, round);
-                }
-                EngineSpec::DensePar { threads } => {
-                    dense::step_par(
-                        threads,
-                        &state,
-                        &mut scratch,
-                        protocol.as_ref(),
-                        engine_seed,
-                        round,
-                    );
-                }
-                EngineSpec::Message(_) => {
-                    assert!(
-                        self.update_fraction >= 1.0,
-                        "update_fraction is a dense-engine ablation"
-                    );
-                    let engine = message_engine.as_mut().expect("message engine built");
-                    engine.step(&state, &mut scratch, protocol.as_ref(), engine_seed, round);
-                }
-            }
-            std::mem::swap(&mut state, &mut scratch);
-            rounds_executed += 1;
+                counts.apply_step(&state, &scratch);
+                std::mem::swap(&mut state, &mut scratch);
+                rounds_executed += 1;
 
-            // 3. Observe.
-            let obs = observe(&state);
+                // 3. Observe (O(m) walk over live bins).
+                let obs = counts.observe();
+                // 4. Adaptive handoff once the support is narrow enough.
+                if let Some(threshold) = handoff_support {
+                    if counts.support_size() <= threshold {
+                        hist_state = Some(counts.to_histogram());
+                    }
+                }
+                obs
+            };
             record(&mut trajectory, round + 1, &obs);
             done = tracker.observe(
                 round + 1,
@@ -289,8 +375,11 @@ impl SimSpec {
                 self.n as u64,
             );
             if let Some((_, v)) = tracker.stable_hit() {
-                let disagreement = self.n as u64
-                    - state.iter().filter(|&&x| x == v).count() as u64;
+                let agreeing = match &hist_state {
+                    Some(h) => h.n() - h.disagreement_with(v),
+                    None => counts.count_of(v),
+                };
+                let disagreement = self.n as u64 - agreeing;
                 max_after_stable = Some(max_after_stable.unwrap_or(0).max(disagreement));
             }
             final_obs = obs;
@@ -300,6 +389,10 @@ impl SimSpec {
             .stable_hit()
             .map(|(_, v)| v)
             .unwrap_or(final_obs.plurality_value);
+        let winner_count = match &hist_state {
+            Some(h) => h.n() - h.disagreement_with(winner),
+            None => counts.count_of(winner),
+        };
         RunResult {
             rounds_executed,
             consensus_round: tracker.consensus_hit(),
@@ -307,50 +400,11 @@ impl SimSpec {
             winner,
             winner_valid: initial_set.contains(winner),
             final_support: final_obs.support,
-            final_disagreement: self.n as u64
-                - state.iter().filter(|&&x| x == winner).count() as u64,
+            final_disagreement: self.n as u64 - winner_count,
             max_disagreement_after_stable: max_after_stable,
             trajectory,
             net_totals: message_engine.map(|e| *e.totals()),
         }
-    }
-}
-
-fn observe(state: &[Value]) -> RoundObs {
-    let mut counts: HashMap<Value, u64> = HashMap::with_capacity(64);
-    for &v in state {
-        *counts.entry(v).or_insert(0) += 1;
-    }
-    let support = counts.len();
-    let (&pv, &pc) = counts
-        .iter()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-        .expect("nonempty state");
-    // Median value: walk counts in value order.
-    let mut pairs: Vec<(Value, u64)> = counts.iter().map(|(&v, &c)| (v, c)).collect();
-    pairs.sort_unstable_by_key(|&(v, _)| v);
-    let target = (state.len() as u64).div_ceil(2);
-    let mut acc = 0u64;
-    let mut median = pairs[0].0;
-    for &(v, c) in &pairs {
-        acc += c;
-        if acc >= target {
-            median = v;
-            break;
-        }
-    }
-    // Imbalance: top two loads.
-    let mut loads: Vec<u64> = pairs.iter().map(|&(_, c)| c).collect();
-    loads.sort_unstable_by(|a, b| b.cmp(a));
-    let imbalance =
-        (loads[0] as f64 - loads.get(1).copied().unwrap_or(0) as f64) / 2.0;
-    RoundObs {
-        round: 0,
-        support,
-        plurality_value: pv,
-        plurality_count: pc,
-        median_value: median,
-        imbalance,
     }
 }
 
@@ -430,8 +484,14 @@ impl HistSpec {
     pub fn run_seeded(&self, seed: u64) -> HistRunResult {
         let mut rng = Xoshiro256pp::seed(derive_seed(seed, 10));
         let mut adv_rng = Xoshiro256pp::seed(derive_seed(seed, 11));
-        let initial_set =
-            ValueSet::from_values(&self.initial.bins().iter().map(|&(v, _)| v).collect::<Vec<_>>());
+        let initial_set = ValueSet::from_values(
+            &self
+                .initial
+                .bins()
+                .iter()
+                .map(|&(v, _)| v)
+                .collect::<Vec<_>>(),
+        );
         let mut adversary = self.adversary.build();
         let n = self.initial.n();
         let threshold = if self.budget == 0 {

@@ -1,0 +1,203 @@
+//! Properties of the monomorphized dense hot path and the adaptive engine.
+//!
+//! Three contracts from the perf refactor:
+//!
+//! 1. monomorphized (static-dispatch) and `dyn Protocol` dense rounds are
+//!    **bit-identical** — the generic step must not change a single draw;
+//! 2. sequential and parallel dense rounds stay bit-identical for any
+//!    thread count, on both the plain and the load-sampled path;
+//! 3. the adaptive engine is statistically exact: its consensus-round
+//!    distribution agrees with pure dense (KS-style check over ≥200 seeded
+//!    trials).
+
+use proptest::prelude::*;
+use stabcon_core::engine::{dense, EngineSpec};
+use stabcon_core::histogram::Histogram;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::protocol::{KMedianRule, MedianRule, Protocol, VoterRule};
+use stabcon_core::runner::SimSpec;
+use stabcon_core::value::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // --- (a) monomorphized ≡ dyn --------------------------------------------
+
+    #[test]
+    fn mono_equals_dyn_median(values in prop::collection::vec(0u32..32, 64..2000),
+                              seed in any::<u64>(), round in 0u64..4) {
+        let mut mono = vec![0 as Value; values.len()];
+        dense::step_seq(&values, &mut mono, &MedianRule, seed, round);
+        let mut dynamic = vec![0 as Value; values.len()];
+        let protocol: &dyn Protocol = &MedianRule;
+        dense::step_seq(&values, &mut dynamic, protocol, seed, round);
+        prop_assert_eq!(&mono, &dynamic);
+    }
+
+    #[test]
+    fn mono_equals_dyn_all_sample_counts(values in prop::collection::vec(0u32..9, 64..500),
+                                         k in 1usize..6, seed in any::<u64>()) {
+        let rule = KMedianRule::new(k);
+        let mut mono = vec![0 as Value; values.len()];
+        dense::step_seq(&values, &mut mono, &rule, seed, 0);
+        let mut dynamic = vec![0 as Value; values.len()];
+        let protocol: &dyn Protocol = &rule;
+        dense::step_seq(&values, &mut dynamic, protocol, seed, 0);
+        prop_assert_eq!(&mono, &dynamic);
+    }
+
+    // --- (b) seq ≡ par across thread counts ---------------------------------
+
+    #[test]
+    fn seq_equals_par_all_threads(values in prop::collection::vec(0u32..64, 4096..8192),
+                                  seed in any::<u64>(), round in 0u64..4) {
+        let mut seq = vec![0 as Value; values.len()];
+        dense::step_seq(&values, &mut seq, &MedianRule, seed, round);
+        for threads in [2usize, 3, 4, 8] {
+            let mut par = vec![0 as Value; values.len()];
+            dense::step_par(threads, &values, &mut par, &MedianRule, seed, round);
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn seq_equals_par_sampled_path(values in prop::collection::vec(0u32..16, 4096..8192),
+                                   seed in any::<u64>()) {
+        let bins = Histogram::new(
+            &values.iter().map(|&v| (v, 1u64)).collect::<Vec<_>>(),
+        );
+        // Aggregate duplicate values into loads.
+        let bins: Vec<(Value, u64)> = bins.bins().to_vec();
+        let mut seq = vec![0 as Value; values.len()];
+        dense::step_seq_with_loads(&values, &mut seq, &MedianRule, seed, 1, &bins);
+        for threads in [2usize, 4, 8] {
+            let mut par = vec![0 as Value; values.len()];
+            dense::step_par_with_loads(threads, &values, &mut par, &MedianRule, seed, 1, &bins);
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn seq_equals_par_voter(values in prop::collection::vec(0u32..8, 4096..6000),
+                            seed in any::<u64>()) {
+        let mut seq = vec![0 as Value; values.len()];
+        dense::step_seq(&values, &mut seq, &VoterRule, seed, 0);
+        let mut par = vec![0 as Value; values.len()];
+        dense::step_par(4, &values, &mut par, &VoterRule, seed, 0);
+        prop_assert_eq!(&seq, &par);
+    }
+}
+
+/// Runner-level seq/par bit-identity with the load-sampled path active
+/// (population at the sampling floor, two bins → sampled from round one).
+#[test]
+fn runner_seq_equals_par_with_sampling_active() {
+    let n = dense::SAMPLED_N_MIN;
+    let base = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .max_rounds(4000);
+    let seq = base.clone().engine(EngineSpec::DenseSeq).run_seeded(5);
+    let par = base
+        .clone()
+        .engine(EngineSpec::DensePar { threads: 4 })
+        .run_seeded(5);
+    assert_eq!(seq.consensus_round, par.consensus_round);
+    assert_eq!(seq.winner, par.winner);
+    assert_eq!(seq.final_disagreement, par.final_disagreement);
+    assert!(seq.consensus_round.is_some(), "{seq:?}");
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic over integer samples.
+fn ks_statistic(a: &[u64], b: &[u64]) -> f64 {
+    let mut xs: Vec<u64> = a.iter().chain(b).copied().collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let mut worst = 0.0f64;
+    for &x in &xs {
+        let fa = a.iter().filter(|&&v| v <= x).count() as f64 / a.len() as f64;
+        let fb = b.iter().filter(|&&v| v <= x).count() as f64 / b.len() as f64;
+        worst = worst.max((fa - fb).abs());
+    }
+    worst
+}
+
+/// (c) Adaptive vs pure dense: consensus-round distributions agree.
+///
+/// 256 seeded trials per engine on a TwoBins start. The trajectories
+/// diverge sample-wise at the handoff (different RNG stream), so the
+/// comparison is distributional: the two-sample KS statistic must stay
+/// below the α ≈ 0.001 critical value `1.95·√(2/256) ≈ 0.172` (slack to
+/// 0.18).
+#[test]
+fn adaptive_consensus_round_distribution_matches_dense() {
+    let n = 2048usize;
+    let trials = 256u64;
+    let base = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .max_rounds(2000);
+    let dense_spec = base.clone().engine(EngineSpec::DenseSeq);
+    let adaptive_spec = base.clone().engine(EngineSpec::Adaptive {
+        threads: 1,
+        handoff_support: 64,
+    });
+    let mut dense_rounds = Vec::with_capacity(trials as usize);
+    let mut adaptive_rounds = Vec::with_capacity(trials as usize);
+    for seed in 0..trials {
+        let d = dense_spec.run_seeded(seed);
+        let a = adaptive_spec.run_seeded(seed);
+        dense_rounds.push(d.consensus_round.expect("dense trial must converge"));
+        adaptive_rounds.push(a.consensus_round.expect("adaptive trial must converge"));
+        assert!(a.winner_valid);
+        assert_eq!(a.final_support, 1);
+        assert_eq!(a.final_disagreement, 0);
+    }
+    let ks = ks_statistic(&dense_rounds, &adaptive_rounds);
+    assert!(
+        ks < 0.18,
+        "KS distance {ks} between dense and adaptive consensus rounds"
+    );
+}
+
+/// The adaptive engine with a handoff threshold of 1 never hands off before
+/// consensus (support must *reach* 1 first) — it must still converge and
+/// agree with plain dense on every observable that is sample-exact.
+#[test]
+fn adaptive_with_tiny_threshold_behaves_like_dense() {
+    let n = 1024usize;
+    let base = SimSpec::new(n)
+        .init(InitialCondition::UniformRandom { m: 8 })
+        .max_rounds(4000);
+    let dense = base.clone().engine(EngineSpec::DenseSeq).run_seeded(3);
+    let adaptive = base
+        .clone()
+        .engine(EngineSpec::Adaptive {
+            threads: 1,
+            handoff_support: 1,
+        })
+        .run_seeded(3);
+    assert_eq!(dense.consensus_round, adaptive.consensus_round);
+    assert_eq!(dense.winner, adaptive.winner);
+}
+
+/// Non-median protocols must not hand off (the histogram law is the median
+/// rule's); the adaptive engine still runs them correctly, just densely.
+#[test]
+fn adaptive_voter_stays_dense_and_converges() {
+    let n = 1024usize;
+    let base = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .protocol(stabcon_core::protocol::ProtocolSpec::Voter)
+        .max_rounds(60_000);
+    let dense = base.clone().engine(EngineSpec::DenseSeq).run_seeded(11);
+    let adaptive = base
+        .clone()
+        .engine(EngineSpec::Adaptive {
+            threads: 1,
+            handoff_support: 64,
+        })
+        .run_seeded(11);
+    // No handoff possible → trajectories are bit-identical, not just equal
+    // in law.
+    assert_eq!(dense.consensus_round, adaptive.consensus_round);
+    assert_eq!(dense.winner, adaptive.winner);
+}

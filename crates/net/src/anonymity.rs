@@ -127,7 +127,10 @@ mod tests {
         let b = FeistelPerm::new(n, 2);
         let same = (0..n).filter(|&i| a.apply(i) == b.apply(i)).count();
         // Random permutations agree on ~1 point on average.
-        assert!(same < 20, "permutations too similar: {same} fixed agreements");
+        assert!(
+            same < 20,
+            "permutations too similar: {same} fixed agreements"
+        );
     }
 
     #[test]
@@ -143,8 +146,7 @@ mod tests {
         // The mean image of 0..n under a random permutation is (n-1)/2.
         let n = 10_000u64;
         let p = FeistelPerm::new(n, 7);
-        let sample_mean: f64 =
-            (0..200).map(|i| p.apply(i) as f64).sum::<f64>() / 200.0;
+        let sample_mean: f64 = (0..200).map(|i| p.apply(i) as f64).sum::<f64>() / 200.0;
         let expect = (n - 1) as f64 / 2.0;
         // se of mean of 200 uniform draws over [0,n): n/sqrt(12*200) ≈ 204.
         assert!(

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use stabcon_net::{
-    log_inbox_cap, run_round, FeistelPerm, KeepFirst, ProcessId, RandomDrop, RoundConfig,
-    StarveSet,
+    log_inbox_cap, run_round, FeistelPerm, KeepFirst, ProcessId, RandomDrop, RoundConfig, StarveSet,
 };
 use stabcon_util::rng::Xoshiro256pp;
 

@@ -20,6 +20,14 @@
 //! Determinism note: simulation results never depend on scheduling — the
 //! engines derive randomness from counter-based RNG coordinates, and the
 //! combinators here always reassemble outputs in input order.
+//!
+//! Thread-count note: [`default_threads`] caps at **16 workers** regardless
+//! of `available_parallelism`. The dense engine's round is a
+//! gather-then-write over the full state vector, so beyond roughly 16
+//! threads the workers saturate memory bandwidth rather than compute —
+//! extra threads only add channel/steal traffic and make sweep timings
+//! noisier. Pass an explicit thread count to the combinators to override
+//! the cap where a workload is known to be compute-bound.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

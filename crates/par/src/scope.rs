@@ -149,9 +149,7 @@ where
             .fold(identity.clone(), |acc, x| reduce(acc, map(x)));
     }
     let partials = par_map_indexed(threads, items, |_, x| map(x));
-    partials
-        .into_iter()
-        .fold(identity, reduce)
+    partials.into_iter().fold(identity, reduce)
 }
 
 #[cfg(test)]

@@ -34,7 +34,9 @@ pub fn chernoff_lower(mu: f64, delta: f64) -> f64 {
 /// `Pr[X ≥ (1+ε)·n/δ] ≤ exp(−ε²n / (2(1+ε)))`.
 pub fn chernoff_geometric_sum(n: u64, eps: f64) -> f64 {
     assert!(eps > 0.0);
-    (-(eps * eps) * n as f64 / (2.0 * (1.0 + eps))).exp().min(1.0)
+    (-(eps * eps) * n as f64 / (2.0 * (1.0 + eps)))
+        .exp()
+        .min(1.0)
 }
 
 /// Lemma 7 (exponential-tail sums): same exponent as Lemma 6, with the bound
@@ -131,10 +133,9 @@ mod tests {
             let thresh = ((1.0 + delta) * mu).ceil() as u64;
             let mut tail = 0.0;
             for k in thresh..=n {
-                tail += (ln_binomial_coeff(n, k)
-                    + k as f64 * p.ln()
-                    + (n - k) as f64 * (1.0 - p).ln())
-                .exp();
+                tail +=
+                    (ln_binomial_coeff(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln())
+                        .exp();
             }
             assert!(
                 tail <= chernoff_upper_tight(mu, delta) + 1e-12,
@@ -167,14 +168,8 @@ mod tests {
             let tail = 1.0 - normal_cdf(x);
             let lo = normal_tail_lower_bound(x);
             let hi = normal_tail_upper_bound(x);
-            assert!(
-                lo <= tail + 2e-7,
-                "x={x}: lower bound {lo} vs tail {tail}"
-            );
-            assert!(
-                tail <= hi + 2e-7,
-                "x={x}: tail {tail} vs upper bound {hi}"
-            );
+            assert!(lo <= tail + 2e-7, "x={x}: lower bound {lo} vs tail {tail}");
+            assert!(tail <= hi + 2e-7, "x={x}: tail {tail} vs upper bound {hi}");
         }
     }
 

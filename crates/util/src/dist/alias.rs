@@ -1,0 +1,248 @@
+//! Vose's alias method: O(m) build, O(1) categorical sampling.
+
+use rand::RngCore;
+
+use crate::rng::{gen_f64, gen_index};
+
+/// Preprocessed categorical distribution over `0..m`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the column's own index.
+    prob: Vec<f64>,
+    /// Fallback index taken on rejection.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let m = weights.len();
+        assert!(m > 0, "AliasTable: empty weights");
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "AliasTable: bad weight {w}");
+            total += w;
+        }
+        assert!(total > 0.0, "AliasTable: zero total weight");
+
+        let first_positive = weights
+            .iter()
+            .position(|&w| w > 0.0)
+            .expect("positive total implies positive entry");
+
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * m as f64 / total).collect();
+        let mut prob = vec![0.0f64; m];
+        let mut alias = vec![first_positive; m];
+        let mut small: Vec<usize> = Vec::with_capacity(m);
+        let mut large: Vec<usize> = Vec::with_capacity(m);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] += scaled[s] - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers hold (numerically) exactly unit mass — accept directly.
+        // A zero-weight entry can only be left over through floating-point
+        // residue; keep it unreachable rather than rounding it up.
+        for &i in large.iter().chain(small.iter()) {
+            prob[i] = if weights[i] > 0.0 { 1.0 } else { 0.0 };
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = gen_index(rng, self.prob.len() as u64) as usize;
+        if gen_f64(rng) < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Alias table packed for single-word sampling: one `u64` entry per
+/// category holding the 32-bit-quantized acceptance probability and the
+/// alias index, consumed by [`PackedAlias::sample_word`] with **one** random
+/// word (the high 32 bits pick the column, the low 32 bits decide
+/// acceptance — independent bits of one uniform word).
+///
+/// Quantization makes draws off by at most `2⁻³²` per category relative to
+/// the exact weights (the column pick adds another ≤ `m·2⁻³²`); the
+/// simulation engines accept this in exchange for halving the random words
+/// and the hash work on their hottest path.
+#[derive(Debug, Clone)]
+pub struct PackedAlias {
+    /// `(accept_u32 << 32) | alias_index`.
+    entries: Vec<u64>,
+}
+
+impl PackedAlias {
+    /// Build from non-negative weights (same contract as
+    /// [`AliasTable::new`]).
+    pub fn new(weights: &[f64]) -> Self {
+        let exact = AliasTable::new(weights);
+        let entries = exact
+            .prob
+            .iter()
+            .zip(&exact.alias)
+            .enumerate()
+            .map(|(i, (&p, &a))| {
+                // Full columns alias to themselves so the saturated
+                // acceptance test can never redirect them.
+                let (accept, alias) = if p >= 1.0 {
+                    (u32::MAX, i)
+                } else {
+                    ((p * 4294967296.0) as u32, a)
+                };
+                ((accept as u64) << 32) | alias as u64
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Draw one category from a single uniform 64-bit word.
+    #[inline(always)]
+    pub fn sample_word(&self, word: u64) -> usize {
+        let idx = (((word >> 32) * self.entries.len() as u64) >> 32) as usize;
+        let e = self.entries[idx];
+        if (word as u32 as u64) < (e >> 32) {
+            idx
+        } else {
+            (e & 0xFFFF_FFFF) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256pp::seed(1);
+        let trials = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / trials as f64;
+            let expect = w / 10.0;
+            assert!((freq - expect).abs() < 0.01, "cat {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let table = AliasTable::new(&[0.0, 5.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::seed(2);
+        for _ in 0..10_000 {
+            let idx = table.sample(&mut rng);
+            assert!(idx == 1 || idx == 3, "sampled zero-weight category {idx}");
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = Xoshiro256pp::seed(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let table = AliasTable::new(&[2.0; 64]);
+        let mut rng = Xoshiro256pp::seed(4);
+        let mut seen = [false; 64];
+        for _ in 0..20_000 {
+            seen[table.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some category never sampled");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_total() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn packed_frequencies_match_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = PackedAlias::new(&weights);
+        let mut rng = Xoshiro256pp::seed(8);
+        let trials = 200_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..trials {
+            counts[table.sample_word(rng.next_u64())] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / trials as f64;
+            let expect = w / 10.0;
+            assert!((freq - expect).abs() < 0.01, "cat {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn packed_zero_weight_never_sampled() {
+        let table = PackedAlias::new(&[0.0, 5.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::seed(9);
+        for _ in 0..20_000 {
+            let idx = table.sample_word(rng.next_u64());
+            assert!(idx == 1 || idx == 3, "sampled zero-weight category {idx}");
+        }
+    }
+
+    #[test]
+    fn packed_single_category() {
+        let table = PackedAlias::new(&[7.0]);
+        assert_eq!(table.len(), 1);
+        for w in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0000_0001] {
+            assert_eq!(table.sample_word(w), 0);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Random variates built on raw 64-bit generator outputs.
+//!
+//! * [`bernoulli`] / [`geometric`] — the elementary coin and its waiting
+//!   time;
+//! * [`Binomial`] — exact binomial sampling: inversion (BINV) for small
+//!   `n·p`, Hörmann's transformed rejection with squeeze (BTRS) for large;
+//! * [`multinomial`] / [`multinomial_into`] — conditional-binomial chain
+//!   with early exit on zero mass (the histogram engine's hot path);
+//! * [`AliasTable`] — Vose's alias method for O(1) categorical draws;
+//! * [`ln_factorial`] / [`ln_binomial_coeff`] / [`binomial_pmf`] /
+//!   [`binomial_cdf`] — log-space combinatorics for the acceptance tests and
+//!   the probability-bound comparisons in `bounds`.
+
+mod alias;
+mod binomial;
+mod multinomial;
+
+pub use alias::{AliasTable, PackedAlias};
+pub use binomial::{binomial_cdf, binomial_pmf, Binomial};
+pub use multinomial::{multinomial, multinomial_into};
+
+use rand::RngCore;
+
+use crate::rng::{gen_f64, gen_f64_open};
+
+/// `ln(n!)` — exact summation for small `n`, Stirling's series beyond.
+///
+/// Absolute error below `1e-10` over the full `u64` range.
+pub fn ln_factorial(n: u64) -> f64 {
+    const TABLE_SIZE: usize = 256;
+    // Exact cumulative sums of ln(k) for n < TABLE_SIZE.
+    static TABLE: std::sync::OnceLock<[f64; TABLE_SIZE]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0.0f64; TABLE_SIZE];
+        for k in 2..TABLE_SIZE {
+            t[k] = t[k - 1] + (k as f64).ln();
+        }
+        t
+    });
+    if (n as usize) < TABLE_SIZE {
+        return table[n as usize];
+    }
+    // Stirling's series: ln n! = n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³)
+    // + 1/(1260n⁵) − …; at n ≥ 256 the truncation error is ≪ 1e-12.
+    let x = n as f64;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + inv / 12.0 - inv * inv2 / 360.0
+        + inv * inv2 * inv2 / 1260.0
+}
+
+/// `ln C(n, k)`; `-inf` for `k > n`.
+pub fn ln_binomial_coeff(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// One biased coin flip: `true` with probability `p`.
+///
+/// # Panics
+/// Panics in debug builds if `p ∉ [0, 1]`.
+#[inline]
+pub fn bernoulli<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "bernoulli: p = {p}");
+    gen_f64(rng) < p
+}
+
+/// Number of failures before the first success of a `p`-coin
+/// (`P(X = k) = (1-p)^k p`), sampled by inversion.
+///
+/// # Panics
+/// Panics if `p ∉ (0, 1]`.
+pub fn geometric<R: RngCore + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric: p = {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = gen_f64_open(rng);
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(2) - 2.0f64.ln()).abs() < 1e-14);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800.0f64.ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn ln_factorial_continuous_at_table_boundary() {
+        // Stirling at 256 must agree with the recurrence from the table.
+        let from_table = ln_factorial(255) + 256.0f64.ln();
+        assert!((ln_factorial(256) - from_table).abs() < 1e-9);
+        let big = ln_factorial(1_000_000);
+        let big_next = ln_factorial(1_000_001);
+        assert!((big_next - big - 1_000_001.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_matches_pascal() {
+        // C(10, 3) = 120.
+        assert!((ln_binomial_coeff(10, 3) - 120.0f64.ln()).abs() < 1e-11);
+        assert_eq!(ln_binomial_coeff(5, 9), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial_coeff(7, 0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = Xoshiro256pp::seed(1);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut rng = Xoshiro256pp::seed(2);
+        let p = 0.25f64;
+        let trials = 50_000;
+        let total: u64 = (0..trials).map(|_| geometric(&mut rng, p)).sum();
+        let mean = total as f64 / trials as f64;
+        // E[X] = (1-p)/p = 3.
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(geometric(&mut rng, 1.0), 0);
+    }
+}

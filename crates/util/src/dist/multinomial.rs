@@ -1,0 +1,165 @@
+//! Multinomial sampling via the conditional-binomial chain.
+
+use rand::RngCore;
+
+use super::Binomial;
+
+/// Distribute `n` balls over `probs.len()` categories, writing counts into
+/// `out`. The draw walks the categories once, sampling each count from the
+/// conditional binomial given the balls and probability mass remaining —
+/// and **exits early** the moment either hits zero, which is what makes the
+/// histogram engine's near-consensus rounds cheap (one bin holds ~all mass,
+/// every other bin resolves without touching the sampler).
+///
+/// Probabilities need not be normalized; only their ratios matter.
+///
+/// # Panics
+/// Panics if `out.len() != probs.len()`, if `probs` is empty while `n > 0`,
+/// if any probability is negative/NaN, or if the total mass is zero while
+/// `n > 0`.
+pub fn multinomial_into<R: RngCore + ?Sized>(rng: &mut R, n: u64, probs: &[f64], out: &mut [u64]) {
+    assert_eq!(out.len(), probs.len(), "multinomial buffer size mismatch");
+    let mut rest: f64 = 0.0;
+    for &p in probs {
+        assert!(
+            p >= 0.0 && p.is_finite(),
+            "multinomial: bad probability {p}"
+        );
+        rest += p;
+    }
+    if n == 0 {
+        out.fill(0);
+        return;
+    }
+    assert!(rest > 0.0, "multinomial: zero total mass with n = {n}");
+
+    let mut remaining = n;
+    for (i, (&p, slot)) in probs.iter().zip(out.iter_mut()).enumerate() {
+        if remaining == 0 {
+            // Early exit: no balls left — zero the tail without sampling.
+            out[i..].fill(0);
+            return;
+        }
+        if p <= 0.0 {
+            // Early exit on zero mass: this category cannot receive balls.
+            *slot = 0;
+            continue;
+        }
+        if p >= rest {
+            // Last category with mass: everything left lands here.
+            *slot = remaining;
+            remaining = 0;
+            rest = 0.0;
+            continue;
+        }
+        let cond = (p / rest).clamp(0.0, 1.0);
+        let draw = Binomial::new(remaining, cond).sample(rng);
+        *slot = draw;
+        remaining -= draw;
+        rest -= p;
+    }
+    if remaining > 0 {
+        // Numerical corner: `rest` decayed to ~0 before the last massive
+        // category; conservation wins, residual balls join the last
+        // positive-mass bin.
+        let idx = probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("positive total mass implies a positive entry");
+        out[idx] += remaining;
+    }
+}
+
+/// Allocating variant of [`multinomial_into`].
+pub fn multinomial<R: RngCore + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    let mut out = vec![0u64; probs.len()];
+    if n == 0 {
+        return out;
+    }
+    multinomial_into(rng, n, probs, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn conserves_total() {
+        let mut rng = Xoshiro256pp::seed(1);
+        for &n in &[0u64, 1, 17, 1000, 1 << 40] {
+            let probs = [0.1, 0.0, 0.4, 0.25, 0.25];
+            let out = multinomial(&mut rng, n, &probs);
+            assert_eq!(out.iter().sum::<u64>(), n);
+            assert_eq!(out[1], 0, "zero-mass category must stay empty");
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_work() {
+        let mut rng = Xoshiro256pp::seed(2);
+        let out = multinomial(&mut rng, 10_000, &[2.0, 6.0]);
+        assert_eq!(out.iter().sum::<u64>(), 10_000);
+        // 1:3 ratio within sampling noise.
+        let frac = out[0] as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn single_category_takes_all() {
+        let mut rng = Xoshiro256pp::seed(3);
+        assert_eq!(multinomial(&mut rng, 55, &[3.7]), vec![55]);
+    }
+
+    #[test]
+    fn mass_concentrated_in_first_bin_exits_early() {
+        // With all mass up front, the tail is zeroed without sampling; the
+        // observable contract is exact conservation and empty tail.
+        let mut rng = Xoshiro256pp::seed(4);
+        let mut probs = vec![0.0; 100];
+        probs[0] = 1.0;
+        let out = multinomial(&mut rng, 1 << 30, &probs);
+        assert_eq!(out[0], 1 << 30);
+        assert!(out[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn marginals_are_binomial() {
+        let mut rng = Xoshiro256pp::seed(5);
+        let probs = [0.2, 0.3, 0.5];
+        let n = 600u64;
+        let trials = 20_000;
+        let mut sums = [0u64; 3];
+        for _ in 0..trials {
+            let out = multinomial(&mut rng, n, &probs);
+            for (s, &o) in sums.iter_mut().zip(&out) {
+                *s += o;
+            }
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let mean = sums[i] as f64 / trials as f64;
+            let expect = n as f64 * p;
+            let se = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 6.0 * se,
+                "category {i}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_balls_zero_everything() {
+        let mut rng = Xoshiro256pp::seed(6);
+        let mut out = vec![9u64; 4];
+        multinomial_into(&mut rng, 0, &[0.25; 4], &mut out);
+        assert_eq!(out, vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mass_with_balls_panics() {
+        let mut rng = Xoshiro256pp::seed(7);
+        multinomial(&mut rng, 5, &[0.0, 0.0]);
+    }
+}

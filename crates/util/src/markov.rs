@@ -194,10 +194,7 @@ mod tests {
         // bounded well below linear in m.
         assert!(times[1] > times[0]);
         assert!(times[2] > times[1]);
-        assert!(
-            times[2] < times[0] * 4.0,
-            "not logarithmic: {times:?}"
-        );
+        assert!(times[2] < times[0] * 4.0, "not logarithmic: {times:?}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod counter;
 mod splitmix;
 mod xoshiro;
 
-pub use counter::{hash3, mix64, CounterRng};
+pub use counter::{hash3, mix64, CounterKey, CounterRng, CounterStream, CounterStreamRng};
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256pp;
 

@@ -70,8 +70,7 @@ impl OlsFit {
     pub fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len() + 1, self.beta.len(), "predict: wrong arity");
         self.beta[0]
-            + self
-                .beta[1..]
+            + self.beta[1..]
                 .iter()
                 .zip(x)
                 .map(|(b, v)| b * v)
@@ -117,12 +116,7 @@ pub fn ols(rows: &[Vec<f64>], ys: &[f64]) -> OlsFit {
         .iter()
         .zip(ys)
         .map(|(row, &y)| {
-            let pred = beta[0]
-                + beta[1..]
-                    .iter()
-                    .zip(row)
-                    .map(|(b, v)| b * v)
-                    .sum::<f64>();
+            let pred = beta[0] + beta[1..].iter().zip(row).map(|(b, v)| b * v).sum::<f64>();
             (y - pred) * (y - pred)
         })
         .sum();

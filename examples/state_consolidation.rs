@@ -50,7 +50,10 @@ fn main() {
 
     println!("replicas                  : {n}");
     println!("byzantine budget per round: {byzantine}");
-    println!("inbox cap                 : 2·⌈log₂ n⌉ = {} answers/round", 2 * 12);
+    println!(
+        "inbox cap                 : 2·⌈log₂ n⌉ = {} answers/round",
+        2 * 12
+    );
     println!();
     for obs in result.trajectory.as_deref().unwrap_or(&[]) {
         println!(

@@ -19,7 +19,11 @@ fn sub_threshold_balancer_cannot_stop_stabilization() {
             hits += 1;
         }
     }
-    assert!(hits >= 8, "balancer below threshold stopped {}/10 runs", 10 - hits);
+    assert!(
+        hits >= 8,
+        "balancer below threshold stopped {}/10 runs",
+        10 - hits
+    );
 }
 
 #[test]

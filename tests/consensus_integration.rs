@@ -60,7 +60,12 @@ fn histogram_engine_matches_dense_statistically() {
                 .expect("dense converges") as f64,
         );
     }
-    let hist0 = Histogram::new(&[(0, (n / 4) as u64), (1, (n / 4) as u64), (2, (n / 4) as u64), (3, (n / 4) as u64)]);
+    let hist0 = Histogram::new(&[
+        (0, (n / 4) as u64),
+        (1, (n / 4) as u64),
+        (2, (n / 4) as u64),
+        (3, (n / 4) as u64),
+    ]);
     let hist_spec = HistSpec::new(hist0);
     let mut hist_times = Vec::new();
     for s in 0..trials {
@@ -98,10 +103,7 @@ fn worst_case_all_distinct_scales_logarithmically() {
     let growth_2 = means[2] - means[1];
     // 16× population growth: each 4× step should add a bounded number of
     // rounds (log-like), not scale the time by anything near 4×.
-    assert!(
-        means[2] < 2.0 * means[0],
-        "not logarithmic: {means:?}"
-    );
+    assert!(means[2] < 2.0 * means[0], "not logarithmic: {means:?}");
     assert!(
         growth_1.abs() < means[0] && growth_2.abs() < means[0],
         "per-doubling increments too large: {means:?}"

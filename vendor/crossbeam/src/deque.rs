@@ -1,0 +1,189 @@
+//! Work-stealing-shaped deques (mutex-based stand-in).
+//!
+//! Same API shape as `crossbeam-deque`: a global [`Injector`], per-worker
+//! [`Worker`] queues, and [`Stealer`] handles. The queues here are plain
+//! locked `VecDeque`s — correct and plenty fast for the coarse-grained jobs
+//! `stabcon-par` schedules.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A job was stolen.
+    Success(T),
+    /// The queue was empty.
+    Empty,
+    /// The attempt lost a race and should be retried (never produced by this
+    /// stand-in, but part of the API shape callers match on).
+    Retry,
+}
+
+/// Global FIFO injector queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a job.
+    pub fn push(&self, job: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+
+    /// Move a batch of jobs into `dest`'s local queue and pop one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(first) = queue.pop_front() else {
+            return Steal::Empty;
+        };
+        // Take up to half the remaining jobs (mirrors crossbeam's batching).
+        let batch = queue.len() / 2;
+        if batch > 0 {
+            let mut local = dest.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(job) => local.push_back(job),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+/// A worker's local FIFO queue.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create an empty FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push a job onto the local queue.
+    pub fn push(&self, job: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
+    }
+
+    /// Pop the next local job.
+    pub fn pop(&self) -> Option<T> {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// A stealer handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// Handle for stealing from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one job from the victim's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(job) => Steal::Success(job),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_pop_moves_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(first) => assert_eq!(first, 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Some of the remainder moved to the local queue.
+        assert!(w.pop().is_some());
+    }
+
+    #[test]
+    fn stealer_takes_from_worker() {
+        let w = Worker::new_fifo();
+        w.push(7);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(7));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn empty_injector_reports_empty() {
+        let inj: Injector<u8> = Injector::new();
+        let w = Worker::new_fifo();
+        assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Empty));
+        assert!(inj.is_empty());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the subset of crossbeam's API used by `stabcon-par`, built on
+//! `std::sync` primitives: work-stealing-shaped deques ([`deque`]), an
+//! unbounded MPMC channel ([`channel`]), and scoped threads ([`thread`]).
+//! The implementations favour simplicity over lock-free performance — the
+//! workspace only pushes coarse chunks of work through them, so contention
+//! is negligible compared to the per-chunk compute.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod deque;
+pub mod thread;

@@ -1,0 +1,72 @@
+//! Scoped threads with crossbeam's closure signature, over `std::thread`.
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`] and to each spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope (crossbeam's
+    /// signature) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// A panic in an unjoined spawned thread propagates as a panic here (std
+/// semantics), so the `Err` variant — kept for crossbeam API compatibility —
+/// is never actually produced.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_see_borrowed_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move |_| {
+                    let partial: u64 = chunk.iter().sum();
+                    sum.fetch_add(partial as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            let counter = &counter;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

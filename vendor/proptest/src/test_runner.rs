@@ -1,0 +1,175 @@
+//! Deterministic case runner and configuration.
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a property body did not complete successfully.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed; the message includes location and inputs.
+    Fail(String),
+    /// A `prop_assume!` precondition was not met; the case is skipped.
+    Reject,
+}
+
+/// Outcome of one generated case, as reported by the macro expansion.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// Case passed.
+    Pass,
+    /// Case was skipped by `prop_assume!`.
+    Reject,
+    /// Case failed with the given message.
+    Fail(String),
+}
+
+/// The RNG handed to strategies: SplitMix64 (deterministic per test name, so
+/// failures are reproducible run to run).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, n)` (Lemire multiply-shift with rejection).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` random cases of `case`, panicking on the first
+/// failure. Rejected cases (via `prop_assume!`) don't count toward the case
+/// budget, up to a global cap to avoid livelock on impossible assumptions.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> CaseResult,
+{
+    let mut rng = TestRng::new(name_seed(name));
+    let max_rejects = (config.cases as u64) * 16 + 256;
+    let mut rejects = 0u64;
+    let mut executed = 0u32;
+    let mut case_index = 0u64;
+    while executed < config.cases {
+        // Each case draws from its own subsequence so a strategy consuming a
+        // variable number of words cannot desynchronize later cases.
+        let mut case_rng = TestRng::new(rng.next_u64() ^ case_index.wrapping_mul(0x9E37_79B9));
+        case_index += 1;
+        match case(&mut case_rng) {
+            CaseResult::Pass => executed += 1,
+            CaseResult::Reject => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "proptest '{name}': too many prop_assume! rejections ({rejects})"
+                );
+            }
+            CaseResult::Fail(msg) => {
+                panic!("proptest '{name}' failed at case {case_index}: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::new(1);
+        for n in [1u64, 2, 7, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::new(name_seed("foo"));
+        let mut b = TestRng::new(name_seed("foo"));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            CaseResult::Fail("nope".into())
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_consume_cases() {
+        let mut executed = 0;
+        let mut toggles = 0u32;
+        run_cases(&ProptestConfig::with_cases(8), "half_reject", |_| {
+            toggles += 1;
+            if toggles.is_multiple_of(2) {
+                CaseResult::Reject
+            } else {
+                executed += 1;
+                CaseResult::Pass
+            }
+        });
+        assert_eq!(executed, 8);
+    }
+}
