@@ -13,28 +13,17 @@ use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::{run_cell, CellSpec, ExtraMetric, HitMetric, DEFAULT_CHUNK};
+use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_sig, Table};
 
-use crate::experiment::run_trials;
-
-/// The last observed round with more than one value present, per trial
-/// (requires trajectories). `None` if the run never had support > 1 after
-/// round 0 — not expected here.
-fn last_unsettled_round(spec: &SimSpec, trials: u64, seed: u64, threads: usize) -> Vec<u64> {
-    let results = run_trials(spec, trials, seed, threads);
-    results
-        .iter()
-        .map(|r| {
-            r.trajectory
-                .as_ref()
-                .expect("trajectory recording required")
-                .iter()
-                .filter(|obs| obs.support > 1)
-                .map(|obs| obs.round)
-                .max()
-                .unwrap_or(0)
-        })
-        .collect()
+/// Mean over trials of the last observed round with more than one value
+/// present (requires trajectories; 0 if a run never had support > 1 after
+/// round 0 — not expected here). Streamed through a campaign cell: the
+/// scalar is extracted worker-side and the trajectories never accumulate.
+fn mean_last_unsettled_round(pool: &ThreadPool, spec: &SimSpec, trials: u64, seed: u64) -> f64 {
+    let cell = CellSpec::new(spec.clone(), trials, seed).extra(ExtraMetric::LastUnsettledRound);
+    run_cell(pool, &cell, DEFAULT_CHUNK).extra().mean()
 }
 
 /// E6: median vs minimum rule under the hide-and-revive adversary.
@@ -56,6 +45,7 @@ pub fn min_rule_table(n: usize, delays: &[u64], trials: u64, seed: u64, threads:
             "min tracks d?",
         ],
     );
+    let pool = ThreadPool::new(threads);
     let horizon_slack = 40 * (n.max(2) as f64).log2().ceil() as u64;
     for &d in delays {
         // Initial state from the paper's story: at most T processes hold the
@@ -72,13 +62,10 @@ pub fn min_rule_table(n: usize, delays: &[u64], trials: u64, seed: u64, threads:
                 .full_horizon(true)
                 .record_trajectory(true)
         };
-        let median_last =
-            last_unsettled_round(&base(ProtocolSpec::Median), trials, seed ^ d, threads);
-        let min_last =
-            last_unsettled_round(&base(ProtocolSpec::Min), trials, seed ^ (d << 8), threads);
-        let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64;
-        let median_mean = mean(&median_last);
-        let min_mean = mean(&min_last);
+        let median_mean =
+            mean_last_unsettled_round(&pool, &base(ProtocolSpec::Median), trials, seed ^ d);
+        let min_mean =
+            mean_last_unsettled_round(&pool, &base(ProtocolSpec::Min), trials, seed ^ (d << 8));
         table.push_row(vec![
             d.to_string(),
             fmt_sig(median_mean),
@@ -111,25 +98,25 @@ pub fn mean_rule_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tabl
             "winner in {0,K}?",
         ],
     );
+    let pool = ThreadPool::new(threads);
     for p in [ProtocolSpec::Median, ProtocolSpec::Mean] {
         let spec = SimSpec::new(n)
             .init(InitialCondition::Custom(Arc::clone(&init)))
             .protocol(p)
             .max_rounds(4000);
-        let results = run_trials(&spec, trials, seed ^ p.label().len() as u64, threads);
-        let converged = results
+        let cell = CellSpec::new(spec, trials, seed ^ p.label().len() as u64);
+        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let converged = agg.hits(HitMetric::Consensus).count();
+        let all_endpoint = agg
+            .winners()
+            .pairs()
             .iter()
-            .filter(|r| r.consensus_round.is_some())
-            .count();
-        let valid = results.iter().filter(|r| r.winner_valid).count();
-        let mean_winner: f64 =
-            results.iter().map(|r| r.winner as f64).sum::<f64>() / results.len() as f64;
-        let all_endpoint = results.iter().all(|r| r.winner == 0 || r.winner == K);
+            .all(|&(v, _)| v == 0 || v == K as u64);
         table.push_row(vec![
             p.label(),
-            format!("{:.0}", converged as f64 / results.len() as f64 * 100.0),
-            format!("{:.0}", valid as f64 / results.len() as f64 * 100.0),
-            fmt_sig(mean_winner),
+            format!("{:.0}", converged as f64 / agg.trials() as f64 * 100.0),
+            format!("{:.0}", agg.validity_rate() * 100.0),
+            fmt_sig(agg.winners().mean()),
             if all_endpoint {
                 "yes".into()
             } else {

@@ -1,96 +1,25 @@
 //! Parallel trial sweeps and convergence statistics.
+//!
+//! The metric/summary types moved to `stabcon-exp` (the campaign subsystem
+//! owns sweep execution now) and are re-exported here unchanged;
+//! [`run_trials`] remains for drivers that genuinely need the materialized
+//! `Vec<RunResult>` (trajectory inspection, drift measurements). Grid-style
+//! table drivers should go through `stabcon_exp::sweep_stats` /
+//! `stabcon_exp::run_cell` instead, which stream per-cell aggregates and
+//! never materialize the batch.
 
 use stabcon_core::runner::{RunResult, SimSpec};
 use stabcon_util::rng::derive_seed;
-use stabcon_util::stats::Quantiles;
 
-/// Which hitting time a sweep aggregates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HitMetric {
-    /// First round with full consensus (support 1) — the no-adversary
-    /// "stable consensus" metric.
-    Consensus,
-    /// Start of the sustained almost-stable window — the adversarial
-    /// metric (falls back to consensus when it was recorded first).
-    AlmostStable,
-}
-
-impl HitMetric {
-    /// Extract the metric from one run.
-    pub fn of(&self, r: &RunResult) -> Option<u64> {
-        match self {
-            HitMetric::Consensus => r.consensus_round,
-            HitMetric::AlmostStable => r.almost_stable_round.or(r.consensus_round),
-        }
-    }
-}
+pub use stabcon_exp::metrics::{ConvergenceStats, HitMetric};
 
 /// Run `trials` independent trials of `spec` in parallel; trial `i` uses
 /// seed `derive_seed(master_seed, i)`, so results are reproducible and
-/// thread-count independent.
+/// thread-count independent (the same derivation the campaign scheduler
+/// uses — a materialized sweep and a campaign cell see identical trials).
 pub fn run_trials(spec: &SimSpec, trials: u64, master_seed: u64, threads: usize) -> Vec<RunResult> {
     let seeds: Vec<u64> = (0..trials).map(|i| derive_seed(master_seed, i)).collect();
     stabcon_par::par_map(threads, &seeds, |&s| spec.run_seeded(s))
-}
-
-/// Aggregated convergence behaviour of a batch of trials.
-#[derive(Debug, Clone)]
-pub struct ConvergenceStats {
-    /// Total trials.
-    pub trials: u64,
-    /// Trials that hit the metric within the round budget.
-    pub hits: u64,
-    /// Trials that exhausted `max_rounds` without hitting.
-    pub timeouts: u64,
-    /// Quantiles of the hitting time over successful trials (`None` when
-    /// no trial hit).
-    pub rounds: Option<Quantiles>,
-    /// Fraction of trials whose winner was an initial value.
-    pub validity_rate: f64,
-}
-
-impl ConvergenceStats {
-    /// Aggregate a batch under the chosen metric.
-    pub fn from_results(results: &[RunResult], metric: HitMetric) -> Self {
-        let trials = results.len() as u64;
-        let hit_times: Vec<f64> = results
-            .iter()
-            .filter_map(|r| metric.of(r))
-            .map(|t| t as f64)
-            .collect();
-        let hits = hit_times.len() as u64;
-        let valid = results.iter().filter(|r| r.winner_valid).count();
-        Self {
-            trials,
-            hits,
-            timeouts: trials - hits,
-            rounds: (!hit_times.is_empty()).then(|| Quantiles::from(&hit_times)),
-            validity_rate: if trials == 0 {
-                0.0
-            } else {
-                valid as f64 / trials as f64
-            },
-        }
-    }
-
-    /// Mean hitting time (`NaN` if nothing hit — callers print "—").
-    pub fn mean(&self) -> f64 {
-        self.rounds.as_ref().map(|q| q.mean).unwrap_or(f64::NAN)
-    }
-
-    /// 95th percentile hitting time.
-    pub fn p95(&self) -> f64 {
-        self.rounds.as_ref().map(|q| q.p95).unwrap_or(f64::NAN)
-    }
-
-    /// Fraction of trials that hit.
-    pub fn hit_rate(&self) -> f64 {
-        if self.trials == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.trials as f64
-        }
-    }
 }
 
 /// Format a possibly-NaN cell.
@@ -130,6 +59,20 @@ mod tests {
         let q = stats.rounds.expect("hits recorded");
         assert!(q.mean > 0.0 && q.mean < 200.0);
         assert!(q.p95 >= q.p50);
+    }
+
+    #[test]
+    fn materialized_sweep_equals_campaign_cell() {
+        // The invariant the figure1/baselines ports rely on: run_trials +
+        // from_results is numerically identical to the streaming cell path.
+        let spec = SimSpec::new(256).init(InitialCondition::UniformRandom { m: 4 });
+        let results = run_trials(&spec, 10, 33, 2);
+        let materialized = ConvergenceStats::from_results(&results, HitMetric::Consensus);
+        let pool = stabcon_par::ThreadPool::new(2);
+        let streamed = stabcon_exp::sweep_stats(&pool, &spec, 10, 33, HitMetric::Consensus);
+        assert_eq!(materialized.rounds, streamed.rounds);
+        assert_eq!(materialized.hits, streamed.hits);
+        assert!(materialized.validity_rate == streamed.validity_rate);
     }
 
     #[test]

@@ -11,10 +11,14 @@
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::sweep_stats;
+use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_sig, Table};
 
-use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use crate::experiment::{cell, HitMetric};
 use crate::scaling::{describe_line, fit_log_m, fit_log_n};
+
+pub use stabcon_exp::campaign::sqrt_budget;
 
 /// Sweep parameters shared by the Figure 1 experiments.
 #[derive(Debug, Clone)]
@@ -29,15 +33,24 @@ pub struct SweepCfg {
     pub threads: usize,
 }
 
-impl SweepCfg {
-    /// A compact configuration for tests and smoke runs.
-    pub fn small() -> Self {
+impl Default for SweepCfg {
+    /// The compact test/smoke configuration (also [`SweepCfg::small`]);
+    /// `threads` defaults to [`stabcon_par::default_threads`] so callers
+    /// override only the axes they care about.
+    fn default() -> Self {
         Self {
             ns: vec![256, 512, 1024],
             trials: 12,
             seed: 0xF161,
             threads: stabcon_par::default_threads(),
         }
+    }
+}
+
+impl SweepCfg {
+    /// A compact configuration for tests and smoke runs.
+    pub fn small() -> Self {
+        Self::default()
     }
 
     /// The paper-scale configuration used by the benches.
@@ -54,22 +67,9 @@ impl SweepCfg {
             ],
             trials: 100,
             seed: 0xF162,
-            threads: stabcon_par::default_threads(),
+            ..Self::default()
         }
     }
-}
-
-/// The canonical "√n-bounded" budget used across the harness: `⌊√n/4⌋`.
-///
-/// Calibration note: the paper's threshold is Θ̃(√n). Our *exact* balancing
-/// adversary (which zeroes the two-bin gap every round) already stalls the
-/// median rule at `T = √n` for laptop-scale `n`; at `T = √n/2` runs escape
-/// but with heavy-tailed escape times; at `T = √n/4` convergence is cleanly
-/// `O(log n)` — i.e. the measured crossover constant for the strongest
-/// balancer lies between 0.25 and 1. E5 (`threshold_table`) sweeps the
-/// exponent explicitly to locate the collapse.
-pub fn sqrt_budget(n: usize) -> u64 {
-    (((n as f64).sqrt() / 4.0).floor() as u64).max(1)
 }
 
 /// E1 — Figure 1 row 1 / Theorem 10: two bins, worst-case split, with and
@@ -88,23 +88,25 @@ pub fn two_bins_table(cfg: &SweepCfg) -> Table {
             "adv hit%",
         ],
     );
+    let pool = ThreadPool::new(cfg.threads);
     let mut means_no = Vec::new();
     let mut means_adv = Vec::new();
     for &n in &cfg.ns {
         let base = SimSpec::new(n).init(InitialCondition::TwoBins { left: n / 2 });
-        let no_adv = ConvergenceStats::from_results(
-            &run_trials(&base, cfg.trials, cfg.seed ^ n as u64, cfg.threads),
+        let no_adv = sweep_stats(
+            &pool,
+            &base,
+            cfg.trials,
+            cfg.seed ^ n as u64,
             HitMetric::Consensus,
         );
         let t = sqrt_budget(n);
         let adv_spec = base.clone().adversary(AdversarySpec::Balancer, t);
-        let adv = ConvergenceStats::from_results(
-            &run_trials(
-                &adv_spec,
-                cfg.trials,
-                cfg.seed ^ (n as u64) << 1,
-                cfg.threads,
-            ),
+        let adv = sweep_stats(
+            &pool,
+            &adv_spec,
+            cfg.trials,
+            cfg.seed ^ (n as u64) << 1,
             HitMetric::AlmostStable,
         );
         means_no.push((n as f64, no_adv.mean()));
@@ -140,31 +142,31 @@ pub fn m_bins_table(cfg: &SweepCfg) -> Table {
             "push-adv hit%",
         ],
     );
+    let pool = ThreadPool::new(cfg.threads);
     let mut means_no = Vec::new();
     let mut means_push = Vec::new();
     for &n in &cfg.ns {
         let base = SimSpec::new(n).init(InitialCondition::AllDistinct);
-        let no_adv = ConvergenceStats::from_results(
-            &run_trials(&base, cfg.trials, cfg.seed ^ n as u64, cfg.threads),
+        let no_adv = sweep_stats(
+            &pool,
+            &base,
+            cfg.trials,
+            cfg.seed ^ n as u64,
             HitMetric::Consensus,
         );
         let t = sqrt_budget(n);
-        let rand_adv = ConvergenceStats::from_results(
-            &run_trials(
-                &base.clone().adversary(AdversarySpec::Random, t),
-                cfg.trials,
-                cfg.seed ^ (n as u64) << 1,
-                cfg.threads,
-            ),
+        let rand_adv = sweep_stats(
+            &pool,
+            &base.clone().adversary(AdversarySpec::Random, t),
+            cfg.trials,
+            cfg.seed ^ (n as u64) << 1,
             HitMetric::AlmostStable,
         );
-        let push_adv = ConvergenceStats::from_results(
-            &run_trials(
-                &base.clone().adversary(AdversarySpec::MedianPusher, t),
-                cfg.trials,
-                cfg.seed ^ (n as u64) << 2,
-                cfg.threads,
-            ),
+        let push_adv = sweep_stats(
+            &pool,
+            &base.clone().adversary(AdversarySpec::MedianPusher, t),
+            cfg.trials,
+            cfg.seed ^ (n as u64) << 2,
             HitMetric::AlmostStable,
         );
         means_no.push((n as f64, no_adv.mean()));
@@ -200,22 +202,18 @@ pub fn average_case_table(n: usize, ms: &[u32], trials: u64, seed: u64, threads:
             "adv hit%",
         ],
     );
+    let pool = ThreadPool::new(threads);
     let t = sqrt_budget(n);
     let mut odd_pts = Vec::new();
     let mut even_pts = Vec::new();
     for &m in ms {
         let base = SimSpec::new(n).init(InitialCondition::UniformRandom { m });
-        let no_adv = ConvergenceStats::from_results(
-            &run_trials(&base, trials, seed ^ m as u64, threads),
-            HitMetric::Consensus,
-        );
-        let adv = ConvergenceStats::from_results(
-            &run_trials(
-                &base.clone().adversary(AdversarySpec::Random, t),
-                trials,
-                seed ^ ((m as u64) << 13),
-                threads,
-            ),
+        let no_adv = sweep_stats(&pool, &base, trials, seed ^ m as u64, HitMetric::Consensus);
+        let adv = sweep_stats(
+            &pool,
+            &base.clone().adversary(AdversarySpec::Random, t),
+            trials,
+            seed ^ ((m as u64) << 13),
             HitMetric::AlmostStable,
         );
         let parity = if m % 2 == 0 { "even" } else { "odd" };
@@ -283,7 +281,7 @@ mod tests {
             ns: vec![128, 256],
             trials: 5,
             seed: 1,
-            threads: 2,
+            ..Default::default()
         };
         let t = two_bins_table(&cfg);
         assert_eq!(t.len(), 2);
@@ -298,10 +296,52 @@ mod tests {
             ns: vec![128, 256],
             trials: 4,
             seed: 2,
-            threads: 2,
+            ..Default::default()
         };
         let t = m_bins_table(&cfg);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        // Acceptance criterion: routing the figure1 driver through
+        // stabcon-exp leaves the numbers identical to the pre-campaign
+        // materialized `run_trials` path.
+        use crate::experiment::{run_trials, ConvergenceStats};
+        let cfg = SweepCfg {
+            ns: vec![128, 256],
+            trials: 5,
+            seed: 77,
+            ..Default::default()
+        };
+        let text = two_bins_table(&cfg).to_text();
+        for &n in &cfg.ns {
+            let base = SimSpec::new(n).init(InitialCondition::TwoBins { left: n / 2 });
+            let legacy = ConvergenceStats::from_results(
+                &run_trials(&base, cfg.trials, cfg.seed ^ n as u64, 2),
+                HitMetric::Consensus,
+            );
+            assert!(
+                text.contains(&cell(legacy.mean())),
+                "n={n}: legacy no-adv mean {} missing from\n{text}",
+                cell(legacy.mean())
+            );
+            let t = sqrt_budget(n);
+            let legacy_adv = ConvergenceStats::from_results(
+                &run_trials(
+                    &base.clone().adversary(AdversarySpec::Balancer, t),
+                    cfg.trials,
+                    cfg.seed ^ (n as u64) << 1,
+                    2,
+                ),
+                HitMetric::AlmostStable,
+            );
+            assert!(
+                text.contains(&cell(legacy_adv.mean())),
+                "n={n}: legacy adv mean {} missing from\n{text}",
+                cell(legacy_adv.mean())
+            );
+        }
     }
 
     #[test]

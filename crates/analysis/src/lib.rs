@@ -6,7 +6,10 @@
 //!
 //! * [`experiment`] — parallel trial sweeps over [`stabcon_core::runner::SimSpec`]
 //!   with derived per-trial seeds, and convergence statistics (mean/p50/p95/
-//!   p99/max hitting times, timeout and validity rates);
+//!   p99/max hitting times, timeout and validity rates; the stat types live
+//!   in `stabcon-exp` and are re-exported here). The `figure1` and
+//!   `baselines` drivers execute through the `stabcon-exp` campaign
+//!   scheduler (streamed aggregates, no materialized result vectors);
 //! * [`scaling`] — the paper's predictors as regression models: `log n`,
 //!   `log log n`, `log m · log log n + log n` (Theorem 20) and
 //!   `log m + log log n` (Theorem 21);

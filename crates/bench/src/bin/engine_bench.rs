@@ -1,15 +1,15 @@
 //! `BENCH_engine.json` emitter: engine round throughput over time.
 //!
 //! Records rounds/sec for dense-seq (monomorphized and `dyn`-dispatched),
-//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, plus the end-to-end
-//! wall time of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs
-//! `Adaptive`, so successive PRs have a perf trajectory to compare against.
+//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, the end-to-end wall
+//! time of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
+//! and full-trial throughput through the `stabcon-exp` campaign scheduler,
+//! so successive PRs have a perf trajectory to compare against.
 //!
 //! Usage: `cargo run --release --bin engine_bench [-- out.json]`
 //! (default output: `BENCH_engine.json` in the current directory). Scale
 //! measurement time with `STABCON_BENCH_SCALE` like the bench targets.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use stabcon_core::engine::{dense, hist, EngineSpec};
@@ -18,6 +18,8 @@ use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::{MedianRule, Protocol};
 use stabcon_core::runner::SimSpec;
 use stabcon_core::value::Value;
+use stabcon_exp::{run_cell, CellSpec};
+use stabcon_util::jsonl::{JsonArr, JsonObj};
 use stabcon_util::rng::Xoshiro256pp;
 
 /// Measure `step` repeatedly for roughly `budget`, returning rounds/sec.
@@ -259,59 +261,71 @@ fn main() {
         .run_seeded(1);
     let adaptive_secs = t1.elapsed().as_secs_f64();
 
+    // Campaign-path throughput: full trials/sec through the stabcon-exp
+    // scheduler (sharded chunks on the shared pool, streaming aggregation)
+    // at n = 10⁴ — the number that bounds how fast a results-table grid
+    // can be reproduced.
+    let pool = stabcon_par::ThreadPool::new(threads);
+    let sim = SimSpec::new(10_000).init(InitialCondition::UniformRandom { m: 8 });
+    let batch = 64u64;
+    let mut campaign_trials = 0u64;
+    let mut batch_seed = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget || campaign_trials < batch {
+        batch_seed += 1;
+        let cell = CellSpec::new(sim.clone(), batch, batch_seed);
+        campaign_trials += run_cell(&pool, &cell, 8).trials();
+    }
+    let campaign_tps = campaign_trials as f64 / start.elapsed().as_secs_f64();
+
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"stabcon-engine-bench/1\",");
-    let _ = writeln!(json, "  \"timestamp_unix\": {timestamp},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
-    let _ = writeln!(json, "  \"support\": {support},");
-    json.push_str("  \"rounds_per_sec\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"engine\": \"{}\", \"n\": {}, \"rounds_per_sec\": {:.2}}}{}",
-            r.engine,
-            r.n,
-            r.rounds_per_sec,
-            if i + 1 < records.len() { "," } else { "" }
+    let mut rps = JsonArr::new();
+    for r in &records {
+        rps.push_raw(
+            &JsonObj::new()
+                .str_field("engine", r.engine)
+                .u64_field("n", r.n)
+                .fixed_field("rounds_per_sec", r.rounds_per_sec, 2)
+                .finish(),
         );
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"mono_over_dyn_speedup\": [\n");
-    for (i, (n, ratio)) in dyn_per_mono_ratio.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"n\": {n}, \"speedup\": {ratio:.3}}}{}",
-            if i + 1 < dyn_per_mono_ratio.len() {
-                ","
-            } else {
-                ""
-            }
+    let mut speedups = JsonArr::new();
+    for &(n, ratio) in &dyn_per_mono_ratio {
+        speedups.push_raw(
+            &JsonObj::new()
+                .u64_field("n", n)
+                .fixed_field("speedup", ratio, 3)
+                .finish(),
         );
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"two_bins_1e6_end_to_end\": {\n");
-    let _ = writeln!(
-        json,
-        "    \"dense_seq_secs\": {dense_secs:.4}, \"dense_seq_rounds\": {},",
-        dense_result.rounds_executed
-    );
-    let _ = writeln!(
-        json,
-        "    \"adaptive_secs\": {adaptive_secs:.4}, \"adaptive_rounds\": {},",
-        adaptive_result.rounds_executed
-    );
-    let _ = writeln!(
-        json,
-        "    \"adaptive_speedup\": {:.2}",
-        dense_secs / adaptive_secs.max(1e-12)
-    );
-    json.push_str("  }\n}\n");
+    let end_to_end = JsonObj::new()
+        .fixed_field("dense_seq_secs", dense_secs, 4)
+        .u64_field("dense_seq_rounds", dense_result.rounds_executed)
+        .fixed_field("adaptive_secs", adaptive_secs, 4)
+        .u64_field("adaptive_rounds", adaptive_result.rounds_executed)
+        .fixed_field("adaptive_speedup", dense_secs / adaptive_secs.max(1e-12), 2)
+        .finish();
+    let campaign = JsonObj::new()
+        .u64_field("n", 10_000)
+        .u64_field("trials", campaign_trials)
+        .u64_field("threads", threads as u64)
+        .fixed_field("trials_per_sec", campaign_tps, 2)
+        .finish();
+    let mut json = JsonObj::new()
+        .str_field("schema", "stabcon-engine-bench/1")
+        .u64_field("timestamp_unix", timestamp)
+        .u64_field("threads", threads as u64)
+        .u64_field("support", support as u64)
+        .raw_field("rounds_per_sec", &rps.finish())
+        .raw_field("mono_over_dyn_speedup", &speedups.finish())
+        .raw_field("two_bins_1e6_end_to_end", &end_to_end)
+        .raw_field("campaign", &campaign)
+        .finish();
+    json.push('\n');
 
     std::fs::write(&out_path, &json).expect("writing BENCH_engine.json");
     print!("{json}");

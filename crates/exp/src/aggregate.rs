@@ -1,0 +1,227 @@
+//! Streaming per-cell aggregation.
+//!
+//! A campaign cell may run millions of trials; materializing a
+//! `Vec<RunResult>` per cell (the pre-campaign pattern) costs memory
+//! proportional to the trial count and loses everything on interruption.
+//! Instead each trial is reduced to a tiny [`TrialMetrics`] the moment it
+//! finishes, and folded — **in trial order** — into a [`CellAggregate`]
+//! built on exact [`SparseCounts`] sketches. Because the sketches are
+//! lossless for integer samples and the fold order is the global trial
+//! order, the aggregate is bit-identical to the materialized computation
+//! for any thread count and any chunking.
+
+use stabcon_core::runner::RunResult;
+use stabcon_core::value::Value;
+use stabcon_util::stats::SparseCounts;
+
+use crate::metrics::{ConvergenceStats, HitMetric};
+
+/// An optional extra per-trial scalar, extracted worker-side (it may need
+/// the trajectory, which is dropped with the `RunResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtraMetric {
+    /// No extra metric.
+    #[default]
+    None,
+    /// The last round in which more than one value was present (requires
+    /// trajectory recording; the minimum-rule counterexample's metric).
+    LastUnsettledRound,
+}
+
+/// Everything the aggregator keeps from one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialMetrics {
+    /// First full-consensus round, if reached.
+    pub consensus: Option<u64>,
+    /// Almost-stable round with consensus fallback (the
+    /// [`HitMetric::AlmostStable`] value).
+    pub almost: Option<u64>,
+    /// The winning value.
+    pub winner: Value,
+    /// Whether the winner was an initial value.
+    pub winner_valid: bool,
+    /// Protocol rounds executed.
+    pub rounds_executed: u64,
+    /// The extra scalar, when an [`ExtraMetric`] was requested.
+    pub extra: Option<u64>,
+}
+
+impl TrialMetrics {
+    /// Reduce one run result, computing the extra metric if requested.
+    ///
+    /// # Panics
+    /// Panics if `extra` is [`ExtraMetric::LastUnsettledRound`] and the run
+    /// did not record a trajectory.
+    pub fn capture(r: &RunResult, extra: ExtraMetric) -> Self {
+        let extra = match extra {
+            ExtraMetric::None => None,
+            ExtraMetric::LastUnsettledRound => Some(
+                r.trajectory
+                    .as_ref()
+                    .expect("trajectory recording required")
+                    .iter()
+                    .filter(|obs| obs.support > 1)
+                    .map(|obs| obs.round)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        };
+        Self {
+            consensus: r.consensus_round,
+            almost: r.almost_stable_round.or(r.consensus_round),
+            winner: r.winner,
+            winner_valid: r.winner_valid,
+            rounds_executed: r.rounds_executed,
+            extra,
+        }
+    }
+}
+
+/// Streaming aggregate of one campaign cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellAggregate {
+    trials: u64,
+    valid: u64,
+    rounds_total: u64,
+    consensus: SparseCounts,
+    almost: SparseCounts,
+    winners: SparseCounts,
+    extra: SparseCounts,
+}
+
+impl CellAggregate {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one trial in. **Call in global trial order** — the scheduler
+    /// guarantees this; it is what makes aggregates reproducible across
+    /// thread counts.
+    pub fn push(&mut self, m: &TrialMetrics) {
+        self.trials += 1;
+        self.valid += m.winner_valid as u64;
+        self.rounds_total += m.rounds_executed;
+        if let Some(r) = m.consensus {
+            self.consensus.push(r);
+        }
+        if let Some(r) = m.almost {
+            self.almost.push(r);
+        }
+        self.winners.push(m.winner as u64);
+        if let Some(x) = m.extra {
+            self.extra.push(x);
+        }
+    }
+
+    /// Trials folded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Trials whose winner was an initial value.
+    pub fn valid(&self) -> u64 {
+        self.valid
+    }
+
+    /// Fraction of trials with a valid winner (0 when empty).
+    pub fn validity_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.valid as f64 / self.trials as f64
+        }
+    }
+
+    /// Total protocol rounds executed across trials.
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Hitting-time sketch for the chosen metric.
+    pub fn hits(&self, metric: HitMetric) -> &SparseCounts {
+        match metric {
+            HitMetric::Consensus => &self.consensus,
+            HitMetric::AlmostStable => &self.almost,
+        }
+    }
+
+    /// Winner-value sketch.
+    pub fn winners(&self) -> &SparseCounts {
+        &self.winners
+    }
+
+    /// Extra-metric sketch (empty unless an [`ExtraMetric`] was captured).
+    pub fn extra(&self) -> &SparseCounts {
+        &self.extra
+    }
+
+    /// The classic convergence summary under the chosen metric —
+    /// bit-identical to `ConvergenceStats::from_results` on the
+    /// materialized batch.
+    pub fn convergence(&self, metric: HitMetric) -> ConvergenceStats {
+        let counts = self.hits(metric);
+        ConvergenceStats {
+            trials: self.trials,
+            hits: counts.count(),
+            timeouts: self.trials - counts.count(),
+            rounds: counts.quantiles(),
+            validity_rate: self.validity_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_core::init::InitialCondition;
+    use stabcon_core::runner::SimSpec;
+    use stabcon_util::rng::derive_seed;
+
+    fn run_batch(n: usize, trials: u64, seed: u64) -> Vec<RunResult> {
+        let spec = SimSpec::new(n).init(InitialCondition::UniformRandom { m: 5 });
+        (0..trials)
+            .map(|i| spec.run_seeded(derive_seed(seed, i)))
+            .collect()
+    }
+
+    #[test]
+    fn streaming_equals_materialized() {
+        let results = run_batch(512, 24, 0xA66);
+        let mut agg = CellAggregate::new();
+        for r in &results {
+            agg.push(&TrialMetrics::capture(r, ExtraMetric::None));
+        }
+        for metric in [HitMetric::Consensus, HitMetric::AlmostStable] {
+            let streamed = agg.convergence(metric);
+            let materialized = ConvergenceStats::from_results(&results, metric);
+            assert_eq!(streamed.trials, materialized.trials);
+            assert_eq!(streamed.hits, materialized.hits);
+            assert_eq!(streamed.rounds, materialized.rounds, "{metric:?}");
+            assert!(streamed.validity_rate == materialized.validity_rate);
+        }
+        assert_eq!(agg.winners().count(), 24);
+    }
+
+    #[test]
+    fn last_unsettled_extraction() {
+        let spec = SimSpec::new(128)
+            .init(InitialCondition::TwoBins { left: 64 })
+            .record_trajectory(true);
+        let r = spec.run_seeded(3);
+        let m = TrialMetrics::capture(&r, ExtraMetric::LastUnsettledRound);
+        let last = m.extra.expect("extra captured");
+        // The run reached consensus, so the last unsettled round is the one
+        // just before the consensus hit.
+        assert_eq!(last + 1, r.consensus_round.expect("converged"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn last_unsettled_requires_trajectory() {
+        let r = SimSpec::new(64)
+            .init(InitialCondition::TwoBins { left: 32 })
+            .run_seeded(1);
+        TrialMetrics::capture(&r, ExtraMetric::LastUnsettledRound);
+    }
+}

@@ -1,0 +1,202 @@
+//! The `stabcon` CLI: run, resume, and report experiment campaigns.
+//!
+//! ```text
+//! stabcon campaign run    --preset figure1-small --out store.jsonl
+//! stabcon campaign resume --preset figure1-small --out store.jsonl
+//! stabcon campaign report --out store.jsonl [--format text|md|csv]
+//! ```
+//!
+//! `run`/`resume` accept grid overrides (`--trials`, `--seed`, `--ns`,
+//! `--name`) and execution knobs (`--threads`, `--chunk`, `--max-cells`).
+//! The store never records execution knobs, so a campaign interrupted and
+//! resumed at a different thread count still reproduces the uninterrupted
+//! store byte-for-byte. `resume` re-derives the grid from the same spec
+//! flags and refuses a store whose header fingerprint disagrees.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
+use stabcon_exp::presets::{preset, PRESET_NAMES};
+use stabcon_exp::{report, store};
+
+struct Args {
+    preset: String,
+    out: PathBuf,
+    format: String,
+    threads: Option<usize>,
+    chunk: Option<u64>,
+    max_cells: Option<u64>,
+    trials: Option<u64>,
+    seed: Option<u64>,
+    ns: Option<Vec<usize>>,
+    name: Option<String>,
+}
+
+fn usage() -> String {
+    format!(
+        "usage:\n  \
+         stabcon campaign run    --out PATH [--preset NAME] [spec/exec flags]\n  \
+         stabcon campaign resume --out PATH [--preset NAME] [spec/exec flags]\n  \
+         stabcon campaign report --out PATH [--format text|md|csv]\n\n\
+         spec flags:  --preset NAME (one of {names})  --trials N  --seed N\n  \
+                      --ns N,N,...  --name NAME\n\
+         exec flags:  --threads N  --chunk N  --max-cells N\n",
+        names = PRESET_NAMES.join("|")
+    )
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        preset: "smoke".into(),
+        out: PathBuf::new(),
+        format: "text".into(),
+        threads: None,
+        chunk: None,
+        max_cells: None,
+        trials: None,
+        seed: None,
+        ns: None,
+        name: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag}: missing value"))
+        };
+        match flag.as_str() {
+            "--preset" => args.preset = value()?,
+            "--out" => args.out = PathBuf::from(value()?),
+            "--format" => args.format = value()?,
+            "--threads" => args.threads = Some(parse_num(flag, &value()?)? as usize),
+            "--chunk" => args.chunk = Some(parse_num(flag, &value()?)?),
+            "--max-cells" => args.max_cells = Some(parse_num(flag, &value()?)?),
+            "--trials" => args.trials = Some(parse_num(flag, &value()?)?),
+            "--seed" => args.seed = Some(parse_num(flag, &value()?)?),
+            "--name" => args.name = Some(value()?),
+            "--ns" => {
+                let list = value()?
+                    .split(',')
+                    .map(|s| parse_num("--ns", s).map(|n| n as usize))
+                    .collect::<Result<Vec<_>, _>>()?;
+                args.ns = Some(list);
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
+        }
+    }
+    if args.out.as_os_str().is_empty() {
+        return Err(format!("--out is required\n\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn parse_num(flag: &str, s: &str) -> Result<u64, String> {
+    let (digits, radix) = match s.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(digits, radix).map_err(|e| format!("{flag}: bad number '{s}': {e}"))
+}
+
+fn build_spec(args: &Args) -> Result<CampaignSpec, String> {
+    let mut spec = preset(&args.preset).ok_or_else(|| {
+        format!(
+            "unknown preset '{}' (expected one of {})",
+            args.preset,
+            PRESET_NAMES.join(", ")
+        )
+    })?;
+    if let Some(t) = args.trials {
+        spec.trials = t;
+    }
+    if let Some(s) = args.seed {
+        spec.seed = s;
+    }
+    if let Some(ns) = &args.ns {
+        spec.ns = ns.clone();
+    }
+    if let Some(name) = &args.name {
+        spec.name = name.clone();
+    }
+    Ok(spec)
+}
+
+fn execute(args: &Args, resume: bool) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let mut cfg = RunConfig {
+        resume,
+        ..RunConfig::default()
+    };
+    if let Some(t) = args.threads {
+        cfg.threads = t;
+    }
+    if let Some(c) = args.chunk {
+        cfg.chunk = c;
+    }
+    cfg.max_cells = args.max_cells;
+
+    let start = std::time::Instant::now();
+    let outcome = run_campaign(&spec, &args.out, &cfg)?;
+    eprintln!(
+        "campaign '{}': {} cells ({} run, {} skipped), {} trials in {:.2}s → {}{}",
+        spec.name,
+        outcome.cells_total,
+        outcome.cells_run,
+        outcome.cells_skipped,
+        outcome.trials_run,
+        start.elapsed().as_secs_f64(),
+        outcome.store_path.display(),
+        if outcome.complete() {
+            ""
+        } else {
+            " (incomplete — `stabcon campaign resume` continues it)"
+        }
+    );
+    Ok(())
+}
+
+fn report(args: &Args) -> Result<(), String> {
+    let loaded = store::load(&args.out)?;
+    let table = report::report_table(&loaded);
+    match args.format.as_str() {
+        "text" => print!("{}", table.to_text()),
+        "md" | "markdown" => print!("{}", table.to_markdown()),
+        "csv" => print!("{}", table.to_csv()),
+        other => return Err(format!("unknown format '{other}' (text|md|csv)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (noun, verb) = (
+        argv.first().map(String::as_str),
+        argv.get(1).map(String::as_str),
+    );
+    let result = match (noun, verb) {
+        (Some("campaign"), Some(verb @ ("run" | "resume" | "report"))) => {
+            match parse_args(&argv[2..]) {
+                Ok(args) => match verb {
+                    "run" => execute(&args, false),
+                    "resume" => execute(&args, true),
+                    _ => report(&args),
+                },
+                Err(e) => Err(e),
+            }
+        }
+        (Some("--help") | Some("-h") | None, _) => {
+            print!("{}", usage());
+            Ok(())
+        }
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stabcon: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Declarative campaigns: a cartesian grid over simulation axes, executed
+//! cell by cell with sharded trials and checkpointed to a JSONL store.
+//!
+//! A [`CampaignSpec`] expands to a deterministic list of [`CellSpec`]s
+//! (fixed axis order, cell seeds derived from the master seed by cell id).
+//! [`run_campaign`] executes the cells in order, appending each completed
+//! cell to the store; with [`RunConfig::resume`] it skips cells already in
+//! the store and reproduces the remainder bit-identically — at any thread
+//! count, because per-cell aggregation is thread- and chunk-invariant (see
+//! [`crate::cell::run_cell`]).
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::engine::EngineSpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::protocol::ProtocolSpec;
+use stabcon_core::runner::SimSpec;
+use stabcon_par::ThreadPool;
+use stabcon_util::rng::derive_seed;
+
+use crate::aggregate::ExtraMetric;
+use crate::cell::{run_cell, CellSpec, DEFAULT_CHUNK};
+use crate::metrics::HitMetric;
+use crate::store;
+
+/// The canonical "√n-bounded" budget used across the harness: `⌊√n/4⌋`.
+///
+/// Calibration note: the paper's threshold is Θ̃(√n). Our *exact* balancing
+/// adversary (which zeroes the two-bin gap every round) already stalls the
+/// median rule at `T = √n` for laptop-scale `n`; at `T = √n/2` runs escape
+/// but with heavy-tailed escape times; at `T = √n/4` convergence is cleanly
+/// `O(log n)` — i.e. the measured crossover constant for the strongest
+/// balancer lies between 0.25 and 1. E5 (`threshold_table`) sweeps the
+/// exponent explicitly to locate the collapse.
+pub fn sqrt_budget(n: usize) -> u64 {
+    (((n as f64).sqrt() / 4.0).floor() as u64).max(1)
+}
+
+/// An initial condition expressed independently of `n`, so one grid axis
+/// covers every population size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitSpec {
+    /// Every ball in its own bin (`m = n` worst case).
+    AllDistinct,
+    /// Two bins split `⌊n/2⌋` / `⌈n/2⌉` (the worst-case two-bin instance).
+    TwoBinsHalf,
+    /// `m` bins with (near-)equal loads.
+    MBinsEqual(u32),
+    /// Every ball uniform over `m` bins.
+    UniformRandom(u32),
+}
+
+impl InitSpec {
+    /// Resolve to a concrete [`InitialCondition`] for population `n`.
+    pub fn materialize(&self, n: usize) -> InitialCondition {
+        match *self {
+            InitSpec::AllDistinct => InitialCondition::AllDistinct,
+            InitSpec::TwoBinsHalf => InitialCondition::TwoBins { left: n / 2 },
+            InitSpec::MBinsEqual(m) => InitialCondition::MBinsEqual { m },
+            InitSpec::UniformRandom(m) => InitialCondition::UniformRandom { m },
+        }
+    }
+
+    /// Axis label.
+    pub fn label(&self) -> String {
+        match *self {
+            InitSpec::AllDistinct => "all-distinct".into(),
+            InitSpec::TwoBinsHalf => "two-bins-half".into(),
+            InitSpec::MBinsEqual(m) => format!("m-equal({m})"),
+            InitSpec::UniformRandom(m) => format!("uniform({m})"),
+        }
+    }
+}
+
+/// An adversary budget expressed independently of `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetSpec {
+    /// No corruption (forces the no-adversary path).
+    Zero,
+    /// A fixed budget `T`.
+    Fixed(u64),
+    /// The harness's canonical `⌊√n/4⌋` (see [`sqrt_budget`]).
+    SqrtOver4,
+}
+
+impl BudgetSpec {
+    /// Resolve to a concrete budget for population `n`.
+    pub fn resolve(&self, n: usize) -> u64 {
+        match *self {
+            BudgetSpec::Zero => 0,
+            BudgetSpec::Fixed(t) => t,
+            BudgetSpec::SqrtOver4 => sqrt_budget(n),
+        }
+    }
+}
+
+/// A declarative campaign: the cartesian product of every axis.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (recorded in the store header).
+    pub name: String,
+    /// Master seed; cell `c` uses `derive_seed(seed, c)`.
+    pub seed: u64,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Population-size axis.
+    pub ns: Vec<usize>,
+    /// Initial-condition axis.
+    pub inits: Vec<InitSpec>,
+    /// Protocol axis.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Engine axis.
+    pub engines: Vec<EngineSpec>,
+    /// Adversary axis (strategy + budget; budget 0 disables corruption).
+    pub adversaries: Vec<(AdversarySpec, BudgetSpec)>,
+    /// Round-budget override (default: the [`SimSpec::new`] heuristic).
+    pub max_rounds: Option<u64>,
+    /// Stability-window override.
+    pub window: Option<u64>,
+    /// Almost-stability factor override.
+    pub almost_factor: Option<f64>,
+}
+
+impl Default for CampaignSpec {
+    /// A compact smoke grid: two populations × {two-bins, all-distinct},
+    /// median rule, dense engine, no adversary.
+    fn default() -> Self {
+        Self {
+            name: "smoke".into(),
+            seed: 0x5C0E,
+            trials: 8,
+            ns: vec![128, 256],
+            inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+            protocols: vec![ProtocolSpec::Median],
+            engines: vec![EngineSpec::DenseSeq],
+            adversaries: vec![(AdversarySpec::None, BudgetSpec::Zero)],
+            max_rounds: None,
+            window: None,
+            almost_factor: None,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Expand the grid into cells, in the fixed axis order
+    /// `n → init → protocol → engine → adversary`.
+    ///
+    /// Adversarial cells report [`HitMetric::AlmostStable`], others
+    /// [`HitMetric::Consensus`].
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        let mut id = 0u64;
+        for &n in &self.ns {
+            for init in &self.inits {
+                for &protocol in &self.protocols {
+                    for &engine in &self.engines {
+                        for &(adversary, budget) in &self.adversaries {
+                            let t = budget.resolve(n);
+                            let mut sim = SimSpec::new(n)
+                                .init(init.materialize(n))
+                                .protocol(protocol)
+                                .engine(engine);
+                            if t > 0 {
+                                sim = sim.adversary(adversary, t);
+                            }
+                            if let Some(mr) = self.max_rounds {
+                                sim = sim.max_rounds(mr);
+                            }
+                            if let Some(w) = self.window {
+                                sim = sim.stability_window(w);
+                            }
+                            if let Some(f) = self.almost_factor {
+                                sim = sim.almost_factor(f);
+                            }
+                            let metric = if t > 0 {
+                                HitMetric::AlmostStable
+                            } else {
+                                HitMetric::Consensus
+                            };
+                            cells.push(CellSpec {
+                                id,
+                                sim,
+                                trials: self.trials,
+                                seed: derive_seed(self.seed, id),
+                                metric,
+                                extra: ExtraMetric::None,
+                                labels: vec![
+                                    ("n".into(), n.to_string()),
+                                    ("init".into(), init.label()),
+                                    ("protocol".into(), protocol.label()),
+                                    ("engine".into(), engine.label()),
+                                    ("adversary".into(), adversary.label().into()),
+                                    ("T".into(), t.to_string()),
+                                ],
+                            });
+                            id += 1;
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the expanded grid. Stored in the
+    /// header so `resume` refuses a store produced by a different spec.
+    ///
+    /// Hashes only semantically meaningful, stable inputs — cell ids,
+    /// seeds, trial counts, metric and axis labels, and the explicit
+    /// stopping overrides — never derived `Debug` output, so refactors
+    /// that don't change campaign semantics keep old stores resumable.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_cells(&self.expand())
+    }
+
+    fn fingerprint_cells(&self, cells: &[CellSpec]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&self.trials.to_le_bytes());
+        eat(&self.max_rounds.unwrap_or(0).to_le_bytes());
+        eat(&self.window.unwrap_or(0).to_le_bytes());
+        eat(&self.almost_factor.unwrap_or(-1.0).to_le_bytes());
+        for cell in cells {
+            eat(&cell.id.to_le_bytes());
+            eat(&cell.seed.to_le_bytes());
+            eat(&cell.trials.to_le_bytes());
+            eat(cell.metric.label().as_bytes());
+            for (k, v) in &cell.labels {
+                eat(k.as_bytes());
+                eat(v.as_bytes());
+            }
+        }
+        h
+    }
+
+    /// The store header for this spec.
+    pub fn header(&self) -> store::StoreHeader {
+        self.header_with(&self.expand())
+    }
+
+    fn header_with(&self, cells: &[CellSpec]) -> store::StoreHeader {
+        store::StoreHeader {
+            name: self.name.clone(),
+            seed: self.seed,
+            trials: self.trials,
+            cells: cells.len() as u64,
+            fingerprint: self.fingerprint_cells(cells),
+        }
+    }
+}
+
+/// Execution knobs (none of them affect the store bytes).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads for the shared pool.
+    pub threads: usize,
+    /// Trials per scheduler chunk.
+    pub chunk: u64,
+    /// Stop after this many *newly run* cells (checkpoint test hook / CI
+    /// smoke interruption).
+    pub max_cells: Option<u64>,
+    /// Continue an existing store instead of refusing to overwrite it.
+    pub resume: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            threads: stabcon_par::default_threads(),
+            chunk: DEFAULT_CHUNK,
+            max_cells: None,
+            resume: false,
+        }
+    }
+}
+
+/// What a campaign invocation did.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Cells in the grid.
+    pub cells_total: u64,
+    /// Cells executed by this invocation.
+    pub cells_run: u64,
+    /// Cells skipped because the store already had them.
+    pub cells_skipped: u64,
+    /// Trials executed by this invocation.
+    pub trials_run: u64,
+    /// The store path.
+    pub store_path: PathBuf,
+}
+
+impl CampaignOutcome {
+    /// Whether every grid cell is now in the store.
+    pub fn complete(&self) -> bool {
+        self.cells_run + self.cells_skipped == self.cells_total
+    }
+}
+
+/// Run (or resume) a campaign against the JSONL store at `path`.
+///
+/// Fresh runs refuse an existing store; `resume` validates the stored
+/// header against this spec's fingerprint, truncates any torn tail, skips
+/// completed cells, and appends the remainder — producing a store
+/// byte-identical to an uninterrupted run regardless of `threads`/`chunk`.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    path: &Path,
+    cfg: &RunConfig,
+) -> Result<CampaignOutcome, String> {
+    let cells = spec.expand();
+    let header = spec.header_with(&cells);
+
+    let mut done: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut file = if path.exists() {
+        if !cfg.resume {
+            return Err(format!(
+                "{}: store exists — use resume (or a fresh path)",
+                path.display()
+            ));
+        }
+        let loaded = store::load(path)?;
+        match &loaded.header {
+            Some(h) if *h == header => {
+                done.extend(loaded.done_ids());
+                store::recover(path, &loaded).map_err(|e| format!("recover: {e}"))?;
+                OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("open: {e}"))?
+            }
+            Some(h) => {
+                // Name the first differing field — "fingerprint mismatch"
+                // alone misdirects when e.g. only the trial count changed.
+                let mismatch = if h.name != header.name {
+                    format!("name '{}' vs '{}'", h.name, header.name)
+                } else if h.seed != header.seed {
+                    format!("seed {:#x} vs {:#x}", h.seed, header.seed)
+                } else if h.trials != header.trials {
+                    format!("trials {} vs {}", h.trials, header.trials)
+                } else if h.cells != header.cells {
+                    format!("cells {} vs {}", h.cells, header.cells)
+                } else {
+                    format!(
+                        "grid fingerprint {:016x} vs {:016x}",
+                        h.fingerprint, header.fingerprint
+                    )
+                };
+                return Err(format!(
+                    "{}: store was produced by a different campaign spec ({mismatch} — stored vs requested)",
+                    path.display()
+                ));
+            }
+            None => {
+                // Nothing valid in the file: restart it.
+                let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
+                store::append_line(&mut f, &header.to_line())
+                    .map_err(|e| format!("write header: {e}"))?;
+                f
+            }
+        }
+    } else {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
+        store::append_line(&mut f, &header.to_line()).map_err(|e| format!("write header: {e}"))?;
+        f
+    };
+
+    let pool = ThreadPool::new(cfg.threads);
+    let mut outcome = CampaignOutcome {
+        cells_total: cells.len() as u64,
+        cells_run: 0,
+        cells_skipped: 0,
+        trials_run: 0,
+        store_path: path.to_path_buf(),
+    };
+    for cell in &cells {
+        if done.contains(&cell.id) {
+            outcome.cells_skipped += 1;
+            continue;
+        }
+        if cfg.max_cells.is_some_and(|k| outcome.cells_run >= k) {
+            break;
+        }
+        let agg = run_cell(&pool, cell, cfg.chunk);
+        store::append_line(&mut file, &store::cell_line(cell, &agg))
+            .map_err(|e| format!("append cell {}: {e}", cell.id))?;
+        outcome.cells_run += 1;
+        outcome.trials_run += agg.trials();
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("stabcon-campaign-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn tiny() -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            trials: 4,
+            ns: vec![64, 96],
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn grid_expansion_shape_and_seeds() {
+        let spec = tiny();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2 * 2); // ns × inits
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+            assert_eq!(c.seed, derive_seed(spec.seed, i as u64));
+            assert_eq!(c.metric, HitMetric::Consensus);
+            assert_eq!(c.labels.len(), 6);
+        }
+        // Adversarial axis flips the metric and sets the budget.
+        let adv = CampaignSpec {
+            adversaries: vec![(AdversarySpec::Random, BudgetSpec::SqrtOver4)],
+            ..tiny()
+        };
+        for c in adv.expand() {
+            assert_eq!(c.metric, HitMetric::AlmostStable);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_grid() {
+        let a = tiny();
+        assert_eq!(a.fingerprint(), tiny().fingerprint());
+        let b = CampaignSpec {
+            trials: 5,
+            ..tiny()
+        };
+        let c = CampaignSpec {
+            ns: vec![64],
+            ..tiny()
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fresh_run_refuses_existing_store() {
+        let path = tmp("refuse.jsonl");
+        std::fs::write(&path, "junk\n").expect("write");
+        let err = run_campaign(&tiny(), &path, &RunConfig::default()).unwrap_err();
+        assert!(err.contains("store exists"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_then_resume_is_idempotent() {
+        let path = tmp("idem.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cfg = RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let first = run_campaign(&tiny(), &path, &cfg).expect("run");
+        assert!(first.complete());
+        assert_eq!(first.cells_run, 4);
+        let bytes = std::fs::read(&path).expect("read");
+
+        let again = run_campaign(
+            &tiny(),
+            &path,
+            &RunConfig {
+                resume: true,
+                ..cfg
+            },
+        )
+        .expect("resume");
+        assert_eq!(again.cells_run, 0);
+        assert_eq!(again.cells_skipped, 4);
+        assert_eq!(std::fs::read(&path).expect("read"), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_spec() {
+        let path = tmp("mismatch.jsonl");
+        std::fs::remove_file(&path).ok();
+        run_campaign(&tiny(), &path, &RunConfig::default()).expect("run");
+        let other = CampaignSpec {
+            seed: 999,
+            ..tiny()
+        };
+        let err = run_campaign(
+            &other,
+            &path,
+            &RunConfig {
+                resume: true,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("different campaign spec"), "{err}");
+        assert!(err.contains("seed"), "must name the differing field: {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_works_with_seeds_above_f64_precision() {
+        // Seeds are u64; the store round-trip must not squeeze them
+        // through f64 (2⁵³ + 1 is the first integer that would be lost).
+        let path = tmp("bigseed.jsonl");
+        std::fs::remove_file(&path).ok();
+        let spec = CampaignSpec {
+            seed: (1 << 53) + 1,
+            ..tiny()
+        };
+        run_campaign(&spec, &path, &RunConfig::default()).expect("run");
+        let resumed = run_campaign(
+            &spec,
+            &path,
+            &RunConfig {
+                resume: true,
+                ..RunConfig::default()
+            },
+        )
+        .expect("resume with large seed");
+        assert_eq!(resumed.cells_skipped, 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

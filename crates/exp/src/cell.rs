@@ -1,0 +1,201 @@
+//! One campaign cell: a simulation spec, a trial budget, and a seed —
+//! executed as sharded chunks on the shared [`ThreadPool`].
+//!
+//! Determinism contract: trial `i` of a cell always runs with seed
+//! `derive_seed(cell.seed, i)`, and the aggregator folds trial metrics in
+//! global trial order (out-of-order chunks are parked until their turn).
+//! The resulting [`CellAggregate`] is therefore a pure function of
+//! `(CellSpec)` — independent of thread count, chunk size, and scheduling.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use stabcon_core::runner::SimSpec;
+use stabcon_par::ThreadPool;
+use stabcon_util::rng::derive_seed;
+
+use crate::aggregate::{CellAggregate, ExtraMetric, TrialMetrics};
+use crate::metrics::{ConvergenceStats, HitMetric};
+
+/// Default trials per scheduler chunk: small enough to load-balance a
+/// skewed cell across workers, large enough to amortize dispatch.
+pub const DEFAULT_CHUNK: u64 = 32;
+
+/// A fully specified unit of campaign work.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in the campaign grid (0 for ad-hoc cells).
+    pub id: u64,
+    /// The simulation to run.
+    pub sim: SimSpec,
+    /// Independent trials.
+    pub trials: u64,
+    /// Cell master seed; trial `i` uses `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Hitting-time metric this cell reports.
+    pub metric: HitMetric,
+    /// Optional extra per-trial scalar.
+    pub extra: ExtraMetric,
+    /// Axis labels for the result store, in column order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl CellSpec {
+    /// An ad-hoc cell with the consensus metric and no labels.
+    pub fn new(sim: SimSpec, trials: u64, seed: u64) -> Self {
+        Self {
+            id: 0,
+            sim,
+            trials,
+            seed,
+            metric: HitMetric::Consensus,
+            extra: ExtraMetric::None,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Set the reported metric.
+    pub fn metric(mut self, metric: HitMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Request an extra per-trial scalar.
+    pub fn extra(mut self, extra: ExtraMetric) -> Self {
+        self.extra = extra;
+        self
+    }
+
+    /// Append an axis label.
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// Run every trial of `cell`, sharded into `chunk`-sized batches on `pool`,
+/// and fold the results into a streaming [`CellAggregate`].
+///
+/// Workers send finished chunks through a channel; the caller folds them in
+/// chunk order, so at most the out-of-order window of chunk outputs is ever
+/// resident — never the full trial set.
+///
+/// # Panics
+/// Panics if a worker died before delivering its chunk (a trial panicked).
+pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate {
+    let chunk = chunk.max(1);
+    let n_chunks = cell.trials.div_ceil(chunk);
+    let sim = Arc::new(cell.sim.clone());
+    let (tx, rx) = mpsc::channel::<(u64, Vec<TrialMetrics>)>();
+    for ci in 0..n_chunks {
+        let tx = tx.clone();
+        let sim = Arc::clone(&sim);
+        let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(cell.trials));
+        let (seed, extra) = (cell.seed, cell.extra);
+        pool.execute(move || {
+            let out: Vec<TrialMetrics> = (lo..hi)
+                .map(|i| TrialMetrics::capture(&sim.run_seeded(derive_seed(seed, i)), extra))
+                .collect();
+            // The receiver only disappears if the caller panicked; nothing
+            // useful to do with the result then.
+            let _ = tx.send((ci, out));
+        });
+    }
+    drop(tx);
+
+    let mut agg = CellAggregate::new();
+    let mut parked: std::collections::BTreeMap<u64, Vec<TrialMetrics>> =
+        std::collections::BTreeMap::new();
+    let mut next = 0u64;
+    for (ci, out) in rx {
+        parked.insert(ci, out);
+        while let Some(out) = parked.remove(&next) {
+            for m in &out {
+                agg.push(m);
+            }
+            next += 1;
+        }
+    }
+    assert_eq!(
+        next, n_chunks,
+        "cell {}: worker died before delivering all chunks",
+        cell.id
+    );
+    agg
+}
+
+/// Convenience for table drivers: run `trials` trials of `sim` with trial
+/// seeds `derive_seed(seed, i)` and report [`ConvergenceStats`] under
+/// `metric`. Numerically identical to the materialized
+/// `run_trials` + `ConvergenceStats::from_results` pattern it replaces.
+pub fn sweep_stats(
+    pool: &ThreadPool,
+    sim: &SimSpec,
+    trials: u64,
+    seed: u64,
+    metric: HitMetric,
+) -> ConvergenceStats {
+    let cell = CellSpec::new(sim.clone(), trials, seed).metric(metric);
+    run_cell(pool, &cell, DEFAULT_CHUNK).convergence(metric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_core::init::InitialCondition;
+
+    fn base_cell() -> CellSpec {
+        CellSpec::new(
+            SimSpec::new(256).init(InitialCondition::UniformRandom { m: 6 }),
+            25,
+            0xCE11,
+        )
+    }
+
+    #[test]
+    fn thread_and_chunk_invariance() {
+        let cell = base_cell();
+        let reference = {
+            let pool = ThreadPool::new(1);
+            run_cell(&pool, &cell, 4)
+        };
+        for threads in [2, 8] {
+            let pool = ThreadPool::new(threads);
+            for chunk in [1, 3, 7, 25, 1000] {
+                let agg = run_cell(&pool, &cell, chunk);
+                assert_eq!(
+                    agg, reference,
+                    "aggregate differs at threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_materialized_run() {
+        let cell = base_cell();
+        let results: Vec<_> = (0..cell.trials)
+            .map(|i| cell.sim.run_seeded(derive_seed(cell.seed, i)))
+            .collect();
+        let materialized = ConvergenceStats::from_results(&results, HitMetric::Consensus);
+        let pool = ThreadPool::new(4);
+        let streamed = sweep_stats(
+            &pool,
+            &cell.sim,
+            cell.trials,
+            cell.seed,
+            HitMetric::Consensus,
+        );
+        assert_eq!(streamed.rounds, materialized.rounds);
+        assert_eq!(streamed.hits, materialized.hits);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let pool = ThreadPool::new(2);
+        let mut cell = base_cell();
+        cell.trials = 0;
+        let agg = run_cell(&pool, &cell, 8);
+        assert_eq!(agg.trials(), 0);
+    }
+}

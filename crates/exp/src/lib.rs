@@ -1,0 +1,42 @@
+//! # stabcon-exp
+//!
+//! Campaign orchestration for the `stabcon` workspace: reproducing the
+//! paper's results table means millions of trials over a grid of
+//! populations, protocols, engines, and adversaries — this crate owns that
+//! sweep so the drivers in `stabcon-analysis` don't each hand-roll one.
+//!
+//! * [`campaign`] — [`campaign::CampaignSpec`] expands a cartesian grid
+//!   into cells; [`campaign::run_campaign`] executes them with
+//!   checkpoint/resume against a JSONL store.
+//! * [`cell`] — one grid cell, sharded into chunks on the shared
+//!   [`stabcon_par::ThreadPool`]; trial seeds derive from the cell seed, so
+//!   results are independent of thread count and chunking.
+//! * [`aggregate`] — streaming per-cell aggregation into exact
+//!   [`stabcon_util::stats::SparseCounts`] sketches; **bit-identical** to
+//!   materializing every `RunResult` (the property tests assert this).
+//! * [`metrics`] — [`metrics::HitMetric`] / [`metrics::ConvergenceStats`],
+//!   shared with `stabcon-analysis`.
+//! * [`store`] — the append-only JSONL result store with torn-tail
+//!   recovery; a resumed campaign reproduces the uninterrupted store
+//!   byte-for-byte.
+//! * [`report`] — Figure-1-style tables rendered from a store.
+//! * [`presets`] — named grids for the `stabcon` CLI
+//!   (`stabcon campaign run/resume/report`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod campaign;
+pub mod cell;
+pub mod metrics;
+pub mod presets;
+pub mod report;
+pub mod store;
+
+pub use aggregate::{CellAggregate, ExtraMetric, TrialMetrics};
+pub use campaign::{
+    run_campaign, sqrt_budget, BudgetSpec, CampaignOutcome, CampaignSpec, InitSpec, RunConfig,
+};
+pub use cell::{run_cell, sweep_stats, CellSpec, DEFAULT_CHUNK};
+pub use metrics::{ConvergenceStats, HitMetric};

@@ -1,0 +1,92 @@
+//! Named campaign grids for the `stabcon` CLI.
+
+use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::protocol::ProtocolSpec;
+
+use crate::campaign::{BudgetSpec, CampaignSpec, InitSpec};
+
+/// Preset names accepted by [`preset`].
+pub const PRESET_NAMES: [&str; 4] = ["smoke", "figure1-small", "figure1", "duel"];
+
+/// Look up a named campaign grid.
+///
+/// * `smoke` — the [`CampaignSpec::default`] grid (seconds; CI).
+/// * `figure1-small` — Figure 1 rows 1–2 at test scale: {two-bins,
+///   all-distinct} × {none, balancer, median-pusher, random} adversaries
+///   with the canonical `⌊√n/4⌋` budget.
+/// * `figure1` — the same grid at paper scale (n up to 2¹⁶, 100 trials).
+/// * `duel` — protocol × adversary robustness grid (median vs 3-majority
+///   vs voter under balancer/random pressure).
+pub fn preset(name: &str) -> Option<CampaignSpec> {
+    let adversary_axis = vec![
+        (AdversarySpec::None, BudgetSpec::Zero),
+        (AdversarySpec::Balancer, BudgetSpec::SqrtOver4),
+        (AdversarySpec::MedianPusher, BudgetSpec::SqrtOver4),
+        (AdversarySpec::Random, BudgetSpec::SqrtOver4),
+    ];
+    match name {
+        "smoke" => Some(CampaignSpec::default()),
+        "figure1-small" => Some(CampaignSpec {
+            name: "figure1-small".into(),
+            seed: 0xF161,
+            trials: 12,
+            ns: vec![256, 512, 1024],
+            inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+            adversaries: adversary_axis,
+            ..CampaignSpec::default()
+        }),
+        "figure1" => Some(CampaignSpec {
+            name: "figure1".into(),
+            seed: 0xF162,
+            trials: 100,
+            ns: (10..=16).map(|e| 1usize << e).collect(),
+            inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+            adversaries: adversary_axis,
+            ..CampaignSpec::default()
+        }),
+        "duel" => Some(CampaignSpec {
+            name: "duel".into(),
+            seed: 0xD0E1,
+            trials: 24,
+            ns: vec![1024, 4096],
+            inits: vec![InitSpec::UniformRandom(8)],
+            protocols: vec![
+                ProtocolSpec::Median,
+                ProtocolSpec::Majority,
+                ProtocolSpec::Voter,
+            ],
+            adversaries: vec![
+                (AdversarySpec::None, BudgetSpec::Zero),
+                (AdversarySpec::Balancer, BudgetSpec::SqrtOver4),
+                (AdversarySpec::Random, BudgetSpec::SqrtOver4),
+            ],
+            ..CampaignSpec::default()
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_expands() {
+        for name in PRESET_NAMES {
+            let spec = preset(name).expect(name);
+            let cells = spec.expand();
+            assert!(!cells.is_empty(), "{name} expands to nothing");
+            // Distinct seeds per cell.
+            let seeds: std::collections::HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+            assert_eq!(seeds.len(), cells.len(), "{name}: colliding cell seeds");
+        }
+        assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn figure1_small_matches_the_sweep_scale() {
+        let spec = preset("figure1-small").expect("preset");
+        assert_eq!(spec.ns, vec![256, 512, 1024]);
+        assert_eq!(spec.expand().len(), 3 * 2 * 4);
+    }
+}

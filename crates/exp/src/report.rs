@@ -1,0 +1,117 @@
+//! Render a result store as the paper-style results table.
+
+use stabcon_util::jsonl::{get, FlatObject, JsonScalar};
+use stabcon_util::table::{fmt_sig, Table};
+
+use crate::store::LoadedStore;
+
+/// Label columns shown when present in the records, in order.
+const AXIS_COLUMNS: [&str; 6] = ["n", "init", "protocol", "engine", "adversary", "T"];
+
+fn cell_text(obj: &FlatObject, key: &str) -> String {
+    match get(obj, key) {
+        Some(JsonScalar::Str(s)) => s.clone(),
+        Some(JsonScalar::Int(x)) => x.to_string(),
+        Some(JsonScalar::Num(x)) => fmt_sig(*x),
+        Some(JsonScalar::Bool(b)) => b.to_string(),
+        Some(JsonScalar::Null) | None => "—".into(),
+    }
+}
+
+fn int_text(obj: &FlatObject, key: &str) -> String {
+    match get(obj, key).and_then(|v| v.as_u64()) {
+        Some(x) => x.to_string(),
+        None => "—".into(),
+    }
+}
+
+fn float_text(obj: &FlatObject, key: &str) -> String {
+    match get(obj, key).and_then(|v| v.as_f64()) {
+        Some(x) => fmt_sig(x),
+        None => "—".into(),
+    }
+}
+
+fn percent(obj: &FlatObject, key: &str) -> String {
+    match get(obj, key).and_then(|v| v.as_f64()) {
+        Some(x) => format!("{:.0}", x * 100.0),
+        None => "—".into(),
+    }
+}
+
+/// The Figure-1-style campaign table: one row per completed cell, axis
+/// labels plus hit rate and hitting-time summary.
+pub fn report_table(loaded: &LoadedStore) -> Table {
+    let title = match &loaded.header {
+        Some(h) => format!(
+            "campaign '{}' — {} of {} cells, {} trials/cell, seed {:#x}",
+            h.name,
+            loaded.cells.len(),
+            h.cells,
+            h.trials,
+            h.seed
+        ),
+        None => format!("campaign (headerless store) — {} cells", loaded.cells.len()),
+    };
+    let axes: Vec<&str> = AXIS_COLUMNS
+        .iter()
+        .copied()
+        .filter(|k| loaded.cells.iter().any(|c| get(c, k).is_some()))
+        .collect();
+    let mut headers: Vec<&str> = vec!["cell"];
+    headers.extend(&axes);
+    headers.extend(["metric", "hit%", "mean", "p50", "p95", "max", "valid%"]);
+    let mut table = Table::new(title, &headers);
+    for obj in &loaded.cells {
+        let mut row = vec![int_text(obj, "cell")];
+        for k in &axes {
+            row.push(cell_text(obj, k));
+        }
+        row.push(cell_text(obj, "metric"));
+        row.push(percent(obj, "hit_rate"));
+        for k in ["mean", "p50", "p95", "max"] {
+            row.push(float_text(obj, k));
+        }
+        row.push(percent(obj, "validity_rate"));
+        table.push_row(row);
+    }
+    if let Some(h) = &loaded.header {
+        if (loaded.cells.len() as u64) < h.cells {
+            table.push_note(format!(
+                "incomplete: {} of {} cells — `stabcon campaign resume` continues it",
+                loaded.cells.len(),
+                h.cells
+            ));
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignSpec, RunConfig};
+    use crate::store;
+
+    #[test]
+    fn report_renders_completed_store() {
+        let dir = std::env::temp_dir().join("stabcon-report-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("{}-report.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let spec = CampaignSpec {
+            trials: 4,
+            ns: vec![64],
+            ..CampaignSpec::default()
+        };
+        run_campaign(&spec, &path, &RunConfig::default()).expect("run");
+        let loaded = store::load(&path).expect("load");
+        let table = report_table(&loaded);
+        assert_eq!(table.len(), 2);
+        let text = table.to_text();
+        assert!(text.contains("two-bins-half"), "{text}");
+        assert!(text.contains("consensus"), "{text}");
+        assert!(!text.contains("incomplete"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,272 @@
+//! The append-only JSONL result store.
+//!
+//! Line 0 is a campaign header (name, seed, grid fingerprint); every
+//! following line is one completed cell's streamed aggregate. Cells are
+//! appended in cell order and `fsync`-free — a killed campaign leaves at
+//! worst one torn trailing line, which [`load`] detects and [`recover`]
+//! truncates away, so `resume` reproduces the uninterrupted store
+//! byte-for-byte.
+//!
+//! Records are *flat* JSON objects (scalars only) written through
+//! [`stabcon_util::jsonl`], with floats in shortest-roundtrip form: the
+//! store is lossless and deterministic, never timestamped.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+
+use stabcon_util::jsonl::{get, parse_flat, FlatObject, JsonObj};
+
+use crate::aggregate::{CellAggregate, ExtraMetric};
+use crate::cell::CellSpec;
+
+/// Store schema identifier.
+pub const SCHEMA: &str = "stabcon-campaign/1";
+
+/// The campaign header record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreHeader {
+    /// Campaign name.
+    pub name: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// Trials per cell.
+    pub trials: u64,
+    /// Total cells in the grid.
+    pub cells: u64,
+    /// Fingerprint of the expanded grid (see
+    /// [`crate::campaign::CampaignSpec::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl StoreHeader {
+    /// Render the header line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        JsonObj::new()
+            .str_field("kind", "campaign")
+            .str_field("schema", SCHEMA)
+            .str_field("name", &self.name)
+            .u64_field("seed", self.seed)
+            .u64_field("trials", self.trials)
+            .u64_field("cells", self.cells)
+            .str_field("fingerprint", &format!("{:016x}", self.fingerprint))
+            .finish()
+    }
+
+    fn from_fields(obj: &FlatObject) -> Result<Self, String> {
+        let str_of = |k: &str| {
+            get(obj, k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("header: missing string field '{k}'"))
+        };
+        let u64_of = |k: &str| {
+            get(obj, k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("header: missing integer field '{k}'"))
+        };
+        let schema = str_of("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported store schema '{schema}'"));
+        }
+        let fingerprint = u64::from_str_radix(&str_of("fingerprint")?, 16)
+            .map_err(|e| format!("header: bad fingerprint: {e}"))?;
+        Ok(Self {
+            name: str_of("name")?,
+            seed: u64_of("seed")?,
+            trials: u64_of("trials")?,
+            cells: u64_of("cells")?,
+            fingerprint,
+        })
+    }
+}
+
+/// Render one completed cell's record line (no trailing newline).
+pub fn cell_line(cell: &CellSpec, agg: &CellAggregate) -> String {
+    let stats = agg.convergence(cell.metric);
+    let mut obj = JsonObj::new()
+        .str_field("kind", "cell")
+        .u64_field("cell", cell.id)
+        .u64_field("seed", cell.seed)
+        .u64_field("trials", agg.trials())
+        .str_field("metric", cell.metric.label());
+    for (k, v) in &cell.labels {
+        obj = obj.str_field(k, v);
+    }
+    obj = obj
+        .u64_field("hits", stats.hits)
+        .u64_field("timeouts", stats.timeouts)
+        .f64_field("hit_rate", stats.hit_rate())
+        .f64_field("validity_rate", stats.validity_rate);
+    match &stats.rounds {
+        Some(q) => {
+            obj = obj
+                .f64_field("mean", q.mean)
+                .f64_field("p50", q.p50)
+                .f64_field("p90", q.p90)
+                .f64_field("p95", q.p95)
+                .f64_field("p99", q.p99)
+                .f64_field("max", q.max);
+        }
+        None => {
+            for k in ["mean", "p50", "p90", "p95", "p99", "max"] {
+                obj = obj.null_field(k);
+            }
+        }
+    }
+    obj = obj.u64_field("rounds_total", agg.rounds_total());
+    if cell.extra != ExtraMetric::None && !agg.extra().is_empty() {
+        obj = obj
+            .f64_field("extra_mean", agg.extra().mean())
+            .u64_field("extra_max", agg.extra().max().expect("nonempty"));
+    }
+    obj.finish()
+}
+
+/// A store read back from disk.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedStore {
+    /// The header, if the first line parsed as one.
+    pub header: Option<StoreHeader>,
+    /// Completed cell records, in file order.
+    pub cells: Vec<FlatObject>,
+    /// Byte length of the valid prefix (everything after it is a torn or
+    /// corrupt tail).
+    pub valid_len: u64,
+}
+
+impl LoadedStore {
+    /// Ids of the cells present in the valid prefix.
+    pub fn done_ids(&self) -> Vec<u64> {
+        self.cells
+            .iter()
+            .filter_map(|c| get(c, "cell").and_then(|v| v.as_u64()))
+            .collect()
+    }
+}
+
+/// Read a store, stopping at the first torn or unparsable line.
+pub fn load(path: &Path) -> Result<LoadedStore, String> {
+    // Bytes, not `read_to_string`: a kill mid-append can tear a multi-byte
+    // UTF-8 sequence at the end of the file, and that tail must be
+    // recovered from, not reported as an I/O error.
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = LoadedStore::default();
+    for raw in bytes.split_inclusive(|&b| b == b'\n') {
+        if raw.last() != Some(&b'\n') {
+            break; // torn tail from an interrupted append
+        }
+        let Ok(line) = std::str::from_utf8(raw) else {
+            break; // torn multi-byte character
+        };
+        let Ok(obj) = parse_flat(line.trim_end()) else {
+            break; // corrupt tail
+        };
+        let kind = get(&obj, "kind").and_then(|v| v.as_str()).unwrap_or("");
+        match kind {
+            "campaign" if out.header.is_none() && out.cells.is_empty() => {
+                match StoreHeader::from_fields(&obj) {
+                    Ok(h) => out.header = Some(h),
+                    Err(e) => return Err(e),
+                }
+            }
+            "cell" if out.header.is_some() => out.cells.push(obj),
+            _ => break,
+        }
+        out.valid_len += line.len() as u64;
+    }
+    Ok(out)
+}
+
+/// Truncate `path` to the valid prefix found by [`load`], discarding a torn
+/// tail so appends resume from a clean record boundary.
+pub fn recover(path: &Path, loaded: &LoadedStore) -> std::io::Result<()> {
+    let actual = std::fs::metadata(path)?.len();
+    if actual != loaded.valid_len {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(loaded.valid_len)?;
+    }
+    Ok(())
+}
+
+/// Append one pre-rendered record line (adds the newline) and flush.
+pub fn append_line(file: &mut std::fs::File, line: &str) -> std::io::Result<()> {
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HitMetric;
+    use stabcon_core::init::InitialCondition;
+    use stabcon_core::runner::SimSpec;
+    use stabcon_par::ThreadPool;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("stabcon-store-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    fn sample_lines() -> (StoreHeader, String, String) {
+        let header = StoreHeader {
+            name: "t".into(),
+            seed: 7,
+            trials: 4,
+            cells: 2,
+            fingerprint: 0xABCD,
+        };
+        let pool = ThreadPool::new(1);
+        let cell = CellSpec::new(
+            SimSpec::new(64).init(InitialCondition::TwoBins { left: 32 }),
+            4,
+            9,
+        )
+        .label("n", "64")
+        .metric(HitMetric::Consensus);
+        let agg = crate::cell::run_cell(&pool, &cell, 2);
+        let line = cell_line(&cell, &agg);
+        (header, line.clone(), line)
+    }
+
+    #[test]
+    fn round_trip_and_torn_tail_recovery() {
+        let (header, line_a, _) = sample_lines();
+        let path = tmp("roundtrip.jsonl");
+        let full = format!("{}\n{}\n", header.to_line(), line_a);
+        std::fs::write(&path, format!("{full}{{\"kind\": \"cell\", \"cel")).expect("write");
+
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.header.as_ref(), Some(&header));
+        assert_eq!(loaded.cells.len(), 1);
+        assert_eq!(loaded.done_ids(), vec![0]);
+        assert_eq!(loaded.valid_len, full.len() as u64);
+
+        recover(&path, &loaded).expect("recover");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), full);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_must_come_first() {
+        let (_, line_a, _) = sample_lines();
+        let path = tmp("headerless.jsonl");
+        std::fs::write(&path, format!("{line_a}\n")).expect("write");
+        let loaded = load(&path).expect("load");
+        assert!(loaded.header.is_none());
+        assert_eq!(loaded.valid_len, 0, "cells before a header are invalid");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cell_line_has_summary_fields() {
+        let (_, line, _) = sample_lines();
+        let obj = parse_flat(&line).expect("parse");
+        for k in ["cell", "trials", "hits", "mean", "p95", "validity_rate"] {
+            assert!(get(&obj, k).is_some(), "missing {k} in {line}");
+        }
+        assert_eq!(get(&obj, "n").and_then(|v| v.as_str()), Some("64"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Minimal JSON / JSON-Lines support for result stores and bench emitters.
+//!
+//! The offline dependency set has no `serde`, and before this module every
+//! JSON producer in the workspace hand-assembled strings with `write!` and
+//! no escaping. [`JsonObj`] / [`JsonArr`] are tiny append-only builders that
+//! escape every string field; [`parse_flat`] reads one *flat* object (scalar
+//! fields only) back, which is all the JSONL result store needs.
+//!
+//! Numbers are written either with Rust's shortest-roundtrip `Display`
+//! ([`JsonObj::f64_field`], lossless for the store) or with fixed decimals
+//! ([`JsonObj::fixed_field`], for human-facing bench output). Non-finite
+//! floats become `null` — JSON has no NaN/inf.
+
+use std::fmt::Write as _;
+
+/// Append the JSON string-literal escaping of `s` (without quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// The quoted JSON string literal for `s`.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Builder for one JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push_str(", ");
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\": ");
+    }
+
+    /// Add a string field (escaped).
+    pub fn str_field(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64_field(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field with shortest-roundtrip formatting (`null` when
+    /// non-finite).
+    pub fn f64_field(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        push_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Add a float field with fixed decimals (`null` when non-finite).
+    pub fn fixed_field(mut self, k: &str, v: f64, decimals: usize) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v:.decimals$}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool_field(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add an explicit `null` field.
+    pub fn null_field(mut self, k: &str) -> Self {
+        self.key(k);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Add a pre-rendered JSON value (nested object or array).
+    pub fn raw_field(mut self, k: &str, json: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Finish, returning the rendered object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Builder for one JSON array of pre-rendered values.
+#[derive(Debug, Clone, Default)]
+pub struct JsonArr {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArr {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Append a pre-rendered JSON value.
+    pub fn push_raw(&mut self, json: &str) {
+        if !self.first {
+            self.buf.push_str(", ");
+        }
+        self.first = false;
+        self.buf.push_str(json);
+    }
+
+    /// Finish, returning the rendered array.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+/// A scalar value parsed back from a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A string (unescaped).
+    Str(String),
+    /// An unsigned integer token, kept exact (a `u64` does not survive a
+    /// round trip through `f64` above 2⁵³ — seeds routinely exceed that).
+    Int(u64),
+    /// Any other JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number (integers lose precision
+    /// above 2⁵³ here — use [`JsonScalar::as_u64`] for exact values).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Int(x) => Some(*x as f64),
+            JsonScalar::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact `u64` (must have been written as a
+    /// non-negative integer token).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Int(x) => Some(*x),
+            JsonScalar::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < 9_007_199_254_740_992.0 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Fields of one flat JSON object, in declaration order.
+pub type FlatObject = Vec<(String, JsonScalar)>;
+
+/// Look up a field by key.
+pub fn get<'a>(obj: &'a FlatObject, key: &str) -> Option<&'a JsonScalar> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} in flat JSON",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn parse_string(&mut self, src: &'a str) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = src
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|e| format!("\\u: {e}"))?;
+                            // Basic-plane only; the writer never emits
+                            // surrogate pairs (it writes raw UTF-8).
+                            out.push(char::from_u32(code).ok_or("invalid \\u codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = &src[self.pos..];
+                    let c = rest.chars().next().ok_or("invalid UTF-8 boundary")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self, src: &'a str) -> Result<JsonScalar, String> {
+        match self.peek().ok_or("missing value")? {
+            b'"' => Ok(JsonScalar::Str(self.parse_string(src)?)),
+            b't' => self.keyword("true", JsonScalar::Bool(true)),
+            b'f' => self.keyword("false", JsonScalar::Bool(false)),
+            b'n' => self.keyword("null", JsonScalar::Null),
+            b'{' | b'[' => Err("nested values are not supported by parse_flat".into()),
+            _ => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = &src[start..self.pos];
+                if let Ok(i) = text.parse::<u64>() {
+                    return Ok(JsonScalar::Int(i));
+                }
+                text.parse::<f64>()
+                    .map(JsonScalar::Num)
+                    .map_err(|e| format!("bad number '{text}': {e}"))
+            }
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonScalar) -> Result<JsonScalar, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parse one flat JSON object (string/number/bool/null fields only).
+///
+/// Rejects nested objects/arrays and trailing garbage — the result-store
+/// records and campaign headers are all flat by construction.
+pub fn parse_flat(line: &str) -> Result<FlatObject, String> {
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cur.skip_ws();
+    cur.expect(b'{')?;
+    let mut fields = FlatObject::new();
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            cur.skip_ws();
+            let key = cur.parse_string(line)?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            cur.skip_ws();
+            let value = cur.parse_scalar(line)?;
+            fields.push((key, value));
+            cur.skip_ws();
+            match cur.peek() {
+                Some(b',') => cur.pos += 1,
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", cur.pos)),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != line.len() {
+        return Err(format!("trailing bytes after object at {}", cur.pos));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "he said \"hi\"\\ \n\t\r \u{1} κόσμε";
+        let line = JsonObj::new().str_field("s", nasty).finish();
+        let parsed = parse_flat(&line).expect("parse");
+        assert_eq!(get(&parsed, "s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn all_scalar_kinds_round_trip() {
+        let line = JsonObj::new()
+            .str_field("name", "two-bins(512)")
+            .u64_field("n", 1024)
+            .f64_field("mean", 13.625)
+            .bool_field("ok", true)
+            .null_field("missing")
+            .finish();
+        let obj = parse_flat(&line).expect("parse");
+        assert_eq!(get(&obj, "n").unwrap().as_u64(), Some(1024));
+        assert_eq!(get(&obj, "mean").unwrap().as_f64(), Some(13.625));
+        assert_eq!(get(&obj, "ok"), Some(&JsonScalar::Bool(true)));
+        assert_eq!(get(&obj, "missing"), Some(&JsonScalar::Null));
+        assert_eq!(get(&obj, "absent"), None);
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        let line = JsonObj::new().f64_field("x", f64::NAN).finish();
+        assert_eq!(line, "{\"x\": null}");
+    }
+
+    #[test]
+    fn fixed_decimals() {
+        let line = JsonObj::new().fixed_field("x", 1.23456, 2).finish();
+        assert_eq!(line, "{\"x\": 1.23}");
+    }
+
+    #[test]
+    fn arrays_nest_into_objects() {
+        let mut arr = JsonArr::new();
+        arr.push_raw(&JsonObj::new().u64_field("n", 1).finish());
+        arr.push_raw(&JsonObj::new().u64_field("n", 2).finish());
+        let line = JsonObj::new().raw_field("cells", &arr.finish()).finish();
+        assert_eq!(line, "{\"cells\": [{\"n\": 1}, {\"n\": 2}]}");
+    }
+
+    #[test]
+    fn shortest_roundtrip_is_lossless() {
+        for &x in &[0.1, 1.0 / 3.0, 123456789.123456, 2.0_f64.powi(-40)] {
+            let line = JsonObj::new().f64_field("x", x).finish();
+            let obj = parse_flat(&line).expect("parse");
+            assert_eq!(get(&obj, "x").unwrap().as_f64(), Some(x), "lossy: {x}");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat("{}").expect("parse").is_empty());
+        assert!(parse_flat("  { }  ").expect("parse").is_empty());
+    }
+
+    #[test]
+    fn rejects_nested_and_garbage() {
+        assert!(parse_flat("{\"a\": {\"b\": 1}}").is_err());
+        assert!(parse_flat("{\"a\": [1]}").is_err());
+        assert!(parse_flat("{\"a\": 1} extra").is_err());
+        assert!(parse_flat("{\"a\": 1").is_err());
+        assert!(parse_flat("").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let obj = parse_flat("{\"a\": -1.5e-3, \"b\": 1e6}").expect("parse");
+        assert_eq!(get(&obj, "a").unwrap().as_f64(), Some(-0.0015));
+        assert_eq!(get(&obj, "b").unwrap().as_u64(), Some(1_000_000));
+    }
+
+    #[test]
+    fn u64_round_trips_above_f64_precision() {
+        for v in [(1u64 << 53) + 1, u64::MAX, 0x20000000000001] {
+            let line = JsonObj::new().u64_field("seed", v).finish();
+            let obj = parse_flat(&line).expect("parse");
+            assert_eq!(get(&obj, "seed").unwrap().as_u64(), Some(v), "lossy: {v}");
+        }
+    }
+}

@@ -24,12 +24,15 @@
 //!   (Lemmas 8 and 9: multiplicative-drift chains and their hitting times).
 //! * [`table`] — plain-text / markdown / CSV table rendering for the
 //!   benchmark harness output.
+//! * [`jsonl`] — a minimal JSON writer (with proper string escaping) and a
+//!   flat-object parser for the campaign result store and bench emitters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;
 pub mod dist;
+pub mod jsonl;
 pub mod markov;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,161 @@
+//! Exact streaming counts over integer samples.
+//!
+//! Campaign sweeps fold millions of per-trial metrics (hitting times,
+//! winners) into per-cell aggregates without materializing the raw samples.
+//! Hitting times live in `0..max_rounds`, so a sparse value→count map is a
+//! *lossless* quantile sketch with memory bounded by the number of distinct
+//! values — and its summaries are bit-identical to the materialized
+//! computation (see [`crate::stats::quantile_counts`]).
+
+use std::collections::BTreeMap;
+
+use super::quantile::{quantile_counts, Quantiles};
+
+/// A sparse, exact counter of `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseCounts {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl SparseCounts {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, v: u64) {
+        *self.counts.entry(v).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `w` copies of `v`.
+    pub fn push_n(&mut self, v: u64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        *self.counts.entry(v).or_insert(0) += w;
+        self.total += w;
+    }
+
+    /// Merge another counter.
+    pub fn merge(&mut self, other: &SparseCounts) {
+        for (&v, &w) in &other.counts {
+            self.push_n(v, w);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct values (the sketch's memory footprint).
+    pub fn support(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(value, count)` pairs in ascending value order.
+    pub fn pairs(&self) -> Vec<(u64, u64)> {
+        self.counts.iter().map(|(&v, &w)| (v, w)).collect()
+    }
+
+    /// Exact mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let sum: f64 = self.counts.iter().map(|(&v, &w)| v as f64 * w as f64).sum();
+        sum / self.total as f64
+    }
+
+    /// Exact quantile (R type-7), bit-identical to sorting the expanded
+    /// samples.
+    ///
+    /// # Panics
+    /// Panics when empty or `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_counts(&self.pairs(), q)
+    }
+
+    /// The full [`Quantiles`] summary (`None` when empty).
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        (self.total > 0).then(|| Quantiles::from_counts(&self.pairs()))
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_summaries() {
+        let mut c = SparseCounts::new();
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            c.push(v);
+        }
+        assert_eq!(c.count(), 8);
+        assert_eq!(c.support(), 7);
+        assert_eq!(c.min(), Some(1));
+        assert_eq!(c.max(), Some(9));
+        let xs: Vec<f64> = [3u64, 1, 4, 1, 5, 9, 2, 6]
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let q = c.quantiles().expect("nonempty");
+        assert_eq!(q, Quantiles::from(&xs));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = SparseCounts::new();
+        let mut b = SparseCounts::new();
+        let mut whole = SparseCounts::new();
+        for i in 0..1000u64 {
+            let v = (i * 37) % 101;
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+            whole.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let c = SparseCounts::new();
+        assert!(c.is_empty());
+        assert!(c.mean().is_nan());
+        assert_eq!(c.quantiles(), None);
+        assert_eq!(c.min(), None);
+    }
+
+    #[test]
+    fn push_n_weights() {
+        let mut c = SparseCounts::new();
+        c.push_n(5, 3);
+        c.push_n(7, 0);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.support(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+}

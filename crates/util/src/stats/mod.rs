@@ -2,13 +2,15 @@
 //! confidence intervals, and least-squares scaling fits.
 
 mod ci;
+mod counts;
 mod histogram;
 mod quantile;
 mod regression;
 mod summary;
 
 pub use ci::{bootstrap_ci, normal_ci, normal_quantile, ConfidenceInterval};
+pub use counts::SparseCounts;
 pub use histogram::StreamingHistogram;
-pub use quantile::{median, quantile, Quantiles};
+pub use quantile::{median, quantile, quantile_counts, Quantiles};
 pub use regression::{fit_line, ols, LineFit, OlsFit};
 pub use summary::RunningStats;

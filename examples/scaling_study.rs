@@ -1,5 +1,9 @@
 //! Reproduce Figure 1 rows 1 and 2 at a configurable scale.
 //!
+//! The tables execute through the `stabcon-exp` campaign scheduler
+//! (streamed aggregates; see `examples/campaign_sweep.rs` for driving the
+//! campaign API directly, with checkpoint/resume).
+//!
 //! ```sh
 //! cargo run --release --example scaling_study            # compact sweep
 //! STABCON_FULL=1 cargo run --release --example scaling_study   # paper scale
@@ -15,7 +19,7 @@ fn main() {
             ns: vec![1 << 9, 1 << 10, 1 << 11, 1 << 12],
             trials: 25,
             seed: 0x5CA1E,
-            threads: stabcon::par::default_threads(),
+            ..Default::default()
         }
     };
 

@@ -14,6 +14,10 @@
 //!   model with logarithmic inbox caps;
 //! * [`analysis`] (`stabcon-analysis`) — parallel experiment sweeps,
 //!   convergence statistics, scaling fits, paper-table generators;
+//! * [`exp`] (`stabcon-exp`) — campaign orchestration: declarative grids,
+//!   sharded execution, streaming aggregation, a checkpoint/resume JSONL
+//!   result store, and the `stabcon` CLI (`stabcon campaign run/resume/
+//!   report`);
 //! * [`util`] (`stabcon-util`) — RNGs, random variates, statistics,
 //!   probability bounds, Markov tools;
 //! * [`par`] (`stabcon-par`) — the thread-pool / parallel-map executor.
@@ -33,6 +37,7 @@
 
 pub use stabcon_analysis as analysis;
 pub use stabcon_core as core;
+pub use stabcon_exp as exp;
 pub use stabcon_net as net;
 pub use stabcon_par as par;
 pub use stabcon_util as util;
