@@ -13,7 +13,7 @@ use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
-use stabcon_exp::{run_cell, CellSpec, ExtraMetric, HitMetric, DEFAULT_CHUNK};
+use stabcon_exp::{run_cell, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
 use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_sig, Table};
 
@@ -22,8 +22,12 @@ use stabcon_util::table::{fmt_sig, Table};
 /// round 0 — not expected here). Streamed through a campaign cell: the
 /// scalar is extracted worker-side and the trajectories never accumulate.
 fn mean_last_unsettled_round(pool: &ThreadPool, spec: &SimSpec, trials: u64, seed: u64) -> f64 {
-    let cell = CellSpec::new(spec.clone(), trials, seed).extra(ExtraMetric::LastUnsettledRound);
-    run_cell(pool, &cell, DEFAULT_CHUNK).extra().mean()
+    let cell =
+        CellSpec::new(spec.clone(), trials, seed).observer(TrialObserver::LastUnsettledRound);
+    run_cell(pool, &cell, DEFAULT_CHUNK)
+        .int_extra(0)
+        .expect("last-unsettled channel")
+        .mean()
 }
 
 /// E6: median vs minimum rule under the hide-and-revive adversary.

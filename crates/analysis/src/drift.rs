@@ -4,32 +4,42 @@
 //!   `≥ (3/2)Δ_t` and `Pr[Δ_{t+1} ≥ (4/3)Δ_t] ≥ 1 − exp(−Θ(Δ_t²/n))`.
 //! * Lemma 11: once `Δ ≥ n/3`, the minority bin collapses in `O(log log n)`
 //!   further rounds (successive squaring of the minority fraction).
+//!
+//! Both tables execute through the campaign scheduler: E10 as one-round
+//! cells with the [`TrialObserver::DriftGrowth`] observer (growth samples
+//! reduced worker-side from the per-round trajectory), E11 as plain
+//! consensus-hitting-time sweeps.
 
-use stabcon_core::engine::dense;
-use stabcon_core::protocol::MedianRule;
-use stabcon_core::value::Value;
-use stabcon_util::rng::derive_seed;
-use stabcon_util::stats::RunningStats;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_exp::{run_cell, sweep_stats, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
+use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_f64, fmt_sig, Table};
 
 use crate::scaling::{describe_line, fit_loglog_n};
 
-/// One median-rule step from a two-bin state with the given minority load.
-/// Returns the new minority load (bin 0 = minority side label).
-fn one_step_minority(n: usize, minority: usize, seed: u64) -> usize {
-    let mut old: Vec<Value> = vec![1; n];
-    for slot in old.iter_mut().take(minority) {
-        *slot = 0;
-    }
-    let mut new = vec![0; n];
-    dense::step_seq(&old, &mut new, &MedianRule, seed, 0);
-    new.iter().filter(|&&v| v == 0).count()
+/// The one-step cell for a starting minority load (shared by the driver and
+/// its parity test): one median-rule round from the two-bin state, with the
+/// drift observer reading the recorded round pair.
+fn one_step_cell(n: usize, minority: usize, trials: u64, seed: u64) -> CellSpec {
+    let sim = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: minority })
+        .max_rounds(1);
+    CellSpec::new(sim, trials, seed)
+        .observer(TrialObserver::DriftGrowth)
+        .label("minority", minority.to_string())
 }
 
 /// E10: one-step drift table. For each starting imbalance `Δ₀` (as a
 /// fraction of the Lemma-15 scale `√n`), measure `E[Δ₁/Δ₀]` and
 /// `Pr[Δ₁ ≥ (4/3)Δ₀]`.
-pub fn one_step_drift_table(n: usize, deltas_sqrt: &[f64], trials: u64, seed: u64) -> Table {
+pub fn one_step_drift_table(
+    n: usize,
+    deltas_sqrt: &[f64],
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Table {
     let sqrt_n = (n as f64).sqrt();
     let mut table = Table::new(
         format!("One-step drift (E10, Lemmas 12/15) at n = {n}"),
@@ -42,23 +52,17 @@ pub fn one_step_drift_table(n: usize, deltas_sqrt: &[f64], trials: u64, seed: u6
             "paper P-bound",
         ],
     );
+    let pool = ThreadPool::new(threads);
     for &ds in deltas_sqrt {
         let delta0 = (ds * sqrt_n).round() as usize;
         if delta0 == 0 || 2 * delta0 >= n {
             continue;
         }
         let minority = n / 2 - delta0;
-        let mut ratio = RunningStats::new();
-        let mut growth_hits = 0u64;
-        for tr in 0..trials {
-            let new_minority = one_step_minority(n, minority, derive_seed(seed, tr));
-            let delta1 = (n as f64 / 2.0 - new_minority as f64).abs();
-            ratio.push(delta1 / delta0 as f64);
-            if delta1 >= (4.0 / 3.0) * delta0 as f64 {
-                growth_hits += 1;
-            }
-        }
-        let p_growth = growth_hits as f64 / trials as f64;
+        let cell = one_step_cell(n, minority, trials, seed ^ delta0 as u64);
+        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let ratio = agg.float_extra(0).expect("drift_ratio channel");
+        let growth = agg.float_extra(1).expect("drift_growth channel");
         // Lemma 15's qualitative bound: 1 − exp(−Δ²/n) up to constants; we
         // print the Θ-form with constant 1 for orientation.
         let paper_p = 1.0 - (-((delta0 * delta0) as f64) / n as f64).exp();
@@ -66,7 +70,7 @@ pub fn one_step_drift_table(n: usize, deltas_sqrt: &[f64], trials: u64, seed: u6
             fmt_f64(ds, 2),
             delta0.to_string(),
             fmt_f64(ratio.mean(), 3),
-            fmt_f64(p_growth, 3),
+            fmt_f64(growth.mean(), 3),
             "≥ 1.5".into(),
             format!("≈ {}", fmt_sig(paper_p)),
         ]);
@@ -78,38 +82,32 @@ pub fn one_step_drift_table(n: usize, deltas_sqrt: &[f64], trials: u64, seed: u6
 
 /// E11: rounds from `Δ₀ = n/6` (minority n/3) to full consensus, vs
 /// `log log n` (Lemma 11's doubling regime).
-pub fn doubling_regime_table(ns: &[usize], trials: u64, seed: u64) -> Table {
+///
+/// Mean/max are over trials that *hit* consensus within the 10 000-round
+/// cap; the `hit%` column makes any timed-out trial visible (the paper's
+/// regime converges in a handful of rounds, so anything below 100 is a
+/// finding in itself).
+pub fn doubling_regime_table(ns: &[usize], trials: u64, seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "Doubling regime (E11, Lemma 11): Δ0 = n/6 → consensus",
-        &["n", "mean rounds", "max rounds", "ln ln n"],
+        &["n", "mean rounds", "max rounds", "hit%", "ln ln n"],
     );
+    let pool = ThreadPool::new(threads);
     let mut pts = Vec::new();
     for &n in ns {
-        let minority0 = n / 3;
-        let mut stats = RunningStats::new();
-        for tr in 0..trials {
-            let s = derive_seed(seed ^ n as u64, tr);
-            let mut state: Vec<Value> = vec![1; n];
-            for slot in state.iter_mut().take(minority0) {
-                *slot = 0;
-            }
-            let mut scratch = vec![0; n];
-            let mut rounds = 0u64;
-            for round in 0..10_000u64 {
-                if state.iter().all(|&v| v == state[0]) {
-                    break;
-                }
-                dense::step_seq(&state, &mut scratch, &MedianRule, s, round);
-                std::mem::swap(&mut state, &mut scratch);
-                rounds += 1;
-            }
-            stats.push(rounds as f64);
+        let sim = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 3 })
+            .max_rounds(10_000);
+        let stats = sweep_stats(&pool, &sim, trials, seed ^ n as u64, HitMetric::Consensus);
+        let q = stats.rounds.as_ref();
+        if stats.mean().is_finite() {
+            pts.push((n as f64, stats.mean()));
         }
-        pts.push((n as f64, stats.mean()));
         table.push_row(vec![
             n.to_string(),
             fmt_f64(stats.mean(), 2),
-            fmt_f64(stats.max(), 0),
+            fmt_f64(q.map(|q| q.max).unwrap_or(f64::NAN), 0),
+            format!("{:.0}", stats.hit_rate() * 100.0),
             fmt_f64((n as f64).ln().ln(), 3),
         ]);
     }
@@ -124,12 +122,14 @@ pub fn doubling_regime_table(ns: &[usize], trials: u64, seed: u64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stabcon_exp::{CellAggregate, TrialMetrics};
+    use stabcon_util::rng::derive_seed;
 
     #[test]
     fn drift_exceeds_paper_bound_in_regime() {
         // At Δ0 = 2√n the measured mean growth must be ≥ 1.3 (paper: 1.5 in
         // expectation for the idealized process; finite-n effects shave it).
-        let t = one_step_drift_table(4096, &[2.0], 200, 5);
+        let t = one_step_drift_table(4096, &[2.0], 200, 5, 2);
         let text = t.to_text();
         assert!(t.len() == 1, "{text}");
         // Extract the mean ratio cell and sanity-check it.
@@ -144,9 +144,49 @@ mod tests {
 
     #[test]
     fn doubling_regime_is_fast() {
-        let t = doubling_regime_table(&[512, 2048], 5, 6);
+        let t = doubling_regime_table(&[512, 2048], 5, 6, 2);
         assert_eq!(t.len(), 2);
         let text = t.to_text();
         assert!(text.contains("ln ln n"), "{text}");
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        // E10: the streamed observer fold equals the materialized fold, and
+        // the channel means equal the hand-computed trajectory statistics.
+        let (n, trials, seed) = (4096usize, 24u64, 5u64);
+        let delta0 = (2.0 * (n as f64).sqrt()).round() as usize; // Δ0 = 2√n
+        let minority = n / 2 - delta0;
+        let cell = one_step_cell(n, minority, trials, seed);
+        let pool = ThreadPool::new(4);
+        let streamed = run_cell(&pool, &cell, 3);
+        let mut materialized = CellAggregate::new();
+        let mut ratio_sum = 0.0f64;
+        let mut growth_hits = 0u64;
+        for i in 0..trials {
+            let r = cell.sim.run_seeded(derive_seed(cell.seed, i));
+            let traj = r.trajectory.as_ref().expect("recorded");
+            let (d0, d1) = (traj[0].imbalance, traj[1].imbalance);
+            ratio_sum += d1 / d0;
+            growth_hits += u64::from(d1 >= (4.0 / 3.0) * d0);
+            materialized.push(&TrialMetrics::capture(&r, cell.observer));
+        }
+        assert_eq!(streamed, materialized);
+        let ratio = streamed.float_extra(0).expect("ratio");
+        assert_eq!(ratio.count, trials);
+        assert_eq!(ratio.sum, ratio_sum, "trial-order fold must match");
+        let growth = streamed.float_extra(1).expect("growth");
+        assert_eq!(growth.sum, growth_hits as f64);
+
+        // E11: sweep_stats equals the materialized convergence fold.
+        use crate::experiment::{run_trials, ConvergenceStats};
+        let sim = SimSpec::new(512)
+            .init(InitialCondition::TwoBins { left: 512 / 3 })
+            .max_rounds(10_000);
+        let legacy =
+            ConvergenceStats::from_results(&run_trials(&sim, 6, 0xE11, 3), HitMetric::Consensus);
+        let ported = sweep_stats(&pool, &sim, 6, 0xE11, HitMetric::Consensus);
+        assert_eq!(legacy.rounds, ported.rounds);
+        assert_eq!(legacy.hits, ported.hits);
     }
 }

@@ -1,22 +1,29 @@
 //! Parallel trial sweeps and convergence statistics.
 //!
 //! The metric/summary types moved to `stabcon-exp` (the campaign subsystem
-//! owns sweep execution now) and are re-exported here unchanged;
-//! [`run_trials`] remains for drivers that genuinely need the materialized
-//! `Vec<RunResult>` (trajectory inspection, drift measurements). Grid-style
-//! table drivers should go through `stabcon_exp::sweep_stats` /
-//! `stabcon_exp::run_cell` instead, which stream per-cell aggregates and
-//! never materialize the batch.
+//! owns sweep execution now) and are re-exported here unchanged. Every
+//! driver executes through `stabcon_exp::sweep_stats` / `stabcon_exp::
+//! run_cell` (streamed per-cell aggregates, trajectory-derived extras via
+//! `stabcon_exp::TrialObserver`); [`run_trials`] survives only as the
+//! *materialized reference implementation* that the per-driver
+//! `campaign_port_is_numerically_unchanged` regression tests pin the
+//! streaming path against — no driver calls it outside tests.
 
 use stabcon_core::runner::{RunResult, SimSpec};
 use stabcon_util::rng::derive_seed;
 
 pub use stabcon_exp::metrics::{ConvergenceStats, HitMetric};
 
-/// Run `trials` independent trials of `spec` in parallel; trial `i` uses
-/// seed `derive_seed(master_seed, i)`, so results are reproducible and
-/// thread-count independent (the same derivation the campaign scheduler
-/// uses — a materialized sweep and a campaign cell see identical trials).
+/// Run `trials` independent trials of `spec` in parallel, materializing
+/// every `RunResult`; trial `i` uses seed `derive_seed(master_seed, i)`, so
+/// results are reproducible and thread-count independent (the same
+/// derivation the campaign scheduler uses — a materialized sweep and a
+/// campaign cell see identical trials).
+///
+/// **Test fixture.** Production drivers stream through
+/// `stabcon_exp::run_cell`; this stays as the independent reference the
+/// parity regression tests compare against (and for ad-hoc trajectory
+/// spelunking in examples).
 pub fn run_trials(spec: &SimSpec, trials: u64, master_seed: u64, threads: usize) -> Vec<RunResult> {
     let seeds: Vec<u64> = (0..trials).map(|i| derive_seed(master_seed, i)).collect();
     stabcon_par::par_map(threads, &seeds, |&s| spec.run_seeded(s))

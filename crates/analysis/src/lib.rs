@@ -4,12 +4,14 @@
 //! results table (Figure 1) and the theorem-level claims as *measured*
 //! tables.
 //!
-//! * [`experiment`] — parallel trial sweeps over [`stabcon_core::runner::SimSpec`]
-//!   with derived per-trial seeds, and convergence statistics (mean/p50/p95/
-//!   p99/max hitting times, timeout and validity rates; the stat types live
-//!   in `stabcon-exp` and are re-exported here). The `figure1` and
-//!   `baselines` drivers execute through the `stabcon-exp` campaign
-//!   scheduler (streamed aggregates, no materialized result vectors);
+//! * [`experiment`] — convergence statistics (mean/p50/p95/p99/max hitting
+//!   times, timeout and validity rates; the stat types live in
+//!   `stabcon-exp` and are re-exported here) plus the materialized
+//!   `run_trials` parity reference. **Every** table driver executes
+//!   through the `stabcon-exp` campaign scheduler (streamed aggregates, no
+//!   materialized result vectors; trajectory-derived extras through
+//!   `stabcon_exp::TrialObserver`), each pinned by a
+//!   `campaign_port_is_numerically_unchanged` regression test;
 //! * [`scaling`] — the paper's predictors as regression models: `log n`,
 //!   `log log n`, `log m · log log n + log n` (Theorem 20) and
 //!   `log m + log log n` (Theorem 21);

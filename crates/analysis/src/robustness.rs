@@ -5,13 +5,16 @@ use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::sweep_stats;
+use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
-use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use crate::experiment::{cell, HitMetric};
 use crate::figure1::sqrt_budget;
 
 /// Every protocol against every adversary at `T = √n/4`: mean rounds to
-/// (almost) stability, with the hit rate in parentheses.
+/// (almost) stability, with the hit rate in parentheses. Executes through
+/// the campaign scheduler (streamed per-pairing aggregates).
 pub fn tournament_table(n: usize, trials: u64, seed: u64, threads: usize) -> Table {
     let t_budget = sqrt_budget(n);
     let protocols = [
@@ -35,6 +38,7 @@ pub fn tournament_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tab
         format!("Tournament: rounds to (almost) stable consensus, n = {n}, T = {t_budget}"),
         &headers,
     );
+    let pool = ThreadPool::new(threads);
     for p in protocols {
         let mut row = vec![p.label()];
         for (ai, &adv) in adversaries.iter().enumerate() {
@@ -43,13 +47,11 @@ pub fn tournament_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tab
                 .protocol(p)
                 .adversary(adv, t_budget)
                 .max_rounds(1500);
-            let stats = ConvergenceStats::from_results(
-                &run_trials(
-                    &spec,
-                    trials,
-                    seed ^ ((ai as u64) << 24) ^ p.label().len() as u64,
-                    threads,
-                ),
+            let stats = sweep_stats(
+                &pool,
+                &spec,
+                trials,
+                seed ^ ((ai as u64) << 24) ^ p.label().len() as u64,
                 HitMetric::AlmostStable,
             );
             row.push(format!(
@@ -75,13 +77,17 @@ pub fn asynchrony_table(n: usize, alphas: &[f64], trials: u64, seed: u64, thread
         format!("α-asynchrony ablation: two bins at n = {n}"),
         &["alpha", "mean rounds", "p95", "mean · alpha", "hit%"],
     );
+    let pool = ThreadPool::new(threads);
     for &alpha in alphas {
         let spec = SimSpec::new(n)
             .init(InitialCondition::TwoBins { left: n / 2 })
             .update_fraction(alpha)
             .max_rounds(20_000);
-        let stats = ConvergenceStats::from_results(
-            &run_trials(&spec, trials, seed ^ (alpha * 1000.0) as u64, threads),
+        let stats = sweep_stats(
+            &pool,
+            &spec,
+            trials,
+            seed ^ (alpha * 1000.0) as u64,
             HitMetric::Consensus,
         );
         table.push_row(vec![
@@ -109,6 +115,45 @@ mod tests {
         let text = t.to_text();
         assert!(text.contains("median"), "{text}");
         assert!(text.contains("stubborn"), "{text}");
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        use crate::experiment::{run_trials, ConvergenceStats};
+        let (n, trials, seed) = (256usize, 3u64, 5u64);
+        let text = tournament_table(n, trials, seed, 2).to_text();
+        let t_budget = sqrt_budget(n);
+        // Spot-check two pairings against the materialized path.
+        for (p, ai, adv) in [
+            (ProtocolSpec::Median, 2usize, AdversarySpec::Balancer),
+            (ProtocolSpec::Voter, 0, AdversarySpec::None),
+        ] {
+            let spec = SimSpec::new(n)
+                .init(InitialCondition::UniformRandom { m: 5 })
+                .protocol(p)
+                .adversary(adv, t_budget)
+                .max_rounds(1500);
+            let legacy = ConvergenceStats::from_results(
+                &run_trials(
+                    &spec,
+                    trials,
+                    seed ^ ((ai as u64) << 24) ^ p.label().len() as u64,
+                    3,
+                ),
+                HitMetric::AlmostStable,
+            );
+            let expected = format!(
+                "{} ({:.0}%)",
+                cell(legacy.mean()),
+                legacy.hit_rate() * 100.0
+            );
+            assert!(
+                text.contains(&expected),
+                "{}/{}: materialized cell '{expected}' missing from\n{text}",
+                p.label(),
+                adv.label()
+            );
+        }
     }
 
     #[test]

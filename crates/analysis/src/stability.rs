@@ -3,18 +3,50 @@
 //! The paper's definition demands more than hitting a good state once — it
 //! must *persist*: for every round after `r`, all but `O(T)` processes hold
 //! `v`. We run past the hit for a long horizon under each adversary and
-//! report the worst disagreement ever seen after stabilization.
+//! report the worst disagreement ever seen after stabilization, plus how
+//! many post-hit rounds even left the `O(T)` band at all (excursions).
+//!
+//! Executes through the campaign scheduler with the
+//! [`TrialObserver::StabilityExcursions`] observer: each worker reduces its
+//! trial's trajectory to three scalars (raw hit round, max post-hit
+//! disagreement, excursion-round count) and the full-horizon trajectories
+//! never accumulate.
 
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::{run_cell, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
+use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
-use crate::experiment::run_trials;
+/// The cell the stability horizon runs per adversary (shared by the driver
+/// and its parity test).
+fn horizon_cell(
+    n: usize,
+    adv: AdversarySpec,
+    trials: u64,
+    horizon: u64,
+    t_budget: u64,
+    seed: u64,
+) -> CellSpec {
+    let spec = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .adversary(adv, t_budget)
+        .max_rounds(horizon)
+        .full_horizon(true);
+    let observer = TrialObserver::StabilityExcursions {
+        n: n as u64,
+        threshold: spec.disagreement_threshold(),
+    };
+    CellSpec::new(spec, trials, seed ^ adv.label().len() as u64)
+        .metric(HitMetric::AlmostStable)
+        .observer(observer)
+        .label("adversary", adv.label())
+}
 
 /// For each adversary, run `horizon_mult·⌈log₂ n⌉` rounds at `T = √n` and
-/// report: hit rate, mean hit round, and the maximum post-hit disagreement
-/// (in units of `T`).
+/// report: hit rate, mean hit round, the maximum post-hit disagreement (in
+/// units of `T`), and the mean number of post-hit excursion rounds.
 pub fn stability_horizon_table(
     n: usize,
     adversaries: &[AdversarySpec],
@@ -34,48 +66,39 @@ pub fn stability_horizon_table(
             "mean hit round",
             "max post-hit disagreement",
             "…in units of T",
+            "mean excursion rounds",
         ],
     );
+    let pool = ThreadPool::new(threads);
     for &adv in adversaries {
-        let spec = SimSpec::new(n)
-            .init(InitialCondition::TwoBins { left: n / 2 })
-            .adversary(adv, t_budget)
-            .max_rounds(horizon)
-            .full_horizon(true);
-        let results = run_trials(&spec, trials, seed ^ adv.label().len() as u64, threads);
-        let hits: Vec<&stabcon_core::runner::RunResult> = results
-            .iter()
-            .filter(|r| r.almost_stable_round.is_some())
-            .collect();
-        let hit_rate = hits.len() as f64 / results.len() as f64;
-        let mean_hit: f64 = if hits.is_empty() {
-            f64::NAN
-        } else {
-            hits.iter()
-                .map(|r| r.almost_stable_round.expect("filtered") as f64)
-                .sum::<f64>()
-                / hits.len() as f64
-        };
-        let worst_post = hits
-            .iter()
-            .filter_map(|r| r.max_disagreement_after_stable)
-            .max()
-            .unwrap_or(0);
+        let cell = horizon_cell(n, adv, trials, horizon, t_budget, seed);
+        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let stable = agg.int_extra(0).expect("stable_round channel");
+        let post = agg.int_extra(1).expect("post_disagreement channel");
+        let excursions = agg.int_extra(2).expect("excursion_rounds channel");
+        let hit_rate = stable.count() as f64 / agg.trials() as f64;
+        let worst_post = post.max().unwrap_or(0);
         table.push_row(vec![
             adv.label().to_string(),
             format!("{:.0}", hit_rate * 100.0),
-            crate::experiment::cell(mean_hit),
+            crate::experiment::cell(stable.mean()),
             worst_post.to_string(),
             format!("{:.2}", worst_post as f64 / t_budget as f64),
+            crate::experiment::cell(excursions.mean()),
         ]);
     }
-    table.push_note("paper: after round r, all but O(T) processes agree — the last column is the measured constant");
+    table.push_note("paper: after round r, all but O(T) processes agree — the disagreement column is the measured constant");
+    table.push_note(
+        "excursion rounds: post-hit rounds whose plurality left more than the O(T) threshold disagreeing",
+    );
     table
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stabcon_exp::{CellAggregate, TrialMetrics};
+    use stabcon_util::rng::derive_seed;
 
     #[test]
     fn horizon_table_bounds_disagreement() {
@@ -91,5 +114,47 @@ mod tests {
         let text = t.to_text();
         assert!(text.contains("random"), "{text}");
         assert!(text.contains("balancer"), "{text}");
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        // The streamed observer path must equal the materialized fold: run
+        // every trial seed by hand, capture with the same observer, fold in
+        // trial order, and compare whole aggregates.
+        let (n, trials, horizon_mult, seed) = (1024usize, 5u64, 30u64, 3u64);
+        let t_budget = crate::figure1::sqrt_budget(n);
+        let horizon = horizon_mult * (n.max(2) as f64).log2().ceil() as u64;
+        for adv in [AdversarySpec::Random, AdversarySpec::Balancer] {
+            let cell = horizon_cell(n, adv, trials, horizon, t_budget, seed);
+            let mut materialized = CellAggregate::new();
+            for i in 0..cell.trials {
+                let r = cell.sim.run_seeded(derive_seed(cell.seed, i));
+                materialized.push(&TrialMetrics::capture(&r, cell.observer));
+            }
+            let pool = ThreadPool::new(4);
+            let streamed = run_cell(&pool, &cell, 2);
+            assert_eq!(streamed, materialized, "{}", adv.label());
+            // And the legacy per-result formulas agree with the channels.
+            let results: Vec<_> = (0..cell.trials)
+                .map(|i| cell.sim.run_seeded(derive_seed(cell.seed, i)))
+                .collect();
+            let hits: Vec<_> = results
+                .iter()
+                .filter(|r| r.almost_stable_round.is_some())
+                .collect();
+            assert_eq!(
+                streamed.int_extra(0).expect("stable").count(),
+                hits.len() as u64
+            );
+            let worst = hits
+                .iter()
+                .filter_map(|r| r.max_disagreement_after_stable)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                streamed.int_extra(1).expect("post").max().unwrap_or(0),
+                worst
+            );
+        }
     }
 }

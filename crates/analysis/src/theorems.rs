@@ -4,39 +4,40 @@
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::sweep_stats;
+use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
-use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use crate::experiment::{cell, HitMetric};
 use crate::scaling::{describe_line, fit_log_n};
 
 /// E4: for each constant `m`, sweep `n` with a √n balancing/random adversary
-/// and fit `log n`.
+/// and fit `log n`. Executes through the campaign scheduler
+/// ([`stabcon_exp::run_cell`]): per-point trials are sharded on a shared
+/// pool and folded streamingly, never materialized.
 pub fn constant_m_table(ms: &[u32], ns: &[usize], trials: u64, seed: u64, threads: usize) -> Table {
     let mut table = Table::new(
         "Theorem 2 (E4): constant #values, √n-bounded adversary — rounds to almost stable consensus",
         &["m", "n", "T", "balancer mean", "balancer p95", "random mean", "hit%"],
     );
+    let pool = ThreadPool::new(threads);
     for &m in ms {
         let mut pts = Vec::new();
         for &n in ns {
             let t = crate::figure1::sqrt_budget(n);
             let base = SimSpec::new(n).init(InitialCondition::MBinsEqual { m });
-            let bal = ConvergenceStats::from_results(
-                &run_trials(
-                    &base.clone().adversary(AdversarySpec::Balancer, t),
-                    trials,
-                    seed ^ (m as u64) << 32 ^ n as u64,
-                    threads,
-                ),
+            let bal = sweep_stats(
+                &pool,
+                &base.clone().adversary(AdversarySpec::Balancer, t),
+                trials,
+                seed ^ (m as u64) << 32 ^ n as u64,
                 HitMetric::AlmostStable,
             );
-            let rnd = ConvergenceStats::from_results(
-                &run_trials(
-                    &base.clone().adversary(AdversarySpec::Random, t),
-                    trials,
-                    seed ^ (m as u64) << 33 ^ n as u64,
-                    threads,
-                ),
+            let rnd = sweep_stats(
+                &pool,
+                &base.clone().adversary(AdversarySpec::Random, t),
+                trials,
+                seed ^ (m as u64) << 33 ^ n as u64,
                 HitMetric::AlmostStable,
             );
             if bal.mean().is_finite() {
@@ -73,5 +74,34 @@ mod tests {
         let t = constant_m_table(&[2, 3], &[128, 256], 4, 5, 2);
         assert_eq!(t.len(), 4);
         assert!(t.to_text().contains("m = 2"));
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        // Acceptance criterion: the sweep_stats port reproduces the
+        // materialized `run_trials` + `from_results` numbers exactly.
+        use crate::experiment::{run_trials, ConvergenceStats};
+        let (ms, ns, trials, seed) = ([2u32, 3], [128usize, 256], 4u64, 5u64);
+        let text = constant_m_table(&ms, &ns, trials, seed, 2).to_text();
+        for m in ms {
+            for n in ns {
+                let t = crate::figure1::sqrt_budget(n);
+                let base = SimSpec::new(n).init(InitialCondition::MBinsEqual { m });
+                let legacy = ConvergenceStats::from_results(
+                    &run_trials(
+                        &base.clone().adversary(AdversarySpec::Balancer, t),
+                        trials,
+                        seed ^ (m as u64) << 32 ^ n as u64,
+                        3,
+                    ),
+                    HitMetric::AlmostStable,
+                );
+                assert!(
+                    text.contains(&cell(legacy.mean())),
+                    "m={m} n={n}: materialized balancer mean {} missing from\n{text}",
+                    cell(legacy.mean())
+                );
+            }
+        }
     }
 }

@@ -10,12 +10,15 @@
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::sweep_stats;
+use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
-use crate::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use crate::experiment::{cell, HitMetric};
 
 /// Sweep `T = n^α` for the given exponents; a trial "stabilizes" if it
 /// reaches almost-stability within `round_cap_mult · ⌈log₂ n⌉` rounds.
+/// Executes through the campaign scheduler (streamed per-point aggregates).
 pub fn threshold_table(
     n: usize,
     alphas: &[f64],
@@ -30,6 +33,7 @@ pub fn threshold_table(
         format!("Adversary threshold (E5): balancer with T = n^α at n = {n}, cap = {cap} rounds"),
         &["alpha", "T", "stabilized%", "mean rounds", "p95 rounds"],
     );
+    let pool = ThreadPool::new(threads);
     for &alpha in alphas {
         assert!((0.0..1.0).contains(&alpha), "alpha out of range");
         let t = (n as f64).powf(alpha).round().max(1.0) as u64;
@@ -37,10 +41,7 @@ pub fn threshold_table(
             .init(InitialCondition::TwoBins { left: n / 2 })
             .adversary(AdversarySpec::Balancer, t)
             .max_rounds(cap);
-        let stats = ConvergenceStats::from_results(
-            &run_trials(&spec, trials, seed ^ t, threads),
-            HitMetric::AlmostStable,
-        );
+        let stats = sweep_stats(&pool, &spec, trials, seed ^ t, HitMetric::AlmostStable);
         table.push_row(vec![
             format!("{alpha:.2}"),
             t.to_string(),
@@ -130,6 +131,34 @@ mod tests {
     #[should_panic]
     fn alpha_must_be_fraction() {
         threshold_table(64, &[1.5], 1, 10, 1, 1);
+    }
+
+    #[test]
+    fn campaign_port_is_numerically_unchanged() {
+        use crate::experiment::{run_trials, ConvergenceStats};
+        let (n, alphas, trials, cap_mult, seed) = (256usize, [0.2f64, 0.9], 6u64, 30u64, 7u64);
+        let text = threshold_table(n, &alphas, trials, cap_mult, seed, 2).to_text();
+        let cap = cap_mult * (n.max(2) as f64).log2().ceil() as u64;
+        for alpha in alphas {
+            let t = (n as f64).powf(alpha).round().max(1.0) as u64;
+            let spec = SimSpec::new(n)
+                .init(InitialCondition::TwoBins { left: n / 2 })
+                .adversary(AdversarySpec::Balancer, t)
+                .max_rounds(cap);
+            let legacy = ConvergenceStats::from_results(
+                &run_trials(&spec, trials, seed ^ t, 3),
+                HitMetric::AlmostStable,
+            );
+            assert!(
+                text.contains(&cell(legacy.mean())),
+                "alpha={alpha}: materialized mean {} missing from\n{text}",
+                cell(legacy.mean())
+            );
+            assert!(
+                text.contains(&format!("{:.0}", legacy.hit_rate() * 100.0)),
+                "alpha={alpha}: materialized hit rate missing from\n{text}"
+            );
+        }
     }
 
     #[test]

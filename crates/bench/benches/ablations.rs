@@ -6,15 +6,17 @@
 //! * **rule comparison** on many initial values: median vs 3-majority vs
 //!   voter (single choice).
 
-use stabcon_analysis::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
+use stabcon_analysis::experiment::{cell, HitMetric};
 use stabcon_bench::scaled_trials;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
+use stabcon_exp::sweep_stats;
+use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
 fn main() {
-    let threads = stabcon_par::default_threads();
+    let pool = ThreadPool::new(stabcon_par::default_threads());
     let trials = scaled_trials(30, 5);
 
     // --- Ablation 1: k choices ---
@@ -41,26 +43,22 @@ fn main() {
         } else {
             "even (low-biased)"
         };
-        let two = ConvergenceStats::from_results(
-            &run_trials(
-                &SimSpec::new(n)
-                    .init(InitialCondition::TwoBins { left: n / 2 })
-                    .protocol(ProtocolSpec::KMedian(k)),
-                trials,
-                0xAB1 ^ k as u64,
-                threads,
-            ),
+        let two = sweep_stats(
+            &pool,
+            &SimSpec::new(n)
+                .init(InitialCondition::TwoBins { left: n / 2 })
+                .protocol(ProtocolSpec::KMedian(k)),
+            trials,
+            0xAB1 ^ k as u64,
             HitMetric::Consensus,
         );
-        let uni = ConvergenceStats::from_results(
-            &run_trials(
-                &SimSpec::new(n)
-                    .init(InitialCondition::UniformRandom { m: 9 })
-                    .protocol(ProtocolSpec::KMedian(k)),
-                trials,
-                0xAB2 ^ k as u64,
-                threads,
-            ),
+        let uni = sweep_stats(
+            &pool,
+            &SimSpec::new(n)
+                .init(InitialCondition::UniformRandom { m: 9 })
+                .protocol(ProtocolSpec::KMedian(k)),
+            trials,
+            0xAB2 ^ k as u64,
             HitMetric::Consensus,
         );
         table.push_row(vec![
@@ -92,13 +90,13 @@ fn main() {
             .init(InitialCondition::AllDistinct)
             .protocol(p)
             .max_rounds(3000);
-        let results = run_trials(
+        let stats = sweep_stats(
+            &pool,
             &spec,
             trials.min(15),
             0xAB3 ^ p.label().len() as u64,
-            threads,
+            HitMetric::Consensus,
         );
-        let stats = ConvergenceStats::from_results(&results, HitMetric::Consensus);
         table.push_row(vec![
             p.label(),
             cell(stats.mean()),

@@ -5,9 +5,16 @@ use stabcon_analysis::drift::{doubling_regime_table, one_step_drift_table};
 use stabcon_bench::scaled_trials;
 
 fn main() {
+    let threads = stabcon_par::default_threads();
     let trials = scaled_trials(400, 50);
     eprintln!("[E10] one-step drift × {trials} trials…");
-    let t1 = one_step_drift_table(1 << 14, &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0], trials, 0xE10);
+    let t1 = one_step_drift_table(
+        1 << 14,
+        &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+        trials,
+        0xE10,
+        threads,
+    );
     println!("{}", t1.to_text());
 
     let trials = scaled_trials(60, 10);
@@ -16,6 +23,7 @@ fn main() {
         &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18],
         trials,
         0xE11,
+        threads,
     );
     print!("{}", t2.to_text());
 }

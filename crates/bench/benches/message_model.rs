@@ -3,6 +3,9 @@
 //! Convergence should stay O(log n), degrading gracefully as the cap
 //! tightens.
 
+// This bench still materializes results on purpose: it aggregates
+// `RunResult::net_totals` (request/drop counters), which the campaign
+// cells don't carry yet — the ROADMAP's "message-model campaigns" item.
 use stabcon_analysis::experiment::{cell, run_trials, ConvergenceStats, HitMetric};
 use stabcon_bench::scaled_trials;
 use stabcon_core::engine::{DropSpec, EngineSpec, MessageConfig, OnMissing};

@@ -1,0 +1,275 @@
+//! Bench-regression gate: compare a fresh `BENCH_engine.json` against the
+//! committed baseline and fail if a gated throughput metric regressed by
+//! more than the tolerance.
+//!
+//! ```text
+//! bench_gate BASELINE.json FRESH.json [--max-regression 0.25]
+//! ```
+//!
+//! Gated metrics:
+//!
+//! * `campaign.trials_per_sec` — full-trial throughput through the
+//!   `stabcon-exp` scheduler (what bounds results-table reproduction);
+//! * `rounds_per_sec` entries with `engine == "dense-seq"` (the
+//!   monomorphized dense hot path), one metric per population size.
+//!
+//! **Machine normalization.** The baseline is a *committed* file, so the
+//! fresh run usually executes on a different machine (a CI runner vs the
+//! laptop that produced the baseline) — comparing absolute throughput
+//! would gate machine speed, not the code. Each file therefore carries its
+//! own calibration: the `dense-seq-dyn-step-only` entry at n = 10⁴, the
+//! seed repository's legacy round loop kept verbatim precisely as an
+//! optimization-free yardstick. Every gated metric is divided by its own
+//! file's calibration value before the ratio is taken, so the gate
+//! measures *our code relative to the same machine's untouched baseline
+//! path* (a falling ratio means the scheduler or hot path got slower
+//! relative to the hardware, wherever the bench ran). Pass `--absolute`
+//! to skip normalization when both files come from the same machine.
+//!
+//! The default 25% tolerance absorbs shared-CI-runner noise on top of
+//! that; a genuine scheduler or hot-path regression lands far beyond it.
+//! The comparison table is printed either way. A metric missing from the
+//! *baseline* is reported and skipped (older baselines predate some
+//! metrics); a metric missing from the *fresh* file fails the gate — the
+//! bench stopped measuring something we gate on.
+
+use std::process::ExitCode;
+
+/// The machine-speed yardstick: the verbatim legacy (dyn-dispatch,
+/// per-ball-RNG) step loop at n = 10⁴, which no PR optimizes.
+const CALIBRATION_ENGINE: &str = "dense-seq-dyn-step-only";
+const CALIBRATION_N: f64 = 10_000.0;
+
+/// Scan `text` from `from`, returning the f64 right after the next
+/// occurrence of `"<key>":` (tolerating whitespace), plus the position
+/// after the match.
+fn number_after(text: &str, from: usize, key: &str) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\"");
+    let rel = text[from..].find(&pat)?;
+    let mut pos = from + rel + pat.len();
+    let bytes = text.as_bytes();
+    while bytes
+        .get(pos)
+        .is_some_and(|b| b.is_ascii_whitespace() || *b == b':')
+    {
+        pos += 1;
+    }
+    let start = pos;
+    while bytes
+        .get(pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(*b, b'.' | b'-' | b'+' | b'e' | b'E'))
+    {
+        pos += 1;
+    }
+    text[start..pos].parse().ok().map(|v| (v, pos))
+}
+
+/// `rounds_per_sec` entries for one engine name, as `(n, value)` pairs.
+fn engine_entries(text: &str, engine: &str) -> Vec<(f64, f64)> {
+    let pat = format!("\"engine\": \"{engine}\"");
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(&pat) {
+        let at = from + rel;
+        let Some((n, after_n)) = number_after(text, at, "n") else {
+            break;
+        };
+        if let Some((rps, _)) = number_after(text, after_n, "rounds_per_sec") {
+            out.push((n, rps));
+        }
+        from = after_n;
+    }
+    out
+}
+
+/// The file's machine-speed calibration value, if present.
+fn calibration(text: &str) -> Option<f64> {
+    engine_entries(text, CALIBRATION_ENGINE)
+        .into_iter()
+        .find(|&(n, _)| n == CALIBRATION_N)
+        .map(|(_, v)| v)
+        .filter(|v| *v > 0.0)
+}
+
+/// Every gated metric in one bench file, as `(name, value)` pairs.
+/// The exact engine-name match excludes "dense-seq-dyn" etc.
+fn gated_metrics(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = engine_entries(text, "dense-seq")
+        .into_iter()
+        .map(|(n, rps)| (format!("dense-seq rounds/sec @ n={n}"), rps))
+        .collect();
+    // Campaign scheduler throughput.
+    if let Some(at) = text.find("\"campaign\"") {
+        if let Some((tps, _)) = number_after(text, at, "trials_per_sec") {
+            out.push(("campaign trials/sec".into(), tps));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut absolute = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regression" => {
+                let Some(v) = it.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--max-regression: expected a fraction like 0.25");
+                    return ExitCode::FAILURE;
+                };
+                max_regression = v;
+            }
+            "--absolute" => absolute = true,
+            _ => paths.push(arg.clone()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_gate BASELINE.json FRESH.json [--max-regression 0.25] [--absolute]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("{p}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let base_metrics = gated_metrics(&baseline);
+    let fresh_metrics = gated_metrics(&fresh);
+    if base_metrics.is_empty() {
+        eprintln!(
+            "warning: no gated metrics found in baseline {baseline_path} — nothing to compare"
+        );
+        return ExitCode::SUCCESS;
+    }
+    // Per-file machine-speed normalization (see the module docs). Without
+    // a calibration entry on either side, fall back to absolute and say so.
+    let (base_cal, fresh_cal) = if absolute {
+        (1.0, 1.0)
+    } else {
+        match (calibration(&baseline), calibration(&fresh)) {
+            (Some(b), Some(f)) => {
+                println!(
+                    "machine calibration ({CALIBRATION_ENGINE} @ n={CALIBRATION_N}): \
+                     baseline {b:.2}, fresh {f:.2} rounds/sec — gating normalized ratios"
+                );
+                (b, f)
+            }
+            _ => {
+                println!(
+                    "warning: no {CALIBRATION_ENGINE} calibration entry in one of the files — \
+                     comparing absolute throughput (cross-machine comparisons will be noisy)"
+                );
+                (1.0, 1.0)
+            }
+        }
+    };
+
+    println!(
+        "{:<34} {:>14} {:>14} {:>8}  verdict (tolerance −{:.0}%)",
+        "metric",
+        "baseline",
+        "fresh",
+        "ratio",
+        max_regression * 100.0
+    );
+    let mut failed = false;
+    for (name, base) in &base_metrics {
+        match fresh_metrics.iter().find(|(n, _)| n == name) {
+            Some((_, new)) if *base > 0.0 => {
+                let ratio = (new / fresh_cal) / (base / base_cal);
+                let ok = ratio >= 1.0 - max_regression;
+                println!(
+                    "{name:<34} {base:>14.2} {new:>14.2} {ratio:>7.2}x  {}",
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                failed |= !ok;
+            }
+            Some((_, new)) => {
+                println!("{name:<34} {base:>14.2} {new:>14.2}      —   skipped (zero baseline)");
+            }
+            None => {
+                println!(
+                    "{name:<34} {base:>14.2} {:>14}      —   MISSING from fresh run",
+                    "—"
+                );
+                failed = true;
+            }
+        }
+    }
+    for (name, _) in &fresh_metrics {
+        if !base_metrics.iter().any(|(n, _)| n == name) {
+            println!("{name:<34} (new metric — no baseline yet, not gated)");
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench gate: regression beyond {:.0}% (or a gated metric disappeared)",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "stabcon-engine-bench/1",
+  "rounds_per_sec": [
+    {"engine": "dense-seq", "n": 10000, "rounds_per_sec": 8000.5},
+    {"engine": "dense-seq-dyn", "n": 10000, "rounds_per_sec": 5500.0},
+    {"engine": "dense-seq-dyn-step-only", "n": 10000, "rounds_per_sec": 11000.0},
+    {"engine": "dense-seq-dyn-step-only", "n": 1000000, "rounds_per_sec": 48.0},
+    {"engine": "dense-seq", "n": 1000000, "rounds_per_sec": 82.25}
+  ],
+  "campaign": {"n": 10000, "trials": 640, "trials_per_sec": 1234.56}
+}"#;
+
+    #[test]
+    fn extracts_exactly_the_gated_metrics() {
+        let m = gated_metrics(SAMPLE);
+        assert_eq!(
+            m,
+            vec![
+                ("dense-seq rounds/sec @ n=10000".to_string(), 8000.5),
+                ("dense-seq rounds/sec @ n=1000000".to_string(), 82.25),
+                ("campaign trials/sec".to_string(), 1234.56),
+            ],
+            "dyn entries must not be gated"
+        );
+    }
+
+    #[test]
+    fn single_line_json_parses_too() {
+        let flat = SAMPLE.replace('\n', " ");
+        assert_eq!(gated_metrics(&flat).len(), 3);
+    }
+
+    #[test]
+    fn calibration_picks_the_legacy_step_loop_at_small_n() {
+        assert_eq!(
+            calibration(SAMPLE),
+            Some(11000.0),
+            "must take the n=10⁴ entry"
+        );
+        assert_eq!(calibration("{}"), None);
+    }
+
+    #[test]
+    fn number_scanner_handles_whitespace_and_exponents() {
+        let (v, _) = number_after("\"x\":   1.5e2,", 0, "x").expect("parse");
+        assert_eq!(v, 150.0);
+        assert!(number_after("\"y\": 3", 0, "x").is_none());
+    }
+}

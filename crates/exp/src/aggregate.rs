@@ -9,27 +9,22 @@
 //! lossless for integer samples and the fold order is the global trial
 //! order, the aggregate is bit-identical to the materialized computation
 //! for any thread count and any chunking.
+//!
+//! Extra metrics beyond the universal hitting-time/winner set come from a
+//! [`TrialObserver`] (see [`crate::observer`]): per-trial values are reduced
+//! worker-side into [`TrialExtras`] channels and folded here — integer
+//! channels into [`SparseCounts`], float channels into trial-order
+//! [`FloatMoments`].
 
 use stabcon_core::runner::RunResult;
 use stabcon_core::value::Value;
 use stabcon_util::stats::SparseCounts;
 
 use crate::metrics::{ConvergenceStats, HitMetric};
-
-/// An optional extra per-trial scalar, extracted worker-side (it may need
-/// the trajectory, which is dropped with the `RunResult`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExtraMetric {
-    /// No extra metric.
-    #[default]
-    None,
-    /// The last round in which more than one value was present (requires
-    /// trajectory recording; the minimum-rule counterexample's metric).
-    LastUnsettledRound,
-}
+use crate::observer::{FloatMoments, TrialChannel, TrialExtras, TrialObserver};
 
 /// Everything the aggregator keeps from one trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialMetrics {
     /// First full-consensus round, if reached.
     pub consensus: Option<u64>,
@@ -42,43 +37,110 @@ pub struct TrialMetrics {
     pub winner_valid: bool,
     /// Protocol rounds executed.
     pub rounds_executed: u64,
-    /// The extra scalar, when an [`ExtraMetric`] was requested.
-    pub extra: Option<u64>,
+    /// The observer's extra channels (empty for [`TrialObserver::None`]).
+    pub extras: TrialExtras,
 }
 
 impl TrialMetrics {
-    /// Reduce one run result, computing the extra metric if requested.
+    /// Reduce one run result, capturing the observer's extra channels.
     ///
-    /// # Panics
-    /// Panics if `extra` is [`ExtraMetric::LastUnsettledRound`] and the run
-    /// did not record a trajectory.
-    pub fn capture(r: &RunResult, extra: ExtraMetric) -> Self {
-        let extra = match extra {
-            ExtraMetric::None => None,
-            ExtraMetric::LastUnsettledRound => Some(
-                r.trajectory
-                    .as_ref()
-                    .expect("trajectory recording required")
-                    .iter()
-                    .filter(|obs| obs.support > 1)
-                    .map(|obs| obs.round)
-                    .max()
-                    .unwrap_or(0),
-            ),
-        };
+    /// Never panics: a trajectory-needing observer on a run that did not
+    /// record a trajectory emits no-sample sentinels (which the sketches
+    /// skip) instead of the panic this path used to raise.
+    pub fn capture(r: &RunResult, observer: TrialObserver) -> Self {
         Self {
             consensus: r.consensus_round,
             almost: r.almost_stable_round.or(r.consensus_round),
             winner: r.winner,
             winner_valid: r.winner_valid,
             rounds_executed: r.rounds_executed,
-            extra,
+            extras: observer.capture(r),
+        }
+    }
+}
+
+/// One extra-metric channel's cell-level aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelAggregate {
+    /// Exact distribution sketch of an integer channel.
+    Int(SparseCounts),
+    /// Trial-order moments of a float channel.
+    Float(FloatMoments),
+}
+
+impl ChannelAggregate {
+    fn for_trial_channel(ch: &TrialChannel) -> Self {
+        match ch {
+            TrialChannel::Int(_) => ChannelAggregate::Int(SparseCounts::new()),
+            TrialChannel::Float(_) => ChannelAggregate::Float(FloatMoments::new()),
+        }
+    }
+
+    fn fold(&mut self, ch: &TrialChannel) {
+        match (self, ch) {
+            (ChannelAggregate::Int(counts), TrialChannel::Int(v)) => {
+                if let Some(v) = v {
+                    counts.push(*v);
+                }
+            }
+            (ChannelAggregate::Float(moments), TrialChannel::Float(m)) => {
+                moments.merge(m);
+            }
+            _ => panic!("observer channel kind changed mid-cell"),
+        }
+    }
+
+    /// Samples folded into this channel.
+    pub fn count(&self) -> u64 {
+        match self {
+            ChannelAggregate::Int(c) => c.count(),
+            ChannelAggregate::Float(m) => m.count,
+        }
+    }
+
+    /// Channel mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        match self {
+            ChannelAggregate::Int(c) => c.mean(),
+            ChannelAggregate::Float(m) => m.mean(),
+        }
+    }
+
+    /// Channel maximum (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        match self {
+            ChannelAggregate::Int(c) => c.max().map(|v| v as f64),
+            ChannelAggregate::Float(m) => (!m.is_empty()).then_some(m.max),
+        }
+    }
+
+    /// Channel minimum (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        match self {
+            ChannelAggregate::Int(c) => c.min().map(|v| v as f64),
+            ChannelAggregate::Float(m) => (!m.is_empty()).then_some(m.min),
+        }
+    }
+
+    /// The integer sketch, if this is an integer channel.
+    pub fn as_counts(&self) -> Option<&SparseCounts> {
+        match self {
+            ChannelAggregate::Int(c) => Some(c),
+            ChannelAggregate::Float(_) => None,
+        }
+    }
+
+    /// The float moments, if this is a float channel.
+    pub fn as_moments(&self) -> Option<&FloatMoments> {
+        match self {
+            ChannelAggregate::Float(m) => Some(m),
+            ChannelAggregate::Int(_) => None,
         }
     }
 }
 
 /// Streaming aggregate of one campaign cell.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellAggregate {
     trials: u64,
     valid: u64,
@@ -86,7 +148,9 @@ pub struct CellAggregate {
     consensus: SparseCounts,
     almost: SparseCounts,
     winners: SparseCounts,
-    extra: SparseCounts,
+    /// Observer channels, sized lazily from the first trial (every trial
+    /// of a cell shares one observer, so the layout is constant).
+    extras: Vec<ChannelAggregate>,
 }
 
 impl CellAggregate {
@@ -109,8 +173,21 @@ impl CellAggregate {
             self.almost.push(r);
         }
         self.winners.push(m.winner as u64);
-        if let Some(x) = m.extra {
-            self.extra.push(x);
+        if self.extras.is_empty() && !m.extras.is_empty() {
+            self.extras = m
+                .extras
+                .channels()
+                .iter()
+                .map(ChannelAggregate::for_trial_channel)
+                .collect();
+        }
+        assert_eq!(
+            self.extras.len(),
+            m.extras.len(),
+            "observer channel count changed mid-cell"
+        );
+        for (agg, ch) in self.extras.iter_mut().zip(m.extras.channels()) {
+            agg.fold(ch);
         }
     }
 
@@ -151,9 +228,22 @@ impl CellAggregate {
         &self.winners
     }
 
-    /// Extra-metric sketch (empty unless an [`ExtraMetric`] was captured).
-    pub fn extra(&self) -> &SparseCounts {
-        &self.extra
+    /// Observer channel aggregates, in the observer's declaration order
+    /// (empty when no observer was attached or no trial was folded).
+    pub fn extras(&self) -> &[ChannelAggregate] {
+        &self.extras
+    }
+
+    /// Integer sketch of observer channel `i` (`None` if out of range or a
+    /// float channel).
+    pub fn int_extra(&self, i: usize) -> Option<&SparseCounts> {
+        self.extras.get(i).and_then(ChannelAggregate::as_counts)
+    }
+
+    /// Float moments of observer channel `i` (`None` if out of range or an
+    /// integer channel).
+    pub fn float_extra(&self, i: usize) -> Option<&FloatMoments> {
+        self.extras.get(i).and_then(ChannelAggregate::as_moments)
     }
 
     /// The classic convergence summary under the chosen metric —
@@ -190,7 +280,7 @@ mod tests {
         let results = run_batch(512, 24, 0xA66);
         let mut agg = CellAggregate::new();
         for r in &results {
-            agg.push(&TrialMetrics::capture(r, ExtraMetric::None));
+            agg.push(&TrialMetrics::capture(r, TrialObserver::None));
         }
         for metric in [HitMetric::Consensus, HitMetric::AlmostStable] {
             let streamed = agg.convergence(metric);
@@ -201,6 +291,7 @@ mod tests {
             assert!(streamed.validity_rate == materialized.validity_rate);
         }
         assert_eq!(agg.winners().count(), 24);
+        assert!(agg.extras().is_empty());
     }
 
     #[test]
@@ -209,19 +300,60 @@ mod tests {
             .init(InitialCondition::TwoBins { left: 64 })
             .record_trajectory(true);
         let r = spec.run_seeded(3);
-        let m = TrialMetrics::capture(&r, ExtraMetric::LastUnsettledRound);
-        let last = m.extra.expect("extra captured");
+        let m = TrialMetrics::capture(&r, TrialObserver::LastUnsettledRound);
+        let [TrialChannel::Int(Some(last))] = m.extras.channels() else {
+            panic!("one integer sample expected: {:?}", m.extras);
+        };
         // The run reached consensus, so the last unsettled round is the one
         // just before the consensus hit.
         assert_eq!(last + 1, r.consensus_round.expect("converged"));
     }
 
     #[test]
-    #[should_panic]
-    fn last_unsettled_requires_trajectory() {
+    fn last_unsettled_without_trajectory_is_a_skipped_sentinel() {
+        // This used to panic ("trajectory recording required"); now the
+        // trial simply contributes no sample to the sketch.
         let r = SimSpec::new(64)
             .init(InitialCondition::TwoBins { left: 32 })
             .run_seeded(1);
-        TrialMetrics::capture(&r, ExtraMetric::LastUnsettledRound);
+        let m = TrialMetrics::capture(&r, TrialObserver::LastUnsettledRound);
+        assert_eq!(m.extras.channels(), &[TrialChannel::Int(None)]);
+        let mut agg = CellAggregate::new();
+        agg.push(&m);
+        assert_eq!(agg.trials(), 1);
+        let sketch = agg.int_extra(0).expect("channel allocated");
+        assert!(sketch.is_empty(), "sentinel must not be folded");
+    }
+
+    #[test]
+    fn last_unsettled_on_never_unsettled_run_is_round_zero() {
+        // A single-bin start never has support > 1: the metric degrades to
+        // round 0 rather than panicking or skewing the sketch.
+        let r = SimSpec::new(64)
+            .init(InitialCondition::TwoBins { left: 0 })
+            .record_trajectory(true)
+            .run_seeded(2);
+        let m = TrialMetrics::capture(&r, TrialObserver::LastUnsettledRound);
+        assert_eq!(m.extras.channels(), &[TrialChannel::Int(Some(0))]);
+    }
+
+    #[test]
+    fn observer_channels_fold_into_the_aggregate() {
+        let n = 2048usize;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 - 64 })
+            .max_rounds(1)
+            .record_trajectory(true);
+        let mut agg = CellAggregate::new();
+        for i in 0..6 {
+            let r = spec.run_seeded(derive_seed(9, i));
+            agg.push(&TrialMetrics::capture(&r, TrialObserver::DriftGrowth));
+        }
+        let ratio = agg.float_extra(0).expect("ratio channel");
+        let growth = agg.float_extra(1).expect("growth channel");
+        assert_eq!(ratio.count, 6, "one sample per one-round trial");
+        assert_eq!(growth.count, 6);
+        assert!(ratio.mean() > 0.0);
+        assert!((0.0..=1.0).contains(&growth.mean()));
     }
 }

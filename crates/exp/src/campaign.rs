@@ -20,9 +20,9 @@ use stabcon_core::runner::SimSpec;
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::aggregate::ExtraMetric;
 use crate::cell::{run_cell, CellSpec, DEFAULT_CHUNK};
 use crate::metrics::HitMetric;
+use crate::observer::TrialObserver;
 use crate::store;
 
 /// The canonical "√n-bounded" budget used across the harness: `⌊√n/4⌋`.
@@ -121,6 +121,9 @@ pub struct CampaignSpec {
     pub window: Option<u64>,
     /// Almost-stability factor override.
     pub almost_factor: Option<f64>,
+    /// Extra-metric observer attached to every cell (observers with
+    /// population-dependent parameters suit single-`n` grids).
+    pub observer: TrialObserver,
 }
 
 impl Default for CampaignSpec {
@@ -139,6 +142,7 @@ impl Default for CampaignSpec {
             max_rounds: None,
             window: None,
             almost_factor: None,
+            observer: TrialObserver::None,
         }
     }
 }
@@ -174,6 +178,9 @@ impl CampaignSpec {
                             if let Some(f) = self.almost_factor {
                                 sim = sim.almost_factor(f);
                             }
+                            if self.observer.needs_trajectory() {
+                                sim = sim.record_trajectory(true);
+                            }
                             let metric = if t > 0 {
                                 HitMetric::AlmostStable
                             } else {
@@ -185,7 +192,7 @@ impl CampaignSpec {
                                 trials: self.trials,
                                 seed: derive_seed(self.seed, id),
                                 metric,
-                                extra: ExtraMetric::None,
+                                observer: self.observer,
                                 labels: vec![
                                     ("n".into(), n.to_string()),
                                     ("init".into(), init.label()),
@@ -234,6 +241,7 @@ impl CampaignSpec {
             eat(&cell.seed.to_le_bytes());
             eat(&cell.trials.to_le_bytes());
             eat(cell.metric.label().as_bytes());
+            eat(cell.observer.label().as_bytes());
             for (k, v) in &cell.labels {
                 eat(k.as_bytes());
                 eat(v.as_bytes());
@@ -452,6 +460,16 @@ mod tests {
         };
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
+        // The observer changes the store's record layout, so it must be
+        // part of the grid fingerprint.
+        let d = CampaignSpec {
+            observer: TrialObserver::LastUnsettledRound,
+            ..tiny()
+        };
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        for cell in d.expand() {
+            assert_eq!(cell.observer, TrialObserver::LastUnsettledRound);
+        }
     }
 
     #[test]

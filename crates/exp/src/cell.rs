@@ -14,8 +14,9 @@ use stabcon_core::runner::SimSpec;
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::aggregate::{CellAggregate, ExtraMetric, TrialMetrics};
+use crate::aggregate::{CellAggregate, TrialMetrics};
 use crate::metrics::{ConvergenceStats, HitMetric};
+use crate::observer::TrialObserver;
 
 /// Default trials per scheduler chunk: small enough to load-balance a
 /// skewed cell across workers, large enough to amortize dispatch.
@@ -34,8 +35,8 @@ pub struct CellSpec {
     pub seed: u64,
     /// Hitting-time metric this cell reports.
     pub metric: HitMetric,
-    /// Optional extra per-trial scalar.
-    pub extra: ExtraMetric,
+    /// Extra-metric observer (see [`crate::observer`]).
+    pub observer: TrialObserver,
     /// Axis labels for the result store, in column order.
     pub labels: Vec<(String, String)>,
 }
@@ -49,7 +50,7 @@ impl CellSpec {
             trials,
             seed,
             metric: HitMetric::Consensus,
-            extra: ExtraMetric::None,
+            observer: TrialObserver::None,
             labels: Vec::new(),
         }
     }
@@ -60,9 +61,14 @@ impl CellSpec {
         self
     }
 
-    /// Request an extra per-trial scalar.
-    pub fn extra(mut self, extra: ExtraMetric) -> Self {
-        self.extra = extra;
+    /// Attach a [`TrialObserver`]. A trajectory-needing observer turns on
+    /// trajectory recording for the cell's sim — without it every trial
+    /// would emit only no-sample sentinels.
+    pub fn observer(mut self, observer: TrialObserver) -> Self {
+        self.observer = observer;
+        if observer.needs_trajectory() {
+            self.sim = self.sim.record_trajectory(true);
+        }
         self
     }
 
@@ -91,10 +97,10 @@ pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate
         let tx = tx.clone();
         let sim = Arc::clone(&sim);
         let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(cell.trials));
-        let (seed, extra) = (cell.seed, cell.extra);
+        let (seed, observer) = (cell.seed, cell.observer);
         pool.execute(move || {
             let out: Vec<TrialMetrics> = (lo..hi)
-                .map(|i| TrialMetrics::capture(&sim.run_seeded(derive_seed(seed, i)), extra))
+                .map(|i| TrialMetrics::capture(&sim.run_seeded(derive_seed(seed, i)), observer))
                 .collect();
             // The receiver only disappears if the caller panicked; nothing
             // useful to do with the result then.

@@ -14,6 +14,9 @@
 //! * [`aggregate`] — streaming per-cell aggregation into exact
 //!   [`stabcon_util::stats::SparseCounts`] sketches; **bit-identical** to
 //!   materializing every `RunResult` (the property tests assert this).
+//! * [`observer`] — [`observer::TrialObserver`]: trajectory-derived extra
+//!   metrics (last-unsettled round, drift growth samples, stability
+//!   excursions), reduced worker-side and folded per channel.
 //! * [`metrics`] — [`metrics::HitMetric`] / [`metrics::ConvergenceStats`],
 //!   shared with `stabcon-analysis`.
 //! * [`store`] — the append-only JSONL result store with torn-tail
@@ -30,13 +33,15 @@ pub mod aggregate;
 pub mod campaign;
 pub mod cell;
 pub mod metrics;
+pub mod observer;
 pub mod presets;
 pub mod report;
 pub mod store;
 
-pub use aggregate::{CellAggregate, ExtraMetric, TrialMetrics};
+pub use aggregate::{CellAggregate, ChannelAggregate, TrialMetrics};
 pub use campaign::{
     run_campaign, sqrt_budget, BudgetSpec, CampaignOutcome, CampaignSpec, InitSpec, RunConfig,
 };
 pub use cell::{run_cell, sweep_stats, CellSpec, DEFAULT_CHUNK};
 pub use metrics::{ConvergenceStats, HitMetric};
+pub use observer::{ChannelKind, ChannelSpec, FloatMoments, TrialExtras, TrialObserver};

@@ -1,0 +1,440 @@
+//! Trial observers: trajectory-derived extra metrics, folded worker-side.
+//!
+//! [`ExtraMetric::LastUnsettledRound`](crate) started life as a single
+//! post-hoc scalar bolted onto [`crate::aggregate::TrialMetrics`]. The
+//! drift and stability drivers need more: *per-round* samples (one-step
+//! imbalance growth) and post-hit excursion statistics. A [`TrialObserver`]
+//! generalizes the idea into a small protocol:
+//!
+//! * the observer declares up to [`MAX_CHANNELS`] named channels
+//!   ([`ChannelSpec`]), each either integer-valued (folded into an exact
+//!   [`SparseCounts`] sketch) or float-valued (folded into trial-order
+//!   [`FloatMoments`]);
+//! * for every finished trial, [`TrialObserver::capture`] walks the run's
+//!   per-round observables ([`RoundObs`]) **inside the worker** and reduces
+//!   them to one [`TrialExtras`] — the trajectory is dropped with the
+//!   `RunResult`, so a million-trial cell never materializes a million
+//!   trajectories;
+//! * the scheduler folds `TrialExtras` into the cell aggregate in global
+//!   trial order, so every channel is bit-identical across thread counts
+//!   and chunk sizes (integer channels are order-independent outright;
+//!   float channels fold per-trial partials in a fixed canonical order).
+//!
+//! Observers are enum-dispatched: a cell is a value that crosses threads
+//! and gets fingerprinted into the result store, so the observer must be
+//! `Copy`, comparable, and nameable — a trait object is none of those.
+
+use stabcon_core::runner::{RoundObs, RunResult};
+
+/// Maximum channels one observer may declare (keeps [`TrialExtras`] a small
+/// fixed-size `Copy` value on the worker → scheduler channel).
+pub const MAX_CHANNELS: usize = 4;
+
+/// How a channel's samples are aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Integer samples, folded into an exact [`SparseCounts`] sketch
+    /// (order-independent; full distribution retained).
+    ///
+    /// [`SparseCounts`]: stabcon_util::stats::SparseCounts
+    Int,
+    /// Float samples, folded into [`FloatMoments`] (count/sum/min/max) in
+    /// canonical trial order.
+    Float,
+}
+
+/// One named extra-metric channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Store field stem: the JSONL record uses `extra_<name>_count`,
+    /// `extra_<name>_mean`, … (snake_case, stable across releases).
+    pub name: &'static str,
+    /// Aggregation kind.
+    pub kind: ChannelKind,
+}
+
+/// Exact streaming moments of a float-valued sample stream.
+///
+/// Merging is *not* reassociated: the cell fold merges per-trial partials in
+/// global trial order, which makes the result a pure function of the cell
+/// spec (independent of threads/chunking) even though f64 addition is
+/// non-associative.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FloatMoments {
+    /// Samples folded.
+    pub count: u64,
+    /// Running sum (trial order).
+    pub sum: f64,
+    /// Smallest sample (`+inf` placeholder when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` placeholder when empty).
+    pub max: f64,
+}
+
+impl FloatMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Fold another accumulator in (call in canonical order).
+    pub fn merge(&mut self, other: &FloatMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Whether no sample was folded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One trial's contribution to one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrialChannel {
+    /// Integer channel: at most one sample per trial (`None` = no sample).
+    Int(Option<u64>),
+    /// Float channel: the trial's per-round samples, already reduced.
+    Float(FloatMoments),
+}
+
+/// Everything one trial emits for its observer's channels, as a fixed-size
+/// `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialExtras {
+    len: u8,
+    vals: [TrialChannel; MAX_CHANNELS],
+}
+
+impl Default for TrialExtras {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl TrialExtras {
+    /// No channels (the [`TrialObserver::None`] case).
+    pub fn none() -> Self {
+        Self {
+            len: 0,
+            vals: [TrialChannel::Int(None); MAX_CHANNELS],
+        }
+    }
+
+    /// Build from a channel slice.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_CHANNELS`] channels are given.
+    pub fn from_slice(channels: &[TrialChannel]) -> Self {
+        assert!(channels.len() <= MAX_CHANNELS, "too many observer channels");
+        let mut out = Self::none();
+        out.len = channels.len() as u8;
+        out.vals[..channels.len()].copy_from_slice(channels);
+        out
+    }
+
+    /// The populated channels, in declaration order.
+    pub fn channels(&self) -> &[TrialChannel] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the observer declared no channels.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A per-trial observer: reduces one finished run (including its per-round
+/// trajectory, when recorded) to a fixed set of extra-metric channels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrialObserver {
+    /// No extra metrics.
+    #[default]
+    None,
+    /// The last round in which more than one value was present (the
+    /// minimum-rule counterexample's metric). One integer channel,
+    /// `last_unsettled`. Requires trajectory recording; without it the
+    /// trial contributes no sample (the sentinel the sketch skips — see
+    /// [`TrialObserver::capture`]).
+    LastUnsettledRound,
+    /// One-step imbalance drift (Lemmas 12/15): for every consecutive
+    /// trajectory pair with positive imbalance `Δ_t`, sample the growth
+    /// ratio `Δ_{t+1}/Δ_t` (float channel `drift_ratio`) and the indicator
+    /// `Δ_{t+1} ≥ (4/3)·Δ_t` (float channel `drift_growth`, so its mean is
+    /// the growth probability). Requires trajectory recording.
+    DriftGrowth,
+    /// Post-stabilization excursion statistics (E12): the raw
+    /// almost-stable hit round (`stable_round`, *no* consensus fallback),
+    /// the runner's exact maximum post-hit disagreement
+    /// (`post_disagreement`), and the number of post-hit rounds whose
+    /// plurality left more than `threshold` balls disagreeing
+    /// (`excursion_rounds`, trajectory-derived).
+    StabilityExcursions {
+        /// Population size (disagreement = `n -` plurality count).
+        n: u64,
+        /// Excursion threshold in balls (typically the spec's
+        /// almost-stability threshold `⌈factor·T⌉`).
+        threshold: u64,
+    },
+}
+
+const LAST_UNSETTLED_CHANNELS: [ChannelSpec; 1] = [ChannelSpec {
+    name: "last_unsettled",
+    kind: ChannelKind::Int,
+}];
+const DRIFT_CHANNELS: [ChannelSpec; 2] = [
+    ChannelSpec {
+        name: "drift_ratio",
+        kind: ChannelKind::Float,
+    },
+    ChannelSpec {
+        name: "drift_growth",
+        kind: ChannelKind::Float,
+    },
+];
+const STABILITY_CHANNELS: [ChannelSpec; 3] = [
+    ChannelSpec {
+        name: "stable_round",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "post_disagreement",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "excursion_rounds",
+        kind: ChannelKind::Int,
+    },
+];
+
+impl TrialObserver {
+    /// The channels this observer emits, in order.
+    pub fn channels(&self) -> &'static [ChannelSpec] {
+        match self {
+            TrialObserver::None => &[],
+            TrialObserver::LastUnsettledRound => &LAST_UNSETTLED_CHANNELS,
+            TrialObserver::DriftGrowth => &DRIFT_CHANNELS,
+            TrialObserver::StabilityExcursions { .. } => &STABILITY_CHANNELS,
+        }
+    }
+
+    /// Whether the observer reads per-round observables — when true, the
+    /// cell's `SimSpec` must have `record_trajectory(true)` (the campaign
+    /// expander and the [`crate::cell::CellSpec::observer`] builder set it).
+    pub fn needs_trajectory(&self) -> bool {
+        !matches!(self, TrialObserver::None)
+    }
+
+    /// A stable label, hashed into the campaign fingerprint (parameters
+    /// included — a different threshold is a different campaign).
+    pub fn label(&self) -> String {
+        match self {
+            TrialObserver::None => "none".into(),
+            TrialObserver::LastUnsettledRound => "last-unsettled".into(),
+            TrialObserver::DriftGrowth => "drift-growth".into(),
+            TrialObserver::StabilityExcursions { n, threshold } => {
+                format!("excursions(n={n},thr={threshold})")
+            }
+        }
+    }
+
+    /// Reduce one finished run to this observer's channels.
+    ///
+    /// Never panics: a trajectory-needing observer on a run without a
+    /// recorded trajectory emits the no-sample sentinel on every
+    /// trajectory-derived channel (`Int(None)` / empty `Float`), which the
+    /// aggregate simply does not fold — the pre-observer code paths used to
+    /// panic here (see the `last_unsettled_*` tests).
+    pub fn capture(&self, r: &RunResult) -> TrialExtras {
+        match self {
+            TrialObserver::None => TrialExtras::none(),
+            TrialObserver::LastUnsettledRound => {
+                let last = r.trajectory.as_ref().map(|t| {
+                    t.iter()
+                        .filter(|obs| obs.support > 1)
+                        .map(|obs| obs.round)
+                        .max()
+                        .unwrap_or(0)
+                });
+                TrialExtras::from_slice(&[TrialChannel::Int(last)])
+            }
+            TrialObserver::DriftGrowth => {
+                let mut ratio = FloatMoments::new();
+                let mut growth = FloatMoments::new();
+                if let Some(t) = r.trajectory.as_ref() {
+                    for w in t.windows(2) {
+                        let (d0, d1) = (w[0].imbalance, w[1].imbalance);
+                        if d0 > 0.0 {
+                            ratio.push(d1 / d0);
+                            growth.push(f64::from(u8::from(d1 >= (4.0 / 3.0) * d0)));
+                        }
+                    }
+                }
+                TrialExtras::from_slice(&[TrialChannel::Float(ratio), TrialChannel::Float(growth)])
+            }
+            TrialObserver::StabilityExcursions { n, threshold } => {
+                let hit = r.almost_stable_round;
+                let post = hit.and(r.max_disagreement_after_stable);
+                let excursions = match (hit, r.trajectory.as_ref()) {
+                    (Some(h), Some(t)) => Some(
+                        t.iter()
+                            .filter(|obs| obs.round > h && disagreement(*n, obs) > *threshold)
+                            .count() as u64,
+                    ),
+                    _ => None,
+                };
+                TrialExtras::from_slice(&[
+                    TrialChannel::Int(hit),
+                    TrialChannel::Int(post),
+                    TrialChannel::Int(excursions),
+                ])
+            }
+        }
+    }
+}
+
+/// Balls not in the round's plurality bin — a lower bound on disagreement
+/// with any single value.
+fn disagreement(n: u64, obs: &RoundObs) -> u64 {
+    n.saturating_sub(obs.plurality_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabcon_core::init::InitialCondition;
+    use stabcon_core::runner::SimSpec;
+
+    #[test]
+    fn float_moments_fold_and_merge() {
+        let mut a = FloatMoments::new();
+        assert!(a.is_empty());
+        assert!(a.mean().is_nan());
+        for x in [2.0, 8.0, 5.0] {
+            a.push(x);
+        }
+        assert_eq!((a.count, a.sum, a.min, a.max), (3, 15.0, 2.0, 8.0));
+        let mut b = FloatMoments::new();
+        b.push(1.0);
+        a.merge(&b);
+        assert_eq!((a.count, a.min), (4, 1.0));
+        let mut empty = FloatMoments::new();
+        empty.merge(&a);
+        assert_eq!(empty, a, "merge into empty adopts the other side");
+    }
+
+    #[test]
+    fn observer_channel_declarations() {
+        assert!(TrialObserver::None.channels().is_empty());
+        assert!(!TrialObserver::None.needs_trajectory());
+        for obs in [
+            TrialObserver::LastUnsettledRound,
+            TrialObserver::DriftGrowth,
+            TrialObserver::StabilityExcursions {
+                n: 64,
+                threshold: 4,
+            },
+        ] {
+            assert!(obs.needs_trajectory(), "{}", obs.label());
+            assert!(!obs.channels().is_empty());
+            assert!(obs.channels().len() <= MAX_CHANNELS);
+        }
+        // Parameters are part of the label (and hence the fingerprint).
+        assert_ne!(
+            TrialObserver::StabilityExcursions {
+                n: 64,
+                threshold: 4
+            }
+            .label(),
+            TrialObserver::StabilityExcursions {
+                n: 64,
+                threshold: 5
+            }
+            .label(),
+        );
+    }
+
+    #[test]
+    fn drift_growth_reads_consecutive_imbalances() {
+        let n = 4096;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 - 128 })
+            .max_rounds(1)
+            .record_trajectory(true);
+        let r = spec.run_seeded(3);
+        let extras = TrialObserver::DriftGrowth.capture(&r);
+        let TrialChannel::Float(ratio) = extras.channels()[0] else {
+            panic!("ratio channel must be float");
+        };
+        assert_eq!(ratio.count, 1, "one step → one growth sample");
+        let traj = r.trajectory.expect("recorded");
+        assert_eq!(ratio.sum, traj[1].imbalance / traj[0].imbalance);
+    }
+
+    #[test]
+    fn stability_excursions_without_hit_emits_nothing() {
+        // Tied two bins with a generous balancer and a tiny round budget:
+        // no almost-stable hit, so every channel is the no-sample sentinel.
+        let n = 1024;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .adversary(stabcon_core::adversary::AdversarySpec::Balancer, 512)
+            .max_rounds(3)
+            .full_horizon(true)
+            .record_trajectory(true);
+        let r = spec.run_seeded(1);
+        assert!(r.almost_stable_round.is_none(), "{r:?}");
+        let extras = TrialObserver::StabilityExcursions {
+            n: n as u64,
+            threshold: 4,
+        }
+        .capture(&r);
+        for ch in extras.channels() {
+            assert_eq!(*ch, TrialChannel::Int(None));
+        }
+    }
+}

@@ -6,7 +6,14 @@ use stabcon_core::protocol::ProtocolSpec;
 use crate::campaign::{BudgetSpec, CampaignSpec, InitSpec};
 
 /// Preset names accepted by [`preset`].
-pub const PRESET_NAMES: [&str; 4] = ["smoke", "figure1-small", "figure1", "duel"];
+pub const PRESET_NAMES: [&str; 6] = [
+    "smoke",
+    "figure1-small",
+    "figure1",
+    "duel",
+    "theorems",
+    "robustness-small",
+];
 
 /// Look up a named campaign grid.
 ///
@@ -17,6 +24,10 @@ pub const PRESET_NAMES: [&str; 4] = ["smoke", "figure1-small", "figure1", "duel"
 /// * `figure1` — the same grid at paper scale (n up to 2¹⁶, 100 trials).
 /// * `duel` — protocol × adversary robustness grid (median vs 3-majority
 ///   vs voter under balancer/random pressure).
+/// * `theorems` — Theorem 2's constant-`m` grid (E4): `m ∈ {2, 3}` equal
+///   bins × {balancer, random} adversaries at the canonical budget.
+/// * `robustness-small` — the §6 tournament at test scale: five protocols
+///   × five adversaries on a uniform 5-value instance.
 pub fn preset(name: &str) -> Option<CampaignSpec> {
     let adversary_axis = vec![
         (AdversarySpec::None, BudgetSpec::Zero),
@@ -62,6 +73,41 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
             ],
             ..CampaignSpec::default()
         }),
+        "theorems" => Some(CampaignSpec {
+            name: "theorems".into(),
+            seed: 0x7E04,
+            trials: 16,
+            ns: vec![256, 512, 1024],
+            inits: vec![InitSpec::MBinsEqual(2), InitSpec::MBinsEqual(3)],
+            adversaries: vec![
+                (AdversarySpec::Balancer, BudgetSpec::SqrtOver4),
+                (AdversarySpec::Random, BudgetSpec::SqrtOver4),
+            ],
+            ..CampaignSpec::default()
+        }),
+        "robustness-small" => Some(CampaignSpec {
+            name: "robustness-small".into(),
+            seed: 0x0B57,
+            trials: 8,
+            ns: vec![256, 512],
+            inits: vec![InitSpec::UniformRandom(5)],
+            protocols: vec![
+                ProtocolSpec::Median,
+                ProtocolSpec::KMedian(4),
+                ProtocolSpec::Majority,
+                ProtocolSpec::Voter,
+                ProtocolSpec::Min,
+            ],
+            adversaries: vec![
+                (AdversarySpec::None, BudgetSpec::Zero),
+                (AdversarySpec::Random, BudgetSpec::SqrtOver4),
+                (AdversarySpec::Balancer, BudgetSpec::SqrtOver4),
+                (AdversarySpec::MedianPusher, BudgetSpec::SqrtOver4),
+                (AdversarySpec::Stubborn, BudgetSpec::SqrtOver4),
+            ],
+            max_rounds: Some(1500),
+            ..CampaignSpec::default()
+        }),
         _ => None,
     }
 }
@@ -81,6 +127,21 @@ mod tests {
             assert_eq!(seeds.len(), cells.len(), "{name}: colliding cell seeds");
         }
         assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn new_presets_expand_to_the_expected_grids() {
+        let theorems = preset("theorems").expect("preset");
+        // 3 populations × 2 m-values × 2 adversaries, all adversarial.
+        let cells = theorems.expand();
+        assert_eq!(cells.len(), 3 * 2 * 2);
+        assert!(cells
+            .iter()
+            .all(|c| c.metric == crate::HitMetric::AlmostStable));
+
+        let robustness = preset("robustness-small").expect("preset");
+        // 2 populations × 5 protocols × 5 adversaries.
+        assert_eq!(robustness.expand().len(), 2 * 5 * 5);
     }
 
     #[test]

@@ -58,9 +58,25 @@ pub fn report_table(loaded: &LoadedStore) -> Table {
         .copied()
         .filter(|k| loaded.cells.iter().any(|c| get(c, k).is_some()))
         .collect();
+    // Observer extras: every `extra_<name>_mean` field present in any cell
+    // becomes a `<name>` column (rendered as its mean), in first-seen order.
+    let mut extra_stems: Vec<String> = Vec::new();
+    for obj in &loaded.cells {
+        for (k, _) in obj.iter() {
+            if let Some(stem) = k
+                .strip_prefix("extra_")
+                .and_then(|rest| rest.strip_suffix("_mean"))
+            {
+                if !extra_stems.iter().any(|s| s == stem) {
+                    extra_stems.push(stem.to_string());
+                }
+            }
+        }
+    }
     let mut headers: Vec<&str> = vec!["cell"];
     headers.extend(&axes);
     headers.extend(["metric", "hit%", "mean", "p50", "p95", "max", "valid%"]);
+    headers.extend(extra_stems.iter().map(|s| s.as_str()));
     let mut table = Table::new(title, &headers);
     for obj in &loaded.cells {
         let mut row = vec![int_text(obj, "cell")];
@@ -73,6 +89,9 @@ pub fn report_table(loaded: &LoadedStore) -> Table {
             row.push(float_text(obj, k));
         }
         row.push(percent(obj, "validity_rate"));
+        for stem in &extra_stems {
+            row.push(float_text(obj, &format!("extra_{stem}_mean")));
+        }
         table.push_row(row);
     }
     if let Some(h) = &loaded.header {
@@ -91,7 +110,27 @@ pub fn report_table(loaded: &LoadedStore) -> Table {
 mod tests {
     use super::*;
     use crate::campaign::{run_campaign, CampaignSpec, RunConfig};
+    use crate::observer::TrialObserver;
     use crate::store;
+
+    #[test]
+    fn report_renders_observer_extras_as_columns() {
+        let dir = std::env::temp_dir().join("stabcon-report-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("{}-extras.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let spec = CampaignSpec {
+            trials: 4,
+            ns: vec![96],
+            observer: TrialObserver::LastUnsettledRound,
+            ..CampaignSpec::default()
+        };
+        run_campaign(&spec, &path, &RunConfig::default()).expect("run");
+        let loaded = store::load(&path).expect("load");
+        let text = report_table(&loaded).to_text();
+        assert!(text.contains("last_unsettled"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
 
     #[test]
     fn report_renders_completed_store() {

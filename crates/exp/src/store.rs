@@ -17,11 +17,17 @@ use std::path::Path;
 
 use stabcon_util::jsonl::{get, parse_flat, FlatObject, JsonObj};
 
-use crate::aggregate::{CellAggregate, ExtraMetric};
+use crate::aggregate::{CellAggregate, ChannelAggregate};
 use crate::cell::CellSpec;
+use crate::observer::ChannelKind;
 
 /// Store schema identifier.
-pub const SCHEMA: &str = "stabcon-campaign/1";
+///
+/// `/2`: cell records grew observer extra-channel fields and the grid
+/// fingerprint now covers the observer, so `/1` stores (pre-observer) are
+/// rejected up front with a schema message rather than a misleading
+/// fingerprint mismatch.
+pub const SCHEMA: &str = "stabcon-campaign/2";
 
 /// The campaign header record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,10 +121,39 @@ pub fn cell_line(cell: &CellSpec, agg: &CellAggregate) -> String {
         }
     }
     obj = obj.u64_field("rounds_total", agg.rounds_total());
-    if cell.extra != ExtraMetric::None && !agg.extra().is_empty() {
-        obj = obj
-            .f64_field("extra_mean", agg.extra().mean())
-            .u64_field("extra_max", agg.extra().max().expect("nonempty"));
+    // Observer channels: one `extra_<name>_*` field group per channel, in
+    // declaration order. `count` is always written (so a resumed store is
+    // byte-identical even when a channel happens to collect no samples);
+    // the summaries are `null` when empty, numbers otherwise — integer
+    // channels keep `max`/`min` as exact integers, float channels use
+    // shortest-roundtrip floats throughout.
+    for (spec, channel) in cell.observer.channels().iter().zip(agg.extras()) {
+        let stem = |suffix: &str| format!("extra_{}_{suffix}", spec.name);
+        obj = obj.u64_field(&stem("count"), channel.count());
+        obj = obj.f64_field(&stem("mean"), channel.mean());
+        match channel {
+            ChannelAggregate::Int(counts) => {
+                for (suffix, v) in [("min", counts.min()), ("max", counts.max())] {
+                    obj = match v {
+                        Some(v) => obj.u64_field(&stem(suffix), v),
+                        None => obj.null_field(&stem(suffix)),
+                    };
+                }
+            }
+            ChannelAggregate::Float(_) => {
+                for (suffix, v) in [("min", channel.min()), ("max", channel.max())] {
+                    obj = match v {
+                        Some(v) => obj.f64_field(&stem(suffix), v),
+                        None => obj.null_field(&stem(suffix)),
+                    };
+                }
+            }
+        }
+        debug_assert_eq!(
+            matches!(channel, ChannelAggregate::Int(_)),
+            spec.kind == ChannelKind::Int,
+            "channel kind drifted from the observer declaration"
+        );
     }
     obj.finish()
 }
@@ -250,6 +285,22 @@ mod tests {
     }
 
     #[test]
+    fn old_schema_is_rejected_by_name() {
+        // A pre-observer `/1` store must fail with the schema in the
+        // message, not a confusing fingerprint mismatch downstream.
+        let path = tmp("oldschema.jsonl");
+        std::fs::write(
+            &path,
+            "{\"kind\": \"campaign\", \"schema\": \"stabcon-campaign/1\", \"name\": \"t\", \
+             \"seed\": 7, \"trials\": 4, \"cells\": 2, \"fingerprint\": \"00000000000000ab\"}\n",
+        )
+        .expect("write");
+        let err = load(&path).expect_err("old schema must not load");
+        assert!(err.contains("stabcon-campaign/1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn header_must_come_first() {
         let (_, line_a, _) = sample_lines();
         let path = tmp("headerless.jsonl");
@@ -258,6 +309,71 @@ mod tests {
         assert!(loaded.header.is_none());
         assert_eq!(loaded.valid_len, 0, "cells before a header are invalid");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn observer_extras_round_trip_through_the_store() {
+        use crate::observer::TrialObserver;
+        let n = 1024usize;
+        let pool = ThreadPool::new(2);
+        let observer = TrialObserver::StabilityExcursions {
+            n: n as u64,
+            threshold: 8,
+        };
+        let sim = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .adversary(stabcon_core::adversary::AdversarySpec::Random, 2)
+            .max_rounds(400)
+            .full_horizon(true);
+        let cell = CellSpec::new(sim, 6, 0xE12).observer(observer);
+        let agg = crate::cell::run_cell(&pool, &cell, 2);
+        let line = cell_line(&cell, &agg);
+        let obj = parse_flat(&line).expect("parse");
+        // Every channel writes its field group, values matching the
+        // in-memory aggregate exactly.
+        for (i, spec) in observer.channels().iter().enumerate() {
+            let stem = |s: &str| format!("extra_{}_{s}", spec.name);
+            let channel = &agg.extras()[i];
+            assert_eq!(
+                get(&obj, &stem("count")).and_then(|v| v.as_u64()),
+                Some(channel.count()),
+                "{line}"
+            );
+            if channel.count() > 0 {
+                assert_eq!(
+                    get(&obj, &stem("mean")).and_then(|v| v.as_f64()),
+                    Some(channel.mean()),
+                    "{line}"
+                );
+                assert_eq!(
+                    get(&obj, &stem("max")).and_then(|v| v.as_f64()),
+                    channel.max(),
+                    "{line}"
+                );
+            } else {
+                assert_eq!(
+                    get(&obj, &stem("mean")),
+                    Some(&stabcon_util::jsonl::JsonScalar::Null),
+                    "{line}"
+                );
+            }
+        }
+        // A float channel round-trips too (drift observer).
+        let sim = SimSpec::new(2048)
+            .init(InitialCondition::TwoBins { left: 960 })
+            .max_rounds(1);
+        let cell = CellSpec::new(sim, 5, 0xD1F).observer(TrialObserver::DriftGrowth);
+        let agg = crate::cell::run_cell(&pool, &cell, 2);
+        let obj = parse_flat(&cell_line(&cell, &agg)).expect("parse");
+        let ratio = agg.float_extra(0).expect("ratio channel");
+        assert_eq!(
+            get(&obj, "extra_drift_ratio_mean").and_then(|v| v.as_f64()),
+            Some(ratio.mean())
+        );
+        assert_eq!(
+            get(&obj, "extra_drift_ratio_count").and_then(|v| v.as_u64()),
+            Some(ratio.count)
+        );
     }
 
     #[test]
