@@ -13,7 +13,7 @@ use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
-use stabcon_exp::{run_cell, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
+use stabcon_exp::{chunk_for, run_cell, CellSpec, HitMetric, TrialObserver};
 use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_sig, Table};
 
@@ -24,7 +24,7 @@ use stabcon_util::table::{fmt_sig, Table};
 fn mean_last_unsettled_round(pool: &ThreadPool, spec: &SimSpec, trials: u64, seed: u64) -> f64 {
     let cell =
         CellSpec::new(spec.clone(), trials, seed).observer(TrialObserver::LastUnsettledRound);
-    run_cell(pool, &cell, DEFAULT_CHUNK)
+    run_cell(pool, &cell, chunk_for(cell.trials, pool.threads()))
         .int_extra(0)
         .expect("last-unsettled channel")
         .mean()
@@ -109,7 +109,7 @@ pub fn mean_rule_table(n: usize, trials: u64, seed: u64, threads: usize) -> Tabl
             .protocol(p)
             .max_rounds(4000);
         let cell = CellSpec::new(spec, trials, seed ^ p.label().len() as u64);
-        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let agg = run_cell(&pool, &cell, chunk_for(cell.trials, pool.threads()));
         let converged = agg.hits(HitMetric::Consensus).count();
         let all_endpoint = agg
             .winners()

@@ -12,7 +12,7 @@
 
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
-use stabcon_exp::{run_cell, sweep_stats, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
+use stabcon_exp::{chunk_for, run_cell, sweep_stats, CellSpec, HitMetric, TrialObserver};
 use stabcon_par::ThreadPool;
 use stabcon_util::table::{fmt_f64, fmt_sig, Table};
 
@@ -60,7 +60,7 @@ pub fn one_step_drift_table(
         }
         let minority = n / 2 - delta0;
         let cell = one_step_cell(n, minority, trials, seed ^ delta0 as u64);
-        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let agg = run_cell(&pool, &cell, chunk_for(cell.trials, pool.threads()));
         let ratio = agg.float_extra(0).expect("drift_ratio channel");
         let growth = agg.float_extra(1).expect("drift_growth channel");
         // Lemma 15's qualitative bound: 1 − exp(−Δ²/n) up to constants; we

@@ -15,7 +15,7 @@
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::init::InitialCondition;
 use stabcon_core::runner::SimSpec;
-use stabcon_exp::{run_cell, CellSpec, HitMetric, TrialObserver, DEFAULT_CHUNK};
+use stabcon_exp::{chunk_for, run_cell, CellSpec, HitMetric, TrialObserver};
 use stabcon_par::ThreadPool;
 use stabcon_util::table::Table;
 
@@ -72,7 +72,7 @@ pub fn stability_horizon_table(
     let pool = ThreadPool::new(threads);
     for &adv in adversaries {
         let cell = horizon_cell(n, adv, trials, horizon, t_budget, seed);
-        let agg = run_cell(&pool, &cell, DEFAULT_CHUNK);
+        let agg = run_cell(&pool, &cell, chunk_for(cell.trials, pool.threads()));
         let stable = agg.int_extra(0).expect("stable_round channel");
         let post = agg.int_extra(1).expect("post_disagreement channel");
         let excursions = agg.int_extra(2).expect("excursion_rounds channel");

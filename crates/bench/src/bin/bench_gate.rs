@@ -91,6 +91,33 @@ fn calibration(text: &str) -> Option<f64> {
         .filter(|v| *v > 0.0)
 }
 
+/// Entries of the `campaigns` sweep array, as `(n, threads, trials_per_sec)`
+/// triples. Bounded to the array's bracket span so the scan cannot wander
+/// into later top-level objects.
+fn campaign_entries(text: &str) -> Vec<(f64, f64, f64)> {
+    let Some(at) = text.find("\"campaigns\"") else {
+        return Vec::new();
+    };
+    let end = text[at..]
+        .find(']')
+        .map(|rel| at + rel)
+        .unwrap_or(text.len());
+    let slice = &text[..end];
+    let mut out = Vec::new();
+    let mut from = at;
+    while let Some((n, after_n)) = number_after(slice, from, "n") {
+        let Some((threads, after_t)) = number_after(slice, after_n, "threads") else {
+            break;
+        };
+        let Some((tps, after_v)) = number_after(slice, after_t, "trials_per_sec") else {
+            break;
+        };
+        out.push((n, threads, tps));
+        from = after_v;
+    }
+    out
+}
+
 /// Every gated metric in one bench file, as `(name, value)` pairs.
 /// The exact engine-name match excludes "dense-seq-dyn" etc.
 fn gated_metrics(text: &str) -> Vec<(String, f64)> {
@@ -98,11 +125,19 @@ fn gated_metrics(text: &str) -> Vec<(String, f64)> {
         .into_iter()
         .map(|(n, rps)| (format!("dense-seq rounds/sec @ n={n}"), rps))
         .collect();
-    // Campaign scheduler throughput.
+    // Campaign scheduler throughput (1 thread, n = 10⁴).
     if let Some(at) = text.find("\"campaign\"") {
         if let Some((tps, _)) = number_after(text, at, "trials_per_sec") {
             out.push(("campaign trials/sec".into(), tps));
         }
+    }
+    // Multi-thread campaign throughput (8 workers, n = 10⁴) from the
+    // `campaigns` sweep — gated with the same calibration normalization.
+    if let Some(&(_, _, tps)) = campaign_entries(text)
+        .iter()
+        .find(|&&(n, threads, _)| n == 10_000.0 && threads == 8.0)
+    {
+        out.push(("campaign trials/sec @ 8 threads".into(), tps));
     }
     out
 }
@@ -233,7 +268,13 @@ mod tests {
     {"engine": "dense-seq-dyn-step-only", "n": 1000000, "rounds_per_sec": 48.0},
     {"engine": "dense-seq", "n": 1000000, "rounds_per_sec": 82.25}
   ],
-  "campaign": {"n": 10000, "trials": 640, "trials_per_sec": 1234.56}
+  "campaign": {"n": 10000, "trials": 640, "trials_per_sec": 1234.56},
+  "campaigns": [
+    {"n": 10000, "threads": 1, "engine": "dense-seq", "trials_per_sec": 1234.56},
+    {"n": 10000, "threads": 8, "engine": "dense-seq", "trials_per_sec": 4321.0},
+    {"n": 1000000, "threads": 8, "engine": "adaptive", "trials_per_sec": 99.0}
+  ],
+  "workspace_reuse": {"n": 10000, "fresh_trials_per_sec": 400.0, "reused_trials_per_sec": 700.0, "speedup": 1.75}
 }"#;
 
     #[test]
@@ -245,15 +286,31 @@ mod tests {
                 ("dense-seq rounds/sec @ n=10000".to_string(), 8000.5),
                 ("dense-seq rounds/sec @ n=1000000".to_string(), 82.25),
                 ("campaign trials/sec".to_string(), 1234.56),
+                ("campaign trials/sec @ 8 threads".to_string(), 4321.0),
             ],
-            "dyn entries must not be gated"
+            "dyn entries, non-n=10⁴ sweeps, and the microbench must not be gated"
         );
     }
 
     #[test]
     fn single_line_json_parses_too() {
         let flat = SAMPLE.replace('\n', " ");
-        assert_eq!(gated_metrics(&flat).len(), 3);
+        assert_eq!(gated_metrics(&flat).len(), 4);
+    }
+
+    #[test]
+    fn campaigns_scan_stays_inside_the_array() {
+        let entries = campaign_entries(SAMPLE);
+        assert_eq!(
+            entries,
+            vec![
+                (10000.0, 1.0, 1234.56),
+                (10000.0, 8.0, 4321.0),
+                (1000000.0, 8.0, 99.0),
+            ],
+            "must not pick up workspace_reuse numbers"
+        );
+        assert!(campaign_entries("{}").is_empty());
     }
 
     #[test]

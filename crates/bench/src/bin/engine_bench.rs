@@ -3,8 +3,11 @@
 //! Records rounds/sec for dense-seq (monomorphized and `dyn`-dispatched),
 //! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, the end-to-end wall
 //! time of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
-//! and full-trial throughput through the `stabcon-exp` campaign scheduler,
-//! so successive PRs have a perf trajectory to compare against.
+//! full-trial throughput through the `stabcon-exp` campaign scheduler
+//! (the gated 1-thread n = 10⁴ entry plus a `campaigns` sweep over
+//! {1, 8} workers × {10⁴, 10⁶}), and a workspace-vs-fresh microbenchmark
+//! isolating the per-trial allocation cost, so successive PRs have a perf
+//! trajectory to compare against.
 //!
 //! Usage: `cargo run --release --bin engine_bench [-- out.json]`
 //! (default output: `BENCH_engine.json` in the current directory). Scale
@@ -18,7 +21,8 @@ use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::{MedianRule, Protocol};
 use stabcon_core::runner::SimSpec;
 use stabcon_core::value::Value;
-use stabcon_exp::{run_cell, CellSpec};
+use stabcon_core::workspace::TrialWorkspace;
+use stabcon_exp::{chunk_for, run_cell, CellSpec};
 use stabcon_util::jsonl::{JsonArr, JsonObj};
 use stabcon_util::rng::Xoshiro256pp;
 
@@ -101,6 +105,23 @@ struct Record {
     engine: &'static str,
     n: u64,
     rounds_per_sec: f64,
+}
+
+/// Full-trial throughput through `run_cell` on a fresh `threads`-worker
+/// pool, batched like a campaign cell, with the production chunk size.
+fn campaign_trials_per_sec(budget: Duration, sim: &SimSpec, threads: usize) -> (u64, f64) {
+    let pool = stabcon_par::ThreadPool::new(threads);
+    let batch = 64u64;
+    let chunk = chunk_for(batch, threads);
+    let mut trials = 0u64;
+    let mut batch_seed = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget || trials < batch {
+        batch_seed += 1;
+        let cell = CellSpec::new(sim.clone(), batch, batch_seed);
+        trials += run_cell(&pool, &cell, chunk).trials();
+    }
+    (trials, trials as f64 / start.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -262,21 +283,78 @@ fn main() {
     let adaptive_secs = t1.elapsed().as_secs_f64();
 
     // Campaign-path throughput: full trials/sec through the stabcon-exp
-    // scheduler (sharded chunks on the shared pool, streaming aggregation)
-    // at n = 10⁴ — the number that bounds how fast a results-table grid
-    // can be reproduced.
-    let pool = stabcon_par::ThreadPool::new(threads);
-    let sim = SimSpec::new(10_000).init(InitialCondition::UniformRandom { m: 8 });
-    let batch = 64u64;
-    let mut campaign_trials = 0u64;
-    let mut batch_seed = 0u64;
-    let start = Instant::now();
-    while start.elapsed() < budget || campaign_trials < batch {
-        batch_seed += 1;
-        let cell = CellSpec::new(sim.clone(), batch, batch_seed);
-        campaign_trials += run_cell(&pool, &cell, 8).trials();
-    }
-    let campaign_tps = campaign_trials as f64 / start.elapsed().as_secs_f64();
+    // scheduler (persistent workers, workspace reuse, chunk-partial
+    // aggregation) at n = 10⁴ and 1 thread — the gated number that bounds
+    // how fast a results-table grid can be reproduced.
+    let (campaign_trials, campaign_tps) = campaign_trials_per_sec(
+        budget,
+        &SimSpec::new(10_000).init(InitialCondition::UniformRandom { m: 8 }),
+        1,
+    );
+
+    // The same scheduler at other shapes: 8 workers (oversubscribed pools
+    // are the campaign-CLI default on big machines), and n = 10⁶ through
+    // the adaptive engine (the realistic engine choice at that scale).
+    let adaptive_1e6 = SimSpec::new(1_000_000)
+        .init(InitialCondition::UniformRandom { m: 64 })
+        .engine(EngineSpec::Adaptive {
+            threads: 1,
+            handoff_support: 64,
+        });
+    let campaigns: Vec<(u64, usize, &str, f64)> = vec![
+        (10_000, 1, "dense-seq", campaign_tps),
+        (
+            10_000,
+            8,
+            "dense-seq",
+            campaign_trials_per_sec(
+                budget,
+                &SimSpec::new(10_000).init(InitialCondition::UniformRandom { m: 8 }),
+                8,
+            )
+            .1,
+        ),
+        (
+            1_000_000,
+            1,
+            "adaptive",
+            campaign_trials_per_sec(budget, &adaptive_1e6, 1).1,
+        ),
+        (
+            1_000_000,
+            8,
+            "adaptive",
+            campaign_trials_per_sec(budget, &adaptive_1e6, 8).1,
+        ),
+    ];
+
+    // Workspace-vs-fresh microbenchmark: the same trial sequence through
+    // `run_seeded` (fresh buffers every trial) and `run_seeded_into` (one
+    // reused workspace) — the isolated cost of per-trial allocation. At
+    // n = 10⁶ a fresh trial faults in two 4 MB state buffers, which is
+    // where buffer reuse pays (at n = 10⁴ the buffers are arena-cheap and
+    // the two paths measure equal).
+    let ws_sim = adaptive_1e6.clone();
+    let fresh_tps = {
+        let mut trials = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trials < 8 {
+            trials += 1;
+            std::hint::black_box(ws_sim.run_seeded(trials));
+        }
+        trials as f64 / start.elapsed().as_secs_f64()
+    };
+    let reused_tps = {
+        let mut ws = TrialWorkspace::new();
+        let mut trials = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trials < 8 {
+            trials += 1;
+            let r = ws_sim.run_seeded_into(trials, &mut ws);
+            ws.recycle(std::hint::black_box(r));
+        }
+        trials as f64 / start.elapsed().as_secs_f64()
+    };
 
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -312,8 +390,26 @@ fn main() {
     let campaign = JsonObj::new()
         .u64_field("n", 10_000)
         .u64_field("trials", campaign_trials)
-        .u64_field("threads", threads as u64)
+        .u64_field("threads", 1)
         .fixed_field("trials_per_sec", campaign_tps, 2)
+        .finish();
+    let mut campaign_arr = JsonArr::new();
+    for &(n, c_threads, engine, tps) in &campaigns {
+        campaign_arr.push_raw(
+            &JsonObj::new()
+                .u64_field("n", n)
+                .u64_field("threads", c_threads as u64)
+                .str_field("engine", engine)
+                .fixed_field("trials_per_sec", tps, 2)
+                .finish(),
+        );
+    }
+    let workspace_reuse = JsonObj::new()
+        .u64_field("n", 1_000_000)
+        .str_field("engine", "adaptive")
+        .fixed_field("fresh_trials_per_sec", fresh_tps, 2)
+        .fixed_field("reused_trials_per_sec", reused_tps, 2)
+        .fixed_field("speedup", reused_tps / fresh_tps.max(1e-12), 3)
         .finish();
     let mut json = JsonObj::new()
         .str_field("schema", "stabcon-engine-bench/1")
@@ -324,6 +420,8 @@ fn main() {
         .raw_field("mono_over_dyn_speedup", &speedups.finish())
         .raw_field("two_bins_1e6_end_to_end", &end_to_end)
         .raw_field("campaign", &campaign)
+        .raw_field("campaigns", &campaign_arr.finish())
+        .raw_field("workspace_reuse", &workspace_reuse)
         .finish();
     json.push('\n');
 

@@ -48,14 +48,25 @@ pub struct IncrementalHistogram {
 impl IncrementalHistogram {
     /// Count a full state vector (`O(n)`; done once per trial).
     pub fn from_values(state: &[Value]) -> Self {
-        let mut counts: BTreeMap<Value, u64> = BTreeMap::new();
+        let mut this = Self {
+            counts: BTreeMap::new(),
+            n: 0,
+        };
+        this.rebuild_from(state);
+        this
+    }
+
+    /// Recount a fresh trial's state into this maintainer. The tree itself
+    /// cannot keep its nodes across a clear, so this is `O(m)` small
+    /// allocations — still far below the `O(n)` state walk (and the tree
+    /// path only serves value-inventing rules; see [`RankedCounts`] for the
+    /// allocation-free fast path).
+    pub fn rebuild_from(&mut self, state: &[Value]) {
+        self.counts.clear();
         for &v in state {
-            *counts.entry(v).or_insert(0) += 1;
+            *self.counts.entry(v).or_insert(0) += 1;
         }
-        Self {
-            counts,
-            n: state.len() as u64,
-        }
+        self.n = state.len() as u64;
     }
 
     /// Total number of balls.
@@ -123,6 +134,18 @@ pub fn observe_histogram(h: &Histogram) -> RoundObs {
     observe_bins(h.n(), h.bins().iter().copied())
 }
 
+/// Linear-probe insert of `rank` for a value known to be absent — the one
+/// probe loop shared by [`RankedCounts::rebuild_from`]'s grow-rehash and
+/// its final re-key.
+#[inline]
+fn insert_rank(table: &mut [u32], shift: u32, mask: usize, v: Value, rank: u32) {
+    let mut slot = (RankedCounts::hash(v) >> shift) as usize & mask;
+    while table[slot] != 0 {
+        slot = (slot + 1) & mask;
+    }
+    table[slot] = rank + 1;
+}
+
 /// Rank-indexed load counts over a *fixed* value universe — the fast
 /// maintainer for validity-preserving protocols, where every value a ball
 /// can ever hold comes from the initial set.
@@ -132,7 +155,7 @@ pub fn observe_histogram(h: &Histogram) -> RoundObs {
 /// move costs two O(1) lookups and two array bumps — roughly an order of
 /// magnitude cheaper than a tree or SipHash map update, which is what makes
 /// per-round maintenance affordable mid-trial when most balls move.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RankedCounts {
     /// Sorted distinct values of the universe (rank → value).
     values: Vec<Value>,
@@ -147,43 +170,90 @@ pub struct RankedCounts {
     /// Number of ranks with a nonzero load.
     support: usize,
     n: u64,
+    /// Rebuild scratch: `(value, load)` pairs co-sorted between passes.
+    pairs_scratch: Vec<(Value, u64)>,
 }
 
 impl RankedCounts {
-    /// Build from the initial state (`O(n + m)`; once per trial).
+    /// Build from the initial state (`O(n + m log m)`; once per trial).
     pub fn from_values(state: &[Value]) -> Self {
-        let mut values: Vec<Value> = state.to_vec();
-        values.sort_unstable();
-        values.dedup();
-        let m = values.len();
-        let table_len = (2 * m).next_power_of_two().max(8);
-        let mask = table_len - 1;
-        let shift = 32 - table_len.trailing_zeros();
-        let mut table = vec![0u32; table_len];
-        for (rank, &v) in values.iter().enumerate() {
-            let mut slot = (Self::hash(v) >> shift) as usize & mask;
-            while table[slot] != 0 {
-                slot = (slot + 1) & mask;
-            }
-            table[slot] = rank as u32 + 1;
-        }
-        let mut this = Self {
-            values,
-            counts: vec![0; m],
-            table,
-            mask,
-            shift,
-            support: 0,
-            n: state.len() as u64,
-        };
-        for &v in state {
-            let r = this.rank_of(v);
-            if this.counts[r] == 0 {
-                this.support += 1;
-            }
-            this.counts[r] += 1;
-        }
+        let mut this = Self::default();
+        this.rebuild_from(state);
         this
+    }
+
+    /// Recount a fresh trial's state, reusing every internal buffer
+    /// (`values`, the open-addressing `table`, `counts`): the per-trial
+    /// path of workspace reuse. Unlike the seed construction this never
+    /// sorts the full state — distinct values are discovered through the
+    /// probe table in one `O(n)` pass, then only the `m` survivors are
+    /// sorted into rank order.
+    ///
+    /// # Panics
+    /// Panics if `state` is empty.
+    pub fn rebuild_from(&mut self, state: &[Value]) {
+        assert!(!state.is_empty(), "RankedCounts: empty state");
+        self.n = state.len() as u64;
+        self.values.clear();
+        self.counts.clear();
+        self.resize_table(self.table.len().max(8));
+        // Pass 1: discover distinct values (insertion order) and their
+        // loads, growing the table whenever the load factor would pass 1/2.
+        for &v in state {
+            if 2 * (self.values.len() + 1) > self.table.len() {
+                self.resize_table(self.table.len() * 2);
+                for (rank, &u) in self.values.iter().enumerate() {
+                    insert_rank(&mut self.table, self.shift, self.mask, u, rank as u32);
+                }
+            }
+            let mut slot = (Self::hash(v) >> self.shift) as usize & self.mask;
+            loop {
+                let e = self.table[slot];
+                if e == 0 {
+                    self.values.push(v);
+                    self.counts.push(1);
+                    self.table[slot] = self.values.len() as u32;
+                    break;
+                }
+                let rank = (e - 1) as usize;
+                if self.values[rank] == v {
+                    self.counts[rank] += 1;
+                    break;
+                }
+                slot = (slot + 1) & self.mask;
+            }
+        }
+        // Pass 2: establish rank order (value-ascending) and re-key the
+        // table with the final ranks. The re-key rebuilds at the size a
+        // fresh construction would use, so a huge-universe trial does not
+        // leave every later small trial through the same workspace paying
+        // full-table zeroing passes forever.
+        self.pairs_scratch.clear();
+        self.pairs_scratch
+            .extend(self.values.iter().copied().zip(self.counts.iter().copied()));
+        self.pairs_scratch.sort_unstable_by_key(|&(v, _)| v);
+        self.values.clear();
+        self.counts.clear();
+        for &(v, c) in &self.pairs_scratch {
+            self.values.push(v);
+            self.counts.push(c);
+        }
+        self.resize_table((2 * self.values.len()).next_power_of_two().max(8));
+        for (rank, &v) in self.values.iter().enumerate() {
+            insert_rank(&mut self.table, self.shift, self.mask, v, rank as u32);
+        }
+        // Every universe value came from the state, so all loads are ≥ 1.
+        self.support = self.values.len();
+    }
+
+    /// Zero the probe table at `table_len` slots (a power of two) and
+    /// refresh the derived hash parameters.
+    fn resize_table(&mut self, table_len: usize) {
+        debug_assert!(table_len.is_power_of_two());
+        self.table.clear();
+        self.table.resize(table_len, 0);
+        self.mask = table_len - 1;
+        self.shift = 32 - table_len.trailing_zeros();
     }
 
     #[inline(always)]
@@ -257,10 +327,31 @@ impl RankedCounts {
         self.counts[rt] += 1;
     }
 
+    /// Universe-size cutoff for the recount fast path of
+    /// [`RankedCounts::apply_step`]: below it the whole rank table is a few
+    /// cache lines and one branch-free probe per ball beats a diff walk
+    /// whose `old != new` branch mispredicts on every second ball mid-trial.
+    const RECOUNT_UNIVERSE_MAX: usize = 64;
+
     /// Fold in one engine round (see
     /// [`IncrementalHistogram::apply_step`]).
+    ///
+    /// Two strategies with identical results: for small universes, recount
+    /// `new` outright (one predictable probe per ball, no data-dependent
+    /// branches); otherwise diff `old` against `new` and move only the
+    /// changed balls (near consensus almost nothing changes, which is
+    /// exactly when rounds are most numerous).
     pub fn apply_step(&mut self, old: &[Value], new: &[Value]) {
         debug_assert_eq!(old.len(), new.len());
+        if self.values.len() <= Self::RECOUNT_UNIVERSE_MAX {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            for &v in new {
+                let rank = self.rank_of(v);
+                self.counts[rank] += 1;
+            }
+            self.support = self.counts.iter().filter(|&&c| c > 0).count();
+            return;
+        }
         for (&o, &n) in old.iter().zip(new) {
             if o != n {
                 self.record_move(o, n);
@@ -308,6 +399,49 @@ impl LoadCounts {
         }
     }
 
+    /// [`LoadCounts::for_state`] reusing a previous trial's maintainer when
+    /// the kind matches (the workspace-reuse path) — behaviorally identical
+    /// to a fresh build, without the per-trial `values`/`table`/`counts`
+    /// allocations.
+    pub fn rebuild(prev: Option<LoadCounts>, state: &[Value], validity_preserving: bool) -> Self {
+        match (prev, validity_preserving) {
+            (Some(LoadCounts::Ranked(mut r)), true) => {
+                r.rebuild_from(state);
+                LoadCounts::Ranked(r)
+            }
+            (Some(LoadCounts::Tree(mut t)), false) => {
+                t.rebuild_from(state);
+                LoadCounts::Tree(t)
+            }
+            (_, vp) => Self::for_state(state, vp),
+        }
+    }
+
+    /// Refill `set` with the maintainer's distinct values (ascending).
+    /// Right after a (re)build from the initial state these are exactly the
+    /// initial value set, so the runner shares one pass instead of
+    /// re-sorting the whole state.
+    pub fn rebuild_value_set(&self, set: &mut crate::value::ValueSet) {
+        match self {
+            LoadCounts::Ranked(r) => set.rebuild_sorted_unique(r.values.iter().copied()),
+            LoadCounts::Tree(t) => set.rebuild_sorted_unique(t.counts.keys().copied()),
+        }
+    }
+
+    /// Snapshot the live bins into `slot`, reusing the histogram allocation
+    /// when one is parked there (the adaptive handoff path).
+    pub fn snapshot_into(&self, slot: &mut Option<Histogram>) {
+        match slot {
+            Some(h) => match self {
+                LoadCounts::Ranked(r) => h.rebuild_from_sorted(r.live_bins_iter()),
+                LoadCounts::Tree(t) => {
+                    h.rebuild_from_sorted(t.counts.iter().map(|(&v, &c)| (v, c)))
+                }
+            },
+            None => *slot = Some(self.to_histogram()),
+        }
+    }
+
     /// Number of distinct live values.
     pub fn support_size(&self) -> usize {
         match self {
@@ -351,9 +485,17 @@ impl LoadCounts {
     /// The live `(value, load)` pairs, value-ascending (for the
     /// load-sampled dense round).
     pub fn live_bins(&self) -> Vec<(Value, u64)> {
+        let mut out = Vec::new();
+        self.live_bins_into(&mut out);
+        out
+    }
+
+    /// [`LoadCounts::live_bins`] into a reused buffer.
+    pub fn live_bins_into(&self, out: &mut Vec<(Value, u64)>) {
+        out.clear();
         match self {
-            LoadCounts::Ranked(r) => r.live_bins_iter().collect(),
-            LoadCounts::Tree(t) => t.counts.iter().map(|(&v, &c)| (v, c)).collect(),
+            LoadCounts::Ranked(r) => out.extend(r.live_bins_iter()),
+            LoadCounts::Tree(t) => out.extend(t.counts.iter().map(|(&v, &c)| (v, c))),
         }
     }
 
@@ -462,6 +604,58 @@ mod tests {
         assert_eq!(obs.plurality_value, obs2.plurality_value);
         assert_eq!(obs.median_value, obs2.median_value);
         assert_eq!(obs.imbalance, obs2.imbalance);
+    }
+
+    #[test]
+    fn ranked_rebuild_reuses_buffers_and_matches_fresh() {
+        let mut r = RankedCounts::from_values(&[7, 7, 3, 9, 3, 3]);
+        // Dirty it with a different, larger universe, then rebuild small.
+        let big: Vec<Value> = (0..500u32).map(|i| i * 3).collect();
+        r.rebuild_from(&big);
+        assert_eq!(r.support_size(), 500);
+        r.rebuild_from(&[7, 7, 3, 9, 3, 3]);
+        let fresh = RankedCounts::from_values(&[7, 7, 3, 9, 3, 3]);
+        assert_eq!(r.n(), fresh.n());
+        assert_eq!(r.support_size(), 3);
+        for v in [3u32, 7, 9, 100] {
+            assert_eq!(r.count_of(v), fresh.count_of(v), "value {v}");
+        }
+        assert_eq!(r.observe(), fresh.observe());
+        assert_eq!(r.to_histogram(), fresh.to_histogram());
+    }
+
+    #[test]
+    fn ranked_rebuild_shrinks_an_oversized_probe_table() {
+        let small = [4u32, 4, 9];
+        let mut r = RankedCounts::from_values(&small);
+        let fresh_len = r.table.len();
+        let big: Vec<Value> = (0..10_000u32).collect();
+        r.rebuild_from(&big);
+        assert!(r.table.len() >= 20_000);
+        r.rebuild_from(&small);
+        assert_eq!(
+            r.table.len(),
+            fresh_len,
+            "re-key must restore the fresh-construction table size"
+        );
+        assert_eq!(r.count_of(4), 2);
+        assert_eq!(r.count_of(9), 1);
+    }
+
+    #[test]
+    fn load_counts_rebuild_switches_maintainer_kind() {
+        let state = [1u32, 1, 2, 5];
+        let ranked = LoadCounts::rebuild(None, &state, true);
+        assert!(matches!(ranked, LoadCounts::Ranked(_)));
+        // Kind mismatch: fall back to a fresh build of the right kind.
+        let tree = LoadCounts::rebuild(Some(ranked), &state, false);
+        assert!(matches!(tree, LoadCounts::Tree(_)));
+        let back = LoadCounts::rebuild(Some(tree), &state, true);
+        assert!(matches!(back, LoadCounts::Ranked(_)));
+        assert_eq!(back.count_of(1), 2);
+        let mut set = crate::value::ValueSet::default();
+        back.rebuild_value_set(&mut set);
+        assert_eq!(set.values(), &[1, 2, 5]);
     }
 
     #[test]

@@ -18,7 +18,6 @@ use rand::RngCore;
 use stabcon_util::dist::multinomial_into;
 
 use crate::histogram::Histogram;
-use crate::value::Value;
 
 /// The destination distribution for a ball currently in bin index `b`.
 ///
@@ -74,35 +73,55 @@ pub fn destination_law_into(cdf: &[f64], b: usize, law: &mut [f64]) {
     }
 }
 
+/// Reusable per-round buffers for [`step_in_place`] (CDF, one destination
+/// law, one draw vector, the accumulated new loads). One of these lives in
+/// a [`crate::workspace::TrialWorkspace`], so the adaptive engine's
+/// aggregated phase allocates nothing per round.
+#[derive(Debug, Clone, Default)]
+pub struct StepScratch {
+    cdf: Vec<f64>,
+    law: Vec<f64>,
+    draws: Vec<u64>,
+    new_loads: Vec<u64>,
+}
+
 /// Advance the median rule one round on aggregated loads.
 pub fn step<R: RngCore + ?Sized>(hist: &Histogram, rng: &mut R) -> Histogram {
-    let bins = hist.bins();
-    let m = bins.len();
+    let mut out = hist.clone();
+    step_in_place(&mut out, rng, &mut StepScratch::default());
+    out
+}
+
+/// [`step`] without the output histogram (or any per-round buffer)
+/// allocation: same draws from the same RNG stream, loads updated in place.
+/// At consensus (`m == 1`) this is a no-op that consumes no randomness,
+/// exactly like [`step`].
+pub fn step_in_place<R: RngCore + ?Sized>(hist: &mut Histogram, rng: &mut R, ws: &mut StepScratch) {
+    let m = hist.support_size();
     if m == 1 {
-        return hist.clone();
+        return;
     }
-    let cdf = hist.cdf();
-    let mut law = vec![0.0f64; m];
-    let mut draws = vec![0u64; m];
-    let mut new_loads = vec![0u64; m];
-    for (b, &(_, load)) in bins.iter().enumerate() {
-        destination_law_into(&cdf, b, &mut law);
-        multinomial_into(rng, load, &law, &mut draws);
-        for (acc, &d) in new_loads.iter_mut().zip(&draws) {
+    hist.cdf_into(&mut ws.cdf);
+    ws.law.clear();
+    ws.law.resize(m, 0.0);
+    ws.draws.clear();
+    ws.draws.resize(m, 0);
+    ws.new_loads.clear();
+    ws.new_loads.resize(m, 0);
+    for (b, &(_, load)) in hist.bins().iter().enumerate() {
+        destination_law_into(&ws.cdf, b, &mut ws.law);
+        multinomial_into(rng, load, &ws.law, &mut ws.draws);
+        for (acc, &d) in ws.new_loads.iter_mut().zip(&ws.draws) {
             *acc += d;
         }
     }
-    let pairs: Vec<(Value, u64)> = bins
-        .iter()
-        .zip(&new_loads)
-        .map(|(&(v, _), &c)| (v, c))
-        .collect();
-    Histogram::new(&pairs)
+    hist.set_loads(&ws.new_loads);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Value;
     use stabcon_util::rng::Xoshiro256pp;
 
     #[test]
@@ -182,6 +201,22 @@ mod tests {
             for &(v, _) in h.bins() {
                 assert!(values.contains(&v), "value {v} invented");
             }
+        }
+    }
+
+    #[test]
+    fn step_in_place_is_bit_identical_to_step() {
+        // Same RNG stream, same draws, loads updated in place through a
+        // dirty scratch — including the no-RNG consensus no-op.
+        let mut a_rng = Xoshiro256pp::seed(9);
+        let mut b_rng = Xoshiro256pp::seed(9);
+        let mut h = Histogram::new(&[(2, 700), (5, 100), (8, 1), (9, 199)]);
+        let mut ws = StepScratch::default();
+        for _ in 0..64 {
+            let fresh = step(&h, &mut a_rng);
+            step_in_place(&mut h, &mut b_rng, &mut ws);
+            assert_eq!(h, fresh);
+            assert_eq!(a_rng.next_u64(), b_rng.next_u64(), "streams diverged");
         }
     }
 

@@ -118,6 +118,32 @@ impl MessageEngine {
         self.round_cfg.inbox_cap
     }
 
+    /// The population size this engine was built for.
+    pub fn n(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> MessageConfig {
+        self.cfg
+    }
+
+    /// Re-key the engine for a fresh trial with the same `(n, config)`,
+    /// keeping the routing buffers: after this the engine behaves exactly
+    /// like [`MessageEngine::new`] with `seed` (drop policies carry no
+    /// cross-trial state — they are pure functions of `(n, config)` plus
+    /// the per-round randomness).
+    pub fn reset(&mut self, seed: u64) {
+        self.net_rng = Xoshiro256pp::seed(hash3(seed, ANON_STREAM, 1));
+        // Undo a `with_inbox_cap` override so reset ≡ new.
+        self.round_cfg.inbox_cap = log_inbox_cap(self.n(), self.cfg.cap_mult.max(1));
+        self.totals = RoundMetrics::default();
+        self.targets.clear();
+        for inbox in &mut self.responses {
+            inbox.clear();
+        }
+    }
+
     /// Override the inbox cap with an absolute value (stress-testing knob:
     /// the canonical `c·⌈log₂ n⌉` cap sits *above* the maximum inbox load
     /// w.h.p., so drops are rare; sub-logarithmic caps make them bite).

@@ -113,14 +113,59 @@ impl Histogram {
 
     /// Load prefix-CDF evaluated at each bin: `cdf[i] = Σ_{j ≤ i} load_j / n`.
     pub fn cdf(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.cdf_into(&mut out);
+        out
+    }
+
+    /// [`Histogram::cdf`] into a reused buffer (the histogram engine's
+    /// per-round path).
+    pub fn cdf_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         let mut acc = 0u64;
-        self.bins
-            .iter()
-            .map(|&(_, c)| {
-                acc += c;
-                acc as f64 / self.n as f64
-            })
-            .collect()
+        out.extend(self.bins.iter().map(|&(_, c)| {
+            acc += c;
+            acc as f64 / self.n as f64
+        }));
+    }
+
+    /// Replace every bin's load in place (bin order unchanged), dropping
+    /// bins that went to zero — the allocation-free core of one histogram
+    /// engine round.
+    ///
+    /// # Panics
+    /// Panics if `loads.len()` differs from the bin count or the new loads
+    /// do not conserve the population.
+    pub fn set_loads(&mut self, loads: &[u64]) {
+        assert_eq!(loads.len(), self.bins.len(), "set_loads: length mismatch");
+        let total: u64 = loads.iter().sum();
+        assert_eq!(total, self.n, "set_loads must conserve the population");
+        for (slot, &c) in self.bins.iter_mut().zip(loads) {
+            slot.1 = c;
+        }
+        self.bins.retain(|&(_, c)| c > 0);
+    }
+
+    /// Refill from already sorted, strictly ascending, positive-load bins,
+    /// reusing the allocation — the adaptive engine's handoff path.
+    ///
+    /// # Panics
+    /// Panics if the bins are empty or the total exceeds 2^52 (debug builds
+    /// also check ordering and positivity).
+    pub fn rebuild_from_sorted(&mut self, bins: impl Iterator<Item = (Value, u64)>) {
+        self.bins.clear();
+        self.n = 0;
+        for (v, c) in bins {
+            debug_assert!(c > 0, "rebuild_from_sorted: zero load for {v}");
+            debug_assert!(
+                self.bins.last().is_none_or(|&(lv, _)| lv < v),
+                "rebuild_from_sorted: bins not strictly ascending"
+            );
+            self.bins.push((v, c));
+            self.n += c;
+        }
+        assert!(self.n > 0, "Histogram: empty");
+        assert!(self.n <= 1 << 52, "Histogram: n exceeds 2^52");
     }
 
     /// Two-bin imbalance Δ (same convention as [`Config::imbalance`]).

@@ -42,31 +42,47 @@ impl InitialCondition {
     /// Panics on inconsistent parameters (`left > n`, `m == 0`, custom
     /// length ≠ `n`).
     pub fn materialize<R: RngCore + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.materialize_into(n, rng, &mut out);
+        out
+    }
+
+    /// [`InitialCondition::materialize`] into a reused buffer: same values,
+    /// same RNG consumption, no fresh allocation once the buffer has the
+    /// capacity.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters (`left > n`, `m == 0`, custom
+    /// length ≠ `n`).
+    pub fn materialize_into<R: RngCore + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<Value>,
+    ) {
         assert!(n > 0, "materialize: n = 0");
+        out.clear();
         match self {
-            InitialCondition::AllDistinct => (0..n as u32).collect(),
+            InitialCondition::AllDistinct => out.extend(0..n as u32),
             InitialCondition::TwoBins { left } => {
                 assert!(*left <= n, "TwoBins: left > n");
-                let mut v = vec![0 as Value; n];
-                for slot in v.iter_mut().skip(*left) {
-                    *slot = 1;
-                }
-                v
+                out.resize(*left, 0);
+                out.resize(n, 1);
             }
             InitialCondition::MBinsEqual { m } => {
                 assert!(*m > 0, "MBinsEqual: m = 0");
                 let m = (*m as usize).min(n);
                 // Block partition: ball i gets bin ⌊i·m/n⌋ — loads differ by
                 // at most one and bins are consecutive.
-                (0..n).map(|i| (i * m / n) as Value).collect()
+                out.extend((0..n).map(|i| (i * m / n) as Value));
             }
             InitialCondition::UniformRandom { m } => {
                 assert!(*m > 0, "UniformRandom: m = 0");
-                (0..n).map(|_| gen_index(rng, *m as u64) as Value).collect()
+                out.extend((0..n).map(|_| gen_index(rng, *m as u64) as Value));
             }
             InitialCondition::Custom(values) => {
                 assert_eq!(values.len(), n, "Custom: length mismatch");
-                values.as_ref().clone()
+                out.extend_from_slice(values);
             }
         }
     }

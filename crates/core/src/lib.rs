@@ -19,6 +19,8 @@
 //!   request/response rounds on `stabcon-net` with logarithmic inbox caps);
 //! * [`runner`] — the [`runner::SimSpec`] builder tying everything together,
 //!   with consensus / almost-stable-consensus detection ([`stopping`]);
+//! * [`workspace`] — [`workspace::TrialWorkspace`]: reusable per-worker
+//!   trial buffers, making batched trials allocation-free in steady state;
 //! * [`fineness`] — the Lemma 17 partial order and exact coupling;
 //! * [`gravity`] — Equation (1): the expected median-attraction of a ball.
 
@@ -37,6 +39,7 @@ pub mod protocol;
 pub mod runner;
 pub mod stopping;
 pub mod value;
+pub mod workspace;
 
 /// One-stop imports.
 pub mod prelude {
@@ -48,4 +51,5 @@ pub mod prelude {
     pub use crate::protocol::ProtocolSpec;
     pub use crate::runner::{RunResult, SimSpec};
     pub use crate::value::{median3, Value, ValueSet};
+    pub use crate::workspace::TrialWorkspace;
 }

@@ -13,7 +13,7 @@ use stabcon_util::rng::{derive_seed, Xoshiro256pp};
 
 use crate::adversary::{AdversarySpec, Corruptor, HistAdversarySpec, HistCorruptor};
 use crate::engine::adaptive::{observe_histogram, LoadCounts};
-use crate::engine::{dense, hist, EngineSpec, MessageEngine};
+use crate::engine::{dense, hist, EngineSpec};
 use crate::histogram::Histogram;
 use crate::init::InitialCondition;
 use crate::protocol::{
@@ -22,6 +22,7 @@ use crate::protocol::{
 };
 use crate::stopping::{StabilityConfig, StabilityTracker};
 use crate::value::{Value, ValueSet};
+use crate::workspace::TrialWorkspace;
 
 /// Per-round observables recorded when trajectories are enabled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +42,7 @@ pub struct RoundObs {
 }
 
 /// Everything a trial reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Protocol steps executed.
     pub rounds_executed: u64,
@@ -195,22 +196,38 @@ impl SimSpec {
 
     /// Run one trial, fully determined by `(self, seed)`.
     ///
+    /// Allocates a fresh [`TrialWorkspace`] — batch callers should hold one
+    /// workspace per worker and use [`SimSpec::run_seeded_into`] instead.
+    pub fn run_seeded(&self, seed: u64) -> RunResult {
+        self.run_seeded_into(seed, &mut TrialWorkspace::new())
+    }
+
+    /// Run one trial through a reusable [`TrialWorkspace`], fully
+    /// determined by `(self, seed)`: bit-identical to [`SimSpec::run_seeded`]
+    /// no matter what the workspace previously ran, but free of per-trial
+    /// allocations once the buffers are warm.
+    ///
     /// Dispatches the protocol *once* so the engine's hot loop runs
     /// monomorphized (static dispatch, no per-ball virtual calls).
-    pub fn run_seeded(&self, seed: u64) -> RunResult {
+    pub fn run_seeded_into(&self, seed: u64, ws: &mut TrialWorkspace) -> RunResult {
         match self.protocol {
-            ProtocolSpec::Median => self.run_with_protocol(&MedianRule, seed),
-            ProtocolSpec::Min => self.run_with_protocol(&MinRule, seed),
-            ProtocolSpec::Max => self.run_with_protocol(&MaxRule, seed),
-            ProtocolSpec::Mean => self.run_with_protocol(&MeanRule, seed),
-            ProtocolSpec::Majority => self.run_with_protocol(&MajorityRule, seed),
-            ProtocolSpec::Voter => self.run_with_protocol(&VoterRule, seed),
-            ProtocolSpec::KMedian(k) => self.run_with_protocol(&KMedianRule::new(k), seed),
+            ProtocolSpec::Median => self.run_with_protocol(&MedianRule, seed, ws),
+            ProtocolSpec::Min => self.run_with_protocol(&MinRule, seed, ws),
+            ProtocolSpec::Max => self.run_with_protocol(&MaxRule, seed, ws),
+            ProtocolSpec::Mean => self.run_with_protocol(&MeanRule, seed, ws),
+            ProtocolSpec::Majority => self.run_with_protocol(&MajorityRule, seed, ws),
+            ProtocolSpec::Voter => self.run_with_protocol(&VoterRule, seed, ws),
+            ProtocolSpec::KMedian(k) => self.run_with_protocol(&KMedianRule::new(k), seed, ws),
         }
     }
 
     /// The trial loop, generic over the (concrete) protocol type.
-    fn run_with_protocol<P: Protocol>(&self, protocol: &P, seed: u64) -> RunResult {
+    fn run_with_protocol<P: Protocol>(
+        &self,
+        protocol: &P,
+        seed: u64,
+        ws: &mut TrialWorkspace,
+    ) -> RunResult {
         let mut init_rng = Xoshiro256pp::seed(derive_seed(seed, 0));
         let mut adv_rng = Xoshiro256pp::seed(derive_seed(seed, 1));
         let engine_seed = derive_seed(seed, 2);
@@ -218,17 +235,22 @@ impl SimSpec {
         // engine only); reserved unconditionally so seeds stay stable.
         let mut hist_rng = Xoshiro256pp::seed(derive_seed(seed, 3));
 
-        let mut state = self.init.materialize(self.n, &mut init_rng);
-        let initial_set = ValueSet::from_values(&state);
+        self.init
+            .materialize_into(self.n, &mut init_rng, &mut ws.state);
+        // Incrementally maintained bin loads: the one O(n) count here
+        // replaces the per-round O(n) rebuild the runner used to do. The
+        // maintainer's sorted universe doubles as the initial value set, so
+        // the state is walked once, not sorted twice.
+        let counts = ws.counts.take();
+        let mut counts = LoadCounts::rebuild(counts, &ws.state, protocol.validity_preserving());
+        let mut initial_set = ws.initial_set.take().unwrap_or_default();
+        counts.rebuild_value_set(&mut initial_set);
         let mut adversary = self.adversary.build();
         let mut message_engine = match self.engine {
-            EngineSpec::Message(cfg) => Some(MessageEngine::new(self.n, cfg, engine_seed)),
+            EngineSpec::Message(cfg) => Some(ws.checkout_message_engine(self.n, cfg, engine_seed)),
             _ => None,
         };
 
-        // Incrementally maintained bin loads: the one O(n) count here
-        // replaces the per-round O(n) rebuild the runner used to do.
-        let mut counts = LoadCounts::for_state(&state, protocol.validity_preserving());
         // Post-handoff aggregated state (adaptive engine only). While this
         // is `Some`, `state`/`counts` are frozen at the handoff round.
         let mut hist_state: Option<Histogram> = None;
@@ -248,14 +270,36 @@ impl SimSpec {
             disagreement_threshold: self.disagreement_threshold(),
             window: self.window,
         });
-        let mut trajectory = self.record_trajectory.then(Vec::new);
-        let mut scratch = vec![0 as Value; self.n];
+        let recording = self.record_trajectory;
+        let mut trajectory = std::mem::take(&mut ws.trajectory);
+        trajectory.clear();
+        ws.scratch.resize(self.n, 0);
         let mut max_after_stable: Option<u64> = None;
 
         // Observe the initial state (round 0).
         let obs = counts.observe();
-        record(&mut trajectory, 0, &obs);
-        let mut done = tracker.observe(0, obs.plurality_value, obs.plurality_count, self.n as u64);
+        record(recording, &mut trajectory, 0, &obs);
+        // Without an adversary, full consensus is absorbing for every rule
+        // (`combine(v, [v, …]) = v`, and the dropped-sample fallbacks of the
+        // message engine degrade to `v` too), so once the support hits 1 the
+        // remaining stability window is a foregone conclusion — stop paying
+        // O(n) rounds to watch it (for a typical campaign cell that is the
+        // whole `window` tail of the trial).
+        let absorbing = self.budget == 0;
+        let mut done = tracker.observe(0, obs.plurality_value, obs.plurality_count, self.n as u64)
+            || (absorbing && obs.support == 1);
+
+        // Adaptive handoff at round 0: a trial that *starts* at or below
+        // the threshold (two-bin cells, narrow uniform grids) runs entirely
+        // aggregated — the handoff is statistically exact conditioned on
+        // the loads, and the initial loads qualify like any later round's.
+        if let Some(threshold) = handoff_support {
+            if counts.support_size() <= threshold {
+                let mut h = ws.handoff.take();
+                counts.snapshot_into(&mut h);
+                hist_state = h;
+            }
+        }
 
         let mut rounds_executed = 0u64;
         let mut final_obs = obs;
@@ -266,13 +310,13 @@ impl SimSpec {
             let obs = if let Some(h) = hist_state.as_mut() {
                 // Aggregated phase: one O(m²) multinomial round. (Handoff is
                 // gated on budget == 0, so there is no adversary step here.)
-                *h = hist::step(h, &mut hist_rng);
+                hist::step_in_place(h, &mut hist_rng, &mut ws.hist_scratch);
                 rounds_executed += 1;
                 observe_histogram(h)
             } else {
                 // 1. Adversary corrupts at the beginning of the round.
                 if self.budget > 0 {
-                    let mut corruptor = Corruptor::new(&mut state, &initial_set, self.budget);
+                    let mut corruptor = Corruptor::new(&mut ws.state, &initial_set, self.budget);
                     adversary.corrupt(round, &mut corruptor, &mut adv_rng);
                     for (_, before, after) in corruptor.changes() {
                         counts.record_move(before, after);
@@ -282,17 +326,19 @@ impl SimSpec {
                 // peers through the live load prefix sums once the support
                 // is small (same law as indexing the state array, without
                 // the two random DRAM reads per ball).
-                let sampled_bins = (self.update_fraction >= 1.0
+                let use_sampled = self.update_fraction >= 1.0
                     && !matches!(self.engine, EngineSpec::Message(_))
                     && self.n >= dense::SAMPLED_N_MIN
-                    && counts.support_size() <= dense::SAMPLED_SUPPORT_MAX)
-                    .then(|| counts.live_bins());
+                    && counts.support_size() <= dense::SAMPLED_SUPPORT_MAX;
+                if use_sampled {
+                    counts.live_bins_into(&mut ws.live_bins);
+                }
                 match self.engine {
                     EngineSpec::DenseSeq if self.update_fraction < 1.0 => {
                         dense::step_partial(
                             1,
-                            &state,
-                            &mut scratch,
+                            &ws.state,
+                            &mut ws.scratch,
                             protocol,
                             engine_seed,
                             round,
@@ -304,44 +350,54 @@ impl SimSpec {
                     {
                         dense::step_partial(
                             threads,
-                            &state,
-                            &mut scratch,
+                            &ws.state,
+                            &mut ws.scratch,
                             protocol,
                             engine_seed,
                             round,
                             self.update_fraction,
                         );
                     }
-                    EngineSpec::DenseSeq => match &sampled_bins {
-                        Some(bins) => dense::step_seq_with_loads(
-                            &state,
-                            &mut scratch,
-                            protocol,
-                            engine_seed,
-                            round,
-                            bins,
-                        ),
-                        None => dense::step_seq(&state, &mut scratch, protocol, engine_seed, round),
-                    },
+                    EngineSpec::DenseSeq => {
+                        if use_sampled {
+                            dense::step_seq_with_loads(
+                                &ws.state,
+                                &mut ws.scratch,
+                                protocol,
+                                engine_seed,
+                                round,
+                                &ws.live_bins,
+                            );
+                        } else {
+                            dense::step_seq(
+                                &ws.state,
+                                &mut ws.scratch,
+                                protocol,
+                                engine_seed,
+                                round,
+                            );
+                        }
+                    }
                     EngineSpec::DensePar { threads } | EngineSpec::Adaptive { threads, .. } => {
-                        match &sampled_bins {
-                            Some(bins) => dense::step_par_with_loads(
+                        if use_sampled {
+                            dense::step_par_with_loads(
                                 threads,
-                                &state,
-                                &mut scratch,
+                                &ws.state,
+                                &mut ws.scratch,
                                 protocol,
                                 engine_seed,
                                 round,
-                                bins,
-                            ),
-                            None => dense::step_par(
+                                &ws.live_bins,
+                            );
+                        } else {
+                            dense::step_par(
                                 threads,
-                                &state,
-                                &mut scratch,
+                                &ws.state,
+                                &mut ws.scratch,
                                 protocol,
                                 engine_seed,
                                 round,
-                            ),
+                            );
                         }
                     }
                     EngineSpec::Message(_) => {
@@ -350,11 +406,11 @@ impl SimSpec {
                             "update_fraction is a dense-engine ablation"
                         );
                         let engine = message_engine.as_mut().expect("message engine built");
-                        engine.step(&state, &mut scratch, protocol, engine_seed, round);
+                        engine.step(&ws.state, &mut ws.scratch, protocol, engine_seed, round);
                     }
                 }
-                counts.apply_step(&state, &scratch);
-                std::mem::swap(&mut state, &mut scratch);
+                counts.apply_step(&ws.state, &ws.scratch);
+                std::mem::swap(&mut ws.state, &mut ws.scratch);
                 rounds_executed += 1;
 
                 // 3. Observe (O(m) walk over live bins).
@@ -362,18 +418,20 @@ impl SimSpec {
                 // 4. Adaptive handoff once the support is narrow enough.
                 if let Some(threshold) = handoff_support {
                     if counts.support_size() <= threshold {
-                        hist_state = Some(counts.to_histogram());
+                        let mut h = ws.handoff.take();
+                        counts.snapshot_into(&mut h);
+                        hist_state = h;
                     }
                 }
                 obs
             };
-            record(&mut trajectory, round + 1, &obs);
+            record(recording, &mut trajectory, round + 1, &obs);
             done = tracker.observe(
                 round + 1,
                 obs.plurality_value,
                 obs.plurality_count,
                 self.n as u64,
-            );
+            ) || (absorbing && obs.support == 1);
             if let Some((_, v)) = tracker.stable_hit() {
                 let agreeing = match &hist_state {
                     Some(h) => h.n() - h.disagreement_with(v),
@@ -393,26 +451,45 @@ impl SimSpec {
             Some(h) => h.n() - h.disagreement_with(winner),
             None => counts.count_of(winner),
         };
+        let winner_valid = initial_set.contains(winner);
+        let net_totals = message_engine.as_ref().map(|e| *e.totals());
+
+        // Park every reusable buffer for the next trial.
+        ws.counts = Some(counts);
+        ws.initial_set = Some(initial_set);
+        if hist_state.is_some() {
+            ws.handoff = hist_state.take();
+        }
+        if message_engine.is_some() {
+            ws.message = message_engine.take();
+        }
+        let trajectory = if recording {
+            Some(trajectory)
+        } else {
+            ws.trajectory = trajectory;
+            None
+        };
+
         RunResult {
             rounds_executed,
             consensus_round: tracker.consensus_hit(),
             almost_stable_round: tracker.stable_hit().map(|(r, _)| r),
             winner,
-            winner_valid: initial_set.contains(winner),
+            winner_valid,
             final_support: final_obs.support,
             final_disagreement: self.n as u64 - winner_count,
             max_disagreement_after_stable: max_after_stable,
             trajectory,
-            net_totals: message_engine.map(|e| *e.totals()),
+            net_totals,
         }
     }
 }
 
-fn record(trajectory: &mut Option<Vec<RoundObs>>, round: u64, obs: &RoundObs) {
-    if let Some(t) = trajectory.as_mut() {
+fn record(recording: bool, trajectory: &mut Vec<RoundObs>, round: u64, obs: &RoundObs) {
+    if recording {
         let mut obs = *obs;
         obs.round = round;
-        t.push(obs);
+        trajectory.push(obs);
     }
 }
 

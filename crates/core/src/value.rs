@@ -34,7 +34,11 @@ pub fn median_small(vals: &mut [Value]) -> Value {
 
 /// The set of initial values, supporting membership tests and "nearest
 /// allowed value" queries for adversaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` value is an **empty placeholder** kept only so buffers can
+/// be reused across trials (see [`crate::workspace::TrialWorkspace`]); it
+/// must be filled via [`ValueSet::rebuild_sorted_unique`] before queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ValueSet {
     sorted: Vec<Value>,
 }
@@ -47,6 +51,21 @@ impl ValueSet {
         sorted.dedup();
         assert!(!sorted.is_empty(), "ValueSet: empty");
         Self { sorted }
+    }
+
+    /// Refill from already strictly ascending values, reusing the
+    /// allocation — the per-trial path used by workspace reuse.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty (debug builds also check ordering).
+    pub fn rebuild_sorted_unique(&mut self, values: impl Iterator<Item = Value>) {
+        self.sorted.clear();
+        self.sorted.extend(values);
+        debug_assert!(
+            self.sorted.windows(2).all(|w| w[0] < w[1]),
+            "rebuild_sorted_unique: values not strictly ascending"
+        );
+        assert!(!self.sorted.is_empty(), "ValueSet: empty");
     }
 
     /// Number of distinct values.

@@ -1,0 +1,84 @@
+//! Reusable per-worker trial buffers.
+//!
+//! A campaign runs millions of short trials, and before this module every
+//! one of them re-allocated its whole world: the state vector, the scratch
+//! vector, the load-count universe (`values`/`table`/`counts`), the initial
+//! value set, the trajectory, the adaptive handoff histogram, and — for the
+//! message engine — the routing buffers. A [`TrialWorkspace`] owns all of
+//! those once per worker; [`crate::runner::SimSpec::run_seeded_into`]
+//! rebuilds them in place each trial, so the steady-state allocation count
+//! per dense trial is O(1) (pinned by `tests/alloc_regression.rs`).
+//!
+//! Reuse is **observationally invisible**: a trial through a dirty, reused
+//! workspace produces a bit-identical [`RunResult`] to a fresh one
+//! (`tests/workspace_props.rs` pins this across engines × protocols).
+
+use crate::engine::adaptive::LoadCounts;
+use crate::engine::hist;
+use crate::engine::{MessageConfig, MessageEngine};
+use crate::histogram::Histogram;
+use crate::runner::{RoundObs, RunResult};
+use crate::value::{Value, ValueSet};
+
+/// Every buffer one trial needs, owned across trials by a worker.
+///
+/// All fields are rebuilt from scratch at the start of each trial — a
+/// workspace carries **capacity**, never state, between trials.
+#[derive(Default)]
+pub struct TrialWorkspace {
+    /// Current ball values.
+    pub(crate) state: Vec<Value>,
+    /// Engine output buffer, swapped with `state` each round.
+    pub(crate) scratch: Vec<Value>,
+    /// Per-round observables (only filled when recording was requested).
+    pub(crate) trajectory: Vec<RoundObs>,
+    /// Live `(value, load)` pairs for the load-sampled dense round.
+    pub(crate) live_bins: Vec<(Value, u64)>,
+    /// Incremental load maintainer (parked between trials).
+    pub(crate) counts: Option<LoadCounts>,
+    /// Initial value set (parked between trials).
+    pub(crate) initial_set: Option<ValueSet>,
+    /// Aggregated-phase histogram for the adaptive engine's handoff.
+    pub(crate) handoff: Option<Histogram>,
+    /// Histogram-engine per-round buffers (CDF, law, draws, new loads).
+    pub(crate) hist_scratch: hist::StepScratch,
+    /// Cached message engine, keyed by the `(n, config)` it was built for.
+    pub(crate) message: Option<MessageEngine>,
+}
+
+impl TrialWorkspace {
+    /// An empty workspace; the first trial sizes every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a message engine for `(n, cfg)` re-keyed to `seed`,
+    /// reusing the cached one when its shape matches.
+    pub(crate) fn checkout_message_engine(
+        &mut self,
+        n: usize,
+        cfg: MessageConfig,
+        seed: u64,
+    ) -> MessageEngine {
+        match self.message.take() {
+            Some(mut engine) if engine.n() == n && engine.config() == cfg => {
+                engine.reset(seed);
+                engine
+            }
+            _ => MessageEngine::new(n, cfg, seed),
+        }
+    }
+
+    /// Return a finished [`RunResult`]'s owned buffers to the workspace so
+    /// the next trial reuses them. Call after the result has been reduced
+    /// (e.g. to campaign metrics); dropping the result instead is always
+    /// correct, just slower.
+    pub fn recycle(&mut self, result: RunResult) {
+        if let Some(mut trajectory) = result.trajectory {
+            if trajectory.capacity() > self.trajectory.capacity() {
+                trajectory.clear();
+                self.trajectory = trajectory;
+            }
+        }
+    }
+}

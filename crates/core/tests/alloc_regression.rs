@@ -1,0 +1,95 @@
+//! Allocation regression gate: once a [`TrialWorkspace`]'s buffers are
+//! warm, running more trials of a dense cell must allocate O(1) — i.e.
+//! (almost) nothing — per trial. A counting `#[global_allocator]` in this
+//! dedicated test binary pins that down, so a future change that quietly
+//! reintroduces per-trial (or worse, per-round) mallocs fails here instead
+//! of silently eating the campaign-throughput win.
+//!
+//! The threshold is deliberately a small constant, not zero: the contract
+//! is O(1) per trial, independent of `n`, `max_rounds`, and trial count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stabcon_core::engine::EngineSpec;
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_core::workspace::TrialWorkspace;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter is the only
+// addition and is atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_per_trial(sim: &SimSpec, warmup: u64, measured: u64) -> f64 {
+    let mut ws = TrialWorkspace::new();
+    for seed in 0..warmup {
+        let r = sim.run_seeded_into(seed, &mut ws);
+        ws.recycle(r);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for seed in warmup..warmup + measured {
+        let r = sim.run_seeded_into(seed, &mut ws);
+        ws.recycle(r);
+    }
+    (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / measured as f64
+}
+
+#[test]
+fn dense_cell_steady_state_is_allocation_free() {
+    let sim = SimSpec::new(4096).init(InitialCondition::UniformRandom { m: 8 });
+    let per_trial = allocations_per_trial(&sim, 4, 24);
+    assert!(
+        per_trial <= 2.0,
+        "dense trial steady state allocates {per_trial} times per trial (expected ≈ 0)"
+    );
+}
+
+#[test]
+fn adaptive_cell_steady_state_is_o1() {
+    // The adaptive engine additionally exercises the handoff snapshot and
+    // the histogram engine's in-place rounds.
+    let sim = SimSpec::new(4096)
+        .init(InitialCondition::UniformRandom { m: 8 })
+        .engine(EngineSpec::Adaptive {
+            threads: 1,
+            handoff_support: 64,
+        });
+    let per_trial = allocations_per_trial(&sim, 4, 24);
+    assert!(
+        per_trial <= 4.0,
+        "adaptive trial steady state allocates {per_trial} times per trial"
+    );
+}
+
+#[test]
+fn all_distinct_worst_case_universe_is_o1() {
+    // m = n: the ranked universe, probe table, and value set are all n-sized
+    // and must still be reused, not reallocated.
+    let sim = SimSpec::new(2048).init(InitialCondition::AllDistinct);
+    let per_trial = allocations_per_trial(&sim, 4, 16);
+    assert!(
+        per_trial <= 2.0,
+        "all-distinct steady state allocates {per_trial} times per trial"
+    );
+}

@@ -139,6 +139,49 @@ impl ChannelAggregate {
     }
 }
 
+/// One chunk's worker-side partial aggregate: everything that merges
+/// exactly (counters, [`SparseCounts`] sketches, integer channels) is
+/// folded on the worker; float channels — whose f64 sums are sensitive to
+/// association — are carried as per-trial rows and folded by
+/// [`CellAggregate::merge`] in global trial order. The partial a chunk
+/// ships back to the scheduler is therefore compact (no
+/// `Vec<TrialMetrics>`) without giving up bit-reproducibility across
+/// thread counts and chunk sizes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkAggregate {
+    ints: CellAggregate,
+    /// Per-trial extras in trial order; empty unless constructed with
+    /// `collect_floats` (i.e. the observer declares a float channel).
+    float_rows: Vec<TrialExtras>,
+    collect_floats: bool,
+}
+
+impl ChunkAggregate {
+    /// Empty partial. Pass `collect_floats = true` iff the cell's observer
+    /// declares a float channel (see
+    /// [`crate::observer::TrialObserver::has_float_channels`]).
+    pub fn new(collect_floats: bool) -> Self {
+        Self {
+            ints: CellAggregate::new(),
+            float_rows: Vec::new(),
+            collect_floats,
+        }
+    }
+
+    /// Fold one trial in (call in trial order within the chunk).
+    pub fn push(&mut self, m: &TrialMetrics) {
+        self.ints.push_impl(m, self.collect_floats);
+        if self.collect_floats {
+            self.float_rows.push(m.extras);
+        }
+    }
+
+    /// Trials folded into this partial.
+    pub fn trials(&self) -> u64 {
+        self.ints.trials
+    }
+}
+
 /// Streaming aggregate of one campaign cell.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellAggregate {
@@ -163,6 +206,12 @@ impl CellAggregate {
     /// guarantees this; it is what makes aggregates reproducible across
     /// thread counts.
     pub fn push(&mut self, m: &TrialMetrics) {
+        self.push_impl(m, false);
+    }
+
+    /// [`CellAggregate::push`] with float channels optionally left unfolded
+    /// (the [`ChunkAggregate`] path keeps those per-trial instead).
+    fn push_impl(&mut self, m: &TrialMetrics, skip_floats: bool) {
         self.trials += 1;
         self.valid += m.winner_valid as u64;
         self.rounds_total += m.rounds_executed;
@@ -187,7 +236,62 @@ impl CellAggregate {
             "observer channel count changed mid-cell"
         );
         for (agg, ch) in self.extras.iter_mut().zip(m.extras.channels()) {
+            if skip_floats && matches!(ch, TrialChannel::Float(_)) {
+                continue;
+            }
             agg.fold(ch);
+        }
+    }
+
+    /// Fold a chunk's partial in. Merging partials **in chunk order** is
+    /// bit-identical to pushing the same trials sequentially: the counters
+    /// and [`SparseCounts`] sketches merge exactly (integer addition is
+    /// associative), and float channels never live in the partial's folded
+    /// half — the chunk carries them per trial and this method folds them
+    /// here, in global trial order, because f64 addition is not
+    /// associative.
+    pub fn merge(&mut self, part: &ChunkAggregate) {
+        let o = &part.ints;
+        if o.trials == 0 {
+            return;
+        }
+        self.trials += o.trials;
+        self.valid += o.valid;
+        self.rounds_total += o.rounds_total;
+        self.consensus.merge(&o.consensus);
+        self.almost.merge(&o.almost);
+        self.winners.merge(&o.winners);
+        if self.extras.is_empty() && !o.extras.is_empty() {
+            self.extras = o
+                .extras
+                .iter()
+                .map(|ch| match ch {
+                    ChannelAggregate::Int(_) => ChannelAggregate::Int(SparseCounts::new()),
+                    ChannelAggregate::Float(_) => ChannelAggregate::Float(FloatMoments::new()),
+                })
+                .collect();
+        }
+        assert_eq!(
+            self.extras.len(),
+            o.extras.len(),
+            "observer channel count changed mid-cell"
+        );
+        for (mine, theirs) in self.extras.iter_mut().zip(&o.extras) {
+            match (mine, theirs) {
+                (ChannelAggregate::Int(a), ChannelAggregate::Int(b)) => a.merge(b),
+                // Non-empty only when the partial was folded without
+                // float-row collection; merge order is then the caller's
+                // responsibility.
+                (ChannelAggregate::Float(a), ChannelAggregate::Float(b)) => a.merge(b),
+                _ => panic!("observer channel kind changed mid-cell"),
+            }
+        }
+        for row in &part.float_rows {
+            for (agg, ch) in self.extras.iter_mut().zip(row.channels()) {
+                if let (ChannelAggregate::Float(moments), TrialChannel::Float(m)) = (agg, ch) {
+                    moments.merge(m);
+                }
+            }
         }
     }
 

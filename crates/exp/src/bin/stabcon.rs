@@ -133,7 +133,7 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
         cfg.threads = t;
     }
     if let Some(c) = args.chunk {
-        cfg.chunk = c;
+        cfg.chunk = Some(c);
     }
     cfg.max_cells = args.max_cells;
 

@@ -20,7 +20,7 @@ use stabcon_core::runner::SimSpec;
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::cell::{run_cell, CellSpec, DEFAULT_CHUNK};
+use crate::cell::{chunk_for, run_cell, CellSpec};
 use crate::metrics::HitMetric;
 use crate::observer::TrialObserver;
 use crate::store;
@@ -271,8 +271,9 @@ impl CampaignSpec {
 pub struct RunConfig {
     /// Worker threads for the shared pool.
     pub threads: usize,
-    /// Trials per scheduler chunk.
-    pub chunk: u64,
+    /// Trials per scheduler chunk; `None` auto-tunes per cell via
+    /// [`chunk_for`].
+    pub chunk: Option<u64>,
     /// Stop after this many *newly run* cells (checkpoint test hook / CI
     /// smoke interruption).
     pub max_cells: Option<u64>,
@@ -284,7 +285,7 @@ impl Default for RunConfig {
     fn default() -> Self {
         Self {
             threads: stabcon_par::default_threads(),
-            chunk: DEFAULT_CHUNK,
+            chunk: None,
             max_cells: None,
             resume: false,
         }
@@ -397,7 +398,10 @@ pub fn run_campaign(
         if cfg.max_cells.is_some_and(|k| outcome.cells_run >= k) {
             break;
         }
-        let agg = run_cell(&pool, cell, cfg.chunk);
+        let chunk = cfg
+            .chunk
+            .unwrap_or_else(|| chunk_for(cell.trials, cfg.threads));
+        let agg = run_cell(&pool, cell, chunk);
         store::append_line(&mut file, &store::cell_line(cell, &agg))
             .map_err(|e| format!("append cell {}: {e}", cell.id))?;
         outcome.cells_run += 1;

@@ -1,26 +1,51 @@
 //! One campaign cell: a simulation spec, a trial budget, and a seed —
-//! executed as sharded chunks on the shared [`ThreadPool`].
+//! executed by persistent workers on the shared [`ThreadPool`].
+//!
+//! Execution model: [`run_cell`] submits **one long-lived job per pool
+//! thread** (not one per chunk). Each worker owns a
+//! [`TrialWorkspace`] it reuses across every trial it runs, pulls chunk
+//! indices from a shared atomic counter, folds each chunk worker-side into
+//! a compact [`ChunkAggregate`] partial, and ships the partial (not a
+//! `Vec<TrialMetrics>`) back over a channel. The scheduler merges partials
+//! in chunk order.
 //!
 //! Determinism contract: trial `i` of a cell always runs with seed
-//! `derive_seed(cell.seed, i)`, and the aggregator folds trial metrics in
-//! global trial order (out-of-order chunks are parked until their turn).
-//! The resulting [`CellAggregate`] is therefore a pure function of
-//! `(CellSpec)` — independent of thread count, chunk size, and scheduling.
+//! `derive_seed(cell.seed, i)`, trials within a chunk fold in order, and
+//! [`CellAggregate::merge`] of chunk-ordered partials is bit-identical to a
+//! sequential fold (float observer channels ride along per trial — see
+//! [`crate::aggregate::ChunkAggregate`]). The resulting [`CellAggregate`]
+//! is therefore a pure function of `(CellSpec)` — independent of thread
+//! count, chunk size, and scheduling.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
 use stabcon_core::runner::SimSpec;
+use stabcon_core::workspace::TrialWorkspace;
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::aggregate::{CellAggregate, TrialMetrics};
+use crate::aggregate::{CellAggregate, ChunkAggregate, TrialMetrics};
 use crate::metrics::{ConvergenceStats, HitMetric};
 use crate::observer::TrialObserver;
 
-/// Default trials per scheduler chunk: small enough to load-balance a
-/// skewed cell across workers, large enough to amortize dispatch.
-pub const DEFAULT_CHUNK: u64 = 32;
+/// Smallest auto-tuned chunk: tiny cells must not shatter into one-trial
+/// chunks (per-chunk cost is one atomic fetch plus one channel send, but
+/// the ordered-merge window grows with chunk count).
+const MIN_CHUNK: u64 = 4;
+
+/// Largest auto-tuned chunk: bounds how much work a single straggler chunk
+/// can hold hostage at the end of a cell.
+const MAX_CHUNK: u64 = 256;
+
+/// Trials per scheduler chunk for a cell of `trials` trials on `threads`
+/// workers: aims for at least four chunks per worker (so an unlucky slow
+/// chunk load-balances away), clamped to `[4, 256]`.
+pub fn chunk_for(trials: u64, threads: usize) -> u64 {
+    let workers = threads.max(1) as u64;
+    (trials / (4 * workers)).clamp(MIN_CHUNK, MAX_CHUNK)
+}
 
 /// A fully specified unit of campaign work.
 #[derive(Debug, Clone)]
@@ -79,46 +104,65 @@ impl CellSpec {
     }
 }
 
-/// Run every trial of `cell`, sharded into `chunk`-sized batches on `pool`,
-/// and fold the results into a streaming [`CellAggregate`].
+/// Run every trial of `cell` on `pool` through persistent workers and fold
+/// the results into a streaming [`CellAggregate`].
 ///
-/// Workers send finished chunks through a channel; the caller folds them in
-/// chunk order, so at most the out-of-order window of chunk outputs is ever
-/// resident — never the full trial set.
+/// One job per pool thread pulls `chunk`-sized trial ranges off a shared
+/// counter, reusing its own [`TrialWorkspace`] across all of them, and
+/// ships each chunk's compact [`ChunkAggregate`] partial back; the caller
+/// merges partials in chunk order, so at most the out-of-order window of
+/// partials is ever resident — never the full trial set.
 ///
 /// # Panics
-/// Panics if a worker died before delivering its chunk (a trial panicked).
+/// Panics if a worker died before delivering its chunks (a trial panicked).
 pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate {
     let chunk = chunk.max(1);
     let n_chunks = cell.trials.div_ceil(chunk);
+    if n_chunks == 0 {
+        return CellAggregate::new();
+    }
+    let workers = pool.threads().max(1).min(n_chunks as usize);
     let sim = Arc::new(cell.sim.clone());
-    let (tx, rx) = mpsc::channel::<(u64, Vec<TrialMetrics>)>();
-    for ci in 0..n_chunks {
+    let next_chunk = Arc::new(AtomicU64::new(0));
+    let collect_floats = cell.observer.has_float_channels();
+    let (tx, rx) = mpsc::channel::<(u64, ChunkAggregate)>();
+    for _ in 0..workers {
         let tx = tx.clone();
         let sim = Arc::clone(&sim);
-        let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(cell.trials));
-        let (seed, observer) = (cell.seed, cell.observer);
+        let next_chunk = Arc::clone(&next_chunk);
+        let (seed, observer, trials) = (cell.seed, cell.observer, cell.trials);
         pool.execute(move || {
-            let out: Vec<TrialMetrics> = (lo..hi)
-                .map(|i| TrialMetrics::capture(&sim.run_seeded(derive_seed(seed, i)), observer))
-                .collect();
-            // The receiver only disappears if the caller panicked; nothing
-            // useful to do with the result then.
-            let _ = tx.send((ci, out));
+            let mut ws = TrialWorkspace::new();
+            loop {
+                let ci = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if ci >= n_chunks {
+                    return;
+                }
+                let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(trials));
+                let mut part = ChunkAggregate::new(collect_floats);
+                for i in lo..hi {
+                    let result = sim.run_seeded_into(derive_seed(seed, i), &mut ws);
+                    part.push(&TrialMetrics::capture(&result, observer));
+                    ws.recycle(result);
+                }
+                // The receiver only disappears if the caller panicked;
+                // nothing useful to do with further chunks then.
+                if tx.send((ci, part)).is_err() {
+                    return;
+                }
+            }
         });
     }
     drop(tx);
 
     let mut agg = CellAggregate::new();
-    let mut parked: std::collections::BTreeMap<u64, Vec<TrialMetrics>> =
+    let mut parked: std::collections::BTreeMap<u64, ChunkAggregate> =
         std::collections::BTreeMap::new();
     let mut next = 0u64;
-    for (ci, out) in rx {
-        parked.insert(ci, out);
-        while let Some(out) = parked.remove(&next) {
-            for m in &out {
-                agg.push(m);
-            }
+    for (ci, part) in rx {
+        parked.insert(ci, part);
+        while let Some(part) = parked.remove(&next) {
+            agg.merge(&part);
             next += 1;
         }
     }
@@ -142,7 +186,7 @@ pub fn sweep_stats(
     metric: HitMetric,
 ) -> ConvergenceStats {
     let cell = CellSpec::new(sim.clone(), trials, seed).metric(metric);
-    run_cell(pool, &cell, DEFAULT_CHUNK).convergence(metric)
+    run_cell(pool, &cell, chunk_for(trials, pool.threads())).convergence(metric)
 }
 
 #[cfg(test)]
@@ -194,6 +238,24 @@ mod tests {
         );
         assert_eq!(streamed.rounds, materialized.rounds);
         assert_eq!(streamed.hits, materialized.hits);
+    }
+
+    #[test]
+    fn chunk_for_targets_four_chunks_per_worker() {
+        assert_eq!(chunk_for(1000, 1), 250, "trials/4 for one worker");
+        assert_eq!(chunk_for(1000, 8), 31, "trials/32 for eight workers");
+        assert_eq!(chunk_for(10_000_000, 8), 256, "capped above");
+        assert_eq!(chunk_for(3, 8), 4, "tiny cells don't shatter");
+        assert_eq!(chunk_for(0, 4), 4, "degenerate cell still valid");
+        // Every worker gets ≥ 4 chunks once the cell is large enough.
+        for threads in [1usize, 2, 8, 16] {
+            let trials = 100_000u64;
+            let chunks = trials.div_ceil(chunk_for(trials, threads));
+            assert!(
+                chunks >= 4 * threads as u64,
+                "threads={threads}: only {chunks} chunks"
+            );
+        }
     }
 
     #[test]

@@ -38,10 +38,10 @@ pub mod presets;
 pub mod report;
 pub mod store;
 
-pub use aggregate::{CellAggregate, ChannelAggregate, TrialMetrics};
+pub use aggregate::{CellAggregate, ChannelAggregate, ChunkAggregate, TrialMetrics};
 pub use campaign::{
     run_campaign, sqrt_budget, BudgetSpec, CampaignOutcome, CampaignSpec, InitSpec, RunConfig,
 };
-pub use cell::{run_cell, sweep_stats, CellSpec, DEFAULT_CHUNK};
+pub use cell::{chunk_for, run_cell, sweep_stats, CellSpec};
 pub use metrics::{ConvergenceStats, HitMetric};
 pub use observer::{ChannelKind, ChannelSpec, FloatMoments, TrialExtras, TrialObserver};

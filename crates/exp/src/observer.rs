@@ -262,6 +262,15 @@ impl TrialObserver {
         }
     }
 
+    /// Whether any declared channel is float-valued. Float sums are not
+    /// associative, so the chunk scheduler keeps those per-trial (see
+    /// [`crate::aggregate::ChunkAggregate`]).
+    pub fn has_float_channels(&self) -> bool {
+        self.channels()
+            .iter()
+            .any(|c| matches!(c.kind, ChannelKind::Float))
+    }
+
     /// Whether the observer reads per-round observables — when true, the
     /// cell's `SimSpec` must have `record_trajectory(true)` (the campaign
     /// expander and the [`crate::cell::CellSpec::observer`] builder set it).

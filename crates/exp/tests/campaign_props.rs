@@ -43,7 +43,7 @@ fn run_full(spec: &CampaignSpec, path: &PathBuf, threads: usize, chunk: u64) -> 
         path,
         &RunConfig {
             threads,
-            chunk,
+            chunk: Some(chunk),
             max_cells: None,
             resume: false,
         },
@@ -80,7 +80,7 @@ proptest! {
         std::fs::remove_file(&path).ok();
         let partial = run_campaign(&spec, &path, &RunConfig {
             threads: THREAD_CHOICES[t_partial],
-            chunk: CHUNK_CHOICES[c_partial],
+            chunk: Some(CHUNK_CHOICES[c_partial]),
             max_cells: Some(k),
             resume: false,
         }).expect("interrupted run");
@@ -97,7 +97,7 @@ proptest! {
         // Resume at yet another thread-count/chunking combination.
         let resumed = run_campaign(&spec, &path, &RunConfig {
             threads: THREAD_CHOICES[t_resume],
-            chunk: CHUNK_CHOICES[c_resume],
+            chunk: Some(CHUNK_CHOICES[c_resume]),
             max_cells: None,
             resume: true,
         }).expect("resume");
