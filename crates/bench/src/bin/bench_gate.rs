@@ -11,7 +11,17 @@
 //! * `campaign.trials_per_sec` — full-trial throughput through the
 //!   `stabcon-exp` scheduler (what bounds results-table reproduction);
 //! * `rounds_per_sec` entries with `engine == "dense-seq"` (the
-//!   monomorphized dense hot path), one metric per population size.
+//!   monomorphized dense hot path), one metric per population size;
+//! * `rounds_per_sec` entries with `engine == "dense-seq-step-only"` —
+//!   the batched phase-split kernel in isolation (no observables), which
+//!   is where the dense-engine perf work lands first.
+//!
+//! **Core-count awareness.** Multi-worker entries (currently the 8-thread
+//! campaign number) are skipped, with a logged reason, when either file
+//! *reports* `available_parallelism` below 8: an 8-worker pool on a
+//! smaller box measures scheduler churn, not scaling, and comparing such
+//! numbers across machines gates noise. A file without the field (older
+//! baselines) is treated as unknown and gated as before.
 //!
 //! **Machine normalization.** The baseline is a *committed* file, so the
 //! fresh run usually executes on a different machine (a CI runner vs the
@@ -118,6 +128,14 @@ fn campaign_entries(text: &str) -> Vec<(f64, f64, f64)> {
     out
 }
 
+/// The multi-worker metric that is only meaningful on ≥ 8-core machines.
+const THREAD8_METRIC: &str = "campaign trials/sec @ 8 threads";
+
+/// The runner core count recorded by `engine_bench`, if present.
+fn available_parallelism(text: &str) -> Option<f64> {
+    number_after(text, 0, "available_parallelism").map(|(v, _)| v)
+}
+
 /// Every gated metric in one bench file, as `(name, value)` pairs.
 /// The exact engine-name match excludes "dense-seq-dyn" etc.
 fn gated_metrics(text: &str) -> Vec<(String, f64)> {
@@ -125,6 +143,11 @@ fn gated_metrics(text: &str) -> Vec<(String, f64)> {
         .into_iter()
         .map(|(n, rps)| (format!("dense-seq rounds/sec @ n={n}"), rps))
         .collect();
+    out.extend(
+        engine_entries(text, "dense-seq-step-only")
+            .into_iter()
+            .map(|(n, rps)| (format!("dense-seq-step-only rounds/sec @ n={n}"), rps)),
+    );
     // Campaign scheduler throughput (1 thread, n = 10⁴).
     if let Some(at) = text.find("\"campaign\"") {
         if let Some((tps, _)) = number_after(text, at, "trials_per_sec") {
@@ -137,7 +160,7 @@ fn gated_metrics(text: &str) -> Vec<(String, f64)> {
         .iter()
         .find(|&&(n, threads, _)| n == 10_000.0 && threads == 8.0)
     {
-        out.push(("campaign trials/sec @ 8 threads".into(), tps));
+        out.push((THREAD8_METRIC.into(), tps));
     }
     out
 }
@@ -177,8 +200,29 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
         return ExitCode::FAILURE;
     };
-    let base_metrics = gated_metrics(&baseline);
-    let fresh_metrics = gated_metrics(&fresh);
+    let mut base_metrics = gated_metrics(&baseline);
+    let mut fresh_metrics = gated_metrics(&fresh);
+    // Multi-worker throughput is only comparable when both runs had the
+    // cores to back the workers: on a smaller machine the 8-worker number
+    // measures scheduler churn (e.g. 8 workers time-slicing one core), and
+    // gating it compares incomparable setups. Files predating the
+    // `available_parallelism` field are treated as unknown and gated as
+    // before.
+    let (base_cores, fresh_cores) = (
+        available_parallelism(&baseline),
+        available_parallelism(&fresh),
+    );
+    if base_cores.is_some_and(|c| c < 8.0) || fresh_cores.is_some_and(|c| c < 8.0) {
+        println!(
+            "skipping {THREAD8_METRIC}: a runner has fewer than 8 cores \
+             (available_parallelism: baseline {}, fresh {}) — oversubscribed-pool \
+             throughput on a small machine is not a scaling measurement",
+            base_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
+            fresh_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
+        );
+        base_metrics.retain(|(name, _)| name != THREAD8_METRIC);
+        fresh_metrics.retain(|(name, _)| name != THREAD8_METRIC);
+    }
     if base_metrics.is_empty() {
         eprintln!(
             "warning: no gated metrics found in baseline {baseline_path} — nothing to compare"
@@ -261,12 +305,18 @@ mod tests {
 
     const SAMPLE: &str = r#"{
   "schema": "stabcon-engine-bench/1",
+  "available_parallelism": 16,
   "rounds_per_sec": [
     {"engine": "dense-seq", "n": 10000, "rounds_per_sec": 8000.5},
     {"engine": "dense-seq-dyn", "n": 10000, "rounds_per_sec": 5500.0},
+    {"engine": "dense-seq-step-only", "n": 10000, "rounds_per_sec": 14000.0},
     {"engine": "dense-seq-dyn-step-only", "n": 10000, "rounds_per_sec": 11000.0},
     {"engine": "dense-seq-dyn-step-only", "n": 1000000, "rounds_per_sec": 48.0},
+    {"engine": "dense-seq-step-only", "n": 1000000, "rounds_per_sec": 85.0},
     {"engine": "dense-seq", "n": 1000000, "rounds_per_sec": 82.25}
+  ],
+  "kernel": [
+    {"n": 10000, "path": "uniform", "scalar_rounds_per_sec": 12000.0, "batched_rounds_per_sec": 14000.0, "speedup": 1.167}
   ],
   "campaign": {"n": 10000, "trials": 640, "trials_per_sec": 1234.56},
   "campaigns": [
@@ -285,17 +335,37 @@ mod tests {
             vec![
                 ("dense-seq rounds/sec @ n=10000".to_string(), 8000.5),
                 ("dense-seq rounds/sec @ n=1000000".to_string(), 82.25),
+                (
+                    "dense-seq-step-only rounds/sec @ n=10000".to_string(),
+                    14000.0
+                ),
+                (
+                    "dense-seq-step-only rounds/sec @ n=1000000".to_string(),
+                    85.0
+                ),
                 ("campaign trials/sec".to_string(), 1234.56),
                 ("campaign trials/sec @ 8 threads".to_string(), 4321.0),
             ],
-            "dyn entries, non-n=10⁴ sweeps, and the microbench must not be gated"
+            "dyn entries, kernel-sweep pairs, non-n=10⁴ sweeps, and the \
+             microbench must not be gated"
         );
     }
 
     #[test]
     fn single_line_json_parses_too() {
         let flat = SAMPLE.replace('\n', " ");
-        assert_eq!(gated_metrics(&flat).len(), 4);
+        assert_eq!(gated_metrics(&flat).len(), 6);
+    }
+
+    #[test]
+    fn available_parallelism_is_read_and_optional() {
+        assert_eq!(available_parallelism(SAMPLE), Some(16.0));
+        assert_eq!(available_parallelism("{}"), None);
+        let one_core = SAMPLE.replace(
+            "\"available_parallelism\": 16",
+            "\"available_parallelism\": 1",
+        );
+        assert_eq!(available_parallelism(&one_core), Some(1.0));
     }
 
     #[test]

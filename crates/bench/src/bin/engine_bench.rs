@@ -1,13 +1,17 @@
 //! `BENCH_engine.json` emitter: engine round throughput over time.
 //!
 //! Records rounds/sec for dense-seq (monomorphized and `dyn`-dispatched),
-//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, the end-to-end wall
-//! time of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
+//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, a `kernel` sweep
+//! isolating the batched phase-split dense round against its scalar
+//! reference (uniform and load-sampled paths), the end-to-end wall time
+//! of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
 //! full-trial throughput through the `stabcon-exp` campaign scheduler
 //! (the gated 1-thread n = 10⁴ entry plus a `campaigns` sweep over
 //! {1, 8} workers × {10⁴, 10⁶}), and a workspace-vs-fresh microbenchmark
 //! isolating the per-trial allocation cost, so successive PRs have a perf
-//! trajectory to compare against.
+//! trajectory to compare against. The output also records the runner's
+//! `available_parallelism`, which `bench_gate` uses to skip gating
+//! multi-worker entries measured on machines with fewer cores.
 //!
 //! Usage: `cargo run --release --bin engine_bench [-- out.json]`
 //! (default output: `BENCH_engine.json` in the current directory). Scale
@@ -135,6 +139,8 @@ fn main() {
 
     let mut records: Vec<Record> = Vec::new();
     let mut dyn_per_mono_ratio: Vec<(u64, f64)> = Vec::new();
+    // (n, path, scalar-reference rounds/sec, batched rounds/sec).
+    let mut kernel: Vec<(u64, &'static str, f64, f64)> = Vec::new();
 
     for &n in &[10_000usize, 1_000_000] {
         let old = dense_state(n, support);
@@ -210,6 +216,35 @@ fn main() {
             n: n as u64,
             rounds_per_sec: dyn_step,
         });
+
+        // Kernel sweep: the batched phase-split round against the scalar
+        // reference it replaced, on both sampling paths. The uniform
+        // batched number is the same measurement as `dense-seq-step-only`
+        // above; the sweep pairs it with its own-file baseline so the
+        // batched-vs-scalar ratio survives machine changes. The sampled
+        // pair additionally isolates alias reuse: the reference builds a
+        // fresh `PackedAlias` per round (the pre-reuse cost), the batched
+        // side rebuilds a parked `LoadSampler` in place, exactly as the
+        // runner does.
+        let scalar_step = rounds_per_sec(budget, |round| {
+            dense::step_seq_reference(&old, &mut new, &MedianRule, 42, round);
+        });
+        kernel.push((n as u64, "uniform", scalar_step, mono_step));
+        let bins: Vec<(Value, u64)> = (0..support)
+            .map(|v| {
+                let extra = (v as usize) < n % support as usize;
+                (v, (n / support as usize + extra as usize) as u64)
+            })
+            .collect();
+        let scalar_sampled = rounds_per_sec(budget, |round| {
+            dense::step_seq_with_loads_reference(&old, &mut new, &MedianRule, 42, round, &bins);
+        });
+        let mut sampler = dense::LoadSampler::new();
+        let batched_sampled = rounds_per_sec(budget, |round| {
+            sampler.rebuild(bins.iter().copied(), n as u64);
+            dense::step_seq_sampled(&old, &mut new, &MedianRule, 42, round, &sampler);
+        });
+        kernel.push((n as u64, "sampled", scalar_sampled, batched_sampled));
 
         // Parallel dense.
         let par = rounds_per_sec(budget, |round| {
@@ -380,6 +415,18 @@ fn main() {
                 .finish(),
         );
     }
+    let mut kernel_arr = JsonArr::new();
+    for &(n, path, scalar, batched) in &kernel {
+        kernel_arr.push_raw(
+            &JsonObj::new()
+                .u64_field("n", n)
+                .str_field("path", path)
+                .fixed_field("scalar_rounds_per_sec", scalar, 2)
+                .fixed_field("batched_rounds_per_sec", batched, 2)
+                .fixed_field("speedup", batched / scalar.max(1e-12), 3)
+                .finish(),
+        );
+    }
     let end_to_end = JsonObj::new()
         .fixed_field("dense_seq_secs", dense_secs, 4)
         .u64_field("dense_seq_rounds", dense_result.rounds_executed)
@@ -411,18 +458,31 @@ fn main() {
         .fixed_field("reused_trials_per_sec", reused_tps, 2)
         .fixed_field("speedup", reused_tps / fresh_tps.max(1e-12), 3)
         .finish();
-    let mut json = JsonObj::new()
+    // How many cores this runner actually has: `bench_gate` refuses to
+    // compare multi-worker entries across machines with fewer cores than
+    // workers (an 8-worker pool on a 1-core box measures scheduler churn,
+    // not scaling). If the query fails the field is omitted — the gate
+    // treats a missing field as "unknown, gate as before", which is the
+    // right reading of an error too.
+    let cores = std::thread::available_parallelism().map(|c| c.get() as u64);
+
+    let json = JsonObj::new()
         .str_field("schema", "stabcon-engine-bench/1")
         .u64_field("timestamp_unix", timestamp)
-        .u64_field("threads", threads as u64)
-        .u64_field("support", support as u64)
-        .raw_field("rounds_per_sec", &rps.finish())
-        .raw_field("mono_over_dyn_speedup", &speedups.finish())
-        .raw_field("two_bins_1e6_end_to_end", &end_to_end)
-        .raw_field("campaign", &campaign)
-        .raw_field("campaigns", &campaign_arr.finish())
-        .raw_field("workspace_reuse", &workspace_reuse)
-        .finish();
+        .u64_field("threads", threads as u64);
+    let mut json = match cores {
+        Ok(c) => json.u64_field("available_parallelism", c),
+        Err(_) => json,
+    }
+    .u64_field("support", support as u64)
+    .raw_field("rounds_per_sec", &rps.finish())
+    .raw_field("kernel", &kernel_arr.finish())
+    .raw_field("mono_over_dyn_speedup", &speedups.finish())
+    .raw_field("two_bins_1e6_end_to_end", &end_to_end)
+    .raw_field("campaign", &campaign)
+    .raw_field("campaigns", &campaign_arr.finish())
+    .raw_field("workspace_reuse", &workspace_reuse)
+    .finish();
     json.push('\n');
 
     std::fs::write(&out_path, &json).expect("writing BENCH_engine.json");

@@ -499,6 +499,18 @@ impl LoadCounts {
         }
     }
 
+    /// Rebuild a [`crate::engine::dense::LoadSampler`] from the live bins —
+    /// the load-sampled dense round's per-round refresh. Streams the bins
+    /// straight into the sampler (no intermediate pair vector) and rebuilds
+    /// its alias table in place, so a sampled round allocates nothing at
+    /// steady state.
+    pub fn rebuild_sampler(&self, sampler: &mut crate::engine::dense::LoadSampler) {
+        match self {
+            LoadCounts::Ranked(r) => sampler.rebuild(r.live_bins_iter(), r.n()),
+            LoadCounts::Tree(t) => sampler.rebuild(t.counts.iter().map(|(&v, &c)| (v, c)), t.n()),
+        }
+    }
+
     /// Derive the round observables.
     pub fn observe(&self) -> RoundObs {
         match self {

@@ -12,7 +12,13 @@
 //! `(seed, round·n + ball)`, not by draw order. The dense step functions are
 //! generic over the protocol, so concrete-rule callers get a monomorphized
 //! (statically dispatched) hot loop while `&dyn Protocol` callers keep
-//! working — both produce the same bits.
+//! working — both produce the same bits. Internally the dense round runs a
+//! **batched phase-split kernel** ([`dense::KERNEL_BLOCK`]-ball blocks, one
+//! tight loop each for RNG-word generation, index resolution, value gather,
+//! and protocol apply) that is bit-identical to the scalar reference loop
+//! it replaced ([`dense::step_seq_reference`], pinned by
+//! `tests/dense_kernel_props.rs`); the load-sampled variant reuses a
+//! [`dense::LoadSampler`] whose alias table rebuilds in place each round.
 //!
 //! The **adaptive** engine runs dense while many values are live, then hands
 //! off to the exact `O(m²)` multinomial histogram process once the support

@@ -323,15 +323,16 @@ impl SimSpec {
                     }
                 }
                 // 2. Synchronous protocol step. Full dense rounds sample
-                // peers through the live load prefix sums once the support
-                // is small (same law as indexing the state array, without
-                // the two random DRAM reads per ball).
+                // peers through the load distribution once the support is
+                // small (same law as indexing the state array, without the
+                // two random DRAM reads per ball); the workspace-parked
+                // sampler rebuilds its alias table in place each round.
                 let use_sampled = self.update_fraction >= 1.0
                     && !matches!(self.engine, EngineSpec::Message(_))
                     && self.n >= dense::SAMPLED_N_MIN
                     && counts.support_size() <= dense::SAMPLED_SUPPORT_MAX;
                 if use_sampled {
-                    counts.live_bins_into(&mut ws.live_bins);
+                    counts.rebuild_sampler(&mut ws.sampler);
                 }
                 match self.engine {
                     EngineSpec::DenseSeq if self.update_fraction < 1.0 => {
@@ -360,13 +361,13 @@ impl SimSpec {
                     }
                     EngineSpec::DenseSeq => {
                         if use_sampled {
-                            dense::step_seq_with_loads(
+                            dense::step_seq_sampled(
                                 &ws.state,
                                 &mut ws.scratch,
                                 protocol,
                                 engine_seed,
                                 round,
-                                &ws.live_bins,
+                                &ws.sampler,
                             );
                         } else {
                             dense::step_seq(
@@ -380,14 +381,14 @@ impl SimSpec {
                     }
                     EngineSpec::DensePar { threads } | EngineSpec::Adaptive { threads, .. } => {
                         if use_sampled {
-                            dense::step_par_with_loads(
+                            dense::step_par_sampled(
                                 threads,
                                 &ws.state,
                                 &mut ws.scratch,
                                 protocol,
                                 engine_seed,
                                 round,
-                                &ws.live_bins,
+                                &ws.sampler,
                             );
                         } else {
                             dense::step_par(

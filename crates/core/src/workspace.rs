@@ -14,6 +14,7 @@
 //! (`tests/workspace_props.rs` pins this across engines × protocols).
 
 use crate::engine::adaptive::LoadCounts;
+use crate::engine::dense::LoadSampler;
 use crate::engine::hist;
 use crate::engine::{MessageConfig, MessageEngine};
 use crate::histogram::Histogram;
@@ -32,8 +33,9 @@ pub struct TrialWorkspace {
     pub(crate) scratch: Vec<Value>,
     /// Per-round observables (only filled when recording was requested).
     pub(crate) trajectory: Vec<RoundObs>,
-    /// Live `(value, load)` pairs for the load-sampled dense round.
-    pub(crate) live_bins: Vec<(Value, u64)>,
+    /// Load-sampled dense round state: live value table + packed alias,
+    /// rebuilt in place each sampled round (no per-round allocation).
+    pub(crate) sampler: LoadSampler,
     /// Incremental load maintainer (parked between trials).
     pub(crate) counts: Option<LoadCounts>,
     /// Initial value set (parked between trials).

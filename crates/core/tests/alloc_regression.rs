@@ -83,6 +83,25 @@ fn adaptive_cell_steady_state_is_o1() {
 }
 
 #[test]
+fn load_sampled_dense_cell_steady_state_is_o1() {
+    // n = 2¹⁸ with a narrow support: every full-participation round takes
+    // the load-sampled dense path (n ≥ SAMPLED_N_MIN, support ≤
+    // SAMPLED_SUPPORT_MAX), which used to build a fresh `PackedAlias` —
+    // five vectors — per *round*. The workspace-parked `LoadSampler` now
+    // rebuilds value table, alias, and Vose worklists in place, so whole
+    // trials through the sampled path must stay O(1) allocations.
+    let n = stabcon_core::engine::dense::SAMPLED_N_MIN;
+    let sim = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .max_rounds(400);
+    let per_trial = allocations_per_trial(&sim, 2, 4);
+    assert!(
+        per_trial <= 2.0,
+        "load-sampled trial steady state allocates {per_trial} times per trial (expected ≈ 0)"
+    );
+}
+
+#[test]
 fn all_distinct_worst_case_universe_is_o1() {
     // m = n: the ranked universe, probe table, and value set are all n-sized
     // and must still be reused, not reallocated.

@@ -161,9 +161,18 @@ impl ChunkAggregate {
     /// declares a float channel (see
     /// [`crate::observer::TrialObserver::has_float_channels`]).
     pub fn new(collect_floats: bool) -> Self {
+        Self::with_capacity(collect_floats, 0)
+    }
+
+    /// [`ChunkAggregate::new`] with the float-row buffer sized for
+    /// `trials` up front, so a float-observing worker batches its whole
+    /// chunk into one allocation instead of growing the row vector trial
+    /// by trial. Rows still fold in trial order at the scheduler, so float
+    /// aggregates stay bit-identical.
+    pub fn with_capacity(collect_floats: bool, trials: usize) -> Self {
         Self {
             ints: CellAggregate::new(),
-            float_rows: Vec::new(),
+            float_rows: Vec::with_capacity(if collect_floats { trials } else { 0 }),
             collect_floats,
         }
     }

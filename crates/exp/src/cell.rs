@@ -47,6 +47,17 @@ pub fn chunk_for(trials: u64, threads: usize) -> u64 {
     (trials / (4 * workers)).clamp(MIN_CHUNK, MAX_CHUNK)
 }
 
+/// The shared chunk cursor, padded to a cache line of its own.
+///
+/// Every worker hits this counter once per chunk with a `fetch_add`; on
+/// multi-socket or ≥ 8-core hosts an unpadded `AtomicU64` false-shares its
+/// line with whatever the allocator placed next to it (here: the `Arc`
+/// control block's own counts plus neighbouring allocations), so each
+/// unrelated write invalidates the cursor line in every worker's cache.
+/// 128 bytes covers the two-line prefetch granularity of recent x86 parts.
+#[repr(align(128))]
+struct ChunkCursor(AtomicU64);
+
 /// A fully specified unit of campaign work.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
@@ -123,7 +134,7 @@ pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate
     }
     let workers = pool.threads().max(1).min(n_chunks as usize);
     let sim = Arc::new(cell.sim.clone());
-    let next_chunk = Arc::new(AtomicU64::new(0));
+    let next_chunk = Arc::new(ChunkCursor(AtomicU64::new(0)));
     let collect_floats = cell.observer.has_float_channels();
     let (tx, rx) = mpsc::channel::<(u64, ChunkAggregate)>();
     for _ in 0..workers {
@@ -134,12 +145,12 @@ pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate
         pool.execute(move || {
             let mut ws = TrialWorkspace::new();
             loop {
-                let ci = next_chunk.fetch_add(1, Ordering::Relaxed);
+                let ci = next_chunk.0.fetch_add(1, Ordering::Relaxed);
                 if ci >= n_chunks {
                     return;
                 }
                 let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(trials));
-                let mut part = ChunkAggregate::new(collect_floats);
+                let mut part = ChunkAggregate::with_capacity(collect_floats, (hi - lo) as usize);
                 for i in lo..hi {
                     let result = sim.run_seeded_into(derive_seed(seed, i), &mut ws);
                     part.push(&TrialMetrics::capture(&result, observer));

@@ -13,6 +13,84 @@ pub struct AliasTable {
     alias: Vec<usize>,
 }
 
+/// Reusable scratch buffers for (re)building alias tables without
+/// allocating: the scaled weights, the resulting `prob`/`alias` columns,
+/// and the small/large worklists of Vose's algorithm. One scratch serves
+/// any number of rebuilds of any size.
+#[derive(Debug, Clone, Default)]
+pub struct AliasScratch {
+    scaled: Vec<f64>,
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    small: Vec<usize>,
+    large: Vec<usize>,
+}
+
+/// Vose's O(m) alias construction into `scratch.prob` / `scratch.alias`.
+///
+/// This is the **single** build routine behind [`AliasTable::new`],
+/// [`PackedAlias::new`], and [`PackedAlias::rebuild_from`], so a table
+/// rebuilt through a dirty scratch is bit-identical to a freshly
+/// constructed one by construction.
+///
+/// # Panics
+/// Panics if `weights` is empty, contains a negative/NaN entry, or sums to
+/// zero.
+fn vose_build(weights: &[f64], scratch: &mut AliasScratch) {
+    let m = weights.len();
+    assert!(m > 0, "AliasTable: empty weights");
+    let mut total = 0.0f64;
+    for &w in weights {
+        assert!(w >= 0.0 && w.is_finite(), "AliasTable: bad weight {w}");
+        total += w;
+    }
+    assert!(total > 0.0, "AliasTable: zero total weight");
+
+    let first_positive = weights
+        .iter()
+        .position(|&w| w > 0.0)
+        .expect("positive total implies positive entry");
+
+    let AliasScratch {
+        scaled,
+        prob,
+        alias,
+        small,
+        large,
+    } = scratch;
+    scaled.clear();
+    scaled.extend(weights.iter().map(|&w| w * m as f64 / total));
+    prob.clear();
+    prob.resize(m, 0.0);
+    alias.clear();
+    alias.resize(m, first_positive);
+    small.clear();
+    large.clear();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        prob[s] = scaled[s];
+        alias[s] = l;
+        scaled[l] += scaled[s] - 1.0;
+        if scaled[l] < 1.0 {
+            large.pop();
+            small.push(l);
+        }
+    }
+    // Leftovers hold (numerically) exactly unit mass — accept directly.
+    // A zero-weight entry can only be left over through floating-point
+    // residue; keep it unreachable rather than rounding it up.
+    for &i in large.iter().chain(small.iter()) {
+        prob[i] = if weights[i] > 0.0 { 1.0 } else { 0.0 };
+    }
+}
+
 impl AliasTable {
     /// Build from non-negative weights (need not be normalized).
     ///
@@ -20,49 +98,12 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
     /// to zero.
     pub fn new(weights: &[f64]) -> Self {
-        let m = weights.len();
-        assert!(m > 0, "AliasTable: empty weights");
-        let mut total = 0.0f64;
-        for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "AliasTable: bad weight {w}");
-            total += w;
+        let mut scratch = AliasScratch::default();
+        vose_build(weights, &mut scratch);
+        Self {
+            prob: scratch.prob,
+            alias: scratch.alias,
         }
-        assert!(total > 0.0, "AliasTable: zero total weight");
-
-        let first_positive = weights
-            .iter()
-            .position(|&w| w > 0.0)
-            .expect("positive total implies positive entry");
-
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * m as f64 / total).collect();
-        let mut prob = vec![0.0f64; m];
-        let mut alias = vec![first_positive; m];
-        let mut small: Vec<usize> = Vec::with_capacity(m);
-        let mut large: Vec<usize> = Vec::with_capacity(m);
-        for (i, &s) in scaled.iter().enumerate() {
-            if s < 1.0 {
-                small.push(i);
-            } else {
-                large.push(i);
-            }
-        }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            prob[s] = scaled[s];
-            alias[s] = l;
-            scaled[l] += scaled[s] - 1.0;
-            if scaled[l] < 1.0 {
-                large.pop();
-                small.push(l);
-            }
-        }
-        // Leftovers hold (numerically) exactly unit mass — accept directly.
-        // A zero-weight entry can only be left over through floating-point
-        // residue; keep it unreachable rather than rounding it up.
-        for &i in large.iter().chain(small.iter()) {
-            prob[i] = if weights[i] > 0.0 { 1.0 } else { 0.0 };
-        }
-        Self { prob, alias }
     }
 
     /// Number of categories.
@@ -97,7 +138,7 @@ impl AliasTable {
 /// the exact weights (the column pick adds another ≤ `m·2⁻³²`); the
 /// simulation engines accept this in exchange for halving the random words
 /// and the hash work on their hottest path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PackedAlias {
     /// `(accept_u32 << 32) | alias_index`.
     entries: Vec<u64>,
@@ -107,24 +148,42 @@ impl PackedAlias {
     /// Build from non-negative weights (same contract as
     /// [`AliasTable::new`]).
     pub fn new(weights: &[f64]) -> Self {
-        let exact = AliasTable::new(weights);
-        let entries = exact
-            .prob
-            .iter()
-            .zip(&exact.alias)
-            .enumerate()
-            .map(|(i, (&p, &a))| {
-                // Full columns alias to themselves so the saturated
-                // acceptance test can never redirect them.
-                let (accept, alias) = if p >= 1.0 {
-                    (u32::MAX, i)
-                } else {
-                    ((p * 4294967296.0) as u32, a)
-                };
-                ((accept as u64) << 32) | alias as u64
-            })
-            .collect();
-        Self { entries }
+        let mut this = Self::default();
+        this.rebuild_from(weights, &mut AliasScratch::default());
+        this
+    }
+
+    /// Rebuild this table in place from new weights, reusing both the
+    /// entry buffer and the caller's [`AliasScratch`]: at steady state
+    /// (weights of at most the previously seen length) the rebuild
+    /// allocates nothing. The result is **bit-identical** to
+    /// `PackedAlias::new(weights)` — both run the same Vose construction
+    /// and packing — so callers may hot-swap a per-round `new` for a
+    /// parked rebuild without changing a single draw.
+    ///
+    /// # Panics
+    /// Same contract as [`AliasTable::new`].
+    pub fn rebuild_from(&mut self, weights: &[f64], scratch: &mut AliasScratch) {
+        vose_build(weights, scratch);
+        self.entries.clear();
+        self.entries
+            .extend(
+                scratch
+                    .prob
+                    .iter()
+                    .zip(&scratch.alias)
+                    .enumerate()
+                    .map(|(i, (&p, &a))| {
+                        // Full columns alias to themselves so the saturated
+                        // acceptance test can never redirect them.
+                        let (accept, alias) = if p >= 1.0 {
+                            (u32::MAX, i)
+                        } else {
+                            ((p * 4294967296.0) as u32, a)
+                        };
+                        ((accept as u64) << 32) | alias as u64
+                    }),
+            );
     }
 
     /// Number of categories.
@@ -132,7 +191,8 @@ impl PackedAlias {
         self.entries.len()
     }
 
-    /// Whether the table is empty (never true for a constructed table).
+    /// Whether the table is empty (only true for a [`Default`] table that
+    /// has never been rebuilt; sampling an empty table panics).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -244,5 +304,38 @@ mod tests {
         for w in [0u64, 1, u64::MAX, 0xDEAD_BEEF_0000_0001] {
             assert_eq!(table.sample_word(w), 0);
         }
+    }
+
+    #[test]
+    fn dirty_rebuild_is_bit_identical_to_fresh() {
+        // A reused table + scratch, dirtied by builds of various shapes
+        // (longer, shorter, zero-weight entries), must end bit-identical to
+        // a fresh construction for the same weights.
+        let shapes: Vec<Vec<f64>> = vec![
+            vec![1.0; 300],
+            vec![0.0, 5.0, 0.0, 1.0],
+            (0..64).map(|i| (i % 7) as f64 + 0.25).collect(),
+            vec![42.0],
+            (0..1000).map(|i| 1.0 / (i + 1) as f64).collect(),
+        ];
+        let mut reused = PackedAlias::default();
+        let mut scratch = AliasScratch::default();
+        for weights in shapes.iter().chain(shapes.iter().rev()) {
+            reused.rebuild_from(weights, &mut scratch);
+            let fresh = PackedAlias::new(weights);
+            assert_eq!(
+                reused.entries,
+                fresh.entries,
+                "dirty rebuild diverged for m = {}",
+                weights.len()
+            );
+        }
+    }
+
+    #[test]
+    fn default_packed_alias_is_empty() {
+        let table = PackedAlias::default();
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
     }
 }

@@ -15,7 +15,7 @@ mod alias;
 mod binomial;
 mod multinomial;
 
-pub use alias::{AliasTable, PackedAlias};
+pub use alias::{AliasScratch, AliasTable, PackedAlias};
 pub use binomial::{binomial_cdf, binomial_pmf, Binomial};
 pub use multinomial::{multinomial, multinomial_into};
 

@@ -24,6 +24,22 @@ pub use xoshiro::Xoshiro256pp;
 
 use rand::RngCore;
 
+/// One Lemire multiply-shift candidate for a uniform index in `[0, n)`:
+/// returns `(index, low)` where `index = ⌊word·n / 2⁶⁴⌋` and `low` is the
+/// bottom word of the 128-bit product.
+///
+/// The candidate is final unless `low < 2⁶⁴ mod n` (the rejection zone);
+/// since `2⁶⁴ mod n < n`, the cheap conservative test `low < n` proves a
+/// draw needs **no** rejection handling. [`gen_index`] is built on this
+/// primitive, and the dense engine's batched kernel uses it directly so its
+/// vectorizable resolve loop and the scalar rejection fallback share one
+/// formula by construction.
+#[inline(always)]
+pub const fn lemire_candidate(word: u64, n: u64) -> (u64, u64) {
+    let m = (word as u128) * (n as u128);
+    ((m >> 64) as u64, m as u64)
+}
+
 /// Draw a uniform index in `[0, n)` using Lemire's multiply-shift method
 /// with rejection (unbiased).
 ///
@@ -35,27 +51,32 @@ use rand::RngCore;
 #[inline]
 pub fn gen_index<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
     debug_assert!(n > 0, "gen_index: empty range");
-    let mut x = rng.next_u64();
-    let mut m = (x as u128) * (n as u128);
-    let mut low = m as u64;
+    let (mut idx, mut low) = lemire_candidate(rng.next_u64(), n);
     if low < n {
         // Rejection zone: 2^64 mod n values at the bottom must be rejected
         // to keep the draw exactly uniform.
         let threshold = n.wrapping_neg() % n;
         while low < threshold {
-            x = rng.next_u64();
-            m = (x as u128) * (n as u128);
-            low = m as u64;
+            (idx, low) = lemire_candidate(rng.next_u64(), n);
         }
     }
-    (m >> 64) as u64
+    idx
+}
+
+/// Map one uniform 64-bit word to a uniform `f64` in `[0, 1)` with 53
+/// random mantissa bits (the standard `(x >> 11) · 2⁻⁵³` construction).
+///
+/// [`gen_f64`] is this applied to the generator's next word; the batched
+/// dense kernel applies it to pre-generated word buffers.
+#[inline(always)]
+pub const fn unit_f64_from_word(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Draw a uniform `f64` in `[0, 1)` with 53 random mantissa bits.
 #[inline]
 pub fn gen_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
-    // 53 high-quality bits; the standard (x >> 11) * 2^-53 construction.
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    unit_f64_from_word(rng.next_u64())
 }
 
 /// Draw a uniform `f64` in `(0, 1]` (never exactly zero — safe for `ln`).
@@ -108,6 +129,49 @@ mod tests {
         let n = u64::MAX - 5;
         for _ in 0..1000 {
             assert!(gen_index(&mut rng, n) < n);
+        }
+    }
+
+    #[test]
+    fn lemire_candidate_matches_gen_index_when_accepting() {
+        // Whenever the candidate's low word proves no rejection can happen
+        // (`low ≥ n`), gen_index must return exactly that candidate.
+        let mut rng = Xoshiro256pp::seed(21);
+        for &n in &[13u64, 1 << 20, (1 << 40) + 7] {
+            for _ in 0..200 {
+                let w = rng.next_u64();
+                let (idx, low) = lemire_candidate(w, n);
+                if low >= n {
+                    struct One(u64, bool);
+                    impl RngCore for One {
+                        fn next_u32(&mut self) -> u32 {
+                            (self.next_u64() >> 32) as u32
+                        }
+                        fn next_u64(&mut self) -> u64 {
+                            assert!(!self.1, "gen_index drew a second word");
+                            self.1 = true;
+                            self.0
+                        }
+                        fn fill_bytes(&mut self, _: &mut [u8]) {
+                            unimplemented!()
+                        }
+                        fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), rand::Error> {
+                            unimplemented!()
+                        }
+                    }
+                    assert_eq!(gen_index(&mut One(w, false), n), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_f64_from_word_matches_gen_f64() {
+        let mut a = Xoshiro256pp::seed(33);
+        let mut b = Xoshiro256pp::seed(33);
+        for _ in 0..1000 {
+            let w = a.next_u64();
+            assert!(gen_f64(&mut b).to_bits() == unit_f64_from_word(w).to_bits());
         }
     }
 
