@@ -59,6 +59,7 @@ fn main() {
                 cap_mult: cap,
                 drop,
                 on_missing: OnMissing::KeepOwn,
+                ..MessageConfig::default()
             };
             let spec = SimSpec::new(n)
                 .init(InitialCondition::TwoBins { left: n / 2 })
@@ -72,7 +73,7 @@ fn main() {
             table.push_row(vec![
                 "message".into(),
                 cap.to_string(),
-                drop.label().into(),
+                drop.label(),
                 cell(stats.mean()),
                 cell(stats.p95()),
                 format!("{:.0}", stats.hit_rate() * 100.0),
@@ -120,6 +121,7 @@ fn stress_fixed_caps(n: usize, trials: u64) {
                     cap_mult: 1,
                     drop: DropSpec::Random,
                     on_missing: OnMissing::KeepOwn,
+                    ..MessageConfig::default()
                 },
                 seed,
             )

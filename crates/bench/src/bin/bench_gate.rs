@@ -14,7 +14,10 @@
 //!   monomorphized dense hot path), one metric per population size;
 //! * `rounds_per_sec` entries with `engine == "dense-seq-step-only"` —
 //!   the batched phase-split kernel in isolation (no observables), which
-//!   is where the dense-engine perf work lands first.
+//!   is where the dense-engine perf work lands first;
+//! * `rounds_per_sec` entries with `engine == "message-seq"` — full trials
+//!   through the request/response message engine on a clean network, the
+//!   path the fault-injection scenario layer sits on.
 //!
 //! **Core-count awareness.** Multi-worker entries (currently the 8-thread
 //! campaign number) are skipped, with a logged reason, when either file
@@ -147,6 +150,11 @@ fn gated_metrics(text: &str) -> Vec<(String, f64)> {
         engine_entries(text, "dense-seq-step-only")
             .into_iter()
             .map(|(n, rps)| (format!("dense-seq-step-only rounds/sec @ n={n}"), rps)),
+    );
+    out.extend(
+        engine_entries(text, "message-seq")
+            .into_iter()
+            .map(|(n, rps)| (format!("message-seq rounds/sec @ n={n}"), rps)),
     );
     // Campaign scheduler throughput (1 thread, n = 10⁴).
     if let Some(at) = text.find("\"campaign\"") {
@@ -313,7 +321,8 @@ mod tests {
     {"engine": "dense-seq-dyn-step-only", "n": 10000, "rounds_per_sec": 11000.0},
     {"engine": "dense-seq-dyn-step-only", "n": 1000000, "rounds_per_sec": 48.0},
     {"engine": "dense-seq-step-only", "n": 1000000, "rounds_per_sec": 85.0},
-    {"engine": "dense-seq", "n": 1000000, "rounds_per_sec": 82.25}
+    {"engine": "dense-seq", "n": 1000000, "rounds_per_sec": 82.25},
+    {"engine": "message-seq", "n": 10000, "rounds_per_sec": 950.0}
   ],
   "kernel": [
     {"n": 10000, "path": "uniform", "scalar_rounds_per_sec": 12000.0, "batched_rounds_per_sec": 14000.0, "speedup": 1.167}
@@ -343,6 +352,7 @@ mod tests {
                     "dense-seq-step-only rounds/sec @ n=1000000".to_string(),
                     85.0
                 ),
+                ("message-seq rounds/sec @ n=10000".to_string(), 950.0),
                 ("campaign trials/sec".to_string(), 1234.56),
                 ("campaign trials/sec @ 8 threads".to_string(), 4321.0),
             ],
@@ -354,7 +364,7 @@ mod tests {
     #[test]
     fn single_line_json_parses_too() {
         let flat = SAMPLE.replace('\n', " ");
-        assert_eq!(gated_metrics(&flat).len(), 6);
+        assert_eq!(gated_metrics(&flat).len(), 7);
     }
 
     #[test]

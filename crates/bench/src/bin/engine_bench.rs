@@ -1,7 +1,8 @@
 //! `BENCH_engine.json` emitter: engine round throughput over time.
 //!
 //! Records rounds/sec for dense-seq (monomorphized and `dyn`-dispatched),
-//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, a `kernel` sweep
+//! dense-par, hist, and adaptive at n ∈ {10⁴, 10⁶}, the message engine
+//! (clean network) at n = 10⁴, a `kernel` sweep
 //! isolating the batched phase-split dense round against its scalar
 //! reference (uniform and load-sampled paths), the end-to-end wall time
 //! of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
@@ -293,6 +294,34 @@ fn main() {
         }
         records.push(Record {
             engine: "adaptive",
+            n: n as u64,
+            rounds_per_sec: total_rounds as f64 / start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Message engine: full trials through the request/response router at
+    // n = 10⁴ (the network-semantics engine is O(n·k) per round with real
+    // inbox traffic, so 10⁶ would eat the whole budget for one number).
+    // Gated — the scenario layer sits on this path, so a fault-injection
+    // change that slows the clean-network case shows up here.
+    {
+        use stabcon_core::engine::MessageConfig;
+        let n = 10_000usize;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::UniformRandom { m: support })
+            .engine(EngineSpec::Message(MessageConfig::default()));
+        let mut ws = TrialWorkspace::new();
+        let mut trial_seed = 0u64;
+        let mut total_rounds = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trial_seed < 2 {
+            trial_seed += 1;
+            let r = spec.run_seeded_into(trial_seed, &mut ws);
+            total_rounds += r.rounds_executed;
+            ws.recycle(r);
+        }
+        records.push(Record {
+            engine: "message-seq",
             n: n as u64,
             rounds_per_sec: total_rounds as f64 / start.elapsed().as_secs_f64(),
         });

@@ -6,10 +6,17 @@
 //! engine actually routes request/response messages: a sample is lost when
 //! the target's inbox overflowed and the drop policy discarded the request.
 //! [`OnMissing`] decides how the protocol degrades.
+//!
+//! On top of the clean synchronous executor the engine can route every
+//! round through a [`NetScenario`] — seeded latency, link drops,
+//! partitions, churn, and Byzantine response forging (see
+//! `stabcon_net::scenario`). The zero-fault scenario (the default) is
+//! bit-identical to the plain executor; [`MessageEngine::step_reference`]
+//! keeps the original path alive as a regression oracle.
 
 use stabcon_net::{
-    log_inbox_cap, run_round, DropPolicy, FeistelPerm, KeepFirst, ProcessId, RandomDrop,
-    RoundConfig, RoundMetrics, StarveSet,
+    log_inbox_cap, run_round, DropPolicy, FeistelPerm, KeepFirst, NetScenario, ProcessId,
+    RandomDrop, RoundConfig, RoundMetrics, ScenarioSpec, StarveSet,
 };
 use stabcon_util::rng::{gen_index, hash3, CounterRng, Xoshiro256pp};
 
@@ -42,12 +49,13 @@ pub enum DropSpec {
 }
 
 impl DropSpec {
-    /// Table label.
-    pub fn label(&self) -> &'static str {
+    /// Table label. Parameterized variants include their parameters so grid
+    /// rows stay distinguishable.
+    pub fn label(&self) -> String {
         match self {
-            DropSpec::Random => "random",
-            DropSpec::KeepFirst => "keep-first",
-            DropSpec::StarveFirstK { .. } => "starve",
+            DropSpec::Random => "random".into(),
+            DropSpec::KeepFirst => "keep-first".into(),
+            DropSpec::StarveFirstK { k } => format!("starve({k})"),
         }
     }
 
@@ -69,6 +77,10 @@ pub struct MessageConfig {
     pub drop: DropSpec,
     /// Missing-sample handling.
     pub on_missing: OnMissing,
+    /// Network-fault scenario the round traffic is routed through. The
+    /// default ([`ScenarioSpec::clean`]) is bit-identical to the plain
+    /// synchronous executor.
+    pub scenario: ScenarioSpec,
 }
 
 impl Default for MessageConfig {
@@ -77,6 +89,7 @@ impl Default for MessageConfig {
             cap_mult: 2,
             drop: DropSpec::Random,
             on_missing: OnMissing::KeepOwn,
+            scenario: ScenarioSpec::clean(),
         }
     }
 }
@@ -84,20 +97,27 @@ impl Default for MessageConfig {
 /// Stream id used to derive per-process anonymity keys (arbitrary tag).
 const ANON_STREAM: u64 = 0xA11CE5;
 
+/// Stream id keying the scenario's fault randomness (distinct from
+/// [`ANON_STREAM`] so fault draws never alias anonymity or drop-policy
+/// randomness).
+const SCEN_STREAM: u64 = 0x5CE11A;
+
 /// A reusable message-level engine for one population size.
 pub struct MessageEngine {
     cfg: MessageConfig,
     round_cfg: RoundConfig,
     policy: Box<dyn DropPolicy + Send>,
     net_rng: Xoshiro256pp,
+    scenario: NetScenario<Value>,
     targets: Vec<ProcessId>,
     responses: Vec<Vec<(ProcessId, Value)>>,
     totals: RoundMetrics,
 }
 
 impl MessageEngine {
-    /// Build an engine for `n` processes. `seed` keys both the anonymity
-    /// permutations and the network-side randomness (drop selection).
+    /// Build an engine for `n` processes. `seed` keys the anonymity
+    /// permutations, the network-side randomness (drop selection), and the
+    /// fault scenario.
     pub fn new(n: usize, cfg: MessageConfig, seed: u64) -> Self {
         Self {
             cfg,
@@ -107,6 +127,7 @@ impl MessageEngine {
             },
             policy: cfg.drop.build(n),
             net_rng: Xoshiro256pp::seed(hash3(seed, ANON_STREAM, 1)),
+            scenario: NetScenario::new(n, cfg.scenario, hash3(seed, SCEN_STREAM, 0)),
             targets: Vec::new(),
             responses: vec![Vec::new(); n],
             totals: RoundMetrics::default(),
@@ -128,13 +149,20 @@ impl MessageEngine {
         self.cfg
     }
 
+    /// The fault scenario the engine routes through.
+    pub fn scenario(&self) -> &NetScenario<Value> {
+        &self.scenario
+    }
+
     /// Re-key the engine for a fresh trial with the same `(n, config)`,
-    /// keeping the routing buffers: after this the engine behaves exactly
-    /// like [`MessageEngine::new`] with `seed` (drop policies carry no
+    /// keeping the routing buffers (including the scenario's delay rings
+    /// and inboxes): after this the engine behaves exactly like
+    /// [`MessageEngine::new`] with `seed` (drop policies carry no
     /// cross-trial state — they are pure functions of `(n, config)` plus
-    /// the per-round randomness).
+    /// the per-round randomness). No allocation happens on this path.
     pub fn reset(&mut self, seed: u64) {
         self.net_rng = Xoshiro256pp::seed(hash3(seed, ANON_STREAM, 1));
+        self.scenario.reset(hash3(seed, SCEN_STREAM, 0));
         // Undo a `with_inbox_cap` override so reset ≡ new.
         self.round_cfg.inbox_cap = log_inbox_cap(self.n(), self.cfg.cap_mult.max(1));
         self.totals = RoundMetrics::default();
@@ -157,11 +185,31 @@ impl MessageEngine {
         &self.totals
     }
 
+    /// Draw this round's sample targets through the private numberings.
+    /// Coordinates match the dense engine (`seed`, `round·n + ball`); the
+    /// layout is identical whether or not a process is crashed, so fault
+    /// scenarios never shift the sampling randomness of live processes.
+    fn draw_targets(&mut self, n: usize, k: usize, seed: u64, round: u64) {
+        self.targets.clear();
+        self.targets.reserve(n * k);
+        for i in 0..n {
+            let perm = FeistelPerm::new(n as u64, hash3(seed, ANON_STREAM, i as u64));
+            let mut rng = CounterRng::new(seed, round.wrapping_mul(n as u64) + i as u64);
+            for _ in 0..k {
+                let local = gen_index(&mut rng, n as u64);
+                self.targets.push(perm.apply(local) as ProcessId);
+            }
+        }
+    }
+
     /// Advance one round: reads `old`, writes `new`.
     ///
     /// Sampling matches the dense engine's coordinates (`seed`,
     /// `round·n + ball`), but each draw is routed through the ball's private
-    /// numbering (anonymity) and then through the network with caps.
+    /// numbering (anonymity) and then through the network — with caps, and
+    /// with whatever faults the configured [`ScenarioSpec`] injects. With
+    /// the zero-fault scenario this is bit-identical to
+    /// [`MessageEngine::step_reference`].
     ///
     /// # Panics
     /// Panics if buffer sizes disagree with the engine's `n`.
@@ -180,18 +228,81 @@ impl MessageEngine {
         assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
 
         // Phase 1: draw targets through private numberings.
-        self.targets.clear();
-        self.targets.reserve(n * k);
-        for i in 0..n {
-            let perm = FeistelPerm::new(n as u64, hash3(seed, ANON_STREAM, i as u64));
-            let mut rng = CounterRng::new(seed, round.wrapping_mul(n as u64) + i as u64);
-            for _ in 0..k {
-                let local = gen_index(&mut rng, n as u64);
-                self.targets.push(perm.apply(local) as ProcessId);
-            }
-        }
+        self.draw_targets(n, k, seed, round);
 
-        // Phase 2: route through the network.
+        // The adversary's forge value: the smallest value currently held,
+        // i.e. the choice that keeps a minority value alive longest against
+        // the median rule's drift. Only computed when a Byzantine responder
+        // or an adversarial rejoin needs it this round.
+        let forge = if self.scenario.wants_forge_value(round) {
+            old.iter().min().copied()
+        } else {
+            None
+        };
+
+        // Phase 2: route through the (possibly hostile) network.
+        let metrics = self.scenario.route_round(
+            round,
+            old,
+            &self.targets,
+            k,
+            &self.round_cfg,
+            self.policy.as_mut(),
+            &mut self.net_rng,
+            &mut self.responses,
+            forge,
+        );
+        self.totals.absorb(&metrics);
+
+        // Phase 3: combine. Crashed processes hold their value (or rejoin
+        // at the adversary's choice on the window boundary).
+        let mut samples = [0 as Value; MAX_SAMPLES];
+        for (i, slot) in new.iter_mut().enumerate() {
+            if self.scenario.is_down(i, round) {
+                *slot = if self.scenario.adversarial_rejoin(i, round) {
+                    forge.unwrap_or(old[i])
+                } else {
+                    old[i]
+                };
+                continue;
+            }
+            let got = &self.responses[i];
+            let own = old[i];
+            let fallback = match self.cfg.on_missing {
+                OnMissing::KeepOwn => own,
+                OnMissing::Adopt => got.first().map(|&(_, v)| v).unwrap_or(own),
+            };
+            for (j, sample) in samples.iter_mut().take(k).enumerate() {
+                *sample = got.get(j).map(|&(_, v)| v).unwrap_or(fallback);
+            }
+            *slot = protocol.combine(own, &samples[..k]);
+        }
+        metrics
+    }
+
+    /// Advance one round through the plain synchronous executor, ignoring
+    /// the configured scenario — the pre-scenario engine, kept as a
+    /// lossless oracle: regression tests pin `step` with the zero-fault
+    /// scenario bit-identical to this path.
+    ///
+    /// # Panics
+    /// Panics if buffer sizes disagree with the engine's `n`.
+    pub fn step_reference(
+        &mut self,
+        old: &[Value],
+        new: &mut [Value],
+        protocol: &dyn Protocol,
+        seed: u64,
+        round: u64,
+    ) -> RoundMetrics {
+        let n = old.len();
+        assert_eq!(new.len(), n, "state buffers differ in length");
+        assert_eq!(self.responses.len(), n, "engine built for different n");
+        let k = protocol.samples();
+        assert!(k <= MAX_SAMPLES, "protocol requests too many samples");
+
+        self.draw_targets(n, k, seed, round);
+
         let metrics = run_round(
             old,
             &self.targets,
@@ -203,7 +314,6 @@ impl MessageEngine {
         );
         self.totals.absorb(&metrics);
 
-        // Phase 3: combine.
         let mut samples = [0 as Value; MAX_SAMPLES];
         for (i, slot) in new.iter_mut().enumerate() {
             let got = &self.responses[i];
@@ -225,6 +335,7 @@ impl MessageEngine {
 mod tests {
     use super::*;
     use crate::protocol::MedianRule;
+    use stabcon_net::Rejoin;
 
     fn converge(n: usize, cfg: MessageConfig, seed: u64, max_rounds: u64) -> Option<u64> {
         let mut engine = MessageEngine::new(n, cfg, seed);
@@ -253,6 +364,7 @@ mod tests {
             cap_mult: 1,
             drop: DropSpec::Random,
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         assert!(converge(1024, cfg, 12, 800).is_some());
     }
@@ -263,6 +375,7 @@ mod tests {
             cap_mult: 1,
             drop: DropSpec::StarveFirstK { k: 64 },
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         assert!(converge(1024, cfg, 13, 800).is_some());
     }
@@ -290,6 +403,7 @@ mod tests {
             cap_mult: 1,
             drop: DropSpec::Random,
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         let mut engine = MessageEngine::new(n, cfg, 4);
         let state: Vec<Value> = vec![5; n];
@@ -305,6 +419,7 @@ mod tests {
             cap_mult: 1,
             drop: DropSpec::KeepFirst,
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         let mut engine = MessageEngine::new(n, cfg, 5);
         let state: Vec<Value> = vec![9; n];
@@ -319,7 +434,159 @@ mod tests {
             cap_mult: 1,
             drop: DropSpec::Random,
             on_missing: OnMissing::Adopt,
+            ..MessageConfig::default()
         };
         assert!(converge(1024, cfg, 14, 800).is_some());
+    }
+
+    #[test]
+    fn starve_label_includes_k() {
+        assert_eq!(DropSpec::StarveFirstK { k: 64 }.label(), "starve(64)");
+        assert_ne!(
+            DropSpec::StarveFirstK { k: 8 }.label(),
+            DropSpec::StarveFirstK { k: 9 }.label()
+        );
+    }
+
+    #[test]
+    fn zero_fault_step_matches_reference_bitwise() {
+        // The tentpole's regression anchor: the scenario-routed step with
+        // every fault knob off reproduces the pre-scenario engine exactly —
+        // states, metrics, and totals — over a multi-round run on a tight
+        // cap (so the drop policy consumes net_rng on both sides).
+        let n = 512;
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
+        };
+        let seed = 0xC0FFEE;
+        let mut a = MessageEngine::new(n, cfg, seed).with_inbox_cap(2);
+        let mut b = MessageEngine::new(n, cfg, seed).with_inbox_cap(2);
+        let init: Vec<Value> = (0..n).map(|i| (i % 7) as Value).collect();
+        let (mut sa, mut sb) = (init.clone(), init);
+        let mut na = vec![0; n];
+        let mut nb = vec![0; n];
+        for round in 0..30u64 {
+            let ma = a.step(&sa, &mut na, &MedianRule, seed, round);
+            let mb = b.step_reference(&sb, &mut nb, &MedianRule, seed, round);
+            assert_eq!(ma, mb, "round {round} metrics diverged");
+            assert_eq!(na, nb, "round {round} states diverged");
+            std::mem::swap(&mut sa, &mut na);
+            std::mem::swap(&mut sb, &mut nb);
+        }
+        assert_eq!(a.totals(), b.totals());
+    }
+
+    #[test]
+    fn converges_under_latency_and_drops() {
+        let cfg = MessageConfig {
+            scenario: ScenarioSpec::clean()
+                .with_latency(0, 2)
+                .with_drop_per_mille(100),
+            ..MessageConfig::default()
+        };
+        assert!(converge(1024, cfg, 15, 1200).is_some());
+    }
+
+    #[test]
+    fn converges_through_partition_heal() {
+        let cfg = MessageConfig {
+            scenario: ScenarioSpec::clean().with_partition(500, 0, 30),
+            ..MessageConfig::default()
+        };
+        assert!(converge(1024, cfg, 16, 1200).is_some());
+    }
+
+    #[test]
+    fn adversarial_rejoin_reinjects_minority_value() {
+        // Everyone holds 1 except one *crashed* process holding 0: being
+        // down, it keeps the minority value alive through the window, so at
+        // the rejoin boundary every crashed process must come back holding
+        // the adversary's minimum (0), not its pre-crash value (1).
+        let n = 64;
+        let cfg = MessageConfig {
+            scenario: ScenarioSpec::clean().with_churn(8, 0, 3, Rejoin::Adversarial),
+            ..MessageConfig::default()
+        };
+        let seed = 21;
+        let mut engine = MessageEngine::new(n, cfg, seed);
+        let down: Vec<usize> = (0..n)
+            .filter(|&p| engine.scenario().is_down(p, 0))
+            .collect();
+        assert_eq!(down.len(), 8);
+        let mut state: Vec<Value> = vec![1; n];
+        state[down[0]] = 0; // the minority value the adversary keeps alive
+        let mut scratch = vec![0; n];
+        for round in 0..3u64 {
+            engine.step(&state, &mut scratch, &MedianRule, seed, round);
+            std::mem::swap(&mut state, &mut scratch);
+        }
+        // Round 2 was the rejoin boundary (until = 3): every crashed
+        // process now holds the adversary's minimum.
+        for &p in &down {
+            assert_eq!(state[p], 0, "process {p} did not rejoin adversarially");
+        }
+    }
+
+    #[test]
+    fn byzantine_minority_still_converges_and_stays_valid() {
+        let n = 1024;
+        let cfg = MessageConfig {
+            scenario: ScenarioSpec::clean().with_byzantine(16),
+            ..MessageConfig::default()
+        };
+        let seed = 22;
+        let mut engine = MessageEngine::new(n, cfg, seed);
+        let mut state: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let mut scratch = vec![0; n];
+        for round in 0..1200u64 {
+            if state.iter().all(|&v| v == state[0]) {
+                break;
+            }
+            engine.step(&state, &mut scratch, &MedianRule, seed, round);
+            std::mem::swap(&mut state, &mut scratch);
+            // Validity: forged values are minima of currently-held values,
+            // so the state stays within the initial value range.
+            assert!(state.iter().all(|&v| v <= 1), "validity violated");
+        }
+        assert!(
+            state.iter().all(|&v| v == state[0]),
+            "no consensus under Byzantine minority"
+        );
+        assert!(engine.totals().forged > 0, "no forgery actually happened");
+    }
+
+    #[test]
+    fn scenario_reset_replays_trial_bit_identically() {
+        let n = 256;
+        let cfg = MessageConfig {
+            cap_mult: 1,
+            drop: DropSpec::Random,
+            on_missing: OnMissing::KeepOwn,
+            scenario: ScenarioSpec::clean()
+                .with_latency(0, 2)
+                .with_drop_per_mille(150)
+                .with_byzantine(4),
+        };
+        let seed = 23;
+        let run = |engine: &mut MessageEngine| {
+            let mut state: Vec<Value> = (0..n).map(|i| (i % 3) as Value).collect();
+            let mut scratch = vec![0; n];
+            for round in 0..40u64 {
+                engine.step(&state, &mut scratch, &MedianRule, seed, round);
+                std::mem::swap(&mut state, &mut scratch);
+            }
+            (state, *engine.totals())
+        };
+        let mut engine = MessageEngine::new(n, cfg, seed);
+        let first = run(&mut engine);
+        // Dirty engine (delay rings were mid-flight at trial end), then
+        // reset: must replay exactly, matching a fresh engine.
+        engine.reset(seed);
+        assert_eq!(run(&mut engine), first);
+        let mut fresh = MessageEngine::new(n, cfg, seed);
+        assert_eq!(run(&mut fresh), first);
     }
 }

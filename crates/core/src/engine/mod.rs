@@ -38,6 +38,9 @@ pub mod hist;
 pub mod message;
 
 pub use message::{DropSpec, MessageConfig, MessageEngine, OnMissing};
+// Scenario types ride inside `MessageConfig`; re-export them so downstream
+// crates (campaign grids) can name them without depending on `stabcon-net`.
+pub use stabcon_net::{ChurnSpec, PartitionSpec, Rejoin, ScenarioSpec};
 
 /// Engine selector for [`crate::runner::SimSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +87,18 @@ impl EngineSpec {
                 handoff_support,
             } => format!("adaptive({threads},m≤{handoff_support})"),
             EngineSpec::Message(cfg) => {
-                format!("message(cap={}x,drop={})", cfg.cap_mult, cfg.drop.label())
+                // Keep the historical label for clean-network configs; only
+                // faulted scenarios grow a suffix.
+                if cfg.scenario.is_zero_fault() {
+                    format!("message(cap={}x,drop={})", cfg.cap_mult, cfg.drop.label())
+                } else {
+                    format!(
+                        "message(cap={}x,drop={},scen={})",
+                        cfg.cap_mult,
+                        cfg.drop.label(),
+                        cfg.scenario.label()
+                    )
+                }
             }
         }
     }
@@ -101,6 +115,20 @@ mod tests {
             EngineSpec::DensePar { threads: 4 },
             EngineSpec::adaptive(),
             EngineSpec::Message(MessageConfig::default()),
+            // Starve variants must not collapse to one label.
+            EngineSpec::Message(MessageConfig {
+                drop: DropSpec::StarveFirstK { k: 8 },
+                ..MessageConfig::default()
+            }),
+            EngineSpec::Message(MessageConfig {
+                drop: DropSpec::StarveFirstK { k: 64 },
+                ..MessageConfig::default()
+            }),
+            // A faulted scenario must not collapse into the clean label.
+            EngineSpec::Message(MessageConfig {
+                scenario: ScenarioSpec::clean().with_latency(1, 3),
+                ..MessageConfig::default()
+            }),
         ];
         let labels: std::collections::HashSet<String> = specs.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), specs.len());

@@ -138,6 +138,11 @@ impl SimSpec {
         self
     }
 
+    /// The configured engine.
+    pub fn engine_spec(&self) -> EngineSpec {
+        self.engine
+    }
+
     /// Set the round budget.
     pub fn max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
@@ -284,8 +289,15 @@ impl SimSpec {
         // message engine degrade to `v` too), so once the support hits 1 the
         // remaining stability window is a foregone conclusion — stop paying
         // O(n) rounds to watch it (for a typical campaign cell that is the
-        // whole `window` tail of the trial).
-        let absorbing = self.budget == 0;
+        // whole `window` tail of the trial). Exception: a message scenario
+        // with latency can hold stale pre-consensus values in flight, and
+        // two stale samples suffice to flip a median-rule process back —
+        // support 1 is not absorbing while messages may still be queued.
+        let absorbing = self.budget == 0
+            && match self.engine {
+                EngineSpec::Message(cfg) => cfg.scenario.consensus_absorbing(),
+                _ => true,
+            };
         let mut done = tracker.observe(0, obs.plurality_value, obs.plurality_count, self.n as u64)
             || (absorbing && obs.support == 1);
 

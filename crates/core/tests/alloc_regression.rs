@@ -102,6 +102,34 @@ fn load_sampled_dense_cell_steady_state_is_o1() {
 }
 
 #[test]
+fn message_cell_steady_state_is_o1() {
+    // The message engine routes real request/response traffic — targets
+    // buffer, response buffers, and (with a faulted scenario) the delay
+    // rings and fault bitmaps must all be workspace-parked: `reset`
+    // re-keys without allocating, and `route_round` pre-reserves per-process
+    // headroom so balls-in-bins load maxima never grow a warm buffer.
+    // `DropSpec::Random` keeps the drop policy alloc-free (`StarveSet`
+    // sorts, which allocates by design).
+    use stabcon_core::engine::{MessageConfig, ScenarioSpec};
+    let n = 1024;
+    let cfg = MessageConfig {
+        scenario: ScenarioSpec::clean()
+            .with_latency(0, 2)
+            .with_drop_per_mille(100)
+            .with_byzantine(4),
+        ..MessageConfig::default()
+    };
+    let sim = SimSpec::new(n)
+        .init(InitialCondition::TwoBins { left: n / 2 })
+        .engine(EngineSpec::Message(cfg));
+    let per_trial = allocations_per_trial(&sim, 4, 16);
+    assert!(
+        per_trial <= 2.0,
+        "message trial steady state allocates {per_trial} times per trial (expected ≈ 0)"
+    );
+}
+
+#[test]
 fn all_distinct_worst_case_universe_is_o1() {
     // m = n: the ranked universe, probe table, and value set are all n-sized
     // and must still be reused, not reallocated.

@@ -9,11 +9,22 @@
 
 use proptest::prelude::*;
 use stabcon_core::adversary::AdversarySpec;
-use stabcon_core::engine::{EngineSpec, MessageConfig};
+use stabcon_core::engine::{EngineSpec, MessageConfig, Rejoin, ScenarioSpec};
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
 use stabcon_core::workspace::TrialWorkspace;
+
+/// Every network fault axis at once: the cached message engine must carry
+/// delay rings, fault bitmaps, and in-flight state across checkouts.
+fn hostile_scenario() -> ScenarioSpec {
+    ScenarioSpec::clean()
+        .with_latency(1, 2)
+        .with_drop_per_mille(50)
+        .with_partition(400, 2, 20)
+        .with_churn(8, 3, 18, Rejoin::Adversarial)
+        .with_byzantine(4)
+}
 
 fn engine(ix: usize) -> EngineSpec {
     match ix {
@@ -23,7 +34,11 @@ fn engine(ix: usize) -> EngineSpec {
             threads: 2,
             handoff_support: 8,
         },
-        _ => EngineSpec::Message(MessageConfig::default()),
+        3 => EngineSpec::Message(MessageConfig::default()),
+        _ => EngineSpec::Message(MessageConfig {
+            scenario: hostile_scenario(),
+            ..MessageConfig::default()
+        }),
     }
 }
 
@@ -56,6 +71,13 @@ fn dirty(ws: &mut TrialWorkspace, salt: u64) {
             handoff_support: 4,
         },
         EngineSpec::Message(MessageConfig::default()),
+        // Leave a *faulted* cached engine behind: live delay rings and
+        // fault bitmaps from a different scenario must not leak into the
+        // next checkout.
+        EngineSpec::Message(MessageConfig {
+            scenario: hostile_scenario(),
+            ..MessageConfig::default()
+        }),
         EngineSpec::DenseSeq,
     ];
     for (i, &e) in engines.iter().enumerate() {
@@ -81,7 +103,7 @@ proptest! {
 
     #[test]
     fn dirty_workspace_is_bit_identical_to_fresh(
-        engine_ix in 0usize..4,
+        engine_ix in 0usize..5,
         protocol_ix in 0usize..4,
         n in 64usize..512,
         record in any::<bool>(),

@@ -13,7 +13,7 @@ use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 
 use stabcon_core::adversary::AdversarySpec;
-use stabcon_core::engine::EngineSpec;
+use stabcon_core::engine::{EngineSpec, ScenarioSpec};
 use stabcon_core::init::InitialCondition;
 use stabcon_core::protocol::ProtocolSpec;
 use stabcon_core::runner::SimSpec;
@@ -113,6 +113,13 @@ pub struct CampaignSpec {
     pub protocols: Vec<ProtocolSpec>,
     /// Engine axis.
     pub engines: Vec<EngineSpec>,
+    /// Network-scenario axis. For message engines each entry **replaces**
+    /// the scenario embedded in the `MessageConfig` (configure faults here,
+    /// not in the engine axis). Faulted scenarios apply only to message
+    /// engines (they describe message traffic); a non-message engine
+    /// expands only against the zero-fault entries of this axis, so
+    /// idealized cells are never duplicated per fault configuration.
+    pub scenarios: Vec<ScenarioSpec>,
     /// Adversary axis (strategy + budget; budget 0 disables corruption).
     pub adversaries: Vec<(AdversarySpec, BudgetSpec)>,
     /// Round-budget override (default: the [`SimSpec::new`] heuristic).
@@ -138,6 +145,7 @@ impl Default for CampaignSpec {
             inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
             protocols: vec![ProtocolSpec::Median],
             engines: vec![EngineSpec::DenseSeq],
+            scenarios: vec![ScenarioSpec::clean()],
             adversaries: vec![(AdversarySpec::None, BudgetSpec::Zero)],
             max_rounds: None,
             window: None,
@@ -149,7 +157,12 @@ impl Default for CampaignSpec {
 
 impl CampaignSpec {
     /// Expand the grid into cells, in the fixed axis order
-    /// `n → init → protocol → engine → adversary`.
+    /// `n → init → protocol → engine → scenario → adversary`.
+    ///
+    /// A faulted scenario combines only with message engines (overriding
+    /// the scenario embedded in their `MessageConfig`); non-message engines
+    /// skip it, so the idealized cells appear once. Cell ids — and with
+    /// them the cell seeds — number the *emitted* cells consecutively.
     ///
     /// Adversarial cells report [`HitMetric::AlmostStable`], others
     /// [`HitMetric::Consensus`].
@@ -160,49 +173,64 @@ impl CampaignSpec {
             for init in &self.inits {
                 for &protocol in &self.protocols {
                     for &engine in &self.engines {
-                        for &(adversary, budget) in &self.adversaries {
-                            let t = budget.resolve(n);
-                            let mut sim = SimSpec::new(n)
-                                .init(init.materialize(n))
-                                .protocol(protocol)
-                                .engine(engine);
-                            if t > 0 {
-                                sim = sim.adversary(adversary, t);
-                            }
-                            if let Some(mr) = self.max_rounds {
-                                sim = sim.max_rounds(mr);
-                            }
-                            if let Some(w) = self.window {
-                                sim = sim.stability_window(w);
-                            }
-                            if let Some(f) = self.almost_factor {
-                                sim = sim.almost_factor(f);
-                            }
-                            if self.observer.needs_trajectory() {
-                                sim = sim.record_trajectory(true);
-                            }
-                            let metric = if t > 0 {
-                                HitMetric::AlmostStable
-                            } else {
-                                HitMetric::Consensus
+                        for &scenario in &self.scenarios {
+                            let cell_engine = match engine {
+                                EngineSpec::Message(mut cfg) => {
+                                    cfg.scenario = scenario;
+                                    EngineSpec::Message(cfg)
+                                }
+                                other if scenario.is_zero_fault() => other,
+                                // Faults describe message traffic; idealized
+                                // engines have none to inject them into.
+                                _ => continue,
                             };
-                            cells.push(CellSpec {
-                                id,
-                                sim,
-                                trials: self.trials,
-                                seed: derive_seed(self.seed, id),
-                                metric,
-                                observer: self.observer,
-                                labels: vec![
-                                    ("n".into(), n.to_string()),
-                                    ("init".into(), init.label()),
-                                    ("protocol".into(), protocol.label()),
-                                    ("engine".into(), engine.label()),
-                                    ("adversary".into(), adversary.label().into()),
-                                    ("T".into(), t.to_string()),
-                                ],
-                            });
-                            id += 1;
+                            for &(adversary, budget) in &self.adversaries {
+                                let t = budget.resolve(n);
+                                let mut sim = SimSpec::new(n)
+                                    .init(init.materialize(n))
+                                    .protocol(protocol)
+                                    .engine(cell_engine);
+                                if t > 0 {
+                                    sim = sim.adversary(adversary, t);
+                                }
+                                if let Some(mr) = self.max_rounds {
+                                    sim = sim.max_rounds(mr);
+                                }
+                                if let Some(w) = self.window {
+                                    sim = sim.stability_window(w);
+                                }
+                                if let Some(f) = self.almost_factor {
+                                    sim = sim.almost_factor(f);
+                                }
+                                if self.observer.needs_trajectory() {
+                                    sim = sim.record_trajectory(true);
+                                }
+                                let metric = if t > 0 {
+                                    HitMetric::AlmostStable
+                                } else {
+                                    HitMetric::Consensus
+                                };
+                                cells.push(CellSpec {
+                                    id,
+                                    sim,
+                                    trials: self.trials,
+                                    seed: derive_seed(self.seed, id),
+                                    metric,
+                                    observer: self.observer,
+                                    labels: vec![
+                                        ("n".into(), n.to_string()),
+                                        ("init".into(), init.label()),
+                                        ("protocol".into(), protocol.label()),
+                                        // The engine column stays the axis
+                                        // value; the scenario has its own.
+                                        ("engine".into(), engine.label()),
+                                        ("scenario".into(), scenario.label()),
+                                        ("adversary".into(), adversary.label().into()),
+                                        ("T".into(), t.to_string()),
+                                    ],
+                                });
+                                id += 1;
+                            }
                         }
                     }
                 }
@@ -438,7 +466,7 @@ mod tests {
             assert_eq!(c.id, i as u64);
             assert_eq!(c.seed, derive_seed(spec.seed, i as u64));
             assert_eq!(c.metric, HitMetric::Consensus);
-            assert_eq!(c.labels.len(), 6);
+            assert_eq!(c.labels.len(), 7);
         }
         // Adversarial axis flips the metric and sets the budget.
         let adv = CampaignSpec {
@@ -448,6 +476,58 @@ mod tests {
         for c in adv.expand() {
             assert_eq!(c.metric, HitMetric::AlmostStable);
         }
+    }
+
+    #[test]
+    fn scenario_axis_applies_to_message_engines_only() {
+        use stabcon_core::engine::MessageConfig;
+        let hostile = ScenarioSpec::clean().with_latency(1, 3);
+        let spec = CampaignSpec {
+            ns: vec![64],
+            inits: vec![InitSpec::TwoBinsHalf],
+            engines: vec![
+                EngineSpec::DenseSeq,
+                EngineSpec::Message(MessageConfig::default()),
+            ],
+            scenarios: vec![ScenarioSpec::clean(), hostile],
+            ..CampaignSpec::default()
+        };
+        let cells = spec.expand();
+        // Dense × clean, message × clean, message × hostile: the dense
+        // engine skips the faulted scenario.
+        assert_eq!(cells.len(), 3);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i as u64, "emitted cells are numbered densely");
+        }
+        let scen_label = |c: &CellSpec| {
+            c.labels
+                .iter()
+                .find(|(k, _)| k == "scenario")
+                .expect("scenario label")
+                .1
+                .clone()
+        };
+        assert_eq!(scen_label(&cells[0]), "none");
+        assert_eq!(scen_label(&cells[1]), "none");
+        assert_eq!(scen_label(&cells[2]), hostile.label());
+        // The hostile cell's engine actually carries the scenario…
+        let EngineSpec::Message(cfg) = cells[2].sim.engine_spec() else {
+            panic!("expected a message cell");
+        };
+        assert_eq!(cfg.scenario, hostile);
+        // …while its engine *label* stays the clean axis value.
+        let eng_label = cells[2]
+            .labels
+            .iter()
+            .find(|(k, _)| k == "engine")
+            .expect("engine label");
+        assert!(!eng_label.1.contains("scen="), "{}", eng_label.1);
+        // The scenario axis is fingerprint-covered (it changes cell labels).
+        let clean_only = CampaignSpec {
+            scenarios: vec![ScenarioSpec::clean()],
+            ..spec.clone()
+        };
+        assert_ne!(spec.fingerprint(), clean_only.fingerprint());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use stabcon_core::runner::{RoundObs, RunResult};
 
 /// Maximum channels one observer may declare (keeps [`TrialExtras`] a small
 /// fixed-size `Copy` value on the worker → scheduler channel).
-pub const MAX_CHANNELS: usize = 4;
+pub const MAX_CHANNELS: usize = 5;
 
 /// How a channel's samples are aggregated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +220,12 @@ pub enum TrialObserver {
         /// almost-stability threshold `⌈factor·T⌉`).
         threshold: u64,
     },
+    /// Message-engine network totals: requests sent, responses delivered,
+    /// legs dropped (inbox overflow + link/crash loss), peak in-flight
+    /// queue depth, and partition-cut losses, summed over the trial. Five
+    /// integer channels from `RunResult::net_totals` — no trajectory
+    /// needed; trials on non-message engines contribute no samples.
+    NetTotals,
 }
 
 const LAST_UNSETTLED_CHANNELS: [ChannelSpec; 1] = [ChannelSpec {
@@ -234,6 +240,28 @@ const DRIFT_CHANNELS: [ChannelSpec; 2] = [
     ChannelSpec {
         name: "drift_growth",
         kind: ChannelKind::Float,
+    },
+];
+const NET_CHANNELS: [ChannelSpec; 5] = [
+    ChannelSpec {
+        name: "net_requests",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "net_delivered",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "net_dropped",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "net_in_flight",
+        kind: ChannelKind::Int,
+    },
+    ChannelSpec {
+        name: "net_partitioned",
+        kind: ChannelKind::Int,
     },
 ];
 const STABILITY_CHANNELS: [ChannelSpec; 3] = [
@@ -259,6 +287,7 @@ impl TrialObserver {
             TrialObserver::LastUnsettledRound => &LAST_UNSETTLED_CHANNELS,
             TrialObserver::DriftGrowth => &DRIFT_CHANNELS,
             TrialObserver::StabilityExcursions { .. } => &STABILITY_CHANNELS,
+            TrialObserver::NetTotals => &NET_CHANNELS,
         }
     }
 
@@ -275,7 +304,9 @@ impl TrialObserver {
     /// cell's `SimSpec` must have `record_trajectory(true)` (the campaign
     /// expander and the [`crate::cell::CellSpec::observer`] builder set it).
     pub fn needs_trajectory(&self) -> bool {
-        !matches!(self, TrialObserver::None)
+        // NetTotals reads the runner-accumulated `net_totals` scalar, not
+        // the per-round trajectory.
+        !matches!(self, TrialObserver::None | TrialObserver::NetTotals)
     }
 
     /// A stable label, hashed into the campaign fingerprint (parameters
@@ -288,6 +319,7 @@ impl TrialObserver {
             TrialObserver::StabilityExcursions { n, threshold } => {
                 format!("excursions(n={n},thr={threshold})")
             }
+            TrialObserver::NetTotals => "net-totals".into(),
         }
     }
 
@@ -342,6 +374,16 @@ impl TrialObserver {
                     TrialChannel::Int(excursions),
                 ])
             }
+            TrialObserver::NetTotals => {
+                let t = r.net_totals;
+                TrialExtras::from_slice(&[
+                    TrialChannel::Int(t.map(|m| m.requests)),
+                    TrialChannel::Int(t.map(|m| m.delivered)),
+                    TrialChannel::Int(t.map(|m| m.dropped + m.link_dropped)),
+                    TrialChannel::Int(t.map(|m| m.in_flight)),
+                    TrialChannel::Int(t.map(|m| m.partition_dropped)),
+                ])
+            }
         }
     }
 }
@@ -392,6 +434,11 @@ mod tests {
             assert!(!obs.channels().is_empty());
             assert!(obs.channels().len() <= MAX_CHANNELS);
         }
+        // NetTotals reads runner scalars, not the trajectory.
+        let net = TrialObserver::NetTotals;
+        assert!(!net.needs_trajectory());
+        assert_eq!(net.channels().len(), 5);
+        assert!(!net.has_float_channels());
         // Parameters are part of the label (and hence the fingerprint).
         assert_ne!(
             TrialObserver::StabilityExcursions {
@@ -405,6 +452,41 @@ mod tests {
             }
             .label(),
         );
+    }
+
+    #[test]
+    fn net_totals_reads_message_run_metrics() {
+        use stabcon_core::engine::{EngineSpec, MessageConfig};
+        let n = 256;
+        let spec = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .engine(EngineSpec::Message(MessageConfig::default()))
+            .max_rounds(5)
+            .full_horizon(true);
+        let r = spec.run_seeded(7);
+        let totals = r.net_totals.expect("message run records net totals");
+        let extras = TrialObserver::NetTotals.capture(&r);
+        assert_eq!(
+            extras.channels(),
+            &[
+                TrialChannel::Int(Some(totals.requests)),
+                TrialChannel::Int(Some(totals.delivered)),
+                TrialChannel::Int(Some(totals.dropped + totals.link_dropped)),
+                TrialChannel::Int(Some(totals.in_flight)),
+                TrialChannel::Int(Some(totals.partition_dropped)),
+            ]
+        );
+        assert!(totals.requests > 0);
+
+        // A dense run has no net totals: every channel is the no-sample
+        // sentinel rather than a panic.
+        let dense = SimSpec::new(n)
+            .init(InitialCondition::TwoBins { left: n / 2 })
+            .max_rounds(2)
+            .run_seeded(7);
+        for ch in TrialObserver::NetTotals.capture(&dense).channels() {
+            assert_eq!(*ch, TrialChannel::Int(None));
+        }
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Named campaign grids for the `stabcon` CLI.
 
 use stabcon_core::adversary::AdversarySpec;
+use stabcon_core::engine::{EngineSpec, MessageConfig, Rejoin, ScenarioSpec};
 use stabcon_core::protocol::ProtocolSpec;
 
 use crate::campaign::{BudgetSpec, CampaignSpec, InitSpec};
+use crate::observer::TrialObserver;
 
 /// Preset names accepted by [`preset`].
-pub const PRESET_NAMES: [&str; 6] = [
+pub const PRESET_NAMES: [&str; 7] = [
     "smoke",
     "figure1-small",
     "figure1",
     "duel",
     "theorems",
     "robustness-small",
+    "hostile-net",
 ];
 
 /// Look up a named campaign grid.
@@ -28,6 +31,10 @@ pub const PRESET_NAMES: [&str; 6] = [
 ///   bins × {balancer, random} adversaries at the canonical budget.
 /// * `robustness-small` — the §6 tournament at test scale: five protocols
 ///   × five adversaries on a uniform 5-value instance.
+/// * `hostile-net` — the median rule on the message engine across network
+///   faults: clean network, latency, link drops, a healing partition,
+///   adversarial churn, and a Byzantine responder minority, with the
+///   net-totals observer recording delivery/drop columns.
 pub fn preset(name: &str) -> Option<CampaignSpec> {
     let adversary_axis = vec![
         (AdversarySpec::None, BudgetSpec::Zero),
@@ -108,6 +115,26 @@ pub fn preset(name: &str) -> Option<CampaignSpec> {
             max_rounds: Some(1500),
             ..CampaignSpec::default()
         }),
+        "hostile-net" => Some(CampaignSpec {
+            name: "hostile-net".into(),
+            seed: 0x4057,
+            trials: 12,
+            ns: vec![512, 1024],
+            inits: vec![InitSpec::TwoBinsHalf],
+            protocols: vec![ProtocolSpec::Median],
+            engines: vec![EngineSpec::Message(MessageConfig::default())],
+            scenarios: vec![
+                ScenarioSpec::clean(),
+                ScenarioSpec::clean().with_latency(1, 3),
+                ScenarioSpec::clean().with_drop_per_mille(50),
+                ScenarioSpec::clean().with_partition(500, 5, 40),
+                ScenarioSpec::clean().with_churn(32, 5, 40, Rejoin::Adversarial),
+                ScenarioSpec::clean().with_byzantine(16),
+            ],
+            max_rounds: Some(1200),
+            observer: TrialObserver::NetTotals,
+            ..CampaignSpec::default()
+        }),
         _ => None,
     }
 }
@@ -142,6 +169,26 @@ mod tests {
         let robustness = preset("robustness-small").expect("preset");
         // 2 populations × 5 protocols × 5 adversaries.
         assert_eq!(robustness.expand().len(), 2 * 5 * 5);
+
+        let hostile = preset("hostile-net").expect("preset");
+        // 2 populations × 6 scenarios on the single message engine.
+        let cells = hostile.expand();
+        assert_eq!(cells.len(), 2 * 6);
+        assert_eq!(hostile.observer, TrialObserver::NetTotals);
+        // ≥ 3 distinct fault axes beyond the clean cell.
+        let scen_labels: std::collections::HashSet<&str> = cells
+            .iter()
+            .map(|c| {
+                c.labels
+                    .iter()
+                    .find(|(k, _)| k == "scenario")
+                    .expect("scenario label")
+                    .1
+                    .as_str()
+            })
+            .collect();
+        assert!(scen_labels.len() >= 4, "{scen_labels:?}");
+        assert!(scen_labels.contains("none"));
     }
 
     #[test]

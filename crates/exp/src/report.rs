@@ -6,7 +6,15 @@ use stabcon_util::table::{fmt_sig, Table};
 use crate::store::LoadedStore;
 
 /// Label columns shown when present in the records, in order.
-const AXIS_COLUMNS: [&str; 6] = ["n", "init", "protocol", "engine", "adversary", "T"];
+const AXIS_COLUMNS: [&str; 7] = [
+    "n",
+    "init",
+    "protocol",
+    "engine",
+    "scenario",
+    "adversary",
+    "T",
+];
 
 fn cell_text(obj: &FlatObject, key: &str) -> String {
     match get(obj, key) {

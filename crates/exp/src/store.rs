@@ -27,7 +27,11 @@ use crate::observer::ChannelKind;
 /// fingerprint now covers the observer, so `/1` stores (pre-observer) are
 /// rejected up front with a schema message rather than a misleading
 /// fingerprint mismatch.
-pub const SCHEMA: &str = "stabcon-campaign/2";
+///
+/// `/3`: cells carry a `scenario` axis label (network-fault grid axis) and
+/// the net-totals observer channels; `/2` stores predate the axis and are
+/// rejected up front for the same reason.
+pub const SCHEMA: &str = "stabcon-campaign/3";
 
 /// The campaign header record.
 #[derive(Debug, Clone, PartialEq, Eq)]

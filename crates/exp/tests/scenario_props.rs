@@ -1,0 +1,91 @@
+//! Scenario-axis determinism: a message-engine cell under network faults
+//! (latency, drops, partitions, churn, Byzantine responders) must render
+//! the **same store line** no matter how the scheduler slices it — thread
+//! count 1/2/8, any chunk size, any worker interleaving. The fault layer
+//! draws every coin from counter streams keyed on `(cell seed, round,
+//! message index)`, so this holds by construction; this suite pins it.
+
+use proptest::prelude::*;
+use stabcon_core::engine::{EngineSpec, MessageConfig, Rejoin, ScenarioSpec};
+use stabcon_core::init::InitialCondition;
+use stabcon_core::runner::SimSpec;
+use stabcon_exp::cell::{run_cell, CellSpec};
+use stabcon_exp::observer::TrialObserver;
+use stabcon_exp::store;
+use stabcon_par::ThreadPool;
+
+const THREAD_CHOICES: [usize; 3] = [1, 2, 8];
+const CHUNK_CHOICES: [u64; 3] = [1, 3, 32];
+
+/// One scenario per fault axis, plus a kitchen-sink combination.
+fn scenario(ix: usize) -> ScenarioSpec {
+    match ix {
+        0 => ScenarioSpec::clean(),
+        1 => ScenarioSpec::clean().with_latency(1, 3),
+        2 => ScenarioSpec::clean().with_drop_per_mille(120),
+        3 => ScenarioSpec::clean().with_partition(500, 2, 25),
+        4 => ScenarioSpec::clean().with_churn(12, 3, 22, Rejoin::PreCrash),
+        5 => ScenarioSpec::clean().with_churn(12, 3, 22, Rejoin::Adversarial),
+        6 => ScenarioSpec::clean().with_byzantine(10),
+        _ => ScenarioSpec::clean()
+            .with_latency(0, 2)
+            .with_drop_per_mille(60)
+            .with_partition(400, 2, 18)
+            .with_churn(8, 4, 20, Rejoin::Adversarial)
+            .with_byzantine(6),
+    }
+}
+
+fn hostile_cell(scen_ix: usize, seed: u64) -> CellSpec {
+    let sim = SimSpec::new(128)
+        .init(InitialCondition::TwoBins { left: 64 })
+        .engine(EngineSpec::Message(MessageConfig {
+            scenario: scenario(scen_ix),
+            ..MessageConfig::default()
+        }))
+        .max_rounds(400);
+    CellSpec::new(sim, 8, seed)
+        .observer(TrialObserver::NetTotals)
+        .label("scenario", scenario(scen_ix).label())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The rendered store line — aggregate stats plus the net-totals
+    /// observer columns — is a pure function of the cell spec.
+    #[test]
+    fn store_line_is_invariant_under_threads_and_chunks(
+        scen_ix in 0usize..8,
+        seed in 0u64..1_000,
+        t_ix in 0usize..3,
+        c_ix in 0usize..3,
+    ) {
+        let cell = hostile_cell(scen_ix, seed);
+        let reference = {
+            let pool = ThreadPool::new(1);
+            store::cell_line(&cell, &run_cell(&pool, &cell, 4))
+        };
+        let pool = ThreadPool::new(THREAD_CHOICES[t_ix]);
+        let line = store::cell_line(&cell, &run_cell(&pool, &cell, CHUNK_CHOICES[c_ix]));
+        prop_assert_eq!(
+            &line, &reference,
+            "scenario {} differs at threads={} chunk={}",
+            scenario(scen_ix).label(), THREAD_CHOICES[t_ix], CHUNK_CHOICES[c_ix]
+        );
+    }
+}
+
+/// Faults cost delivery: under link drops the delivered total falls below
+/// the clean cell's, while both remain deterministic cell to cell.
+#[test]
+fn dropped_traffic_shows_up_in_the_observer_columns() {
+    let pool = ThreadPool::new(4);
+    let clean = hostile_cell(0, 7);
+    let lossy = hostile_cell(2, 7);
+    let clean_line = store::cell_line(&clean, &run_cell(&pool, &clean, 4));
+    let lossy_line = store::cell_line(&lossy, &run_cell(&pool, &lossy, 4));
+    assert!(clean_line.contains("net_delivered"), "{clean_line}");
+    assert!(lossy_line.contains("net_dropped"), "{lossy_line}");
+    assert_ne!(clean_line, lossy_line);
+}

@@ -24,10 +24,12 @@
 pub mod anonymity;
 pub mod network;
 pub mod policy;
+pub mod scenario;
 
 pub use anonymity::FeistelPerm;
 pub use network::{log_inbox_cap, run_round, RoundConfig, RoundMetrics};
 pub use policy::{DropPolicy, KeepFirst, RandomDrop, StarveSet};
+pub use scenario::{ChurnSpec, NetScenario, PartitionSpec, Rejoin, ScenarioSpec};
 
 /// Process identifier inside one simulated network (dense `0..n`).
 pub type ProcessId = u32;

@@ -48,6 +48,18 @@ pub struct RoundMetrics {
     pub max_inbox: usize,
     /// Number of processes whose inbox exceeded the cap.
     pub overloaded: u64,
+    /// Message legs lost on the link itself (scenario drop rate or a crashed
+    /// endpoint), independent of inbox overflow. Always 0 in [`run_round`].
+    pub link_dropped: u64,
+    /// Message legs lost to an active partition cut. Always 0 in
+    /// [`run_round`].
+    pub partition_dropped: u64,
+    /// Responses whose value was forged by a Byzantine responder. Always 0
+    /// in [`run_round`].
+    pub forged: u64,
+    /// Messages still queued in the scenario's delay rings at the end of the
+    /// round. Always 0 in [`run_round`].
+    pub in_flight: u64,
 }
 
 impl RoundMetrics {
@@ -59,6 +71,11 @@ impl RoundMetrics {
         self.dropped += other.dropped;
         self.max_inbox = self.max_inbox.max(other.max_inbox);
         self.overloaded += other.overloaded;
+        self.link_dropped += other.link_dropped;
+        self.partition_dropped += other.partition_dropped;
+        self.forged += other.forged;
+        // Peak, not sum: "how deep did the delay queue get".
+        self.in_flight = self.in_flight.max(other.in_flight);
     }
 }
 
@@ -280,6 +297,10 @@ mod tests {
             dropped: 2,
             max_inbox: 4,
             overloaded: 1,
+            link_dropped: 3,
+            partition_dropped: 1,
+            forged: 2,
+            in_flight: 6,
         };
         let b = RoundMetrics {
             requests: 5,
@@ -288,11 +309,20 @@ mod tests {
             dropped: 0,
             max_inbox: 9,
             overloaded: 0,
+            link_dropped: 1,
+            partition_dropped: 4,
+            forged: 0,
+            in_flight: 2,
         };
         a.absorb(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.delivered, 13);
         assert_eq!(a.max_inbox, 9);
+        assert_eq!(a.link_dropped, 4);
+        assert_eq!(a.partition_dropped, 5);
+        assert_eq!(a.forged, 2);
+        // in_flight tracks the peak queue depth, not a sum.
+        assert_eq!(a.in_flight, 6);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn main() {
         cap_mult: 2,
         drop: DropSpec::StarveFirstK { k: 128 }, // adversary starves 128 replicas
         on_missing: OnMissing::KeepOwn,
+        ..MessageConfig::default()
     };
 
     let spec = SimSpec::new(n)

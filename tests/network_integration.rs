@@ -21,6 +21,7 @@ fn converges_under_every_drop_policy() {
             cap_mult: 2,
             drop,
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         let r = message_spec(n, cfg).run_seeded(11);
         assert!(
@@ -39,6 +40,7 @@ fn tight_caps_slow_but_do_not_break() {
             cap_mult,
             drop: DropSpec::Random,
             on_missing: OnMissing::KeepOwn,
+            ..MessageConfig::default()
         };
         let mut total = 0.0;
         let trials = 8;
@@ -66,6 +68,7 @@ fn metrics_are_conserved() {
         cap_mult: 1,
         drop: DropSpec::Random,
         on_missing: OnMissing::KeepOwn,
+        ..MessageConfig::default()
     };
     let r = message_spec(n, cfg).run_seeded(3);
     let m = r.net_totals.expect("metrics");
@@ -100,6 +103,7 @@ fn starved_minority_still_joins_consensus() {
         cap_mult: 1,
         drop: DropSpec::StarveFirstK { k: n / 8 },
         on_missing: OnMissing::KeepOwn,
+        ..MessageConfig::default()
     };
     let r = message_spec(n, cfg).max_rounds(5000).run_seeded(17);
     assert_eq!(r.final_support, 1, "starved processes never agreed");
@@ -114,6 +118,7 @@ fn adopt_and_keep_own_both_valid() {
             cap_mult: 1,
             drop: DropSpec::Random,
             on_missing,
+            ..MessageConfig::default()
         };
         let r = message_spec(n, cfg).max_rounds(5000).run_seeded(23);
         assert!(r.consensus_round.is_some(), "{on_missing:?} failed");
