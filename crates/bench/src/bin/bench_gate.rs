@@ -20,11 +20,14 @@
 //!   path the fault-injection scenario layer sits on.
 //!
 //! **Core-count awareness.** Multi-worker entries (currently the 8-thread
-//! campaign number) are skipped, with a logged reason, when either file
-//! *reports* `available_parallelism` below 8: an 8-worker pool on a
-//! smaller box measures scheduler churn, not scaling, and comparing such
-//! numbers across machines gates noise. A file without the field (older
-//! baselines) is treated as unknown and gated as before.
+//! campaign number) are not gated when either file *reports*
+//! `available_parallelism` below 8: an 8-worker pool on a smaller box
+//! measures scheduler churn, not scaling, and comparing such numbers
+//! across machines gates noise. Such entries still print a per-entry
+//! `skipped` verdict row naming both core counts — every gated metric
+//! gets an explicit ok/REGRESSED/skipped/MISSING line, nothing vanishes
+//! silently. A file without the field (older baselines) is treated as
+//! unknown and gated as before.
 //!
 //! **Machine normalization.** The baseline is a *committed* file, so the
 //! fresh run usually executes on a different machine (a CI runner vs the
@@ -208,29 +211,20 @@ fn main() -> ExitCode {
     let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
         return ExitCode::FAILURE;
     };
-    let mut base_metrics = gated_metrics(&baseline);
-    let mut fresh_metrics = gated_metrics(&fresh);
+    let base_metrics = gated_metrics(&baseline);
+    let fresh_metrics = gated_metrics(&fresh);
     // Multi-worker throughput is only comparable when both runs had the
     // cores to back the workers: on a smaller machine the 8-worker number
     // measures scheduler churn (e.g. 8 workers time-slicing one core), and
     // gating it compares incomparable setups. Files predating the
     // `available_parallelism` field are treated as unknown and gated as
-    // before.
+    // before. The entry still gets its own verdict row below — a silently
+    // vanishing metric reads as "nothing was skipped".
     let (base_cores, fresh_cores) = (
         available_parallelism(&baseline),
         available_parallelism(&fresh),
     );
-    if base_cores.is_some_and(|c| c < 8.0) || fresh_cores.is_some_and(|c| c < 8.0) {
-        println!(
-            "skipping {THREAD8_METRIC}: a runner has fewer than 8 cores \
-             (available_parallelism: baseline {}, fresh {}) — oversubscribed-pool \
-             throughput on a small machine is not a scaling measurement",
-            base_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
-            fresh_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
-        );
-        base_metrics.retain(|(name, _)| name != THREAD8_METRIC);
-        fresh_metrics.retain(|(name, _)| name != THREAD8_METRIC);
-    }
+    let skip_thread8 = base_cores.is_some_and(|c| c < 8.0) || fresh_cores.is_some_and(|c| c < 8.0);
     if base_metrics.is_empty() {
         eprintln!(
             "warning: no gated metrics found in baseline {baseline_path} — nothing to compare"
@@ -246,7 +240,9 @@ fn main() -> ExitCode {
             (Some(b), Some(f)) => {
                 println!(
                     "machine calibration ({CALIBRATION_ENGINE} @ n={CALIBRATION_N}): \
-                     baseline {b:.2}, fresh {f:.2} rounds/sec — gating normalized ratios"
+                     baseline {b:.2}, fresh {f:.2} rounds/sec — gating normalized ratios \
+                     (normalization factor {:.3}x applied to every fresh/baseline ratio)",
+                    b / f
                 );
                 (b, f)
             }
@@ -270,6 +266,19 @@ fn main() -> ExitCode {
     );
     let mut failed = false;
     for (name, base) in &base_metrics {
+        if name == THREAD8_METRIC && skip_thread8 {
+            let new = fresh_metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or("—".into(), |(_, v)| format!("{v:.2}"));
+            println!(
+                "{name:<34} {base:>14.2} {new:>14}      —   skipped (runner below 8 cores: \
+                 available_parallelism baseline {}, fresh {})",
+                base_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
+                fresh_cores.map_or("unknown".into(), |c| format!("{c:.0}")),
+            );
+            continue;
+        }
         match fresh_metrics.iter().find(|(n, _)| n == name) {
             Some((_, new)) if *base > 0.0 => {
                 let ratio = (new / fresh_cal) / (base / base_cal);
@@ -294,7 +303,11 @@ fn main() -> ExitCode {
     }
     for (name, _) in &fresh_metrics {
         if !base_metrics.iter().any(|(n, _)| n == name) {
-            println!("{name:<34} (new metric — no baseline yet, not gated)");
+            if name == THREAD8_METRIC && skip_thread8 {
+                println!("{name:<34} (new metric, and runner below 8 cores — not gated)");
+            } else {
+                println!("{name:<34} (new metric — no baseline yet, not gated)");
+            }
         }
     }
     if failed {

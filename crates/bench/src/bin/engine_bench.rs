@@ -8,9 +8,11 @@
 //! of a full `TwoBins` n = 10⁶ trial under `DenseSeq` vs `Adaptive`,
 //! full-trial throughput through the `stabcon-exp` campaign scheduler
 //! (the gated 1-thread n = 10⁴ entry plus a `campaigns` sweep over
-//! {1, 8} workers × {10⁴, 10⁶}), and a workspace-vs-fresh microbenchmark
-//! isolating the per-trial allocation cost, so successive PRs have a perf
-//! trajectory to compare against. The output also records the runner's
+//! {1, 8} workers × {10⁴, 10⁶}), a workspace-vs-fresh microbenchmark
+//! isolating the per-trial allocation cost, and a `phase_profile` section
+//! (a telemetry-enabled dense n = 10⁶ run broken down by `stabcon-obs`
+//! phase — RNG/index/gather/apply shares of the kernel), so successive PRs
+//! have a perf trajectory to compare against. The output also records the runner's
 //! `available_parallelism`, which `bench_gate` uses to skip gating
 //! multi-worker entries measured on machines with fewer cores.
 //!
@@ -420,6 +422,51 @@ fn main() {
         trials as f64 / start.elapsed().as_secs_f64()
     };
 
+    // Phase profile: where a dense n = 10⁶ trial's time actually goes,
+    // measured through the stabcon-obs phase timers (RNG / index / gather /
+    // apply / coin plus the runner's handoff and trial spans). Runs last —
+    // with telemetry enabled — so the guard overhead (a few percent inside
+    // the kernel) never touches the gated throughput numbers above, which
+    // all ran with the flag off.
+    let phase_profile = {
+        use stabcon_obs as obs;
+        let registry = obs::MetricRegistry::new(1);
+        let spec = SimSpec::new(1_000_000)
+            .init(InitialCondition::UniformRandom { m: support })
+            .engine(EngineSpec::DenseSeq);
+        obs::set_enabled(true);
+        let mut ws = TrialWorkspace::new();
+        let mut trials = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || trials < 2 {
+            trials += 1;
+            let r = spec.run_seeded_into(trials, &mut ws);
+            ws.recycle(r);
+        }
+        registry.handle(0).drain_local();
+        obs::set_enabled(false);
+        let mut snap = obs::Snapshot::new(1);
+        registry.snapshot_into(&mut snap);
+        let total = snap.total();
+        let mut phases = JsonArr::new();
+        for ph in obs::Phase::ALL {
+            phases.push_raw(
+                &JsonObj::new()
+                    .str_field("phase", ph.name())
+                    .u64_field("nanos", total.phase_nanos(ph))
+                    .u64_field("calls", total.phase_calls(ph))
+                    .fixed_field("share", total.phase_share(ph), 4)
+                    .finish(),
+            );
+        }
+        JsonObj::new()
+            .str_field("engine", "dense-seq")
+            .u64_field("n", 1_000_000)
+            .u64_field("trials", trials)
+            .raw_field("phases", &phases.finish())
+            .finish()
+    };
+
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -511,6 +558,7 @@ fn main() {
     .raw_field("campaign", &campaign)
     .raw_field("campaigns", &campaign_arr.finish())
     .raw_field("workspace_reuse", &workspace_reuse)
+    .raw_field("phase_profile", &phase_profile)
     .finish();
     json.push('\n');
 

@@ -54,6 +54,7 @@
 //! [`crate::workspace::TrialWorkspace`], so load-sampled rounds at
 //! `n ≥ 2¹⁸` allocate nothing at steady state.
 
+use stabcon_obs as obs;
 use stabcon_util::dist::{AliasScratch, PackedAlias};
 use stabcon_util::rng::{
     gen_f64, gen_index, lemire_candidate, unit_f64_from_word, CounterKey, CounterStream,
@@ -263,6 +264,7 @@ fn update_range<P: Protocol + ?Sized>(
         let len = block.min(chunk.len() - start);
         let count = k * len;
         let base = stream_base.wrapping_add(start as u64);
+        let t = obs::phase(obs::Phase::Rng);
         fill_stream_words(
             key,
             base,
@@ -271,6 +273,8 @@ fn update_range<P: Protocol + ?Sized>(
             &mut bufs.words[..count],
             CounterStream::word,
         );
+        drop(t);
+        let t = obs::phase(obs::Phase::Index);
         resolve_uniform(
             key,
             base,
@@ -280,9 +284,13 @@ fn update_range<P: Protocol + ?Sized>(
             &bufs.words[..count],
             &mut bufs.idx[..count],
         );
+        drop(t);
+        let t = obs::phase(obs::Phase::Gather);
         for (d, v) in bufs.idx[..count].iter().zip(bufs.vals[..count].iter_mut()) {
             *v = old[*d as usize];
         }
+        drop(t);
+        let t = obs::phase(obs::Phase::Apply);
         apply_block(
             protocol,
             k,
@@ -290,6 +298,7 @@ fn update_range<P: Protocol + ?Sized>(
             &mut chunk[start..start + len],
             &bufs.vals[..count],
         );
+        drop(t);
         start += len;
     }
 }
@@ -483,6 +492,7 @@ fn update_range_sampled<P: Protocol + ?Sized>(
         let len = block.min(chunk.len() - start);
         let count = k * len;
         let base = stream_base.wrapping_add(start as u64);
+        let t = obs::phase(obs::Phase::Rng);
         fill_stream_words(
             key,
             base,
@@ -491,12 +501,18 @@ fn update_range_sampled<P: Protocol + ?Sized>(
             &mut bufs.words[..count],
             CounterStream::word_fast,
         );
+        drop(t);
+        let t = obs::phase(obs::Phase::Index);
         for (w, d) in bufs.words[..count].iter().zip(bufs.idx[..count].iter_mut()) {
             *d = alias.sample_word(*w) as u64;
         }
+        drop(t);
+        let t = obs::phase(obs::Phase::Gather);
         for (d, v) in bufs.idx[..count].iter().zip(bufs.vals[..count].iter_mut()) {
             *v = values[*d as usize];
         }
+        drop(t);
+        let t = obs::phase(obs::Phase::Apply);
         apply_block(
             protocol,
             k,
@@ -504,6 +520,7 @@ fn update_range_sampled<P: Protocol + ?Sized>(
             &mut chunk[start..start + len],
             &bufs.vals[..count],
         );
+        drop(t);
         start += len;
     }
 }
@@ -577,6 +594,7 @@ fn update_range_partial<P: Protocol + ?Sized>(
         let len = block.min(chunk.len() - start);
         let base = stream_base.wrapping_add(start as u64);
         // Phase 1a: one coin word per ball.
+        let t = obs::phase(obs::Phase::Coin);
         for (j, w) in bufs.words[..len].iter_mut().enumerate() {
             *w = key.stream(base.wrapping_add(j as u64)).word(0);
         }
@@ -591,8 +609,10 @@ fn update_range_partial<P: Protocol + ?Sized>(
                 n_active += 1;
             }
         }
+        drop(t);
         // Phase 1b: sample words (counters 1..=k, after the coin) for the
         // active balls only, compacted.
+        let t = obs::phase(obs::Phase::Rng);
         for a in 0..n_active {
             let j = bufs.active[a] as usize;
             let s = key.stream(base.wrapping_add(j as u64));
@@ -603,7 +623,9 @@ fn update_range_partial<P: Protocol + ?Sized>(
                 *w = s.word(1 + c as u64);
             }
         }
+        drop(t);
         // Phase 2b: resolve sample indices for the active balls.
+        let t = obs::phase(obs::Phase::Index);
         let mut maybe_reject = false;
         for (w, d) in bufs.words[len..len + k * n_active]
             .iter()
@@ -627,19 +649,24 @@ fn update_range_partial<P: Protocol + ?Sized>(
                 }
             }
         }
+        drop(t);
         // Phase 3: gather.
+        let t = obs::phase(obs::Phase::Gather);
         for (d, v) in bufs.idx[..k * n_active]
             .iter()
             .zip(bufs.vals[..k * n_active].iter_mut())
         {
             *v = old[*d as usize];
         }
+        drop(t);
         // Phase 4: apply to the active balls.
+        let t = obs::phase(obs::Phase::Apply);
         for a in 0..n_active {
             let j = bufs.active[a] as usize;
             let own = old[offset + start + j];
             chunk[start + j] = protocol.combine(own, &bufs.vals[k * a..k * a + k]);
         }
+        drop(t);
         start += len;
     }
 }

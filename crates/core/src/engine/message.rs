@@ -240,7 +240,10 @@ impl MessageEngine {
             None
         };
 
-        // Phase 2: route through the (possibly hostile) network.
+        // Phase 2: route through the (possibly hostile) network. Timed as
+        // one routing phase; the scenario's per-trial fault draws are timed
+        // separately (`Phase::Faults`, in `NetScenario::rebuild_fault_sets`).
+        let t = stabcon_obs::phase(stabcon_obs::Phase::Route);
         let metrics = self.scenario.route_round(
             round,
             old,
@@ -252,6 +255,7 @@ impl MessageEngine {
             &mut self.responses,
             forge,
         );
+        drop(t);
         self.totals.absorb(&metrics);
 
         // Phase 3: combine. Crashed processes hold their value (or rejoin

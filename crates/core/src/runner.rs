@@ -9,6 +9,7 @@
 //! 3. the new state is observed for consensus / almost-stability.
 
 use stabcon_net::RoundMetrics;
+use stabcon_obs as obs;
 use stabcon_util::rng::{derive_seed, Xoshiro256pp};
 
 use crate::adversary::{AdversarySpec, Corruptor, HistAdversarySpec, HistCorruptor};
@@ -233,6 +234,9 @@ impl SimSpec {
         seed: u64,
         ws: &mut TrialWorkspace,
     ) -> RunResult {
+        // Trial-lifecycle timer: wall clock of the whole trial, overlapping
+        // the finer engine phases. Inert unless telemetry is enabled.
+        let _trial = obs::phase(obs::Phase::Trial);
         let mut init_rng = Xoshiro256pp::seed(derive_seed(seed, 0));
         let mut adv_rng = Xoshiro256pp::seed(derive_seed(seed, 1));
         let engine_seed = derive_seed(seed, 2);
@@ -307,9 +311,11 @@ impl SimSpec {
         // the loads, and the initial loads qualify like any later round's.
         if let Some(threshold) = handoff_support {
             if counts.support_size() <= threshold {
+                let t = obs::phase(obs::Phase::Handoff);
                 let mut h = ws.handoff.take();
                 counts.snapshot_into(&mut h);
                 hist_state = h;
+                drop(t);
             }
         }
 
@@ -431,9 +437,11 @@ impl SimSpec {
                 // 4. Adaptive handoff once the support is narrow enough.
                 if let Some(threshold) = handoff_support {
                     if counts.support_size() <= threshold {
+                        let t = obs::phase(obs::Phase::Handoff);
                         let mut h = ws.handoff.take();
                         counts.snapshot_into(&mut h);
                         hist_state = h;
+                        drop(t);
                     }
                 }
                 obs

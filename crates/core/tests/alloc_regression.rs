@@ -130,6 +130,51 @@ fn message_cell_steady_state_is_o1() {
 }
 
 #[test]
+fn telemetry_enabled_trial_is_still_allocation_free() {
+    // The stabcon-obs layer must be observation-only in the allocator
+    // sense too: with the global flag armed, a steady-state trial — phase
+    // guards firing inside the kernel, per-trial histogram records, counter
+    // adds, a TLS drain, and a full registry snapshot per trial — stays
+    // ≈0 allocations. The registry and snapshot allocate once up front;
+    // everything per-trial lands in const-init thread-locals and
+    // fixed-slot atomics.
+    use stabcon_obs as obs;
+    let registry = obs::MetricRegistry::new(1);
+    let mut snap = obs::Snapshot::new(1);
+    let handle = registry.handle(0);
+    let sim = SimSpec::new(4096).init(InitialCondition::UniformRandom { m: 8 });
+    obs::set_enabled(true);
+    let mut ws = TrialWorkspace::new();
+    let mut run_one = |seed: u64| {
+        let clock = obs::stopwatch();
+        let r = sim.run_seeded_into(seed, &mut ws);
+        if let Some(nanos) = clock.elapsed_nanos() {
+            obs::hist_record(obs::Hist::TrialNanos, nanos);
+        }
+        handle.add(obs::Counter::Trials, 1);
+        handle.add(obs::Counter::Rounds, r.rounds_executed);
+        ws.recycle(r);
+        handle.drain_local();
+    };
+    for seed in 0..4 {
+        run_one(seed);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for seed in 4..28 {
+        run_one(seed);
+        registry.snapshot_into(&mut snap);
+    }
+    let per_trial = (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / 24.0;
+    obs::set_enabled(false);
+    assert!(
+        per_trial <= 2.0,
+        "telemetry-enabled trial steady state allocates {per_trial} times per trial (expected ≈ 0)"
+    );
+    assert_eq!(snap.total().counter(obs::Counter::Trials), 28);
+    assert!(snap.total().hist_count(obs::Hist::TrialNanos) >= 24);
+}
+
+#[test]
 fn all_distinct_worst_case_universe_is_o1() {
     // m = n: the ranked universe, probe table, and value set are all n-sized
     // and must still be reused, not reallocated.

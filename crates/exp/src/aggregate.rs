@@ -18,12 +18,22 @@
 
 use stabcon_core::runner::RunResult;
 use stabcon_core::value::Value;
+use stabcon_net::RoundMetrics;
+use stabcon_obs::{Counter, Gauge, WorkerHandle};
 use stabcon_util::stats::SparseCounts;
 
 use crate::metrics::{ConvergenceStats, HitMetric};
 use crate::observer::{FloatMoments, TrialChannel, TrialExtras, TrialObserver};
 
 /// Everything the aggregator keeps from one trial.
+///
+/// Network-fault detail is deliberately *not* stored here: a message-engine
+/// trial's cumulative [`RoundMetrics`] — `requests`, `delivered`, `dropped`,
+/// and the fault-injection fields `link_dropped`, `partition_dropped`,
+/// `forged`, and `in_flight` (peak) — rides through two side channels
+/// instead. [`TrialObserver::NetTotals`] folds a subset into observer
+/// channels for the report, and [`fold_net_totals`] is the single place the
+/// full set maps into the telemetry registry's `net_*` counters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialMetrics {
     /// First full-consensus round, if reached.
@@ -57,6 +67,25 @@ impl TrialMetrics {
             extras: observer.capture(r),
         }
     }
+}
+
+/// Fold one message-engine trial's cumulative network totals into the
+/// telemetry registry.
+///
+/// This is the **single** mapping from [`RoundMetrics`] to the registry's
+/// `net_*` slots — every fault-injection field PR'd into the network layer
+/// (`link_dropped`, `partition_dropped`, `forged`, `in_flight`) lands here,
+/// so a new `RoundMetrics` field only needs one edit (plus its counter) to
+/// reach the telemetry sink. `in_flight` is a per-round peak, so it folds
+/// into a max-gauge rather than a counter.
+pub fn fold_net_totals(handle: &WorkerHandle<'_>, totals: &RoundMetrics) {
+    handle.add(Counter::NetRequests, totals.requests);
+    handle.add(Counter::NetDelivered, totals.delivered);
+    handle.add(Counter::NetDropped, totals.dropped);
+    handle.add(Counter::NetLinkDropped, totals.link_dropped);
+    handle.add(Counter::NetPartitionDropped, totals.partition_dropped);
+    handle.add(Counter::NetForged, totals.forged);
+    handle.gauge_max(Gauge::NetInFlightPeak, totals.in_flight);
 }
 
 /// One extra-metric channel's cell-level aggregate.

@@ -3,22 +3,32 @@
 //! ```text
 //! stabcon campaign run    --preset figure1-small --out store.jsonl
 //! stabcon campaign resume --preset figure1-small --out store.jsonl
-//! stabcon campaign report --out store.jsonl [--format text|md|csv]
+//! stabcon campaign report --out store.jsonl [--format text|md|csv] [--timings]
+//! stabcon telemetry check --out telemetry.jsonl
 //! ```
 //!
 //! `run`/`resume` accept grid overrides (`--trials`, `--seed`, `--ns`,
-//! `--name`) and execution knobs (`--threads`, `--chunk`, `--max-cells`).
-//! The store never records execution knobs, so a campaign interrupted and
-//! resumed at a different thread count still reproduces the uninterrupted
-//! store byte-for-byte. `resume` re-derives the grid from the same spec
-//! flags and refuses a store whose header fingerprint disagrees.
+//! `--name`) and execution knobs (`--threads`, `--chunk`, `--max-cells`,
+//! `--progress`, `--telemetry PATH`). The store never records execution
+//! knobs — telemetry is observation-only — so a campaign interrupted and
+//! resumed at a different thread count (with or without telemetry) still
+//! reproduces the uninterrupted store byte-for-byte. `resume` re-derives
+//! the grid from the same spec flags and refuses a store whose header
+//! fingerprint disagrees.
+//!
+//! `--progress` prints live lines (trials done, trials/s, worker spread,
+//! chunk-cursor lag, ETA) to stderr; `--telemetry PATH` streams the same
+//! snapshots plus per-cell phase profiles as JSONL (see
+//! `stabcon_exp::telemetry` for the schema); either flag also prints the
+//! final per-cell phase-profile table. `telemetry check` validates a sink
+//! file against the schema (CI runs it on the smoke campaign's sink).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
 use stabcon_exp::presets::{preset, PRESET_NAMES};
-use stabcon_exp::{report, store};
+use stabcon_exp::{report, store, telemetry};
 
 struct Args {
     preset: String,
@@ -31,6 +41,9 @@ struct Args {
     seed: Option<u64>,
     ns: Option<Vec<usize>>,
     name: Option<String>,
+    progress: bool,
+    telemetry: Option<PathBuf>,
+    timings: bool,
 }
 
 fn usage() -> String {
@@ -38,10 +51,14 @@ fn usage() -> String {
         "usage:\n  \
          stabcon campaign run    --out PATH [--preset NAME] [spec/exec flags]\n  \
          stabcon campaign resume --out PATH [--preset NAME] [spec/exec flags]\n  \
-         stabcon campaign report --out PATH [--format text|md|csv]\n\n\
+         stabcon campaign report --out PATH [--format text|md|csv] [--timings]\n  \
+         stabcon telemetry check --out PATH\n\n\
          spec flags:  --preset NAME (one of {names})  --trials N  --seed N\n  \
                       --ns N,N,...  --name NAME\n\
-         exec flags:  --threads N  --chunk N  --max-cells N\n",
+         exec flags:  --threads N  --chunk N  --max-cells N\n\
+         observability: --progress (live lines on stderr)\n  \
+                      --telemetry PATH (JSONL snapshots + per-cell profiles)\n\
+         report flags: --timings (join the store's timings sidecar)\n",
         names = PRESET_NAMES.join("|")
     )
 }
@@ -58,6 +75,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: None,
         ns: None,
         name: None,
+        progress: false,
+        telemetry: None,
+        timings: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -76,6 +96,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trials" => args.trials = Some(parse_num(flag, &value()?)?),
             "--seed" => args.seed = Some(parse_num(flag, &value()?)?),
             "--name" => args.name = Some(value()?),
+            "--progress" => args.progress = true,
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value()?)),
+            "--timings" => args.timings = true,
             "--ns" => {
                 let list = value()?
                     .split(',')
@@ -127,6 +150,8 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
     let spec = build_spec(args)?;
     let mut cfg = RunConfig {
         resume,
+        progress: args.progress,
+        telemetry: args.telemetry.clone(),
         ..RunConfig::default()
     };
     if let Some(t) = args.threads {
@@ -154,18 +179,34 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
             " (incomplete — `stabcon campaign resume` continues it)"
         }
     );
+    if !outcome.profiles.is_empty() {
+        eprint!("{}", telemetry::profile_table(&outcome.profiles).to_text());
+    }
     Ok(())
 }
 
 fn report(args: &Args) -> Result<(), String> {
     let loaded = store::load(&args.out)?;
-    let table = report::report_table(&loaded);
+    let timings = args.timings.then(|| telemetry::load_timings(&args.out));
+    let table = report::report_table_with_timings(&loaded, timings.as_ref());
     match args.format.as_str() {
         "text" => print!("{}", table.to_text()),
         "md" | "markdown" => print!("{}", table.to_markdown()),
         "csv" => print!("{}", table.to_csv()),
         other => return Err(format!("unknown format '{other}' (text|md|csv)")),
     }
+    Ok(())
+}
+
+fn telemetry_check(args: &Args) -> Result<(), String> {
+    let check = telemetry::check_telemetry(&args.out)?;
+    println!(
+        "{}: valid {} — {} snapshot(s), {} cell profile(s)",
+        args.out.display(),
+        telemetry::TELEMETRY_SCHEMA,
+        check.snapshots,
+        check.cell_profiles
+    );
     Ok(())
 }
 
@@ -186,6 +227,10 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             }
         }
+        (Some("telemetry"), Some("check")) => match parse_args(&argv[2..]) {
+            Ok(args) => telemetry_check(&args),
+            Err(e) => Err(e),
+        },
         (Some("--help") | Some("-h") | None, _) => {
             print!("{}", usage());
             Ok(())

@@ -11,6 +11,7 @@
 
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use stabcon_core::adversary::AdversarySpec;
 use stabcon_core::engine::{EngineSpec, ScenarioSpec};
@@ -20,10 +21,11 @@ use stabcon_core::runner::SimSpec;
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::cell::{chunk_for, run_cell, CellSpec};
+use crate::cell::{chunk_for, run_cell_monitored, CellSpec};
 use crate::metrics::HitMetric;
 use crate::observer::TrialObserver;
 use crate::store;
+use crate::telemetry::{self, CampaignTelemetry, CellProfile};
 
 /// The canonical "√n-bounded" budget used across the harness: `⌊√n/4⌋`.
 ///
@@ -307,6 +309,11 @@ pub struct RunConfig {
     pub max_cells: Option<u64>,
     /// Continue an existing store instead of refusing to overwrite it.
     pub resume: bool,
+    /// Print live progress lines to stderr (arms the telemetry registry).
+    pub progress: bool,
+    /// Write periodic telemetry snapshots and per-cell profiles to this
+    /// JSONL sink (arms the telemetry registry). See [`crate::telemetry`].
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -316,6 +323,8 @@ impl Default for RunConfig {
             chunk: None,
             max_cells: None,
             resume: false,
+            progress: false,
+            telemetry: None,
         }
     }
 }
@@ -333,6 +342,9 @@ pub struct CampaignOutcome {
     pub trials_run: u64,
     /// The store path.
     pub store_path: PathBuf,
+    /// Per-cell phase profiles for cells run with telemetry armed
+    /// (empty otherwise). The CLI renders these as the final table.
+    pub profiles: Vec<CellProfile>,
 }
 
 impl CampaignOutcome {
@@ -417,6 +429,29 @@ pub fn run_campaign(
         cells_skipped: 0,
         trials_run: 0,
         store_path: path.to_path_buf(),
+        profiles: Vec::new(),
+    };
+    // Wall-clock timings never enter the fingerprinted store; they go to
+    // the sidecar (always) and the telemetry sink (when requested).
+    let mut timings = telemetry::open_timings(path, cfg.resume)?;
+    let mut tel = if cfg.progress || cfg.telemetry.is_some() {
+        let planned: u64 = {
+            let todo = cells.iter().filter(|c| !done.contains(&c.id));
+            match cfg.max_cells {
+                Some(k) => todo.take(k as usize).map(|c| c.trials).sum(),
+                None => todo.map(|c| c.trials).sum(),
+            }
+        };
+        Some(CampaignTelemetry::create(
+            &spec.name,
+            pool.threads().max(1),
+            cells.len() as u64,
+            planned,
+            cfg.progress,
+            cfg.telemetry.as_deref(),
+        )?)
+    } else {
+        None
     };
     for cell in &cells {
         if done.contains(&cell.id) {
@@ -429,11 +464,23 @@ pub fn run_campaign(
         let chunk = cfg
             .chunk
             .unwrap_or_else(|| chunk_for(cell.trials, cfg.threads));
-        let agg = run_cell(&pool, cell, chunk);
+        if let Some(t) = tel.as_mut() {
+            t.begin_cell(cell);
+        }
+        let started = Instant::now();
+        let agg = run_cell_monitored(&pool, cell, chunk, tel.as_mut());
+        let elapsed_secs = started.elapsed().as_secs_f64();
         store::append_line(&mut file, &store::cell_line(cell, &agg))
             .map_err(|e| format!("append cell {}: {e}", cell.id))?;
+        telemetry::append_timing(&mut timings, cell.id, agg.trials(), elapsed_secs)?;
+        if let Some(t) = tel.as_mut() {
+            t.end_cell(cell, agg.trials(), elapsed_secs);
+        }
         outcome.cells_run += 1;
         outcome.trials_run += agg.trials();
+    }
+    if let Some(t) = tel {
+        outcome.profiles = t.finish();
     }
     Ok(outcome)
 }

@@ -23,12 +23,14 @@ use std::sync::Arc;
 
 use stabcon_core::runner::SimSpec;
 use stabcon_core::workspace::TrialWorkspace;
+use stabcon_obs::{self as obs, Counter, Hist};
 use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
-use crate::aggregate::{CellAggregate, ChunkAggregate, TrialMetrics};
+use crate::aggregate::{fold_net_totals, CellAggregate, ChunkAggregate, TrialMetrics};
 use crate::metrics::{ConvergenceStats, HitMetric};
 use crate::observer::TrialObserver;
+use crate::telemetry::CampaignTelemetry;
 
 /// Smallest auto-tuned chunk: tiny cells must not shatter into one-trial
 /// chunks (per-chunk cost is one atomic fetch plus one channel send, but
@@ -127,34 +129,79 @@ impl CellSpec {
 /// # Panics
 /// Panics if a worker died before delivering its chunks (a trial panicked).
 pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate {
+    run_cell_monitored(pool, cell, chunk, None)
+}
+
+/// [`run_cell`] with optional campaign telemetry attached.
+///
+/// With `Some(telemetry)` each worker records trial/chunk counters,
+/// duration histograms, and the trial's network totals into its
+/// [`stabcon_obs`] registry slot, and the in-order merger reports progress
+/// after every merge. Telemetry is observation-only: it never touches
+/// trial seeds, fold order, or the aggregate, so the result — and any
+/// store built from it — is byte-identical with telemetry on or off
+/// (pinned by `tests/telemetry_props.rs`).
+pub fn run_cell_monitored(
+    pool: &ThreadPool,
+    cell: &CellSpec,
+    chunk: u64,
+    mut telemetry: Option<&mut CampaignTelemetry>,
+) -> CellAggregate {
     let chunk = chunk.max(1);
     let n_chunks = cell.trials.div_ceil(chunk);
     if n_chunks == 0 {
         return CellAggregate::new();
     }
     let workers = pool.threads().max(1).min(n_chunks as usize);
+    let registry = telemetry.as_ref().map(|t| t.registry());
     let sim = Arc::new(cell.sim.clone());
     let next_chunk = Arc::new(ChunkCursor(AtomicU64::new(0)));
     let collect_floats = cell.observer.has_float_channels();
     let (tx, rx) = mpsc::channel::<(u64, ChunkAggregate)>();
-    for _ in 0..workers {
+    for w in 0..workers {
         let tx = tx.clone();
         let sim = Arc::clone(&sim);
         let next_chunk = Arc::clone(&next_chunk);
+        let registry = registry.clone();
         let (seed, observer, trials) = (cell.seed, cell.observer, cell.trials);
         pool.execute(move || {
+            let handle = registry.as_deref().map(|r| r.handle(w));
             let mut ws = TrialWorkspace::new();
             loop {
                 let ci = next_chunk.0.fetch_add(1, Ordering::Relaxed);
                 if ci >= n_chunks {
+                    // Phase nanos from the trial-side timers still sit in
+                    // this thread's local accumulator; publish them.
+                    if let Some(h) = &handle {
+                        h.drain_local();
+                    }
                     return;
                 }
+                let chunk_clock = obs::stopwatch();
                 let (lo, hi) = (ci * chunk, ((ci + 1) * chunk).min(trials));
                 let mut part = ChunkAggregate::with_capacity(collect_floats, (hi - lo) as usize);
                 for i in lo..hi {
+                    let trial_clock = obs::stopwatch();
                     let result = sim.run_seeded_into(derive_seed(seed, i), &mut ws);
+                    if let Some(h) = &handle {
+                        if let Some(nanos) = trial_clock.elapsed_nanos() {
+                            obs::hist_record(Hist::TrialNanos, nanos);
+                        }
+                        h.add(Counter::Trials, 1);
+                        h.add(Counter::Rounds, result.rounds_executed);
+                        if let Some(totals) = &result.net_totals {
+                            fold_net_totals(h, totals);
+                        }
+                    }
                     part.push(&TrialMetrics::capture(&result, observer));
                     ws.recycle(result);
+                }
+                if let Some(h) = &handle {
+                    if let Some(nanos) = chunk_clock.elapsed_nanos() {
+                        obs::hist_record(Hist::ChunkNanos, nanos);
+                    }
+                    h.add(Counter::Chunks, 1);
+                    h.drain_local();
                 }
                 // The receiver only disappears if the caller panicked;
                 // nothing useful to do with further chunks then.
@@ -175,6 +222,10 @@ pub fn run_cell(pool: &ThreadPool, cell: &CellSpec, chunk: u64) -> CellAggregate
         while let Some(part) = parked.remove(&next) {
             agg.merge(&part);
             next += 1;
+        }
+        if let Some(t) = telemetry.as_deref_mut() {
+            let issued = next_chunk.0.load(Ordering::Relaxed).min(n_chunks);
+            t.on_chunk_merged(agg.trials(), issued, next);
         }
     }
     assert_eq!(

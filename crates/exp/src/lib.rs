@@ -25,6 +25,9 @@
 //! * [`report`] — Figure-1-style tables rendered from a store.
 //! * [`presets`] — named grids for the `stabcon` CLI
 //!   (`stabcon campaign run/resume/report`).
+//! * [`telemetry`] — observation-only campaign telemetry: live progress,
+//!   per-cell phase profiles, the `--telemetry` JSONL sink, and the
+//!   timings sidecar. Stores are byte-identical with telemetry on or off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +40,15 @@ pub mod observer;
 pub mod presets;
 pub mod report;
 pub mod store;
+pub mod telemetry;
 
-pub use aggregate::{CellAggregate, ChannelAggregate, ChunkAggregate, TrialMetrics};
+pub use aggregate::{
+    fold_net_totals, CellAggregate, ChannelAggregate, ChunkAggregate, TrialMetrics,
+};
 pub use campaign::{
     run_campaign, sqrt_budget, BudgetSpec, CampaignOutcome, CampaignSpec, InitSpec, RunConfig,
 };
-pub use cell::{chunk_for, run_cell, sweep_stats, CellSpec};
+pub use cell::{chunk_for, run_cell, run_cell_monitored, sweep_stats, CellSpec};
 pub use metrics::{ConvergenceStats, HitMetric};
 pub use observer::{ChannelKind, ChannelSpec, FloatMoments, TrialExtras, TrialObserver};
+pub use telemetry::{check_telemetry, CampaignTelemetry, CellProfile};

@@ -1,5 +1,7 @@
 //! Render a result store as the paper-style results table.
 
+use std::collections::BTreeMap;
+
 use stabcon_util::jsonl::{get, FlatObject, JsonScalar};
 use stabcon_util::table::{fmt_sig, Table};
 
@@ -50,6 +52,19 @@ fn percent(obj: &FlatObject, key: &str) -> String {
 /// The Figure-1-style campaign table: one row per completed cell, axis
 /// labels plus hit rate and hitting-time summary.
 pub fn report_table(loaded: &LoadedStore) -> Table {
+    report_table_with_timings(loaded, None)
+}
+
+/// [`report_table`] with optional wall-clock columns joined in.
+///
+/// `timings` maps cell id to `(elapsed_secs, trials_per_sec)` — usually
+/// [`crate::telemetry::load_timings`] on the store's sidecar. When present,
+/// two extra columns (`secs`, `trials/s`) appear; cells missing a timing
+/// (e.g. a store copied without its sidecar) render as `—`.
+pub fn report_table_with_timings(
+    loaded: &LoadedStore,
+    timings: Option<&BTreeMap<u64, (f64, f64)>>,
+) -> Table {
     let title = match &loaded.header {
         Some(h) => format!(
             "campaign '{}' — {} of {} cells, {} trials/cell, seed {:#x}",
@@ -85,6 +100,9 @@ pub fn report_table(loaded: &LoadedStore) -> Table {
     headers.extend(&axes);
     headers.extend(["metric", "hit%", "mean", "p50", "p95", "max", "valid%"]);
     headers.extend(extra_stems.iter().map(|s| s.as_str()));
+    if timings.is_some() {
+        headers.extend(["secs", "trials/s"]);
+    }
     let mut table = Table::new(title, &headers);
     for obj in &loaded.cells {
         let mut row = vec![int_text(obj, "cell")];
@@ -99,6 +117,21 @@ pub fn report_table(loaded: &LoadedStore) -> Table {
         row.push(percent(obj, "validity_rate"));
         for stem in &extra_stems {
             row.push(float_text(obj, &format!("extra_{stem}_mean")));
+        }
+        if let Some(map) = timings {
+            match get(obj, "cell")
+                .and_then(JsonScalar::as_u64)
+                .and_then(|id| map.get(&id))
+            {
+                Some((secs, rate)) => {
+                    row.push(format!("{secs:.2}"));
+                    row.push(format!("{rate:.0}"));
+                }
+                None => {
+                    row.push("—".into());
+                    row.push("—".into());
+                }
+            }
         }
         table.push_row(row);
     }

@@ -1,0 +1,637 @@
+//! Campaign telemetry: live progress lines, per-cell phase profiles, the
+//! JSONL telemetry sink, and the per-cell timings sidecar.
+//!
+//! Everything here is **observation-only**: the campaign store is
+//! byte-identical with telemetry on or off, at any thread count (pinned by
+//! `tests/telemetry_props.rs`). The flow:
+//!
+//! * [`CampaignTelemetry`] wraps a shared [`MetricRegistry`] (one slot per
+//!   worker) for one campaign invocation. Creating it flips the global
+//!   `stabcon-obs` enable flag, which arms the phase timers inside the
+//!   dense kernel, the runner, and the message engine.
+//! * `run_cell` workers record per-trial counters and durations into their
+//!   slot; the in-order chunk merger calls
+//!   [`CampaignTelemetry::on_chunk_merged`], which throttles periodic
+//!   snapshot records to the sink and progress lines to stderr.
+//! * Each completed cell appends one `cell_profile` record (phase nanos,
+//!   net counters, trial-duration quantiles) and one timings sidecar line
+//!   (`elapsed_secs`/`trials_per_sec` — kept *out* of the fingerprinted
+//!   store; `stabcon campaign report --timings` joins them back by cell id).
+//!
+//! ## Telemetry JSONL schema (`stabcon-telemetry/1`)
+//!
+//! Line 1 is a header: `schema`, `campaign`, `threads`, `cells`,
+//! `trials_planned`. Every further line is flat JSON with a `record` field:
+//!
+//! * `record = "snapshot"` — periodic, at most ~2/s: `cell`, `trials_done`,
+//!   `trials_total`, `elapsed_secs`, `trials_per_sec`, `chunks_issued`,
+//!   `chunks_merged`, `cursor_lag`, `eta_secs`, `workers`,
+//!   `worker_trials_min`, `worker_trials_max`.
+//! * `record = "cell_profile"` — one per completed cell: `cell`, `trials`,
+//!   `elapsed_secs`, `trials_per_sec`, `rounds`, one `phase_<name>_nanos`
+//!   per [`stabcon_obs::Phase`], the `net_*` counters, the in-flight peak
+//!   gauge, and `trial_p50_nanos`/`trial_p99_nanos` (power-of-2-bucket
+//!   quantile lower bounds).
+//!
+//! [`check_telemetry`] validates a file against this schema (the
+//! `stabcon telemetry check` subcommand CI runs on the smoke campaign).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use stabcon_obs::{self as obs, Counter, Gauge, Hist, MetricRegistry, Phase, Snapshot};
+use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
+use stabcon_util::table::Table;
+
+use crate::cell::CellSpec;
+
+/// Version tag of the telemetry sink (line 1 of every telemetry file).
+pub const TELEMETRY_SCHEMA: &str = "stabcon-telemetry/1";
+
+/// Version tag of the timings sidecar.
+pub const TIMINGS_SCHEMA: &str = "stabcon-timings/1";
+
+/// Minimum seconds between periodic snapshot emissions.
+const EMIT_INTERVAL_SECS: f64 = 0.5;
+
+/// The timings sidecar path for a store: `<store>.timings.jsonl`.
+/// A separate file keeps wall-clock data out of the byte-identical,
+/// fingerprinted store.
+pub fn timings_path(store: &Path) -> PathBuf {
+    let mut os = store.as_os_str().to_owned();
+    os.push(".timings.jsonl");
+    PathBuf::from(os)
+}
+
+/// One completed cell's wall-clock/phase profile (also serialized as the
+/// sink's `cell_profile` record).
+#[derive(Debug, Clone)]
+pub struct CellProfile {
+    /// Cell id.
+    pub cell: u64,
+    /// Trials the cell ran.
+    pub trials: u64,
+    /// Wall-clock seconds for the cell.
+    pub elapsed_secs: f64,
+    /// `trials / elapsed_secs`.
+    pub trials_per_sec: f64,
+    /// Simulation rounds executed across all trials.
+    pub rounds: u64,
+    /// Accumulated nanoseconds per phase, indexed by `Phase as usize`.
+    pub phase_nanos: [u64; obs::PHASE_COUNT],
+    /// Lower bound of the bucket holding the median trial duration.
+    pub trial_p50_nanos: u64,
+    /// Lower bound of the bucket holding the p99 trial duration.
+    pub trial_p99_nanos: u64,
+}
+
+/// Approximate quantile from power-of-2 buckets: the lower bound of the
+/// bucket containing the `q`-quantile sample (0 when empty).
+fn hist_quantile(buckets: &[u64; obs::HIST_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return obs::bucket_low(b);
+        }
+    }
+    obs::bucket_low(obs::HIST_BUCKETS - 1)
+}
+
+fn fmt_eta(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "—".into();
+    }
+    let s = secs.max(0.0) as u64;
+    if s >= 3600 {
+        format!("{}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
+    } else {
+        format!("{}:{:02}", s / 60, s % 60)
+    }
+}
+
+/// Telemetry state for one campaign invocation. Construct with
+/// [`CampaignTelemetry::create`] (arms the global instrumentation flag),
+/// drive with `begin_cell`/`on_chunk_merged`/`end_cell`, and consume with
+/// [`CampaignTelemetry::finish`] (disarms the flag, returns the profiles).
+pub struct CampaignTelemetry {
+    registry: Arc<MetricRegistry>,
+    snap: Snapshot,
+    sink: Option<BufWriter<File>>,
+    progress: bool,
+    campaign_started: Instant,
+    cells_total: u64,
+    trials_planned: u64,
+    /// Trials finished in *completed* cells this invocation.
+    trials_done_prior: u64,
+    cell_id: u64,
+    cell_trials: u64,
+    cell_started: Instant,
+    last_emit: Instant,
+    profiles: Vec<CellProfile>,
+}
+
+impl CampaignTelemetry {
+    /// Arm telemetry for a campaign invocation: `workers` registry slots,
+    /// progress lines to stderr when `progress`, and (optionally) a JSONL
+    /// sink at `sink_path` (truncated — snapshots describe this run, not
+    /// the store's history). Flips the global `stabcon-obs` flag on.
+    pub fn create(
+        campaign: &str,
+        workers: usize,
+        cells_total: u64,
+        trials_planned: u64,
+        progress: bool,
+        sink_path: Option<&Path>,
+    ) -> Result<Self, String> {
+        let sink = match sink_path {
+            Some(p) => {
+                let file = File::create(p)
+                    .map_err(|e| format!("{}: create telemetry sink: {e}", p.display()))?;
+                let mut w = BufWriter::new(file);
+                let header = JsonObj::new()
+                    .str_field("schema", TELEMETRY_SCHEMA)
+                    .str_field("campaign", campaign)
+                    .u64_field("threads", workers as u64)
+                    .u64_field("cells", cells_total)
+                    .u64_field("trials_planned", trials_planned)
+                    .finish();
+                writeln!(w, "{header}")
+                    .map_err(|e| format!("{}: write telemetry header: {e}", p.display()))?;
+                Some(w)
+            }
+            None => None,
+        };
+        obs::set_enabled(true);
+        let now = Instant::now();
+        Ok(Self {
+            registry: Arc::new(MetricRegistry::new(workers)),
+            snap: Snapshot::new(workers),
+            sink,
+            progress,
+            campaign_started: now,
+            cells_total,
+            trials_planned,
+            trials_done_prior: 0,
+            cell_id: 0,
+            cell_trials: 0,
+            cell_started: now,
+            last_emit: now,
+            profiles: Vec::new(),
+        })
+    }
+
+    /// The shared registry (workers clone this and record into their slot).
+    pub fn registry(&self) -> Arc<MetricRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Start a cell: zero the registry so profiles stay per-cell.
+    pub fn begin_cell(&mut self, cell: &CellSpec) {
+        self.registry.reset();
+        self.cell_id = cell.id;
+        self.cell_trials = cell.trials;
+        self.cell_started = Instant::now();
+    }
+
+    /// Called by the chunk merger after each in-order merge; throttles a
+    /// snapshot record to the sink and a progress line to stderr.
+    pub fn on_chunk_merged(&mut self, trials_done: u64, chunks_issued: u64, chunks_merged: u64) {
+        let lag = chunks_issued.saturating_sub(chunks_merged);
+        self.registry.handle(0).gauge_set(Gauge::CursorLag, lag);
+        if self.last_emit.elapsed().as_secs_f64() < EMIT_INTERVAL_SECS {
+            return;
+        }
+        self.last_emit = Instant::now();
+        self.registry.snapshot_into(&mut self.snap);
+
+        let cell_elapsed = self.cell_started.elapsed().as_secs_f64();
+        let cell_rate = trials_done as f64 / cell_elapsed.max(1e-9);
+        let done_overall = self.trials_done_prior + trials_done;
+        let overall_rate =
+            done_overall as f64 / self.campaign_started.elapsed().as_secs_f64().max(1e-9);
+        let eta_secs = self.trials_planned.saturating_sub(done_overall) as f64 / overall_rate;
+
+        let per_worker: Vec<u64> = self
+            .snap
+            .workers()
+            .iter()
+            .map(|w| w.counter(Counter::Trials))
+            .collect();
+        let active = per_worker.iter().filter(|&&t| t > 0).count() as u64;
+        let w_min = per_worker.iter().copied().min().unwrap_or(0);
+        let w_max = per_worker.iter().copied().max().unwrap_or(0);
+
+        if let Some(sink) = self.sink.as_mut() {
+            let line = JsonObj::new()
+                .str_field("record", "snapshot")
+                .u64_field("cell", self.cell_id)
+                .u64_field("trials_done", trials_done)
+                .u64_field("trials_total", self.cell_trials)
+                .fixed_field("elapsed_secs", cell_elapsed, 3)
+                .fixed_field("trials_per_sec", cell_rate, 1)
+                .u64_field("chunks_issued", chunks_issued)
+                .u64_field("chunks_merged", chunks_merged)
+                .u64_field("cursor_lag", lag)
+                .fixed_field(
+                    "eta_secs",
+                    if eta_secs.is_finite() { eta_secs } else { -1.0 },
+                    1,
+                )
+                .u64_field("workers", active)
+                .u64_field("worker_trials_min", w_min)
+                .u64_field("worker_trials_max", w_max)
+                .finish();
+            let _ = writeln!(sink, "{line}");
+        }
+        if self.progress {
+            eprintln!(
+                "[cell {}/{}] {}/{} trials ({:.0}%) | {:.0} trials/s | workers {} ({}..{}) | lag {} | eta {}",
+                self.cell_id + 1,
+                self.cells_total,
+                trials_done,
+                self.cell_trials,
+                100.0 * trials_done as f64 / self.cell_trials.max(1) as f64,
+                cell_rate,
+                active,
+                w_min,
+                w_max,
+                lag,
+                fmt_eta(eta_secs),
+            );
+        }
+    }
+
+    /// Finish a cell: fold its registry into a [`CellProfile`], emit the
+    /// `cell_profile` record, and advance the campaign ETA baseline.
+    pub fn end_cell(&mut self, cell: &CellSpec, trials: u64, elapsed_secs: f64) {
+        self.registry.snapshot_into(&mut self.snap);
+        let t = self.snap.total();
+        let profile = CellProfile {
+            cell: cell.id,
+            trials,
+            elapsed_secs,
+            trials_per_sec: trials as f64 / elapsed_secs.max(1e-9),
+            rounds: t.counter(Counter::Rounds),
+            phase_nanos: {
+                let mut p = [0u64; obs::PHASE_COUNT];
+                for ph in Phase::ALL {
+                    p[ph as usize] = t.phase_nanos(ph);
+                }
+                p
+            },
+            trial_p50_nanos: hist_quantile(t.hist_buckets(Hist::TrialNanos), 0.50),
+            trial_p99_nanos: hist_quantile(t.hist_buckets(Hist::TrialNanos), 0.99),
+        };
+        if let Some(sink) = self.sink.as_mut() {
+            let mut line = JsonObj::new()
+                .str_field("record", "cell_profile")
+                .u64_field("cell", profile.cell)
+                .u64_field("trials", profile.trials)
+                .fixed_field("elapsed_secs", profile.elapsed_secs, 3)
+                .fixed_field("trials_per_sec", profile.trials_per_sec, 1)
+                .u64_field("rounds", profile.rounds);
+            for ph in Phase::ALL {
+                line = line.u64_field(
+                    &format!("phase_{}_nanos", ph.name()),
+                    profile.phase_nanos[ph as usize],
+                );
+            }
+            for c in [
+                Counter::NetRequests,
+                Counter::NetDelivered,
+                Counter::NetDropped,
+                Counter::NetLinkDropped,
+                Counter::NetPartitionDropped,
+                Counter::NetForged,
+            ] {
+                line = line.u64_field(c.name(), t.counter(c));
+            }
+            line = line
+                .u64_field(
+                    Gauge::NetInFlightPeak.name(),
+                    t.gauge(Gauge::NetInFlightPeak),
+                )
+                .u64_field("trial_p50_nanos", profile.trial_p50_nanos)
+                .u64_field("trial_p99_nanos", profile.trial_p99_nanos);
+            let _ = writeln!(sink, "{}", line.finish());
+            let _ = sink.flush();
+        }
+        self.trials_done_prior += trials;
+        self.profiles.push(profile);
+    }
+
+    /// Disarm instrumentation, flush the sink, and hand back the per-cell
+    /// profiles for the CLI's final table.
+    pub fn finish(mut self) -> Vec<CellProfile> {
+        if let Some(sink) = self.sink.as_mut() {
+            let _ = sink.flush();
+        }
+        obs::set_enabled(false);
+        std::mem::take(&mut self.profiles)
+    }
+}
+
+/// Render the final per-cell phase-profile table the CLI prints after a
+/// telemetry-enabled campaign: per-cell wall clock, throughput, and each
+/// kernel phase's share of the summed phase time.
+pub fn profile_table(profiles: &[CellProfile]) -> Table {
+    let phases: Vec<Phase> = Phase::ALL
+        .iter()
+        .copied()
+        .filter(|p| !matches!(p, Phase::Trial))
+        .collect();
+    let mut headers: Vec<&str> = vec!["cell", "trials", "secs", "trials/s", "rounds"];
+    headers.extend(phases.iter().map(|p| p.name()));
+    headers.push("trial p50");
+    let mut table = Table::new(
+        "per-cell phase profile (share of timed kernel phases)",
+        &headers,
+    );
+    for p in profiles {
+        let kernel_total: u64 = phases.iter().map(|ph| p.phase_nanos[*ph as usize]).sum();
+        let mut row = vec![
+            p.cell.to_string(),
+            p.trials.to_string(),
+            format!("{:.2}", p.elapsed_secs),
+            format!("{:.0}", p.trials_per_sec),
+            p.rounds.to_string(),
+        ];
+        for ph in &phases {
+            let nanos = p.phase_nanos[*ph as usize];
+            row.push(if kernel_total == 0 {
+                "—".into()
+            } else {
+                format!("{:.0}%", 100.0 * nanos as f64 / kernel_total as f64)
+            });
+        }
+        row.push(format!("{:.2}ms", p.trial_p50_nanos as f64 / 1e6));
+        table.push_row(row);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Timings sidecar.
+// ---------------------------------------------------------------------------
+
+/// Open the timings sidecar for a store: truncated with a fresh header on a
+/// new run, appended (header written only if missing) on resume.
+pub fn open_timings(store: &Path, resume: bool) -> Result<File, String> {
+    let path = timings_path(store);
+    let fresh = !resume || !path.exists();
+    let mut file = OpenOptions::new()
+        .create(true)
+        .append(resume)
+        .write(true)
+        .truncate(!resume)
+        .open(&path)
+        .map_err(|e| format!("{}: open timings sidecar: {e}", path.display()))?;
+    if fresh {
+        let header = JsonObj::new().str_field("schema", TIMINGS_SCHEMA).finish();
+        writeln!(file, "{header}").map_err(|e| format!("{}: write header: {e}", path.display()))?;
+    }
+    Ok(file)
+}
+
+/// Append one completed cell's timing line.
+pub fn append_timing(
+    file: &mut File,
+    cell: u64,
+    trials: u64,
+    elapsed_secs: f64,
+) -> Result<(), String> {
+    let line = JsonObj::new()
+        .u64_field("cell", cell)
+        .u64_field("trials", trials)
+        .fixed_field("elapsed_secs", elapsed_secs, 3)
+        .fixed_field("trials_per_sec", trials as f64 / elapsed_secs.max(1e-9), 1)
+        .finish();
+    writeln!(file, "{line}").map_err(|e| format!("timings append: {e}"))?;
+    file.flush().map_err(|e| format!("timings flush: {e}"))
+}
+
+/// Load a timings sidecar into `cell id → (elapsed_secs, trials_per_sec)`.
+/// Missing file or torn lines simply yield fewer entries (timings are
+/// advisory; the store stays the source of truth). Duplicate ids keep the
+/// last line (a cell re-run after an interrupted store append).
+pub fn load_timings(store: &Path) -> BTreeMap<u64, (f64, f64)> {
+    let mut out = BTreeMap::new();
+    let Ok(file) = File::open(timings_path(store)) else {
+        return out;
+    };
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        let Ok(obj) = parse_flat(&line) else { continue };
+        let (Some(cell), Some(secs), Some(rate)) = (
+            get(&obj, "cell").and_then(JsonScalar::as_u64),
+            get(&obj, "elapsed_secs").and_then(JsonScalar::as_f64),
+            get(&obj, "trials_per_sec").and_then(JsonScalar::as_f64),
+        ) else {
+            continue;
+        };
+        out.insert(cell, (secs, rate));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Schema check.
+// ---------------------------------------------------------------------------
+
+/// What [`check_telemetry`] found in a valid file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryCheck {
+    /// Periodic snapshot records.
+    pub snapshots: u64,
+    /// Per-cell profile records.
+    pub cell_profiles: u64,
+}
+
+fn require_u64(obj: &stabcon_util::jsonl::FlatObject, key: &str, ln: usize) -> Result<u64, String> {
+    get(obj, key)
+        .and_then(JsonScalar::as_u64)
+        .ok_or_else(|| format!("line {ln}: missing or non-integer field '{key}'"))
+}
+
+fn require_f64(obj: &stabcon_util::jsonl::FlatObject, key: &str, ln: usize) -> Result<(), String> {
+    get(obj, key)
+        .and_then(JsonScalar::as_f64)
+        .map(|_| ())
+        .ok_or_else(|| format!("line {ln}: missing or non-numeric field '{key}'"))
+}
+
+/// Validate a telemetry file against the `stabcon-telemetry/1` schema:
+/// header line first, then flat `snapshot` / `cell_profile` records with
+/// their required fields. Returns the record counts on success.
+pub fn check_telemetry(path: &Path) -> Result<TelemetryCheck, String> {
+    let file =
+        File::open(path).map_err(|e| format!("{}: open telemetry file: {e}", path.display()))?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty telemetry file", path.display()))?;
+    let header = header.map_err(|e| format!("line 1: {e}"))?;
+    let header = parse_flat(&header).map_err(|e| format!("line 1: {e}"))?;
+    match get(&header, "schema").and_then(JsonScalar::as_str) {
+        Some(TELEMETRY_SCHEMA) => {}
+        Some(other) => return Err(format!("line 1: schema '{other}' != '{TELEMETRY_SCHEMA}'")),
+        None => return Err("line 1: missing 'schema' field".into()),
+    }
+    require_u64(&header, "threads", 1)?;
+    require_u64(&header, "cells", 1)?;
+    require_u64(&header, "trials_planned", 1)?;
+
+    let mut check = TelemetryCheck {
+        snapshots: 0,
+        cell_profiles: 0,
+    };
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line.map_err(|e| format!("line {ln}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat(&line).map_err(|e| format!("line {ln}: {e}"))?;
+        match get(&obj, "record").and_then(JsonScalar::as_str) {
+            Some("snapshot") => {
+                for key in [
+                    "cell",
+                    "trials_done",
+                    "trials_total",
+                    "chunks_issued",
+                    "chunks_merged",
+                    "cursor_lag",
+                    "workers",
+                    "worker_trials_min",
+                    "worker_trials_max",
+                ] {
+                    require_u64(&obj, key, ln)?;
+                }
+                require_f64(&obj, "elapsed_secs", ln)?;
+                require_f64(&obj, "trials_per_sec", ln)?;
+                require_f64(&obj, "eta_secs", ln)?;
+                check.snapshots += 1;
+            }
+            Some("cell_profile") => {
+                for key in [
+                    "cell",
+                    "trials",
+                    "rounds",
+                    "trial_p50_nanos",
+                    "trial_p99_nanos",
+                ] {
+                    require_u64(&obj, key, ln)?;
+                }
+                for ph in Phase::ALL {
+                    require_u64(&obj, &format!("phase_{}_nanos", ph.name()), ln)?;
+                }
+                for c in [
+                    Counter::NetRequests,
+                    Counter::NetDelivered,
+                    Counter::NetDropped,
+                    Counter::NetLinkDropped,
+                    Counter::NetPartitionDropped,
+                    Counter::NetForged,
+                ] {
+                    require_u64(&obj, c.name(), ln)?;
+                }
+                require_u64(&obj, Gauge::NetInFlightPeak.name(), ln)?;
+                require_f64(&obj, "elapsed_secs", ln)?;
+                require_f64(&obj, "trials_per_sec", ln)?;
+                check.cell_profiles += 1;
+            }
+            Some(other) => return Err(format!("line {ln}: unknown record type '{other}'")),
+            None => return Err(format!("line {ln}: missing 'record' field")),
+        }
+    }
+    if check.cell_profiles == 0 {
+        return Err(format!(
+            "{}: no cell_profile records (campaign produced no cells?)",
+            path.display()
+        ));
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("stabcon-telemetry-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn hist_quantile_reads_bucket_lows() {
+        let mut buckets = [0u64; obs::HIST_BUCKETS];
+        assert_eq!(hist_quantile(&buckets, 0.5), 0, "empty histogram");
+        buckets[obs::bucket_of(100)] = 10;
+        buckets[obs::bucket_of(1 << 20)] = 1;
+        assert_eq!(
+            hist_quantile(&buckets, 0.5),
+            obs::bucket_low(obs::bucket_of(100))
+        );
+        assert_eq!(
+            hist_quantile(&buckets, 0.99),
+            obs::bucket_low(obs::bucket_of(1 << 20))
+        );
+    }
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(fmt_eta(f64::INFINITY), "—");
+        assert_eq!(fmt_eta(65.0), "1:05");
+        assert_eq!(fmt_eta(3723.0), "1:02:03");
+    }
+
+    #[test]
+    fn timings_sidecar_roundtrip() {
+        let store = tmp("timings-roundtrip.jsonl");
+        std::fs::remove_file(timings_path(&store)).ok();
+        let mut f = open_timings(&store, false).expect("open");
+        append_timing(&mut f, 0, 100, 2.0).expect("append");
+        append_timing(&mut f, 1, 100, 4.0).expect("append");
+        drop(f);
+        // Resume appends; a re-run cell's later line wins.
+        let mut f = open_timings(&store, true).expect("reopen");
+        append_timing(&mut f, 1, 100, 5.0).expect("append");
+        drop(f);
+        let map = load_timings(&store);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&0], (2.0, 50.0));
+        assert_eq!(map[&1], (5.0, 20.0));
+        // A fresh (non-resume) open truncates.
+        let f = open_timings(&store, false).expect("truncate");
+        drop(f);
+        assert!(load_timings(&store).is_empty());
+        std::fs::remove_file(timings_path(&store)).ok();
+    }
+
+    #[test]
+    fn missing_timings_sidecar_is_empty() {
+        assert!(load_timings(Path::new("/nonexistent/store.jsonl")).is_empty());
+    }
+
+    #[test]
+    fn check_rejects_bad_files() {
+        let p = tmp("telemetry-bad.jsonl");
+        std::fs::write(&p, "").expect("write");
+        assert!(check_telemetry(&p).unwrap_err().contains("empty"));
+        std::fs::write(&p, "{\"schema\":\"other/9\"}\n").expect("write");
+        assert!(check_telemetry(&p).unwrap_err().contains("schema"));
+        std::fs::remove_file(&p).ok();
+    }
+}

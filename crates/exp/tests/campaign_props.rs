@@ -46,6 +46,7 @@ fn run_full(spec: &CampaignSpec, path: &PathBuf, threads: usize, chunk: u64) -> 
             chunk: Some(chunk),
             max_cells: None,
             resume: false,
+            ..RunConfig::default()
         },
     )
     .expect("uninterrupted run");
@@ -83,6 +84,7 @@ proptest! {
             chunk: Some(CHUNK_CHOICES[c_partial]),
             max_cells: Some(k),
             resume: false,
+            ..RunConfig::default()
         }).expect("interrupted run");
         prop_assert_eq!(partial.cells_run, k.min(8));
 
@@ -100,6 +102,7 @@ proptest! {
             chunk: Some(CHUNK_CHOICES[c_resume]),
             max_cells: None,
             resume: true,
+            ..RunConfig::default()
         }).expect("resume");
         prop_assert!(resumed.complete());
         prop_assert_eq!(resumed.cells_skipped, k.min(8));

@@ -34,6 +34,15 @@ pub fn log_inbox_cap(n: usize, c: usize) -> usize {
 }
 
 /// Delivery statistics for one round.
+///
+/// The baseline [`run_round`] path fills the first six fields; the
+/// fault-injection fields added with [`crate::scenario::NetScenario`] —
+/// `link_dropped`, `partition_dropped`, `forged`, and `in_flight` — are
+/// only nonzero under a scenario's routed path. All fields are additive
+/// under [`RoundMetrics::absorb`] except `max_inbox` and `in_flight`,
+/// which absorb as peaks. Campaign telemetry folds an experiment's totals
+/// into its registry in exactly one place,
+/// `stabcon_exp::aggregate::fold_net_totals`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundMetrics {
     /// Requests entering the network (excludes self-bypassed ones).

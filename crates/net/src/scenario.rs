@@ -347,7 +347,11 @@ impl<V: Copy> NetScenario<V> {
         self.rebuild_fault_sets();
     }
 
+    /// Redraw the seeded fault subsets (crash window + Byzantine set).
+    /// Timed as [`stabcon_obs::Phase::Faults`]: with telemetry on, the cost
+    /// of per-trial fault draws shows up next to routing in phase profiles.
     fn rebuild_fault_sets(&mut self) {
+        let _t = stabcon_obs::phase(stabcon_obs::Phase::Faults);
         let n = self.inboxes.len();
         self.crashed.fill(false);
         self.byzantine.fill(false);
