@@ -19,6 +19,10 @@
 //!   through the request/response message engine on a clean network, the
 //!   path the fault-injection scenario layer sits on.
 //!
+//! The fabric's `merge.cells_per_sec` entry (shard-store stitching
+//! throughput) is printed as an **informational** row but never gated:
+//! merge time is I/O-shaped and does not bound campaign reproduction.
+//!
 //! **Core-count awareness.** Multi-worker entries (currently the 8-thread
 //! campaign number) are not gated when either file *reports*
 //! `available_parallelism` below 8: an 8-worker pool on a smaller box
@@ -140,6 +144,14 @@ const THREAD8_METRIC: &str = "campaign trials/sec @ 8 threads";
 /// The runner core count recorded by `engine_bench`, if present.
 fn available_parallelism(text: &str) -> Option<f64> {
     number_after(text, 0, "available_parallelism").map(|(v, _)| v)
+}
+
+/// The fabric merge throughput (`merge.cells_per_sec`), if present.
+/// Informational only — printed alongside the gate table, never gated:
+/// merge time is I/O-shaped and does not bound campaign reproduction.
+fn merge_cells_per_sec(text: &str) -> Option<f64> {
+    let at = text.find("\"merge\"")?;
+    number_after(text, at, "cells_per_sec").map(|(v, _)| v)
 }
 
 /// Every gated metric in one bench file, as `(name, value)` pairs.
@@ -301,6 +313,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Informational rows (never gated).
+    if let Some(fresh_merge) = merge_cells_per_sec(&fresh) {
+        let base_merge = merge_cells_per_sec(&baseline).map_or("—".into(), |v| format!("{v:.2}"));
+        println!(
+            "{:<34} {base_merge:>14} {fresh_merge:>14.2}      —   informational (not gated)",
+            "merge cells/sec"
+        );
+    }
     for (name, _) in &fresh_metrics {
         if !base_metrics.iter().any(|(n, _)| n == name) {
             if name == THREAD8_METRIC && skip_thread8 {
@@ -346,7 +366,8 @@ mod tests {
     {"n": 10000, "threads": 8, "engine": "dense-seq", "trials_per_sec": 4321.0},
     {"n": 1000000, "threads": 8, "engine": "adaptive", "trials_per_sec": 99.0}
   ],
-  "workspace_reuse": {"n": 10000, "fresh_trials_per_sec": 400.0, "reused_trials_per_sec": 700.0, "speedup": 1.75}
+  "workspace_reuse": {"n": 10000, "fresh_trials_per_sec": 400.0, "reused_trials_per_sec": 700.0, "speedup": 1.75},
+  "merge": {"cells": 512, "shards": 4, "merges": 120, "cells_per_sec": 250000.0}
 }"#;
 
     #[test]
@@ -414,6 +435,18 @@ mod tests {
             "must take the n=10⁴ entry"
         );
         assert_eq!(calibration("{}"), None);
+    }
+
+    #[test]
+    fn merge_throughput_is_informational_not_gated() {
+        assert_eq!(merge_cells_per_sec(SAMPLE), Some(250000.0));
+        assert_eq!(merge_cells_per_sec("{}"), None);
+        assert!(
+            !gated_metrics(SAMPLE)
+                .iter()
+                .any(|(n, _)| n.contains("merge")),
+            "merge throughput must never enter the gated set"
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! full-trial throughput through the `stabcon-exp` campaign scheduler
 //! (the gated 1-thread n = 10⁴ entry plus a `campaigns` sweep over
 //! {1, 8} workers × {10⁴, 10⁶}), a workspace-vs-fresh microbenchmark
-//! isolating the per-trial allocation cost, and a `phase_profile` section
+//! isolating the per-trial allocation cost, a `merge` entry (cells/sec
+//! stitching a 512-cell synthetic store from 4 shard files through the
+//! fabric's `merge_stores` — informational, not gated), and a `phase_profile` section
 //! (a telemetry-enabled dense n = 10⁶ run broken down by `stabcon-obs`
 //! phase — RNG/index/gather/apply shares of the kernel), so successive PRs
 //! have a perf trajectory to compare against. The output also records the runner's
@@ -422,6 +424,72 @@ fn main() {
         trials as f64 / start.elapsed().as_secs_f64()
     };
 
+    // Merge-path throughput: stitch a 512-cell store back together from 4
+    // shard files through the fabric's `merge_stores` (header equality,
+    // disjoint-coverage check, id-ordered re-emit). The cell lines are
+    // synthetic — merge speed depends on line count and byte volume, not on
+    // what the cells contain — and sized like real result rows.
+    // Informational: `bench_gate` prints it but does not gate it, since
+    // merge time is I/O-shaped and never bounds a campaign reproduction.
+    let merge_bench = {
+        use stabcon_exp::fabric::merge_stores;
+        use stabcon_exp::store::StoreHeader;
+        let cells = 512u64;
+        let shards = 4u64;
+        let header = StoreHeader {
+            name: "merge-bench".into(),
+            seed: 0xBE11C4,
+            trials: 8,
+            cells,
+            fingerprint: 0xFAB51DE5,
+        };
+        let dir = std::env::temp_dir().join(format!("stabcon-merge-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("merge-bench tmp dir");
+        let mut shard_paths = Vec::new();
+        for s in 0..shards {
+            let path = dir.join(format!("shard-{s}.jsonl"));
+            let mut text = header.to_line();
+            text.push('\n');
+            for id in (s * cells / shards)..((s + 1) * cells / shards) {
+                text.push_str(
+                    &JsonObj::new()
+                        .str_field("kind", "cell")
+                        .u64_field("cell", id)
+                        .u64_field("seed", id.wrapping_mul(0x9E3779B97F4A7C15))
+                        .u64_field("trials", 8)
+                        .str_field("metric", "consensus")
+                        .u64_field("n", 10_000)
+                        .str_field("init", "two-bins-half")
+                        .fixed_field("hit_rate", 1.0, 4)
+                        .fixed_field("mean", 9.75, 4)
+                        .fixed_field("p50", 10.0, 4)
+                        .fixed_field("p95", 11.0, 4)
+                        .fixed_field("max", 12.0, 4)
+                        .finish(),
+                );
+                text.push('\n');
+            }
+            std::fs::write(&path, text).expect("write synthetic shard");
+            shard_paths.push(path);
+        }
+        let out = dir.join("merged.jsonl");
+        let mut merges = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget || merges < 3 {
+            std::fs::remove_file(&out).ok();
+            merge_stores(&shard_paths, &out, Some(&header)).expect("synthetic merge");
+            merges += 1;
+        }
+        let cells_per_sec = (merges * cells) as f64 / start.elapsed().as_secs_f64();
+        std::fs::remove_dir_all(&dir).ok();
+        JsonObj::new()
+            .u64_field("cells", cells)
+            .u64_field("shards", shards)
+            .u64_field("merges", merges)
+            .fixed_field("cells_per_sec", cells_per_sec, 2)
+            .finish()
+    };
+
     // Phase profile: where a dense n = 10⁶ trial's time actually goes,
     // measured through the stabcon-obs phase timers (RNG / index / gather /
     // apply / coin plus the runner's handoff and trial spans). Runs last —
@@ -558,6 +626,7 @@ fn main() {
     .raw_field("campaign", &campaign)
     .raw_field("campaigns", &campaign_arr.finish())
     .raw_field("workspace_reuse", &workspace_reuse)
+    .raw_field("merge", &merge_bench)
     .raw_field("phase_profile", &phase_profile)
     .finish();
     json.push('\n');

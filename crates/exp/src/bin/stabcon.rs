@@ -1,9 +1,13 @@
-//! The `stabcon` CLI: run, resume, and report experiment campaigns.
+//! The `stabcon` CLI: run, resume, shard, merge, serve, and report
+//! experiment campaigns.
 //!
 //! ```text
 //! stabcon campaign run    --preset figure1-small --out store.jsonl
 //! stabcon campaign resume --preset figure1-small --out store.jsonl
+//! stabcon campaign merge  --preset figure1-small --out merged.jsonl --from a.jsonl --from b.jsonl
 //! stabcon campaign report --out store.jsonl [--format text|md|csv] [--timings]
+//! stabcon serve           --preset figure1-small --out store.jsonl --listen 0.0.0.0:7677
+//! stabcon work            --preset figure1-small --connect host:7677
 //! stabcon telemetry check --out telemetry.jsonl
 //! ```
 //!
@@ -16,6 +20,17 @@
 //! the grid from the same spec flags and refuses a store whose header
 //! fingerprint disagrees.
 //!
+//! ## Multi-host campaigns
+//!
+//! `--shard i/k` (or an explicit cell list `0-3,7`) makes `run`/`resume`
+//! execute only that slice of the grid into `<out>.shard-<label>.jsonl`;
+//! `campaign merge` fingerprint-checks the shard stores, verifies their
+//! cells are disjoint and cover the grid, and stitches them into a store
+//! byte-identical to the single-host run. `serve`/`work` are the online
+//! version: the daemon leases cells to connecting workers and re-claims
+//! leases whose worker died (deterministic seeds make re-runs exact). See
+//! `stabcon_exp::fabric`.
+//!
 //! `--progress` prints live lines (trials done, trials/s, worker spread,
 //! chunk-cursor lag, ETA) to stderr; `--telemetry PATH` streams the same
 //! snapshots plus per-cell phase profiles as JSONL (see
@@ -25,8 +40,12 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
+use stabcon_exp::fabric::{
+    merge_stores, run_worker, shard_store_path, ServeConfig, Server, ShardSelection, WorkerConfig,
+};
 use stabcon_exp::presets::{preset, PRESET_NAMES};
 use stabcon_exp::{report, store, telemetry};
 
@@ -44,18 +63,31 @@ struct Args {
     progress: bool,
     telemetry: Option<PathBuf>,
     timings: bool,
+    shard: Option<ShardSelection>,
+    from: Vec<PathBuf>,
+    listen: Option<String>,
+    connect: Option<String>,
+    lease_secs: Option<u64>,
+    worker_name: Option<String>,
+    resume: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage:\n  \
-         stabcon campaign run    --out PATH [--preset NAME] [spec/exec flags]\n  \
-         stabcon campaign resume --out PATH [--preset NAME] [spec/exec flags]\n  \
+         stabcon campaign run    --out PATH [--preset NAME] [--shard I/K] [spec/exec flags]\n  \
+         stabcon campaign resume --out PATH [--preset NAME] [--shard I/K] [spec/exec flags]\n  \
+         stabcon campaign merge  --out PATH --from PATH [--from PATH ...] [spec flags]\n  \
          stabcon campaign report --out PATH [--format text|md|csv] [--timings]\n  \
+         stabcon serve           --out PATH --listen HOST:PORT [--lease-secs N] [--resume] [spec flags]\n  \
+         stabcon work            --connect HOST:PORT [--worker-name NAME] [spec/exec flags]\n  \
          stabcon telemetry check --out PATH\n\n\
          spec flags:  --preset NAME (one of {names})  --trials N  --seed N\n  \
                       --ns N,N,...  --name NAME\n\
          exec flags:  --threads N  --chunk N  --max-cells N\n\
+         fabric flags: --shard I/K or --shard 0-3,7 (run a slice into <out>.shard-*.jsonl)\n  \
+                      --from PATH (merge input, repeatable)  --listen/--connect HOST:PORT\n  \
+                      --lease-secs N (serve lease; default 60)  --worker-name NAME\n\
          observability: --progress (live lines on stderr)\n  \
                       --telemetry PATH (JSONL snapshots + per-cell profiles)\n\
          report flags: --timings (join the store's timings sidecar)\n",
@@ -63,7 +95,7 @@ fn usage() -> String {
     )
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
+fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
     let mut args = Args {
         preset: "smoke".into(),
         out: PathBuf::new(),
@@ -78,6 +110,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         progress: false,
         telemetry: None,
         timings: false,
+        shard: None,
+        from: Vec::new(),
+        listen: None,
+        connect: None,
+        lease_secs: None,
+        worker_name: None,
+        resume: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -99,6 +138,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--progress" => args.progress = true,
             "--telemetry" => args.telemetry = Some(PathBuf::from(value()?)),
             "--timings" => args.timings = true,
+            "--shard" => args.shard = Some(ShardSelection::parse(&value()?)?),
+            "--from" => args.from.push(PathBuf::from(value()?)),
+            "--listen" => args.listen = Some(value()?),
+            "--connect" => args.connect = Some(value()?),
+            "--lease-secs" => args.lease_secs = Some(parse_num(flag, &value()?)?),
+            "--worker-name" => args.worker_name = Some(value()?),
+            "--resume" => args.resume = true,
             "--ns" => {
                 let list = value()?
                     .split(',')
@@ -109,7 +155,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
     }
-    if args.out.as_os_str().is_empty() {
+    if needs_out && args.out.as_os_str().is_empty() {
         return Err(format!("--out is required\n\n{}", usage()));
     }
     Ok(args)
@@ -150,6 +196,7 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
     let spec = build_spec(args)?;
     let mut cfg = RunConfig {
         resume,
+        shard: args.shard.clone(),
         progress: args.progress,
         telemetry: args.telemetry.clone(),
         ..RunConfig::default()
@@ -162,8 +209,19 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
     }
     cfg.max_cells = args.max_cells;
 
+    // A shard writes to its own derived store path so k hosts pointed at
+    // the same --out never collide; `campaign merge` stitches them back.
+    let out = match &args.shard {
+        Some(shard) => {
+            let p = shard_store_path(&args.out, shard);
+            eprintln!("shard {}: store {}", shard.label(), p.display());
+            p
+        }
+        None => args.out.clone(),
+    };
+
     let start = std::time::Instant::now();
-    let outcome = run_campaign(&spec, &args.out, &cfg)?;
+    let outcome = run_campaign(&spec, &out, &cfg)?;
     eprintln!(
         "campaign '{}': {} cells ({} run, {} skipped), {} trials in {:.2}s → {}{}",
         spec.name,
@@ -182,6 +240,82 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
     if !outcome.profiles.is_empty() {
         eprint!("{}", telemetry::profile_table(&outcome.profiles).to_text());
     }
+    Ok(())
+}
+
+fn merge(args: &Args) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let start = std::time::Instant::now();
+    let outcome = merge_stores(&args.from, &args.out, Some(&spec.header()))?;
+    eprintln!(
+        "merged {} shard store(s) → {} ({} cells, {} bytes{}) in {:.2}s",
+        outcome.shards,
+        args.out.display(),
+        outcome.cells,
+        outcome.bytes,
+        if outcome.timings_merged {
+            ", timings sidecar merged"
+        } else {
+            ""
+        },
+        start.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let listen = args.listen.as_deref().unwrap_or("127.0.0.1:7677");
+    let server = Server::bind(listen, &spec, &args.out)?;
+    eprintln!(
+        "serve: campaign '{}' on {} → {}",
+        spec.name,
+        server.local_addr()?,
+        args.out.display()
+    );
+    let outcome = server.run(&ServeConfig {
+        lease: Duration::from_secs(args.lease_secs.unwrap_or(60).max(1)),
+        progress: args.progress,
+        telemetry: args.telemetry.clone(),
+        resume: args.resume,
+    })?;
+    eprintln!(
+        "serve: campaign '{}' complete — {} cells ({} ingested, {} skipped) from {} worker(s), \
+         {} lease(s) reclaimed → {}",
+        spec.name,
+        outcome.cells_total,
+        outcome.cells_ingested,
+        outcome.cells_skipped,
+        outcome.workers_seen,
+        outcome.leases_reclaimed,
+        outcome.store_path.display(),
+    );
+    Ok(())
+}
+
+fn work(args: &Args) -> Result<(), String> {
+    let spec = build_spec(args)?;
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    let mut cfg = WorkerConfig::default();
+    if let Some(t) = args.threads {
+        cfg.threads = t;
+    }
+    cfg.chunk = args.chunk;
+    if let Some(name) = &args.worker_name {
+        cfg.name = name.clone();
+    }
+    let start = std::time::Instant::now();
+    let outcome = run_worker(addr, &spec, &cfg)?;
+    eprintln!(
+        "work '{}': {} cell(s), {} trial(s) in {:.2}s",
+        cfg.name,
+        outcome.cells_run,
+        outcome.trials_run,
+        start.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 
@@ -217,17 +351,26 @@ fn main() -> ExitCode {
         argv.get(1).map(String::as_str),
     );
     let result = match (noun, verb) {
-        (Some("campaign"), Some(verb @ ("run" | "resume" | "report"))) => {
-            match parse_args(&argv[2..]) {
+        (Some("campaign"), Some(verb @ ("run" | "resume" | "merge" | "report"))) => {
+            match parse_args(&argv[2..], true) {
                 Ok(args) => match verb {
                     "run" => execute(&args, false),
                     "resume" => execute(&args, true),
+                    "merge" => merge(&args),
                     _ => report(&args),
                 },
                 Err(e) => Err(e),
             }
         }
-        (Some("telemetry"), Some("check")) => match parse_args(&argv[2..]) {
+        (Some("serve"), _) => match parse_args(&argv[1..], true) {
+            Ok(args) => serve(&args),
+            Err(e) => Err(e),
+        },
+        (Some("work"), _) => match parse_args(&argv[1..], false) {
+            Ok(args) => work(&args),
+            Err(e) => Err(e),
+        },
+        (Some("telemetry"), Some("check")) => match parse_args(&argv[2..], true) {
             Ok(args) => telemetry_check(&args),
             Err(e) => Err(e),
         },

@@ -9,7 +9,6 @@
 //! count, because per-cell aggregation is thread- and chunk-invariant (see
 //! [`crate::cell::run_cell`]).
 
-use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -22,6 +21,7 @@ use stabcon_par::ThreadPool;
 use stabcon_util::rng::derive_seed;
 
 use crate::cell::{chunk_for, run_cell_monitored, CellSpec};
+use crate::fabric::ShardSelection;
 use crate::metrics::HitMetric;
 use crate::observer::TrialObserver;
 use crate::store;
@@ -296,7 +296,9 @@ impl CampaignSpec {
     }
 }
 
-/// Execution knobs (none of them affect the store bytes).
+/// Execution knobs. None of them change the bytes of any record: a shard
+/// restricts *which* cells land in the store, never what a cell line says,
+/// so merged shard stores reproduce the single-host store byte-for-byte.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Worker threads for the shared pool.
@@ -309,6 +311,10 @@ pub struct RunConfig {
     pub max_cells: Option<u64>,
     /// Continue an existing store instead of refusing to overwrite it.
     pub resume: bool,
+    /// Run only this slice of the expanded cell list (multi-host sharding;
+    /// see [`crate::fabric`]). The store header still describes the full
+    /// grid, so `stabcon campaign merge` can fingerprint-check the shards.
+    pub shard: Option<ShardSelection>,
     /// Print live progress lines to stderr (arms the telemetry registry).
     pub progress: bool,
     /// Write periodic telemetry snapshots and per-cell profiles to this
@@ -323,6 +329,7 @@ impl Default for RunConfig {
             chunk: None,
             max_cells: None,
             resume: false,
+            shard: None,
             progress: false,
             telemetry: None,
         }
@@ -360,6 +367,11 @@ impl CampaignOutcome {
 /// header against this spec's fingerprint, truncates any torn tail, skips
 /// completed cells, and appends the remainder — producing a store
 /// byte-identical to an uninterrupted run regardless of `threads`/`chunk`.
+///
+/// With [`RunConfig::shard`] only the selected slice of the cell list runs
+/// (a per-shard store for `stabcon campaign merge` to stitch back
+/// together); [`CampaignOutcome::cells_total`] then counts the shard's
+/// cells, so [`CampaignOutcome::complete`] means *the shard* is complete.
 pub fn run_campaign(
     spec: &CampaignSpec,
     path: &Path,
@@ -367,64 +379,22 @@ pub fn run_campaign(
 ) -> Result<CampaignOutcome, String> {
     let cells = spec.expand();
     let header = spec.header_with(&cells);
-
-    let mut done: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
-    let mut file = if path.exists() {
-        if !cfg.resume {
-            return Err(format!(
-                "{}: store exists — use resume (or a fresh path)",
-                path.display()
-            ));
+    let selected: Vec<&CellSpec> = match &cfg.shard {
+        Some(shard) => {
+            shard.validate(cells.len() as u64)?;
+            cells
+                .iter()
+                .filter(|c| shard.contains(c.id, cells.len() as u64))
+                .collect()
         }
-        let loaded = store::load(path)?;
-        match &loaded.header {
-            Some(h) if *h == header => {
-                done.extend(loaded.done_ids());
-                store::recover(path, &loaded).map_err(|e| format!("recover: {e}"))?;
-                OpenOptions::new()
-                    .append(true)
-                    .open(path)
-                    .map_err(|e| format!("open: {e}"))?
-            }
-            Some(h) => {
-                // Name the first differing field — "fingerprint mismatch"
-                // alone misdirects when e.g. only the trial count changed.
-                let mismatch = if h.name != header.name {
-                    format!("name '{}' vs '{}'", h.name, header.name)
-                } else if h.seed != header.seed {
-                    format!("seed {:#x} vs {:#x}", h.seed, header.seed)
-                } else if h.trials != header.trials {
-                    format!("trials {} vs {}", h.trials, header.trials)
-                } else if h.cells != header.cells {
-                    format!("cells {} vs {}", h.cells, header.cells)
-                } else {
-                    format!(
-                        "grid fingerprint {:016x} vs {:016x}",
-                        h.fingerprint, header.fingerprint
-                    )
-                };
-                return Err(format!(
-                    "{}: store was produced by a different campaign spec ({mismatch} — stored vs requested)",
-                    path.display()
-                ));
-            }
-            None => {
-                // Nothing valid in the file: restart it.
-                let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
-                store::append_line(&mut f, &header.to_line())
-                    .map_err(|e| format!("write header: {e}"))?;
-                f
-            }
-        }
-    } else {
-        let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
-        store::append_line(&mut f, &header.to_line()).map_err(|e| format!("write header: {e}"))?;
-        f
+        None => cells.iter().collect(),
     };
+
+    let (mut file, done) = store::open_for_append(path, &header, cfg.resume)?;
 
     let pool = ThreadPool::new(cfg.threads);
     let mut outcome = CampaignOutcome {
-        cells_total: cells.len() as u64,
+        cells_total: selected.len() as u64,
         cells_run: 0,
         cells_skipped: 0,
         trials_run: 0,
@@ -436,7 +406,7 @@ pub fn run_campaign(
     let mut timings = telemetry::open_timings(path, cfg.resume)?;
     let mut tel = if cfg.progress || cfg.telemetry.is_some() {
         let planned: u64 = {
-            let todo = cells.iter().filter(|c| !done.contains(&c.id));
+            let todo = selected.iter().filter(|c| !done.contains(&c.id));
             match cfg.max_cells {
                 Some(k) => todo.take(k as usize).map(|c| c.trials).sum(),
                 None => todo.map(|c| c.trials).sum(),
@@ -453,7 +423,7 @@ pub fn run_campaign(
     } else {
         None
     };
-    for cell in &cells {
+    for &cell in &selected {
         if done.contains(&cell.id) {
             outcome.cells_skipped += 1;
             continue;

@@ -1,0 +1,264 @@
+//! Fingerprint-checked merge of per-shard stores into the canonical
+//! single-host store, byte-for-byte.
+//!
+//! The merge never re-serializes a record: it validates each shard with
+//! [`crate::store::load`], then moves the shard's **raw cell lines** into
+//! the output, re-sorted into canonical cell-index order under the shared
+//! header line. Because every cell line is a pure function of its
+//! [`crate::cell::CellSpec`] (and the header is a pure function of the
+//! spec), the merged file is byte-identical to the store one host would
+//! have written — `cmp` against a single-host run is the CI check.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use stabcon_util::jsonl::{get, parse_flat, JsonScalar};
+
+use crate::store::{self, StoreHeader};
+use crate::telemetry::{timings_path, TIMINGS_SCHEMA};
+
+/// What a merge produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Cells in the merged store (equals the grid size).
+    pub cells: u64,
+    /// Input shard stores consumed.
+    pub shards: usize,
+    /// Bytes written to the merged store.
+    pub bytes: u64,
+    /// Whether a merged timings sidecar was written (at least one shard
+    /// brought one).
+    pub timings_merged: bool,
+}
+
+/// One shard store's validated contents: its header plus raw cell lines
+/// keyed by cell id.
+struct ShardContents {
+    path: PathBuf,
+    header: StoreHeader,
+    lines: Vec<(u64, String)>,
+}
+
+/// Compress sorted ids into a compact `0-3, 7, 12-23` listing (capped).
+pub(crate) fn format_id_ranges(ids: &[u64], max_ranges: usize) -> String {
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for &id in ids {
+        match ranges.last_mut() {
+            Some((_, hi)) if *hi + 1 == id => *hi = id,
+            _ => ranges.push((id, id)),
+        }
+    }
+    let mut parts: Vec<String> = ranges
+        .iter()
+        .take(max_ranges)
+        .map(|&(lo, hi)| {
+            if lo == hi {
+                lo.to_string()
+            } else {
+                format!("{lo}-{hi}")
+            }
+        })
+        .collect();
+    if ranges.len() > max_ranges {
+        parts.push("…".into());
+    }
+    parts.join(", ")
+}
+
+fn load_shard(path: &Path) -> Result<ShardContents, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let loaded = store::load(path)?;
+    let header = loaded
+        .header
+        .clone()
+        .ok_or_else(|| format!("{}: no campaign header — not a shard store", path.display()))?;
+    if loaded.valid_len != bytes.len() as u64 {
+        return Err(format!(
+            "{}: torn or trailing bytes after the valid prefix ({} of {} bytes) — \
+             the shard was interrupted; `stabcon campaign resume --shard …` it first",
+            path.display(),
+            loaded.valid_len,
+            bytes.len()
+        ));
+    }
+    // The valid prefix is line-aligned: line 0 is the header, line i+1 is
+    // cells[i]. Keep the raw text so the merge is byte-preserving.
+    let text = std::str::from_utf8(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    lines.next(); // header
+    let raw: Vec<&str> = lines.collect();
+    debug_assert_eq!(raw.len(), loaded.cells.len());
+    let mut out = Vec::with_capacity(raw.len());
+    for (obj, raw) in loaded.cells.iter().zip(raw) {
+        let id = get(obj, "cell")
+            .and_then(JsonScalar::as_u64)
+            .ok_or_else(|| format!("{}: cell record without an id", path.display()))?;
+        out.push((id, raw.to_string()));
+    }
+    Ok(ShardContents {
+        path: path.to_path_buf(),
+        header,
+        lines: out,
+    })
+}
+
+/// Merge shard stores into the canonical store at `out`.
+///
+/// Validates that every shard carries the **same header** (same campaign,
+/// seed, trials, grid fingerprint) — and, when `expect` is given (the
+/// header re-derived from the spec flags), that they match *it* — then
+/// checks the shards' cell ids are disjoint and together cover the grid
+/// completely, and writes header + cells in canonical cell-index order.
+/// Timings sidecars (`<shard>.timings.jsonl`) are merged last-wins in input
+/// order into `<out>.timings.jsonl` when any shard has one.
+///
+/// Refuses to overwrite an existing `out`.
+pub fn merge_stores(
+    inputs: &[PathBuf],
+    out: &Path,
+    expect: Option<&StoreHeader>,
+) -> Result<MergeOutcome, String> {
+    if inputs.is_empty() {
+        return Err("merge: no shard stores given (pass --from PATH per shard)".into());
+    }
+    if out.exists() {
+        return Err(format!(
+            "{}: merge output exists — refusing to overwrite",
+            out.display()
+        ));
+    }
+    let shards: Vec<ShardContents> = inputs
+        .iter()
+        .map(|p| load_shard(p))
+        .collect::<Result<_, _>>()?;
+
+    // Every shard must describe the same grid…
+    let header = &shards[0].header;
+    for s in &shards[1..] {
+        if s.header != *header {
+            return Err(format!(
+                "{}: shard header disagrees with {} ({} — cannot merge stores \
+                 from different campaigns)",
+                s.path.display(),
+                shards[0].path.display(),
+                store::describe_mismatch(&s.header, header)
+            ));
+        }
+    }
+    // …and, when the caller re-derived the spec, match it exactly.
+    if let Some(expect) = expect {
+        if header != expect {
+            return Err(format!(
+                "shard stores were produced by a different campaign spec ({} — \
+                 stored vs requested)",
+                store::describe_mismatch(header, expect)
+            ));
+        }
+    }
+
+    // Disjointness: each cell id from exactly one shard.
+    let mut by_id: BTreeMap<u64, (usize, &str)> = BTreeMap::new();
+    for (si, s) in shards.iter().enumerate() {
+        for (id, line) in &s.lines {
+            if let Some((prev, _)) = by_id.insert(*id, (si, line)) {
+                return Err(format!(
+                    "cell {id} appears in both {} and {} — shards overlap \
+                     (each cell may be run by exactly one shard)",
+                    shards[prev].path.display(),
+                    s.path.display()
+                ));
+            }
+        }
+    }
+    // Completeness: exactly the grid 0..cells.
+    let stray: Vec<u64> = by_id
+        .keys()
+        .copied()
+        .filter(|&id| id >= header.cells)
+        .collect();
+    if !stray.is_empty() {
+        return Err(format!(
+            "cells beyond the {}-cell grid: {}",
+            header.cells,
+            format_id_ranges(&stray, 8)
+        ));
+    }
+    let missing: Vec<u64> = (0..header.cells)
+        .filter(|id| !by_id.contains_key(id))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "incomplete coverage: cells {}/{} — missing {} (run or resume the \
+             missing shard, or check the shard arithmetic)",
+            by_id.len(),
+            header.cells,
+            format_id_ranges(&missing, 8)
+        ));
+    }
+
+    // Canonical emission: header, then cells in id order, raw bytes.
+    let mut buf = String::new();
+    buf.push_str(&header.to_line());
+    buf.push('\n');
+    for (_, line) in by_id.values() {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    std::fs::write(out, &buf).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    // Timings sidecars: advisory wall-clock data, merged last-wins in input
+    // order (a re-run cell keeps its latest timing), sorted by cell id.
+    let mut timing_lines: BTreeMap<u64, String> = BTreeMap::new();
+    let mut any_timings = false;
+    for s in &shards {
+        let Ok(text) = std::fs::read_to_string(timings_path(&s.path)) else {
+            continue;
+        };
+        any_timings = true;
+        for line in text.lines() {
+            let Ok(obj) = parse_flat(line) else { continue };
+            if let Some(id) = get(&obj, "cell").and_then(JsonScalar::as_u64) {
+                timing_lines.insert(id, line.to_string());
+            }
+        }
+    }
+    if any_timings {
+        let sidecar = timings_path(out);
+        let mut f =
+            std::fs::File::create(&sidecar).map_err(|e| format!("{}: {e}", sidecar.display()))?;
+        writeln!(f, "{{\"schema\": \"{TIMINGS_SCHEMA}\"}}")
+            .and_then(|()| {
+                timing_lines
+                    .values()
+                    .try_for_each(|line| writeln!(f, "{line}"))
+            })
+            .map_err(|e| format!("{}: {e}", sidecar.display()))?;
+    }
+
+    Ok(MergeOutcome {
+        cells: header.cells,
+        shards: shards.len(),
+        bytes: buf.len() as u64,
+        timings_merged: any_timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_ranges_compress_and_cap() {
+        assert_eq!(format_id_ranges(&[], 8), "");
+        assert_eq!(format_id_ranges(&[3], 8), "3");
+        assert_eq!(format_id_ranges(&[0, 1, 2, 7, 12, 13], 8), "0-2, 7, 12-13");
+        assert_eq!(format_id_ranges(&[0, 2, 4, 6], 2), "0, 2, …");
+    }
+
+    #[test]
+    fn merge_requires_inputs_and_fresh_output() {
+        let err = merge_stores(&[], Path::new("/tmp/x.jsonl"), None).unwrap_err();
+        assert!(err.contains("no shard stores"), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! The multi-host campaign fabric: shard a campaign's cell list across
+//! hosts, merge the per-shard stores back into the canonical single-host
+//! store byte-for-byte, or skip the batch choreography entirely and run a
+//! lease-based `stabcon serve` daemon that hands cells to connecting
+//! workers.
+//!
+//! Everything rests on two properties the store already has:
+//!
+//! * **cell records are order-independent and pure** — a cell line is a
+//!   deterministic function of its [`crate::cell::CellSpec`] alone (trial
+//!   seeds derive from the cell seed), so any host produces the identical
+//!   bytes for any cell; and
+//! * **the header fingerprints the whole grid** — two stores with equal
+//!   headers were expanded from the same spec, so their cell sets are
+//!   comparable by id.
+//!
+//! Sharding the cell list therefore shards the whole results table:
+//! [`ShardSelection`] picks a disjoint slice per host,
+//! [`merge::merge_stores`] validates fingerprints + disjoint/complete
+//! coverage and re-sorts cells into canonical cell-index order, and the
+//! result is byte-identical to the store one host would have written.
+//!
+//! The [`serve`] daemon is the online version of the same contract: it
+//! leases cell ids to workers over the line-oriented [`protocol`], re-leases
+//! cells whose worker died (deterministic seeds make a re-run exact), and
+//! appends results to the store in canonical order, so a completed serve
+//! store is *also* byte-identical to the single-host run.
+
+pub mod merge;
+pub mod protocol;
+pub mod serve;
+pub mod shard;
+pub mod worker;
+
+pub use merge::{merge_stores, MergeOutcome};
+pub use protocol::{Msg, FABRIC_SCHEMA};
+pub use serve::{ServeConfig, ServeOutcome, Server};
+pub use shard::{shard_store_path, ShardSelection};
+pub use worker::{run_worker, WorkerConfig, WorkerOutcome};

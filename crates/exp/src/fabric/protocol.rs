@@ -1,0 +1,263 @@
+//! The line-oriented fabric protocol (`stabcon-fabric/1`) between
+//! `stabcon serve` and `stabcon work`.
+//!
+//! One flat JSON object per line, encoded with the workspace's own
+//! [`stabcon_util::jsonl`] builders — the same escaping the result store
+//! uses, so any store/telemetry line survives the wire verbatim (pinned by
+//! `tests/fabric_protocol_props.rs`). Every message carries a `kind` field;
+//! unknown kinds and malformed lines are decode errors, never silently
+//! dropped, because a desynced fabric must fail loudly.
+//!
+//! The conversation:
+//!
+//! ```text
+//! worker                          server
+//!   Hello{schema,worker,fp}  →
+//!                            ←  Welcome{campaign,cells}   (fp matches)
+//!                            ←  Reject{reason}            (otherwise)
+//!   Claim                    →
+//!                            ←  Lease{cell,lease_ms}      (a cell is free)
+//!                            ←  Wait{retry_ms}            (all leased out)
+//!                            ←  Drained                   (all cells done)
+//!   Telemetry{line}          →     (progress stream, zero or more)
+//!   Result{cell,line,…}      →
+//!   Claim                    →      …and so on until Drained.
+//! ```
+
+use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
+
+/// Version tag a worker sends in its [`Msg::Hello`]; the server rejects any
+/// other value before looking at the fingerprint.
+pub const FABRIC_SCHEMA: &str = "stabcon-fabric/1";
+
+/// One fabric protocol message (one line on the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → server greeting: protocol version, a display name for
+    /// progress output, and the worker's locally-computed grid fingerprint
+    /// (hex, as in the store header) — the handshake that guarantees both
+    /// sides expanded the *same* campaign spec.
+    Hello {
+        /// Protocol version tag ([`FABRIC_SCHEMA`]).
+        schema: String,
+        /// Worker display name (host-chosen, for progress lines only).
+        worker: String,
+        /// Grid fingerprint as 16 lowercase hex digits.
+        fingerprint: String,
+    },
+    /// Server → worker: handshake accepted.
+    Welcome {
+        /// Campaign name (display only; the fingerprint is the contract).
+        campaign: String,
+        /// Total cells in the grid.
+        cells: u64,
+    },
+    /// Server → worker: handshake refused (schema or fingerprint mismatch);
+    /// the server closes the connection after sending this.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Worker → server: ready for a cell.
+    Claim,
+    /// Server → worker: run this cell; the lease expires (and the cell is
+    /// re-claimable by another worker) after `lease_ms`.
+    Lease {
+        /// Cell id to run.
+        cell: u64,
+        /// Lease duration in milliseconds.
+        lease_ms: u64,
+    },
+    /// Server → worker: nothing free right now (all remaining cells are
+    /// leased out) — claim again after `retry_ms`.
+    Wait {
+        /// Suggested retry delay in milliseconds.
+        retry_ms: u64,
+    },
+    /// Server → worker: every cell is done; disconnect.
+    Drained,
+    /// Worker → server: one `stabcon-telemetry/1` line (snapshot or
+    /// cell_profile), shipped verbatim as the live progress stream.
+    Telemetry {
+        /// The raw telemetry JSONL line.
+        line: String,
+    },
+    /// Worker → server: one completed cell. `line` is the exact store cell
+    /// line (byte-preserved into the server's store); the timing fields are
+    /// advisory, for the server's timings sidecar.
+    Result {
+        /// Cell id (must match the id inside `line`).
+        cell: u64,
+        /// The raw store cell line.
+        line: String,
+        /// Wall-clock seconds the cell took on the worker.
+        elapsed_secs: f64,
+        /// Trials the cell ran.
+        trials: u64,
+    },
+}
+
+impl Msg {
+    /// Encode as one wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Msg::Hello {
+                schema,
+                worker,
+                fingerprint,
+            } => JsonObj::new()
+                .str_field("kind", "hello")
+                .str_field("schema", schema)
+                .str_field("worker", worker)
+                .str_field("fingerprint", fingerprint)
+                .finish(),
+            Msg::Welcome { campaign, cells } => JsonObj::new()
+                .str_field("kind", "welcome")
+                .str_field("campaign", campaign)
+                .u64_field("cells", *cells)
+                .finish(),
+            Msg::Reject { reason } => JsonObj::new()
+                .str_field("kind", "reject")
+                .str_field("reason", reason)
+                .finish(),
+            Msg::Claim => JsonObj::new().str_field("kind", "claim").finish(),
+            Msg::Lease { cell, lease_ms } => JsonObj::new()
+                .str_field("kind", "lease")
+                .u64_field("cell", *cell)
+                .u64_field("lease_ms", *lease_ms)
+                .finish(),
+            Msg::Wait { retry_ms } => JsonObj::new()
+                .str_field("kind", "wait")
+                .u64_field("retry_ms", *retry_ms)
+                .finish(),
+            Msg::Drained => JsonObj::new().str_field("kind", "drained").finish(),
+            Msg::Telemetry { line } => JsonObj::new()
+                .str_field("kind", "telemetry")
+                .str_field("line", line)
+                .finish(),
+            Msg::Result {
+                cell,
+                line,
+                elapsed_secs,
+                trials,
+            } => JsonObj::new()
+                .str_field("kind", "result")
+                .u64_field("cell", *cell)
+                .str_field("line", line)
+                .f64_field("elapsed_secs", *elapsed_secs)
+                .u64_field("trials", *trials)
+                .finish(),
+        }
+    }
+
+    /// Decode one wire line.
+    pub fn decode(line: &str) -> Result<Msg, String> {
+        let obj = parse_flat(line).map_err(|e| format!("fabric: bad message: {e}"))?;
+        let kind = get(&obj, "kind")
+            .and_then(JsonScalar::as_str)
+            .ok_or("fabric: message without 'kind' field")?;
+        let str_f = |key: &str| -> Result<String, String> {
+            get(&obj, key)
+                .and_then(JsonScalar::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("fabric: {kind} message missing string field '{key}'"))
+        };
+        let u64_f = |key: &str| -> Result<u64, String> {
+            get(&obj, key)
+                .and_then(JsonScalar::as_u64)
+                .ok_or_else(|| format!("fabric: {kind} message missing integer field '{key}'"))
+        };
+        match kind {
+            "hello" => Ok(Msg::Hello {
+                schema: str_f("schema")?,
+                worker: str_f("worker")?,
+                fingerprint: str_f("fingerprint")?,
+            }),
+            "welcome" => Ok(Msg::Welcome {
+                campaign: str_f("campaign")?,
+                cells: u64_f("cells")?,
+            }),
+            "reject" => Ok(Msg::Reject {
+                reason: str_f("reason")?,
+            }),
+            "claim" => Ok(Msg::Claim),
+            "lease" => Ok(Msg::Lease {
+                cell: u64_f("cell")?,
+                lease_ms: u64_f("lease_ms")?,
+            }),
+            "wait" => Ok(Msg::Wait {
+                retry_ms: u64_f("retry_ms")?,
+            }),
+            "drained" => Ok(Msg::Drained),
+            "telemetry" => Ok(Msg::Telemetry {
+                line: str_f("line")?,
+            }),
+            "result" => Ok(Msg::Result {
+                cell: u64_f("cell")?,
+                line: str_f("line")?,
+                elapsed_secs: get(&obj, "elapsed_secs")
+                    .and_then(JsonScalar::as_f64)
+                    .ok_or("fabric: result message missing numeric field 'elapsed_secs'")?,
+                trials: u64_f("trials")?,
+            }),
+            other => Err(format!("fabric: unknown message kind '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        let msgs = [
+            Msg::Hello {
+                schema: FABRIC_SCHEMA.into(),
+                worker: "host-1".into(),
+                fingerprint: "00c0ffee00c0ffee".into(),
+            },
+            Msg::Welcome {
+                campaign: "smoke".into(),
+                cells: 4,
+            },
+            Msg::Reject {
+                reason: "grid fingerprint mismatch".into(),
+            },
+            Msg::Claim,
+            Msg::Lease {
+                cell: 3,
+                lease_ms: 30_000,
+            },
+            Msg::Wait { retry_ms: 250 },
+            Msg::Drained,
+            Msg::Telemetry {
+                line: "{\"record\": \"snapshot\", \"cell\": 0}".into(),
+            },
+            Msg::Result {
+                cell: 3,
+                line: "{\"cell\": 3, \"mean\": 1.5}".into(),
+                elapsed_secs: 0.125,
+                trials: 64,
+            },
+        ];
+        for msg in msgs {
+            let wire = msg.encode();
+            assert!(!wire.contains('\n'), "one line per message: {wire}");
+            assert_eq!(Msg::decode(&wire).expect("decode"), msg, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(Msg::decode("{\"kind\": \"warp\"}")
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(Msg::decode("{\"cell\": 3}").unwrap_err().contains("kind"));
+        assert!(Msg::decode("not json").is_err());
+        // Missing required field.
+        assert!(Msg::decode("{\"kind\": \"lease\", \"cell\": 1}")
+            .unwrap_err()
+            .contains("lease_ms"));
+    }
+}

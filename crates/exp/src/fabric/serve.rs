@@ -1,0 +1,467 @@
+//! First-cut `stabcon serve` daemon: lease cells to connecting workers,
+//! re-claim leases whose worker died, and assemble the canonical store.
+//!
+//! The server is the online counterpart of the batch shard/merge flow. It
+//! expands the campaign once, validates every worker's grid fingerprint in
+//! the [`super::protocol`] handshake, then hands out cell *ids* under
+//! expiring leases. Because every cell line is a pure function of its spec,
+//! a dead host costs nothing but wall clock: its leased cells return to the
+//! pending set (on disconnect immediately, on a hang when the lease
+//! expires) and the re-run by another worker produces the identical bytes.
+//! Duplicate results — the original worker limping back after its lease was
+//! re-claimed — are simply ignored; first ingest wins and is exact.
+//!
+//! Results are parked in a [`BTreeMap`] and flushed to the store as a
+//! contiguous prefix in cell-index order (the same discipline as the
+//! in-order chunk merger inside `run_cell`), so a completed serve store is
+//! byte-identical to the single-host `stabcon campaign run` store.
+//!
+//! Worker telemetry frames ([`Msg::Telemetry`]) are ingested as the live
+//! progress stream: record lines go to the server's own telemetry sink
+//! (shipped worker sink *headers* are dropped), so `stabcon campaign
+//! report`/`stabcon telemetry check` work on the partially-assembled
+//! campaign while workers are still running.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
+
+use crate::campaign::CampaignSpec;
+use crate::store::{self, StoreHeader};
+use crate::telemetry::{self, TELEMETRY_SCHEMA};
+
+use super::protocol::{Msg, FABRIC_SCHEMA};
+
+/// Serve knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How long a worker may sit on a leased cell before the server hands
+    /// the cell to someone else.
+    pub lease: Duration,
+    /// Print a progress line per ingested cell to stderr.
+    pub progress: bool,
+    /// Telemetry sink: worker-shipped snapshot/cell_profile records land
+    /// here under a server-written `stabcon-telemetry/1` header.
+    pub telemetry: Option<PathBuf>,
+    /// Continue an existing store (skip its cells) instead of refusing it.
+    pub resume: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            lease: Duration::from_secs(60),
+            progress: false,
+            telemetry: None,
+            resume: false,
+        }
+    }
+}
+
+/// What a serve run assembled.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Cells in the grid.
+    pub cells_total: u64,
+    /// Cells ingested from workers by this invocation.
+    pub cells_ingested: u64,
+    /// Cells already in the store at start (resume).
+    pub cells_skipped: u64,
+    /// Workers whose handshake succeeded.
+    pub workers_seen: u64,
+    /// Leases returned to the pending set (worker died or hung past the
+    /// lease deadline).
+    pub leases_reclaimed: u64,
+    /// The assembled store path.
+    pub store_path: PathBuf,
+}
+
+/// One ingested-but-not-yet-flushed result.
+struct Parked {
+    line: String,
+    trials: u64,
+    elapsed_secs: f64,
+}
+
+/// Everything the accept loop and the per-connection handlers share.
+struct Shared {
+    /// Cells nobody is working on.
+    pending: BTreeSet<u64>,
+    /// Leased cells: id → (connection, deadline).
+    leases: BTreeMap<u64, (u64, Instant)>,
+    /// Ingested results waiting for their turn in canonical order.
+    parked: BTreeMap<u64, Parked>,
+    /// Cells already in the store file.
+    written: BTreeSet<u64>,
+    /// Smallest id that might still need writing (flush cursor).
+    cursor: u64,
+    file: File,
+    timings: File,
+    sink: Option<File>,
+    total: u64,
+    lease: Duration,
+    progress: bool,
+    workers_seen: u64,
+    leases_reclaimed: u64,
+    cells_ingested: u64,
+}
+
+impl Shared {
+    fn drained(&self) -> bool {
+        self.written.len() as u64 == self.total
+    }
+
+    /// Flush parked results that extend the store's contiguous prefix.
+    fn flush(&mut self) -> Result<(), String> {
+        loop {
+            while self.written.contains(&self.cursor) {
+                self.cursor += 1;
+            }
+            let Some(r) = self.parked.remove(&self.cursor) else {
+                return Ok(());
+            };
+            store::append_line(&mut self.file, &r.line)
+                .map_err(|e| format!("append cell {}: {e}", self.cursor))?;
+            telemetry::append_timing(&mut self.timings, self.cursor, r.trials, r.elapsed_secs)?;
+            self.written.insert(self.cursor);
+        }
+    }
+
+    /// Return every lease owned by `conn` to the pending set.
+    fn release_conn(&mut self, conn: u64) {
+        let cells: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, &(owner, _))| owner == conn)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in cells {
+            self.leases.remove(&c);
+            self.pending.insert(c);
+            self.leases_reclaimed += 1;
+        }
+    }
+
+    /// Return every lease whose deadline has passed to the pending set.
+    fn sweep_expired(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, &(_, deadline))| now >= deadline)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in expired {
+            self.leases.remove(&c);
+            self.pending.insert(c);
+            self.leases_reclaimed += 1;
+        }
+    }
+}
+
+/// A bound (but not yet running) serve daemon.
+pub struct Server {
+    listener: TcpListener,
+    header: StoreHeader,
+    campaign: String,
+    store_path: PathBuf,
+}
+
+fn send(stream: &mut TcpStream, msg: &Msg) -> std::io::Result<()> {
+    stream.write_all(msg.encode().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+impl Server {
+    /// Bind the daemon: expand `spec` (the fingerprint every worker must
+    /// match) and listen on `addr` (`host:port`; port 0 picks a free one —
+    /// read it back with [`Server::local_addr`]).
+    pub fn bind(addr: &str, spec: &CampaignSpec, store: &Path) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("serve: bind {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            header: spec.header(),
+            campaign: spec.name.clone(),
+            store_path: store.to_path_buf(),
+        })
+    }
+
+    /// The bound address (resolves a `:0` port).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("serve: local_addr: {e}"))
+    }
+
+    /// Run until every cell of the grid is in the store, then return.
+    ///
+    /// Accepts connections forever while running; each worker gets a
+    /// handler thread. A worker that disconnects mid-lease has its cells
+    /// re-claimed immediately; one that hangs loses them when the lease
+    /// expires.
+    pub fn run(self, cfg: &ServeConfig) -> Result<ServeOutcome, String> {
+        let (file, done) = store::open_for_append(&self.store_path, &self.header, cfg.resume)?;
+        let timings = telemetry::open_timings(&self.store_path, cfg.resume)?;
+        let total = self.header.cells;
+        let cells_skipped = done.len() as u64;
+        let sink = match &cfg.telemetry {
+            Some(p) => {
+                let mut f = File::create(p)
+                    .map_err(|e| format!("{}: create telemetry sink: {e}", p.display()))?;
+                let header = JsonObj::new()
+                    .str_field("schema", TELEMETRY_SCHEMA)
+                    .str_field("campaign", &self.campaign)
+                    .u64_field("threads", 0)
+                    .u64_field("cells", total)
+                    .u64_field(
+                        "trials_planned",
+                        (total - cells_skipped) * self.header.trials,
+                    )
+                    .finish();
+                writeln!(f, "{header}")
+                    .map_err(|e| format!("{}: write telemetry header: {e}", p.display()))?;
+                Some(f)
+            }
+            None => None,
+        };
+
+        let mut cursor = 0u64;
+        while done.contains(&cursor) {
+            cursor += 1;
+        }
+        let shared = Arc::new(Mutex::new(Shared {
+            pending: (0..total).filter(|id| !done.contains(id)).collect(),
+            leases: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            written: done,
+            cursor,
+            file,
+            timings,
+            sink,
+            total,
+            lease: cfg.lease,
+            progress: cfg.progress,
+            workers_seen: 0,
+            leases_reclaimed: 0,
+            cells_ingested: 0,
+        }));
+
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("serve: set_nonblocking: {e}"))?;
+        let fingerprint = format!("{:016x}", self.header.fingerprint);
+        let mut conn_id = 0u64;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    conn_id += 1;
+                    let conn = conn_id;
+                    let shared = Arc::clone(&shared);
+                    let fingerprint = fingerprint.clone();
+                    let campaign = self.campaign.clone();
+                    std::thread::spawn(move || {
+                        handle_worker(stream, conn, &shared, &fingerprint, &campaign);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(format!("serve: accept: {e}")),
+            }
+            {
+                let mut s = shared.lock().map_err(|_| "serve: state poisoned")?;
+                s.sweep_expired(Instant::now());
+                if s.drained() {
+                    if let Some(sink) = s.sink.as_mut() {
+                        let _ = sink.flush();
+                    }
+                    return Ok(ServeOutcome {
+                        cells_total: total,
+                        cells_ingested: s.cells_ingested,
+                        cells_skipped,
+                        workers_seen: s.workers_seen,
+                        leases_reclaimed: s.leases_reclaimed,
+                        store_path: self.store_path.clone(),
+                    });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// One worker connection, from handshake to disconnect. Any protocol or
+/// I/O error just drops the connection — the lease sweep and the
+/// disconnect release make worker failure a non-event.
+fn handle_worker(
+    mut stream: TcpStream,
+    conn: u64,
+    shared: &Arc<Mutex<Shared>>,
+    fingerprint: &str,
+    campaign: &str,
+) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut lines = BufReader::new(reader).lines();
+
+    // Handshake: first line must be a matching Hello.
+    let worker_name = match lines.next() {
+        Some(Ok(line)) => match Msg::decode(&line) {
+            Ok(Msg::Hello {
+                schema,
+                worker,
+                fingerprint: fp,
+            }) => {
+                let reason = if schema != FABRIC_SCHEMA {
+                    Some(format!("protocol version '{schema}' != '{FABRIC_SCHEMA}'"))
+                } else if fp != fingerprint {
+                    Some(format!(
+                        "grid fingerprint {fp} != {fingerprint} — worker expanded a \
+                         different campaign spec"
+                    ))
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    let _ = send(&mut stream, &Msg::Reject { reason });
+                    return;
+                }
+                worker
+            }
+            _ => {
+                let _ = send(
+                    &mut stream,
+                    &Msg::Reject {
+                        reason: "expected hello".into(),
+                    },
+                );
+                return;
+            }
+        },
+        _ => return,
+    };
+    {
+        let Ok(mut s) = shared.lock() else { return };
+        s.workers_seen += 1;
+        let total = s.total;
+        if s.progress {
+            eprintln!("[serve] worker '{worker_name}' connected ({total} cells)");
+        }
+    }
+    if send(
+        &mut stream,
+        &Msg::Welcome {
+            campaign: campaign.into(),
+            cells: shared.lock().map(|s| s.total).unwrap_or(0),
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    for line in lines {
+        let Ok(line) = line else { break };
+        let msg = match Msg::decode(&line) {
+            Ok(m) => m,
+            Err(_) => break, // desynced connection: drop it
+        };
+        let reply = {
+            let Ok(mut s) = shared.lock() else { break };
+            match msg {
+                Msg::Claim => {
+                    if s.drained() {
+                        Some(Msg::Drained)
+                    } else if let Some(&cell) = s.pending.iter().next() {
+                        s.pending.remove(&cell);
+                        let deadline = Instant::now() + s.lease;
+                        s.leases.insert(cell, (conn, deadline));
+                        Some(Msg::Lease {
+                            cell,
+                            lease_ms: s.lease.as_millis() as u64,
+                        })
+                    } else {
+                        // Everything left is leased out; poll back soon so a
+                        // reclaimed cell is picked up promptly.
+                        let retry_ms = (s.lease.as_millis() as u64 / 4).clamp(50, 1000);
+                        Some(Msg::Wait { retry_ms })
+                    }
+                }
+                Msg::Result {
+                    cell,
+                    line,
+                    elapsed_secs,
+                    trials,
+                } => {
+                    s.leases.remove(&cell);
+                    s.pending.remove(&cell);
+                    let duplicate = s.written.contains(&cell) || s.parked.contains_key(&cell);
+                    // The embedded id must agree — a mismatch means a buggy
+                    // or hostile worker, and the record is dropped (the cell
+                    // stays pending via the lease sweep).
+                    let id_ok = parse_flat(&line)
+                        .ok()
+                        .and_then(|obj| get(&obj, "cell").and_then(JsonScalar::as_u64))
+                        == Some(cell);
+                    if !duplicate && id_ok {
+                        s.parked.insert(
+                            cell,
+                            Parked {
+                                line,
+                                trials,
+                                elapsed_secs,
+                            },
+                        );
+                        s.cells_ingested += 1;
+                        if s.flush().is_err() {
+                            break; // store write failed; main loop will stall visibly
+                        }
+                        if s.progress {
+                            eprintln!(
+                                "[serve] cell {cell} from '{worker_name}' ({}/{})",
+                                s.written.len(),
+                                s.total
+                            );
+                        }
+                    } else if !duplicate {
+                        s.pending.insert(cell);
+                    }
+                    None
+                }
+                Msg::Telemetry { line } => {
+                    // Ingest record lines only; the worker's own sink header
+                    // is superseded by the server's.
+                    if s.sink.is_some() {
+                        let is_record = parse_flat(&line)
+                            .ok()
+                            .is_some_and(|obj| get(&obj, "record").is_some());
+                        if is_record {
+                            if let Some(sink) = s.sink.as_mut() {
+                                let _ = writeln!(sink, "{line}");
+                            }
+                        }
+                    }
+                    None
+                }
+                // Anything else from a worker is a protocol violation.
+                _ => break,
+            }
+        };
+        if let Some(reply) = reply {
+            let done = matches!(reply, Msg::Drained);
+            if send(&mut stream, &reply).is_err() || done {
+                break;
+            }
+        }
+    }
+
+    // Disconnect (or violation): whatever this worker held goes back.
+    if let Ok(mut s) = shared.lock() {
+        s.release_conn(conn);
+    }
+}

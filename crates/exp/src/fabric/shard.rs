@@ -1,0 +1,269 @@
+//! Deterministic partitioning of a campaign's expanded cell list.
+//!
+//! A shard is a subset of cell *ids* — never a change to any cell's spec or
+//! seed — so every shard store's records are byte-identical to the lines
+//! the single-host run would have written for the same cells.
+
+use std::path::{Path, PathBuf};
+
+/// Which slice of the expanded cell list a host runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSelection {
+    /// Shard `index` of `count`: the balanced contiguous range
+    /// `[index·total/count, (index+1)·total/count)`. Parsed from `i/k`.
+    Index {
+        /// Zero-based shard index (`< count`).
+        index: u64,
+        /// Total shard count (`≥ 1`).
+        count: u64,
+    },
+    /// Explicit inclusive cell-id ranges, e.g. `0-3,7,12-15`. Kept sorted
+    /// and non-overlapping (the parser rejects overlap).
+    Ranges(Vec<(u64, u64)>),
+}
+
+impl ShardSelection {
+    /// Parse a `--shard` argument: either `i/k` (shard `i` of `k`) or a
+    /// comma-separated list of cell ids / inclusive ranges (`0-3,7`).
+    ///
+    /// Rejects `k = 0`, `i ≥ k`, inverted ranges, and overlapping manual
+    /// ranges — a silent overlap would make two hosts run the same cells
+    /// and the merge refuse their stores much later, far from the typo.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some((i, k)) = s.split_once('/') {
+            let index: u64 = i
+                .trim()
+                .parse()
+                .map_err(|e| format!("--shard: bad index '{i}': {e}"))?;
+            let count: u64 = k
+                .trim()
+                .parse()
+                .map_err(|e| format!("--shard: bad count '{k}': {e}"))?;
+            if count == 0 {
+                return Err("--shard: count must be ≥ 1 (got 0/0-style spec)".into());
+            }
+            if index >= count {
+                return Err(format!(
+                    "--shard: index {index} out of range for {count} shard(s) \
+                     (indices are 0-based: 0..{})",
+                    count - 1
+                ));
+            }
+            return Ok(ShardSelection::Index { index, count });
+        }
+        let mut ranges = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (lo, hi) = match part.split_once('-') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .map_err(|e| format!("--shard: bad range start '{lo}': {e}"))?,
+                    hi.trim()
+                        .parse()
+                        .map_err(|e| format!("--shard: bad range end '{hi}': {e}"))?,
+                ),
+                None => {
+                    let id: u64 = part
+                        .parse()
+                        .map_err(|e| format!("--shard: bad cell id '{part}': {e}"))?;
+                    (id, id)
+                }
+            };
+            if lo > hi {
+                return Err(format!("--shard: inverted range {lo}-{hi}"));
+            }
+            ranges.push((lo, hi));
+        }
+        if ranges.is_empty() {
+            return Err("--shard: empty selection".into());
+        }
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            let ((alo, ahi), (blo, bhi)) = (pair[0], pair[1]);
+            if blo <= ahi {
+                return Err(format!(
+                    "--shard: overlapping ranges {alo}-{ahi} and {blo}-{bhi} \
+                     — each cell may appear in exactly one shard"
+                ));
+            }
+        }
+        Ok(ShardSelection::Ranges(ranges))
+    }
+
+    /// The contiguous cell-id range `[lo, hi)` of shard `index` of `count`
+    /// over `total` cells: balanced to within one cell, covering exactly
+    /// `0..total` across all shards.
+    pub fn range_of(index: u64, count: u64, total: u64) -> (u64, u64) {
+        (index * total / count, (index + 1) * total / count)
+    }
+
+    /// Whether cell `id` belongs to this shard of a `total`-cell grid.
+    pub fn contains(&self, id: u64, total: u64) -> bool {
+        match self {
+            ShardSelection::Index { index, count } => {
+                let (lo, hi) = Self::range_of(*index, *count, total);
+                (lo..hi).contains(&id)
+            }
+            ShardSelection::Ranges(ranges) => {
+                id < total && ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&id))
+            }
+        }
+    }
+
+    /// Validate against the grid size: manual ranges must stay inside the
+    /// grid (an out-of-bounds range is a typo, not an empty shard).
+    pub fn validate(&self, total: u64) -> Result<(), String> {
+        match self {
+            ShardSelection::Index { .. } => Ok(()),
+            ShardSelection::Ranges(ranges) => {
+                for &(lo, hi) in ranges {
+                    if hi >= total {
+                        return Err(format!(
+                            "--shard: range {lo}-{hi} exceeds the grid ({total} cells, \
+                             ids 0..{})",
+                            total.saturating_sub(1)
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Filesystem-safe label for shard store paths.
+    pub fn label(&self) -> String {
+        match self {
+            ShardSelection::Index { index, count } => format!("{index}-of-{count}"),
+            ShardSelection::Ranges(ranges) => {
+                let parts: Vec<String> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        if lo == hi {
+                            lo.to_string()
+                        } else {
+                            format!("{lo}-{hi}")
+                        }
+                    })
+                    .collect();
+                format!("cells-{}", parts.join("+"))
+            }
+        }
+    }
+}
+
+/// The per-shard store path for a campaign output path:
+/// `<out>.shard-<label>.jsonl` (e.g. `store.jsonl.shard-1-of-3.jsonl`).
+/// Appending (like the timings sidecar does) keeps every shard's artifacts
+/// groupable by the `<out>` prefix.
+pub fn shard_store_path(out: &Path, shard: &ShardSelection) -> PathBuf {
+    let mut os = out.as_os_str().to_owned();
+    os.push(format!(".shard-{}.jsonl", shard.label()));
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_index_form() {
+        assert_eq!(
+            ShardSelection::parse("1/3").expect("parse"),
+            ShardSelection::Index { index: 1, count: 3 }
+        );
+        assert_eq!(
+            ShardSelection::parse("0/1").expect("parse"),
+            ShardSelection::Index { index: 0, count: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_index_form() {
+        for bad in ["3/3", "5/2", "0/0", "1/0", "x/3", "1/y", "-1/3"] {
+            let err = ShardSelection::parse(bad).expect_err(bad);
+            assert!(err.contains("--shard"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_manual_ranges_and_rejects_overlap() {
+        assert_eq!(
+            ShardSelection::parse("0-3,7,12-15").expect("parse"),
+            ShardSelection::Ranges(vec![(0, 3), (7, 7), (12, 15)])
+        );
+        // Unordered input is normalized…
+        assert_eq!(
+            ShardSelection::parse("7,0-3").expect("parse"),
+            ShardSelection::Ranges(vec![(0, 3), (7, 7)])
+        );
+        // …overlap (even after sorting) is rejected.
+        for bad in ["0-3,2-5", "0-3,3", "5,5", "4-2"] {
+            let err = ShardSelection::parse(bad).expect_err(bad);
+            assert!(
+                err.contains("overlap") || err.contains("inverted"),
+                "{bad}: {err}"
+            );
+        }
+        assert!(ShardSelection::parse("").is_err());
+    }
+
+    #[test]
+    fn index_ranges_partition_the_grid_exactly() {
+        for total in [0u64, 1, 4, 5, 24, 1000] {
+            for count in [1u64, 2, 3, 5, 7] {
+                let mut seen = 0u64;
+                let mut prev_hi = 0u64;
+                for index in 0..count {
+                    let (lo, hi) = ShardSelection::range_of(index, count, total);
+                    assert_eq!(lo, prev_hi, "gap at shard {index}/{count} of {total}");
+                    assert!(hi >= lo);
+                    // Balanced to within one cell.
+                    assert!(hi - lo <= total / count + 1);
+                    seen += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(prev_hi, total);
+                assert_eq!(seen, total, "{count} shards of {total} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_matches_range_of() {
+        let shard = ShardSelection::Index { index: 1, count: 3 };
+        let (lo, hi) = ShardSelection::range_of(1, 3, 24);
+        for id in 0..24 {
+            assert_eq!(shard.contains(id, 24), (lo..hi).contains(&id));
+        }
+        let manual = ShardSelection::parse("0-2,9").expect("parse");
+        assert!(manual.contains(0, 24) && manual.contains(9, 24));
+        assert!(!manual.contains(3, 24));
+        assert!(!manual.contains(9, 9), "ids outside the grid never match");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_grid_manual_ranges() {
+        let manual = ShardSelection::parse("20-30").expect("parse");
+        assert!(manual.validate(24).unwrap_err().contains("exceeds"));
+        assert!(manual.validate(31).is_ok());
+        assert!(ShardSelection::parse("2/3")
+            .expect("parse")
+            .validate(1)
+            .is_ok());
+    }
+
+    #[test]
+    fn shard_paths_are_derived_from_out() {
+        let shard = ShardSelection::Index { index: 1, count: 3 };
+        assert_eq!(
+            shard_store_path(Path::new("store.jsonl"), &shard),
+            PathBuf::from("store.jsonl.shard-1-of-3.jsonl")
+        );
+        let manual = ShardSelection::parse("0-3,7").expect("parse");
+        assert_eq!(
+            shard_store_path(Path::new("s.jsonl"), &manual),
+            PathBuf::from("s.jsonl.shard-cells-0-3+7.jsonl")
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The `stabcon work` side of the fabric: connect to a `stabcon serve`
+//! daemon, claim cells, run them on the local thread pool, and stream
+//! results (and telemetry) back.
+//!
+//! The worker expands the campaign spec **locally** and proves it did with
+//! the grid fingerprint in the [`Msg::Hello`] handshake — the server never
+//! ships cell specs over the wire, only cell *ids*, so the determinism
+//! story is identical to the batch shard flow: every record the worker
+//! produces is the exact line a single-host run would have written.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use stabcon_par::ThreadPool;
+
+use crate::campaign::CampaignSpec;
+use crate::cell::{chunk_for, run_cell_monitored};
+use crate::store;
+use crate::telemetry::CampaignTelemetry;
+
+use super::protocol::{Msg, FABRIC_SCHEMA};
+
+/// Worker knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Local worker threads for the shared pool.
+    pub threads: usize,
+    /// Display name sent in the handshake (shows up in the server's
+    /// progress lines).
+    pub name: String,
+    /// Trials per scheduler chunk; `None` auto-tunes per cell.
+    pub chunk: Option<u64>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            threads: stabcon_par::default_threads(),
+            name: "worker".into(),
+            chunk: None,
+        }
+    }
+}
+
+/// What a worker session ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Cells completed and shipped.
+    pub cells_run: u64,
+    /// Trials executed.
+    pub trials_run: u64,
+}
+
+/// A telemetry sink that ships each complete line to the server as a
+/// [`Msg::Telemetry`] frame instead of writing a local file. Buffers until
+/// a newline so partial `write` calls never tear a frame, and shares the
+/// connection mutex with the protocol sends so frames stay line-atomic.
+struct FrameWriter {
+    stream: Arc<Mutex<TcpStream>>,
+    buf: Vec<u8>,
+}
+
+impl Write for FrameWriter {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let rest = self.buf.split_off(pos + 1);
+            self.buf.pop(); // the newline
+            let line = String::from_utf8(std::mem::replace(&mut self.buf, rest))
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            send_locked(&self.stream, &Msg::Telemetry { line })?;
+        }
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn send_locked(stream: &Arc<Mutex<TcpStream>>, msg: &Msg) -> std::io::Result<()> {
+    let mut s = stream
+        .lock()
+        .map_err(|_| std::io::Error::other("connection poisoned"))?;
+    s.write_all(msg.encode().as_bytes())?;
+    s.write_all(b"\n")?;
+    s.flush()
+}
+
+/// Connect to a `stabcon serve` daemon at `addr` and work until the server
+/// reports the campaign drained.
+pub fn run_worker(
+    addr: &str,
+    spec: &CampaignSpec,
+    cfg: &WorkerConfig,
+) -> Result<WorkerOutcome, String> {
+    let cells = spec.expand();
+    let header = spec.header();
+    let stream = TcpStream::connect(addr).map_err(|e| format!("work: connect {addr}: {e}"))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("work: clone connection: {e}"))?;
+    let mut lines = BufReader::new(reader).lines();
+    let stream = Arc::new(Mutex::new(stream));
+
+    let mut recv = || -> Result<Msg, String> {
+        let line = lines
+            .next()
+            .ok_or("work: server closed the connection")?
+            .map_err(|e| format!("work: read: {e}"))?;
+        Msg::decode(&line)
+    };
+
+    send_locked(
+        &stream,
+        &Msg::Hello {
+            schema: FABRIC_SCHEMA.into(),
+            worker: cfg.name.clone(),
+            fingerprint: format!("{:016x}", header.fingerprint),
+        },
+    )
+    .map_err(|e| format!("work: hello: {e}"))?;
+    match recv()? {
+        Msg::Welcome {
+            cells: server_cells,
+            ..
+        } => {
+            if server_cells != cells.len() as u64 {
+                return Err(format!(
+                    "work: server grid has {server_cells} cells, local expansion {} — \
+                     fingerprint collision?",
+                    cells.len()
+                ));
+            }
+        }
+        Msg::Reject { reason } => return Err(format!("work: rejected: {reason}")),
+        other => return Err(format!("work: unexpected handshake reply {other:?}")),
+    }
+
+    let pool = ThreadPool::new(cfg.threads);
+    let mut outcome = WorkerOutcome {
+        cells_run: 0,
+        trials_run: 0,
+    };
+    loop {
+        send_locked(&stream, &Msg::Claim).map_err(|e| format!("work: claim: {e}"))?;
+        match recv()? {
+            Msg::Lease { cell, .. } => {
+                let cell = cells
+                    .get(cell as usize)
+                    .filter(|c| c.id == cell)
+                    .ok_or_else(|| format!("work: leased unknown cell {cell}"))?;
+                // Telemetry streams to the server; progress printing stays
+                // off (the server renders progress for the whole campaign).
+                let mut tel = CampaignTelemetry::create_with_sink(
+                    &spec.name,
+                    pool.threads().max(1),
+                    cells.len() as u64,
+                    cell.trials,
+                    false,
+                    Some(Box::new(FrameWriter {
+                        stream: Arc::clone(&stream),
+                        buf: Vec::new(),
+                    })),
+                )?;
+                let chunk = cfg
+                    .chunk
+                    .unwrap_or_else(|| chunk_for(cell.trials, cfg.threads));
+                tel.begin_cell(cell);
+                let started = Instant::now();
+                let agg = run_cell_monitored(&pool, cell, chunk, Some(&mut tel));
+                let elapsed_secs = started.elapsed().as_secs_f64();
+                tel.end_cell(cell, agg.trials(), elapsed_secs);
+                tel.finish();
+                send_locked(
+                    &stream,
+                    &Msg::Result {
+                        cell: cell.id,
+                        line: store::cell_line(cell, &agg),
+                        elapsed_secs,
+                        trials: agg.trials(),
+                    },
+                )
+                .map_err(|e| format!("work: ship cell {}: {e}", cell.id))?;
+                outcome.cells_run += 1;
+                outcome.trials_run += agg.trials();
+            }
+            Msg::Wait { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 5000)));
+            }
+            Msg::Drained => return Ok(outcome),
+            Msg::Reject { reason } => return Err(format!("work: rejected: {reason}")),
+            other => return Err(format!("work: unexpected server message {other:?}")),
+        }
+    }
+}

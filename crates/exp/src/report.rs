@@ -136,11 +136,17 @@ pub fn report_table_with_timings(
         table.push_row(row);
     }
     if let Some(h) = &loaded.header {
-        if (loaded.cells.len() as u64) < h.cells {
+        let present: std::collections::BTreeSet<u64> = loaded.done_ids().into_iter().collect();
+        if (present.len() as u64) < h.cells {
+            // Spell the coverage out — a shard store or a partial serve
+            // store must never read as a complete campaign.
+            let missing: Vec<u64> = (0..h.cells).filter(|id| !present.contains(id)).collect();
             table.push_note(format!(
-                "incomplete: {} of {} cells — `stabcon campaign resume` continues it",
-                loaded.cells.len(),
-                h.cells
+                "partial store: cells {}/{} — missing {} (`stabcon campaign resume` \
+                 continues it; `stabcon campaign merge` stitches shards)",
+                present.len(),
+                h.cells,
+                crate::fabric::merge::format_id_ranges(&missing, 8)
             ));
         }
     }
@@ -170,6 +176,29 @@ mod tests {
         let loaded = store::load(&path).expect("load");
         let text = report_table(&loaded).to_text();
         assert!(text.contains("last_unsettled"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_flags_partial_store_with_coverage() {
+        let dir = std::env::temp_dir().join("stabcon-report-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("{}-partial.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let spec = CampaignSpec {
+            trials: 4,
+            ns: vec![64],
+            ..CampaignSpec::default()
+        };
+        let cfg = RunConfig {
+            max_cells: Some(1),
+            ..RunConfig::default()
+        };
+        run_campaign(&spec, &path, &cfg).expect("run");
+        let loaded = store::load(&path).expect("load");
+        let text = report_table(&loaded).to_text();
+        assert!(text.contains("partial store: cells 1/2"), "{text}");
+        assert!(text.contains("missing 1"), "{text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,6 +11,7 @@
 //! [`stabcon_util::jsonl`], with floats in shortest-roundtrip form: the
 //! store is lossless and deterministic, never timestamped.
 
+use std::collections::BTreeSet;
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::Path;
@@ -160,6 +161,76 @@ pub fn cell_line(cell: &CellSpec, agg: &CellAggregate) -> String {
         );
     }
     obj.finish()
+}
+
+/// Name the first field on which two headers disagree — "fingerprint
+/// mismatch" alone misdirects when e.g. only the trial count changed.
+pub fn describe_mismatch(stored: &StoreHeader, requested: &StoreHeader) -> String {
+    if stored.name != requested.name {
+        format!("name '{}' vs '{}'", stored.name, requested.name)
+    } else if stored.seed != requested.seed {
+        format!("seed {:#x} vs {:#x}", stored.seed, requested.seed)
+    } else if stored.trials != requested.trials {
+        format!("trials {} vs {}", stored.trials, requested.trials)
+    } else if stored.cells != requested.cells {
+        format!("cells {} vs {}", stored.cells, requested.cells)
+    } else {
+        format!(
+            "grid fingerprint {:016x} vs {:016x}",
+            stored.fingerprint, requested.fingerprint
+        )
+    }
+}
+
+/// Open (or create) a store for appending cells under `header`.
+///
+/// Fresh opens refuse an existing file; with `resume` the stored header is
+/// validated against `header`, any torn tail is truncated away, and the ids
+/// of cells already present are returned so the caller can skip them. Used
+/// by both `run_campaign` and the fabric's `serve` daemon.
+pub fn open_for_append(
+    path: &Path,
+    header: &StoreHeader,
+    resume: bool,
+) -> Result<(std::fs::File, BTreeSet<u64>), String> {
+    let mut done = BTreeSet::new();
+    let file = if path.exists() {
+        if !resume {
+            return Err(format!(
+                "{}: store exists — use resume (or a fresh path)",
+                path.display()
+            ));
+        }
+        let loaded = load(path)?;
+        match &loaded.header {
+            Some(h) if h == header => {
+                done.extend(loaded.done_ids());
+                recover(path, &loaded).map_err(|e| format!("recover: {e}"))?;
+                OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| format!("open: {e}"))?
+            }
+            Some(h) => {
+                return Err(format!(
+                    "{}: store was produced by a different campaign spec ({} — stored vs requested)",
+                    path.display(),
+                    describe_mismatch(h, header)
+                ));
+            }
+            None => {
+                // Nothing valid in the file: restart it.
+                let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
+                append_line(&mut f, &header.to_line()).map_err(|e| format!("write header: {e}"))?;
+                f
+            }
+        }
+    } else {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("create: {e}"))?;
+        append_line(&mut f, &header.to_line()).map_err(|e| format!("write header: {e}"))?;
+        f
+    };
+    Ok((file, done))
 }
 
 /// A store read back from disk.

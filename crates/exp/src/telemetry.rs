@@ -126,7 +126,7 @@ fn fmt_eta(secs: f64) -> String {
 pub struct CampaignTelemetry {
     registry: Arc<MetricRegistry>,
     snap: Snapshot,
-    sink: Option<BufWriter<File>>,
+    sink: Option<BufWriter<Box<dyn Write + Send>>>,
     progress: bool,
     campaign_started: Instant,
     cells_total: u64,
@@ -153,11 +153,38 @@ impl CampaignTelemetry {
         progress: bool,
         sink_path: Option<&Path>,
     ) -> Result<Self, String> {
-        let sink = match sink_path {
+        let sink: Option<Box<dyn Write + Send>> = match sink_path {
             Some(p) => {
-                let file = File::create(p)
-                    .map_err(|e| format!("{}: create telemetry sink: {e}", p.display()))?;
-                let mut w = BufWriter::new(file);
+                Some(Box::new(File::create(p).map_err(|e| {
+                    format!("{}: create telemetry sink: {e}", p.display())
+                })?))
+            }
+            None => None,
+        };
+        Self::create_with_sink(
+            campaign,
+            workers,
+            cells_total,
+            trials_planned,
+            progress,
+            sink,
+        )
+    }
+
+    /// [`CampaignTelemetry::create`] with an arbitrary sink writer instead
+    /// of a file path — the fabric worker streams its sink lines over the
+    /// connection to `stabcon serve` as the live progress protocol.
+    pub fn create_with_sink(
+        campaign: &str,
+        workers: usize,
+        cells_total: u64,
+        trials_planned: u64,
+        progress: bool,
+        sink: Option<Box<dyn Write + Send>>,
+    ) -> Result<Self, String> {
+        let sink = match sink {
+            Some(w) => {
+                let mut w = BufWriter::new(w);
                 let header = JsonObj::new()
                     .str_field("schema", TELEMETRY_SCHEMA)
                     .str_field("campaign", campaign)
@@ -165,8 +192,7 @@ impl CampaignTelemetry {
                     .u64_field("cells", cells_total)
                     .u64_field("trials_planned", trials_planned)
                     .finish();
-                writeln!(w, "{header}")
-                    .map_err(|e| format!("{}: write telemetry header: {e}", p.display()))?;
+                writeln!(w, "{header}").map_err(|e| format!("write telemetry header: {e}"))?;
                 Some(w)
             }
             None => None,

@@ -1,0 +1,143 @@
+//! Property tests for the `stabcon-fabric/1` wire protocol: every message
+//! survives an encode→decode round trip — including payload strings with
+//! quotes, backslashes, newlines, control bytes, and non-ASCII — and every
+//! encoding is exactly one line, so the line-oriented framing can never
+//! tear a message.
+
+use proptest::prelude::*;
+use stabcon_exp::fabric::{Msg, FABRIC_SCHEMA};
+
+/// Escaping stress pool: quotes, backslashes, newlines, control characters,
+/// multi-byte UTF-8, JSON-significant punctuation.
+const NASTY: [&str; 8] = [
+    "",
+    "plain worker-1",
+    "he said \"hi\"",
+    "back\\slash\\",
+    "line\nbreak\ttab",
+    "\r bell\u{1}del\u{7f}",
+    "κόσμε 🦀 consensus",
+    "{\"cell\": 3}, [1,2]:",
+];
+
+/// A string mixing two pool entries with a numeric tail — deterministic in
+/// its inputs, covering the pool pairwise across cases.
+fn nasty(a: usize, b: usize, tail: u64) -> String {
+    format!("{}{}{tail}", NASTY[a % NASTY.len()], NASTY[b % NASTY.len()])
+}
+
+fn build_msg(kind: usize, x: u64, y: u64, a: usize, b: usize) -> Msg {
+    match kind {
+        0 => Msg::Hello {
+            schema: FABRIC_SCHEMA.into(),
+            worker: nasty(a, b, x),
+            fingerprint: format!("{y:016x}"),
+        },
+        1 => Msg::Welcome {
+            campaign: nasty(a, b, x),
+            cells: y,
+        },
+        2 => Msg::Reject {
+            reason: nasty(a, b, x),
+        },
+        3 => Msg::Claim,
+        4 => Msg::Lease {
+            cell: x,
+            lease_ms: y,
+        },
+        5 => Msg::Wait { retry_ms: x },
+        6 => Msg::Drained,
+        7 => Msg::Telemetry {
+            line: nasty(a, b, x),
+        },
+        _ => Msg::Result {
+            cell: x,
+            line: nasty(a, b, x),
+            // Finite by construction: JSON has no NaN/inf, and the writer
+            // maps non-finite to null (which decode rejects).
+            elapsed_secs: (y % 1_000_000_000) as f64 / 1024.0,
+            trials: y,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn encode_decode_round_trips(
+        kind in 0usize..9,
+        x in any::<u64>(),
+        y in any::<u64>(),
+        a in 0usize..NASTY.len(),
+        b in 0usize..NASTY.len(),
+    ) {
+        let msg = build_msg(kind, x, y, a, b);
+        let wire = msg.encode();
+        prop_assert!(!wire.contains('\n'), "framing: one line per message: {:?}", wire);
+        let back = Msg::decode(&wire).expect("decode");
+        prop_assert_eq!(back, msg, "wire: {}", wire);
+    }
+
+    /// Whatever bytes arrive, decode never panics — it returns a message
+    /// or an error. Garbage lines are assembled from the same nasty pool
+    /// plus raw numeric noise so quoting is frequently unbalanced.
+    #[test]
+    fn decode_never_panics(
+        a in 0usize..NASTY.len(),
+        b in 0usize..NASTY.len(),
+        x in any::<u64>(),
+        cut in 0usize..64,
+    ) {
+        let garbage = format!("{}{}{x}", NASTY[a], NASTY[b]);
+        let _ = Msg::decode(&garbage);
+        // Also every prefix-truncation of a valid message (torn line).
+        let wire = build_msg(a % 9, x, x, a, b).encode();
+        let mut cut = cut.min(wire.len());
+        while !wire.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = Msg::decode(&wire[..cut]);
+    }
+}
+
+#[test]
+fn unknown_and_malformed_kinds_are_rejected() {
+    assert!(Msg::decode("{\"kind\": \"warp\"}")
+        .unwrap_err()
+        .contains("unknown"));
+    assert!(Msg::decode("{\"cell\": 3}").unwrap_err().contains("kind"));
+    assert!(Msg::decode("").is_err());
+    assert!(Msg::decode("{\"kind\": \"lease\", \"cell\": 1}")
+        .unwrap_err()
+        .contains("lease_ms"));
+    // Non-finite elapsed encodes as null, which decode refuses — a broken
+    // worker clock cannot smuggle a null into the timings sidecar.
+    let bad = Msg::Result {
+        cell: 0,
+        line: "{}".into(),
+        elapsed_secs: f64::NAN,
+        trials: 1,
+    };
+    assert!(Msg::decode(&bad.encode())
+        .unwrap_err()
+        .contains("elapsed_secs"));
+}
+
+#[test]
+fn store_and_telemetry_lines_survive_the_wire_verbatim() {
+    // The byte-identity story rests on this: a Result frame's embedded
+    // store line comes back exactly, bytes for bytes.
+    let store_line = "{\"kind\": \"cell\", \"cell\": 3, \"n\": \"128\", \
+                      \"mean\": 9.75, \"p50\": 10, \"max\": null}";
+    let msg = Msg::Result {
+        cell: 3,
+        line: store_line.into(),
+        elapsed_secs: 0.25,
+        trials: 8,
+    };
+    match Msg::decode(&msg.encode()).expect("decode") {
+        Msg::Result { line, .. } => assert_eq!(line, store_line),
+        other => panic!("wrong kind: {other:?}"),
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration test for the `stabcon serve` daemon: a worker that claims a
+//! cell and dies (disconnect) and one that claims a cell and hangs (lease
+//! expiry) both have their cells re-claimed and re-run by a healthy worker
+//! — and the assembled store is byte-identical to the single-host run,
+//! because re-runs from deterministic seeds are exact.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
+use stabcon_exp::fabric::{run_worker, Msg, ServeConfig, Server, WorkerConfig, FABRIC_SCHEMA};
+use stabcon_exp::telemetry::{check_telemetry, timings_path};
+use stabcon_exp::InitSpec;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stabcon-fabric-serve");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{}-{tag}.jsonl", std::process::id()))
+}
+
+fn cleanup(store: &PathBuf) {
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(timings_path(store)).ok();
+}
+
+/// 4 quick cells.
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        name: "serve-it".into(),
+        seed: 0x5E4E,
+        trials: 4,
+        ns: vec![64, 96],
+        inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+        ..CampaignSpec::default()
+    }
+}
+
+/// Connect and complete the fabric handshake, returning the connection and
+/// its buffered read side.
+fn handshake(addr: &str, fingerprint: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let hello = Msg::Hello {
+        schema: FABRIC_SCHEMA.into(),
+        worker: "rogue".into(),
+        fingerprint: fingerprint.into(),
+    };
+    writeln!(stream, "{}", hello.encode()).expect("send hello");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read welcome");
+    match Msg::decode(line.trim_end()).expect("decode welcome") {
+        Msg::Welcome { .. } => {}
+        other => panic!("handshake failed: {other:?}"),
+    }
+    (stream, reader)
+}
+
+/// Claim one cell and return its id (the rogue never runs it).
+fn claim_one(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) -> u64 {
+    writeln!(stream, "{}", Msg::Claim.encode()).expect("send claim");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read lease");
+    match Msg::decode(line.trim_end()).expect("decode lease") {
+        Msg::Lease { cell, lease_ms } => {
+            assert!(lease_ms > 0);
+            cell
+        }
+        other => panic!("expected a lease, got {other:?}"),
+    }
+}
+
+#[test]
+fn serve_survives_killed_and_hung_workers() {
+    let spec = grid();
+    let fingerprint = format!("{:016x}", spec.header().fingerprint);
+
+    // Reference: the single-host store.
+    let reference_path = tmp("reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("single-host run");
+    let reference = std::fs::read(&reference_path).expect("read reference");
+
+    let store = tmp("served");
+    let sink = tmp("served-telemetry");
+    cleanup(&store);
+    std::fs::remove_file(&sink).ok();
+    let server = Server::bind("127.0.0.1:0", &spec, &store).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(300),
+        progress: false,
+        telemetry: Some(sink.clone()),
+        resume: false,
+    };
+    let server_thread = std::thread::spawn(move || server.run(&cfg));
+
+    // A worker whose spec disagrees is rejected at the handshake.
+    let wrong_spec = CampaignSpec {
+        seed: 0xBAD,
+        ..grid()
+    };
+    let err = run_worker(&addr, &wrong_spec, &WorkerConfig::default()).unwrap_err();
+    assert!(err.contains("rejected"), "{err}");
+    assert!(err.contains("fingerprint"), "{err}");
+
+    // Killed worker: claims a cell, then the host dies (connection drops).
+    let killed_cell = {
+        let (mut stream, mut reader) = handshake(&addr, &fingerprint);
+        claim_one(&mut stream, &mut reader)
+        // stream dropped here — the server releases the lease immediately.
+    };
+
+    // Hung worker: claims a cell and goes silent without disconnecting;
+    // only the lease expiry can reclaim this one.
+    let (hung_stream, mut hung_reader) = handshake(&addr, &fingerprint);
+    let hung_cell = {
+        let mut stream = hung_stream.try_clone().expect("clone");
+        claim_one(&mut stream, &mut hung_reader)
+    };
+
+    // A healthy worker drains the campaign, re-running both lost cells.
+    let outcome = run_worker(
+        &addr,
+        &spec,
+        &WorkerConfig {
+            threads: 2,
+            name: "healthy".into(),
+            chunk: None,
+        },
+    )
+    .expect("healthy worker");
+    assert_eq!(
+        outcome.cells_run, 4,
+        "the healthy worker re-runs the killed ({killed_cell}) and hung \
+         ({hung_cell}) workers' cells"
+    );
+
+    let served = server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve outcome");
+    drop(hung_stream);
+    assert_eq!(served.cells_total, 4);
+    assert_eq!(served.cells_ingested, 4);
+    assert_eq!(
+        served.workers_seen, 3,
+        "rogues count, the rejected one doesn't"
+    );
+    assert!(
+        served.leases_reclaimed >= 2,
+        "both lost leases reclaimed (got {})",
+        served.leases_reclaimed
+    );
+
+    // The assembled store is byte-identical to the single-host run.
+    assert_eq!(
+        std::fs::read(&store).expect("read served store"),
+        reference,
+        "serve-assembled store differs from the single-host store"
+    );
+
+    // The ingested telemetry stream satisfies the telemetry schema.
+    let check = check_telemetry(&sink).expect("valid serve telemetry sink");
+    assert!(check.cell_profiles >= 4, "one profile per ingested cell");
+
+    cleanup(&reference_path);
+    cleanup(&store);
+    std::fs::remove_file(&sink).ok();
+}
+
+#[test]
+fn serve_resumes_a_partial_store() {
+    // Cells already in the store are skipped: only the remainder is leased.
+    let spec = grid();
+    let store = tmp("resume");
+    cleanup(&store);
+    run_campaign(
+        &spec,
+        &store,
+        &RunConfig {
+            max_cells: Some(2),
+            ..RunConfig::default()
+        },
+    )
+    .expect("partial single-host run");
+
+    let reference_path = tmp("resume-reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("reference run");
+
+    let server = Server::bind("127.0.0.1:0", &spec, &store).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(500),
+        resume: true,
+        ..ServeConfig::default()
+    };
+    let server_thread = std::thread::spawn(move || server.run(&cfg));
+
+    let outcome = run_worker(&addr, &spec, &WorkerConfig::default()).expect("worker");
+    assert_eq!(outcome.cells_run, 2, "only the missing cells are leased");
+
+    let served = server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve outcome");
+    assert_eq!(served.cells_skipped, 2);
+    assert_eq!(served.cells_ingested, 2);
+    assert_eq!(
+        std::fs::read(&store).expect("read resumed store"),
+        std::fs::read(&reference_path).expect("read reference"),
+        "resumed serve store differs from the single-host store"
+    );
+
+    cleanup(&store);
+    cleanup(&reference_path);
+}

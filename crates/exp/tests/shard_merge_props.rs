@@ -1,0 +1,247 @@
+//! The fabric's core contract: for any shard count, shard assignment,
+//! thread count, and interrupt point, merging the per-shard stores yields a
+//! store **byte-identical** to the single-host run — and the merge refuses
+//! stores whose fingerprints disagree or whose coverage is wrong.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
+use stabcon_exp::fabric::{merge_stores, shard_store_path, ShardSelection};
+use stabcon_exp::telemetry::timings_path;
+use stabcon_exp::InitSpec;
+
+const THREAD_CHOICES: [usize; 3] = [1, 2, 8];
+const SHARD_COUNTS: [u64; 4] = [1, 2, 3, 5];
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stabcon-shard-merge-props");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{}-{tag}.jsonl", std::process::id()))
+}
+
+/// 6 cells (3 ns × 2 inits), 3 trials each — enough ids for 5 shards to
+/// produce uneven (including empty-adjacent) ranges.
+fn grid(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: "shard-prop".into(),
+        seed,
+        trials: 3,
+        ns: vec![64, 96, 128],
+        inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+        ..CampaignSpec::default()
+    }
+}
+
+fn cleanup(store: &PathBuf) {
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(timings_path(store)).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// merge(shard stores) == single-host store, byte for byte, with one
+    /// shard interrupted mid-run and resumed.
+    #[test]
+    fn merge_of_shards_is_byte_identical_to_single_host(
+        seed in 0u64..1_000,
+        count_idx in 0usize..SHARD_COUNTS.len(),
+        threads_idx in 0usize..THREAD_CHOICES.len(),
+        interrupt_shard in 0u64..5,
+    ) {
+        let spec = grid(seed);
+        let count = SHARD_COUNTS[count_idx];
+        let threads = THREAD_CHOICES[threads_idx];
+        let interrupt_shard = interrupt_shard % count;
+        let tag = format!("{seed}-{count}-{threads}-{interrupt_shard}");
+
+        // Reference: the uninterrupted single-host store.
+        let single = tmp(&format!("single-{tag}"));
+        cleanup(&single);
+        run_campaign(&spec, &single, &RunConfig {
+            threads,
+            ..RunConfig::default()
+        }).expect("single-host run");
+        let reference = std::fs::read(&single).expect("read single-host store");
+
+        // Each shard into its own store; one shard is interrupted after a
+        // single cell and resumed (the crash-recovery path CI exercises).
+        let out = tmp(&format!("sharded-{tag}"));
+        let mut shard_paths = Vec::new();
+        for index in 0..count {
+            let shard = ShardSelection::Index { index, count };
+            let path = shard_store_path(&out, &shard);
+            cleanup(&path);
+            let interrupted = index == interrupt_shard;
+            let cfg = RunConfig {
+                threads,
+                shard: Some(shard.clone()),
+                max_cells: interrupted.then_some(1),
+                ..RunConfig::default()
+            };
+            let first = run_campaign(&spec, &path, &cfg).expect("shard run");
+            if interrupted && !first.complete() {
+                let resumed = run_campaign(&spec, &path, &RunConfig {
+                    resume: true,
+                    max_cells: None,
+                    ..cfg
+                }).expect("shard resume");
+                prop_assert!(resumed.complete(), "resume finishes the shard");
+            }
+            shard_paths.push(path);
+        }
+
+        let merged = tmp(&format!("merged-{tag}"));
+        cleanup(&merged);
+        let outcome = merge_stores(&shard_paths, &merged, Some(&spec.header()))
+            .expect("merge");
+        prop_assert_eq!(outcome.shards, count as usize);
+        prop_assert_eq!(outcome.cells, 6);
+        prop_assert!(outcome.timings_merged, "every shard writes a sidecar");
+
+        let bytes = std::fs::read(&merged).expect("read merged store");
+        prop_assert_eq!(
+            &bytes, &reference,
+            "merged {} shards (threads {}, shard {} interrupted) differs \
+             from single-host store",
+            count, threads, interrupt_shard
+        );
+
+        cleanup(&single);
+        cleanup(&merged);
+        for p in &shard_paths {
+            cleanup(p);
+        }
+    }
+}
+
+#[test]
+fn merge_rejects_fingerprint_mismatch_and_bad_coverage() {
+    let spec = grid(0xFAB);
+    let out = tmp("reject");
+    let mut paths = Vec::new();
+    for index in 0..2 {
+        let shard = ShardSelection::Index { index, count: 2 };
+        let path = shard_store_path(&out, &shard);
+        cleanup(&path);
+        run_campaign(
+            &spec,
+            &path,
+            &RunConfig {
+                shard: Some(shard),
+                ..RunConfig::default()
+            },
+        )
+        .expect("shard run");
+        paths.push(path);
+    }
+
+    // Coverage: one shard alone leaves a hole, named by id range.
+    let merged = tmp("reject-merged");
+    cleanup(&merged);
+    let err = merge_stores(&paths[..1], &merged, None).unwrap_err();
+    assert!(err.contains("incomplete coverage"), "{err}");
+    assert!(err.contains("cells 3/6"), "{err}");
+    assert!(err.contains("3-5"), "must name the missing ids: {err}");
+
+    // Overlap: the same shard twice is two claims on every cell.
+    let twice = [paths[0].clone(), paths[0].clone(), paths[1].clone()];
+    let err = merge_stores(&twice, &merged, None).unwrap_err();
+    assert!(err.contains("shards overlap"), "{err}");
+
+    // Expected-spec check: the caller's spec flags must match the shards.
+    let other = CampaignSpec {
+        seed: 0xBEEF,
+        ..grid(0xFAB)
+    };
+    let err = merge_stores(&paths, &merged, Some(&other.header())).unwrap_err();
+    assert!(err.contains("different campaign spec"), "{err}");
+
+    // Cross-shard fingerprint check: a shard from another campaign cannot
+    // slip into the input list.
+    let alien_shard = ShardSelection::Index { index: 1, count: 2 };
+    let alien = shard_store_path(&tmp("alien"), &alien_shard);
+    cleanup(&alien);
+    run_campaign(
+        &other,
+        &alien,
+        &RunConfig {
+            shard: Some(alien_shard),
+            ..RunConfig::default()
+        },
+    )
+    .expect("alien shard run");
+    let mixed = [paths[0].clone(), alien.clone()];
+    let err = merge_stores(&mixed, &merged, None).unwrap_err();
+    assert!(err.contains("disagrees"), "{err}");
+
+    // A torn shard (interrupted mid-append) must be resumed, not merged.
+    let torn = tmp("reject-torn");
+    std::fs::copy(&paths[1], &torn).expect("copy shard");
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&torn)
+        .expect("open torn");
+    write!(f, "{{\"kind\": \"cell\", \"cel").expect("tear");
+    drop(f);
+    let torn_inputs = [paths[0].clone(), torn.clone()];
+    let err = merge_stores(&torn_inputs, &merged, None).unwrap_err();
+    assert!(err.contains("torn"), "{err}");
+
+    // Output overwrite refusal.
+    std::fs::write(&merged, "existing\n").expect("write");
+    let err = merge_stores(&paths, &merged, None).unwrap_err();
+    assert!(err.contains("refusing to overwrite"), "{err}");
+
+    cleanup(&merged);
+    cleanup(&alien);
+    cleanup(&torn);
+    for p in &paths {
+        cleanup(p);
+    }
+}
+
+#[test]
+fn manual_range_shards_merge_too() {
+    // 0-1 / 2,4 / 3,5 — non-contiguous manual shards still cover the grid.
+    let spec = grid(0x51AB);
+    let out = tmp("manual");
+    let selections = ["0-1", "2,4", "3,5"];
+    let mut paths = Vec::new();
+    for sel in selections {
+        let shard = ShardSelection::parse(sel).expect("parse");
+        let path = shard_store_path(&out, &shard);
+        cleanup(&path);
+        let outcome = run_campaign(
+            &spec,
+            &path,
+            &RunConfig {
+                shard: Some(shard),
+                ..RunConfig::default()
+            },
+        )
+        .expect("manual shard run");
+        assert_eq!(outcome.cells_total, 2);
+        paths.push(path);
+    }
+    let single = tmp("manual-single");
+    cleanup(&single);
+    run_campaign(&spec, &single, &RunConfig::default()).expect("single-host run");
+
+    let merged = tmp("manual-merged");
+    cleanup(&merged);
+    merge_stores(&paths, &merged, Some(&spec.header())).expect("merge");
+    assert_eq!(
+        std::fs::read(&merged).expect("read merged"),
+        std::fs::read(&single).expect("read single"),
+        "manual-range shards must merge byte-identically too"
+    );
+
+    cleanup(&single);
+    cleanup(&merged);
+    for p in &paths {
+        cleanup(p);
+    }
+}
