@@ -8,6 +8,7 @@
 //! stabcon campaign report --out store.jsonl [--format text|md|csv] [--timings]
 //! stabcon serve           --preset figure1-small --out store.jsonl --listen 0.0.0.0:7677
 //! stabcon work            --preset figure1-small --connect host:7677
+//! stabcon chaos           --listen 127.0.0.1:7678 --connect 127.0.0.1:7677 --seed 42
 //! stabcon telemetry check --out telemetry.jsonl
 //! ```
 //!
@@ -44,9 +45,11 @@ use std::time::Duration;
 
 use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
 use stabcon_exp::fabric::{
-    merge_stores, run_worker, shard_store_path, ServeConfig, Server, ShardSelection, WorkerConfig,
+    merge_stores, run_worker, shard_store_path, ChaosProxy, ChaosSpec, ServeConfig, Server,
+    ShardSelection, WorkerConfig,
 };
 use stabcon_exp::presets::{preset, PRESET_NAMES};
+use stabcon_exp::store::Durability;
 use stabcon_exp::{report, store, telemetry};
 
 struct Args {
@@ -70,6 +73,10 @@ struct Args {
     lease_secs: Option<u64>,
     worker_name: Option<String>,
     resume: bool,
+    durability: Durability,
+    retries: Option<u32>,
+    backoff_ms: Option<u64>,
+    nasty: bool,
 }
 
 fn usage() -> String {
@@ -81,16 +88,22 @@ fn usage() -> String {
          stabcon campaign report --out PATH [--format text|md|csv] [--timings]\n  \
          stabcon serve           --out PATH --listen HOST:PORT [--lease-secs N] [--resume] [spec flags]\n  \
          stabcon work            --connect HOST:PORT [--worker-name NAME] [spec/exec flags]\n  \
-         stabcon telemetry check --out PATH\n\n\
+         stabcon chaos           --listen HOST:PORT --connect HOST:PORT [--seed N] [--nasty]\n  \
+         stabcon telemetry check --out PATH (telemetry sink or timings sidecar; auto-detected)\n\n\
          spec flags:  --preset NAME (one of {names})  --trials N  --seed N\n  \
                       --ns N,N,...  --name NAME\n\
          exec flags:  --threads N  --chunk N  --max-cells N\n\
          fabric flags: --shard I/K or --shard 0-3,7 (run a slice into <out>.shard-*.jsonl)\n  \
                       --from PATH (merge input, repeatable)  --listen/--connect HOST:PORT\n  \
-                      --lease-secs N (serve lease; default 60)  --worker-name NAME\n\
+                      --lease-secs N (serve lease; default 60)  --worker-name NAME\n  \
+                      --retries N (worker reconnect budget; default 5)\n  \
+                      --backoff-ms N (worker reconnect base backoff; default 200)\n\
+         durability:  --durability none|cell|batch (fsync policy for run/resume/serve;\n  \
+                      default none — bytes are identical under every policy)\n\
          observability: --progress (live lines on stderr)\n  \
                       --telemetry PATH (JSONL snapshots + per-cell profiles)\n\
-         report flags: --timings (join the store's timings sidecar)\n",
+         report flags: --timings (join the store's timings sidecar)\n\
+         chaos flags: --seed N (fault-draw seed)  --nasty (hostile fault mix)\n",
         names = PRESET_NAMES.join("|")
     )
 }
@@ -117,6 +130,10 @@ fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
         lease_secs: None,
         worker_name: None,
         resume: false,
+        durability: Durability::None,
+        retries: None,
+        backoff_ms: None,
+        nasty: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -145,6 +162,10 @@ fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
             "--lease-secs" => args.lease_secs = Some(parse_num(flag, &value()?)?),
             "--worker-name" => args.worker_name = Some(value()?),
             "--resume" => args.resume = true,
+            "--durability" => args.durability = Durability::parse(&value()?)?,
+            "--retries" => args.retries = Some(parse_num(flag, &value()?)? as u32),
+            "--backoff-ms" => args.backoff_ms = Some(parse_num(flag, &value()?)?),
+            "--nasty" => args.nasty = true,
             "--ns" => {
                 let list = value()?
                     .split(',')
@@ -199,6 +220,7 @@ fn execute(args: &Args, resume: bool) -> Result<(), String> {
         shard: args.shard.clone(),
         progress: args.progress,
         telemetry: args.telemetry.clone(),
+        durability: args.durability,
         ..RunConfig::default()
     };
     if let Some(t) = args.threads {
@@ -278,20 +300,80 @@ fn serve(args: &Args) -> Result<(), String> {
         progress: args.progress,
         telemetry: args.telemetry.clone(),
         resume: args.resume,
+        durability: args.durability,
     })?;
     eprintln!(
         "serve: campaign '{}' complete — {} cells ({} ingested, {} skipped) from {} worker(s), \
-         {} lease(s) reclaimed → {}",
+         {} lease(s) reclaimed, {} renewed, {} duplicate result(s) deduped → {}",
         spec.name,
         outcome.cells_total,
         outcome.cells_ingested,
         outcome.cells_skipped,
         outcome.workers_seen,
         outcome.leases_reclaimed,
+        outcome.leases_renewed,
+        outcome.results_deduped,
         outcome.store_path.display(),
     );
+    if outcome.telemetry_dropped > 0 {
+        eprintln!(
+            "serve: dropped {} invalid telemetry line(s) from workers",
+            outcome.telemetry_dropped
+        );
+    }
     Ok(())
 }
+
+/// Run the deterministic chaos proxy until killed: every connection to
+/// `--listen` is forwarded to `--connect` through the seeded fault
+/// injector (delays, duplicated frames, torn writes, mid-frame cuts).
+fn chaos(args: &Args) -> Result<(), String> {
+    let listen = args
+        .listen
+        .as_deref()
+        .ok_or_else(|| format!("--listen HOST:PORT is required\n\n{}", usage()))?;
+    let upstream = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    let seed = args.seed.unwrap_or(42);
+    let spec = if args.nasty {
+        ChaosSpec::nasty(seed)
+    } else {
+        ChaosSpec::mild(seed)
+    };
+    let proxy = ChaosProxy::bind(listen, upstream, spec)?;
+    eprintln!(
+        "chaos: {} → {} (seed {seed}, {} mix)",
+        proxy.local_addr()?,
+        upstream,
+        if args.nasty { "nasty" } else { "mild" }
+    );
+    proxy.run().map(|conns| {
+        eprintln!("chaos: proxied {conns} connection(s)");
+    })
+}
+
+/// SIGTERM → graceful worker drain: finish the in-flight cell, ship its
+/// result, say goodbye. The handler body is a single atomic store
+/// (async-signal-safe). Registered only for `stabcon work` — every other
+/// subcommand keeps the default terminate-now behavior.
+#[cfg(unix)]
+fn install_sigterm_drain() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        stabcon_exp::fabric::request_drain();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_drain() {}
 
 fn work(args: &Args) -> Result<(), String> {
     let spec = build_spec(args)?;
@@ -299,6 +381,7 @@ fn work(args: &Args) -> Result<(), String> {
         .connect
         .as_deref()
         .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    install_sigterm_drain();
     let mut cfg = WorkerConfig::default();
     if let Some(t) = args.threads {
         cfg.threads = t;
@@ -307,14 +390,30 @@ fn work(args: &Args) -> Result<(), String> {
     if let Some(name) = &args.worker_name {
         cfg.name = name.clone();
     }
+    if let Some(r) = args.retries {
+        cfg.retries = r;
+    }
+    if let Some(b) = args.backoff_ms {
+        cfg.backoff_ms = b;
+    }
     let start = std::time::Instant::now();
     let outcome = run_worker(addr, &spec, &cfg)?;
     eprintln!(
-        "work '{}': {} cell(s), {} trial(s) in {:.2}s",
+        "work '{}': {} cell(s), {} trial(s) in {:.2}s{}{}",
         cfg.name,
         outcome.cells_run,
         outcome.trials_run,
         start.elapsed().as_secs_f64(),
+        if outcome.reconnects > 0 {
+            format!(" ({} reconnect(s))", outcome.reconnects)
+        } else {
+            String::new()
+        },
+        if outcome.drained_early {
+            " — drained on request"
+        } else {
+            ""
+        },
     );
     Ok(())
 }
@@ -333,14 +432,32 @@ fn report(args: &Args) -> Result<(), String> {
 }
 
 fn telemetry_check(args: &Args) -> Result<(), String> {
-    let check = telemetry::check_telemetry(&args.out)?;
-    println!(
-        "{}: valid {} — {} snapshot(s), {} cell profile(s)",
-        args.out.display(),
-        telemetry::TELEMETRY_SCHEMA,
-        check.snapshots,
-        check.cell_profiles
-    );
+    // Auto-detect which schema the file claims and validate against it:
+    // a telemetry sink (`stabcon-telemetry/1`) or a per-cell timings
+    // sidecar (`stabcon-timings/1`).
+    match telemetry::peek_schema(&args.out)?.as_str() {
+        telemetry::TIMINGS_SCHEMA => {
+            let check = telemetry::check_timings(&args.out)?;
+            println!(
+                "{}: valid {} — {} line(s), {} cell(s), {} superseded duplicate(s) (last wins)",
+                args.out.display(),
+                telemetry::TIMINGS_SCHEMA,
+                check.lines,
+                check.cells,
+                check.duplicates
+            );
+        }
+        _ => {
+            let check = telemetry::check_telemetry(&args.out)?;
+            println!(
+                "{}: valid {} — {} snapshot(s), {} cell profile(s)",
+                args.out.display(),
+                telemetry::TELEMETRY_SCHEMA,
+                check.snapshots,
+                check.cell_profiles
+            );
+        }
+    }
     Ok(())
 }
 
@@ -368,6 +485,10 @@ fn main() -> ExitCode {
         },
         (Some("work"), _) => match parse_args(&argv[1..], false) {
             Ok(args) => work(&args),
+            Err(e) => Err(e),
+        },
+        (Some("chaos"), _) => match parse_args(&argv[1..], false) {
+            Ok(args) => chaos(&args),
             Err(e) => Err(e),
         },
         (Some("telemetry"), Some("check")) => match parse_args(&argv[2..], true) {

@@ -320,6 +320,10 @@ pub struct RunConfig {
     /// Write periodic telemetry snapshots and per-cell profiles to this
     /// JSONL sink (arms the telemetry registry). See [`crate::telemetry`].
     pub telemetry: Option<PathBuf>,
+    /// When appended cells are forced to stable storage (fsync policy) —
+    /// never changes the bytes written, only the crash window. See
+    /// [`store::Durability`].
+    pub durability: store::Durability,
 }
 
 impl Default for RunConfig {
@@ -332,6 +336,7 @@ impl Default for RunConfig {
             shard: None,
             progress: false,
             telemetry: None,
+            durability: store::Durability::None,
         }
     }
 }
@@ -390,7 +395,7 @@ pub fn run_campaign(
         None => cells.iter().collect(),
     };
 
-    let (mut file, done) = store::open_for_append(path, &header, cfg.resume)?;
+    let (mut file, done) = store::open_for_append(path, &header, cfg.resume, cfg.durability)?;
 
     let pool = ThreadPool::new(cfg.threads);
     let mut outcome = CampaignOutcome {
@@ -440,7 +445,7 @@ pub fn run_campaign(
         let started = Instant::now();
         let agg = run_cell_monitored(&pool, cell, chunk, tel.as_mut());
         let elapsed_secs = started.elapsed().as_secs_f64();
-        store::append_line(&mut file, &store::cell_line(cell, &agg))
+        file.append(&store::cell_line(cell, &agg))
             .map_err(|e| format!("append cell {}: {e}", cell.id))?;
         telemetry::append_timing(&mut timings, cell.id, agg.trials(), elapsed_secs)?;
         if let Some(t) = tel.as_mut() {
@@ -452,6 +457,8 @@ pub fn run_campaign(
     if let Some(t) = tel {
         outcome.profiles = t.finish();
     }
+    file.finish()
+        .map_err(|e| format!("sync store on finish: {e}"))?;
     Ok(outcome)
 }
 

@@ -1,0 +1,320 @@
+//! A deterministic chaos proxy for the fabric: an in-process TCP proxy
+//! that injects WAN-grade faults — delayed flushes, duplicated frames,
+//! torn writes, and mid-frame disconnects — between `stabcon work` and
+//! `stabcon serve`.
+//!
+//! Faults are drawn the same way `NetScenario` draws simulated network
+//! faults: a counter-based [`hash3`] keyed on `(seed, stream, frame)`,
+//! where `stream` identifies one direction of one proxied connection and
+//! `frame` is the newline-delimited frame index on it. [`fault_for`] is a
+//! pure function — no RNG state, no wall clock — so a fault pattern is
+//! reproducible from its seed, and property tests can enumerate draws
+//! without opening a socket.
+//!
+//! The point of the proxy is the *contract* it lets the integration tests
+//! pin: the final store of a campaign run through any chaos seed is
+//! **byte-identical** to a clean single-host run. Every fault the proxy
+//! injects maps to a recovery path that preserves that guarantee:
+//!
+//! | fault | what the fabric does |
+//! |---|---|
+//! | delayed flush | lease heartbeats keep slow links from expiring leases |
+//! | duplicated frame | server dedupes Results; worker resyncs via reconnect |
+//! | torn write | frames reassemble (TCP); partial lines never decode |
+//! | mid-frame cut | both sides drop the session; worker reconnects with backoff, resubmits idempotently |
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use stabcon_util::rng::hash3;
+
+/// Fault mix and seed for one proxy instance. Rates are permille (out of
+/// 1000) per frame, drawn independently per `(stream, frame)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Seed for the counter-based fault draws.
+    pub seed: u64,
+    /// ‰ of frames whose write is delayed by up to [`ChaosSpec::delay_ms_max`].
+    pub delay_permille: u16,
+    /// ‰ of frames written twice back-to-back.
+    pub dup_permille: u16,
+    /// ‰ of frames written in two flushes split mid-frame.
+    pub tear_permille: u16,
+    /// ‰ of frames after whose *partial* write both sides of the
+    /// connection are torn down (mid-frame disconnect).
+    pub cut_permille: u16,
+    /// Upper bound (exclusive is +1) for injected delays, in ms.
+    pub delay_ms_max: u64,
+}
+
+impl ChaosSpec {
+    /// A mild WAN: occasional delays and duplicates, rare tears and cuts.
+    /// The integration-test default — enough chaos to exercise every
+    /// recovery path across a few hundred frames without stalling a test
+    /// run on endless reconnects.
+    pub fn mild(seed: u64) -> Self {
+        Self {
+            seed,
+            delay_permille: 60,
+            dup_permille: 40,
+            tear_permille: 40,
+            cut_permille: 12,
+            delay_ms_max: 30,
+        }
+    }
+
+    /// A hostile WAN: frequent everything. For manual soak runs.
+    pub fn nasty(seed: u64) -> Self {
+        Self {
+            seed,
+            delay_permille: 150,
+            dup_permille: 100,
+            tear_permille: 100,
+            cut_permille: 50,
+            delay_ms_max: 120,
+        }
+    }
+}
+
+/// The fate of one proxied frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward untouched.
+    Pass,
+    /// Sleep this many ms, then forward.
+    Delay(u64),
+    /// Forward the frame twice.
+    Duplicate,
+    /// Forward in two flushes, split at this byte offset (clamped to the
+    /// frame interior at apply time).
+    Tear(usize),
+    /// Write only this many bytes of the frame (clamped to the frame
+    /// interior), then tear the connection down in both directions.
+    Cut(usize),
+}
+
+/// The pure fault draw: what happens to frame number `frame` on stream
+/// `stream` under `spec`. Two independent [`hash3`] words — one picks the
+/// fate against the cumulative permille thresholds, one sizes the
+/// magnitude (delay ms / split offset) — so changing a rate never reshuffles
+/// the magnitudes of surviving faults.
+pub fn fault_for(spec: &ChaosSpec, stream: u64, frame: u64) -> Fault {
+    let fate = hash3(spec.seed, stream, frame) % 1000;
+    let magnitude = hash3(spec.seed ^ 0x00c0_ffee, stream, frame);
+    let cut = spec.cut_permille as u64;
+    let tear = cut + spec.tear_permille as u64;
+    let dup = tear + spec.dup_permille as u64;
+    let delay = dup + spec.delay_permille as u64;
+    if fate < cut {
+        Fault::Cut(1 + (magnitude % 64) as usize)
+    } else if fate < tear {
+        Fault::Tear(1 + (magnitude % 64) as usize)
+    } else if fate < dup {
+        Fault::Duplicate
+    } else if fate < delay {
+        Fault::Delay(1 + magnitude % spec.delay_ms_max.max(1))
+    } else {
+        Fault::Pass
+    }
+}
+
+/// One direction of one proxied connection: read newline-delimited frames
+/// from `src`, apply each frame's drawn fault, forward to `dst`.
+fn pump(src: TcpStream, mut dst: TcpStream, spec: ChaosSpec, stream_id: u64) {
+    let src_shutdown = src.try_clone().ok();
+    let mut reader = BufReader::new(src);
+    let mut frame: u64 = 0;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        buf.clear();
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let forward = |dst: &mut TcpStream, bytes: &[u8]| -> bool {
+            dst.write_all(bytes).and_then(|()| dst.flush()).is_ok()
+        };
+        let ok = match fault_for(&spec, stream_id, frame) {
+            Fault::Pass => forward(&mut dst, &buf),
+            Fault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                forward(&mut dst, &buf)
+            }
+            Fault::Duplicate => forward(&mut dst, &buf) && forward(&mut dst, &buf),
+            Fault::Tear(at) => {
+                let at = at.min(buf.len().saturating_sub(1)).max(1);
+                let first = forward(&mut dst, &buf[..at]);
+                // A beat between the halves so the peer really observes a
+                // partial read, not one coalesced segment.
+                std::thread::sleep(Duration::from_millis(1));
+                first && forward(&mut dst, &buf[at..])
+            }
+            Fault::Cut(at) => {
+                let at = at.min(buf.len().saturating_sub(1)).max(1);
+                let _ = forward(&mut dst, &buf[..at]);
+                false // fall through to the shutdown below
+            }
+        };
+        if !ok {
+            break;
+        }
+        frame += 1;
+    }
+    // Mid-frame cut or dead peer: kill both directions so neither side
+    // waits on a half-open connection.
+    let _ = dst.shutdown(Shutdown::Both);
+    if let Some(s) = src_shutdown {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+}
+
+/// An in-process chaos TCP proxy. [`ChaosProxy::bind`] it between workers
+/// and a serve daemon, [`ChaosProxy::run`] it on a thread, and flip the
+/// [`ChaosProxy::stop_handle`] when the campaign is done.
+pub struct ChaosProxy {
+    listener: TcpListener,
+    upstream: String,
+    spec: ChaosSpec,
+    stop: Arc<AtomicBool>,
+}
+
+impl ChaosProxy {
+    /// Listen on `listen` (`host:port`, port 0 picks a free one) and
+    /// forward every connection to `upstream` through the fault injector.
+    pub fn bind(listen: &str, upstream: &str, spec: ChaosSpec) -> Result<Self, String> {
+        let listener =
+            TcpListener::bind(listen).map_err(|e| format!("chaos: bind {listen}: {e}"))?;
+        Ok(Self {
+            listener,
+            upstream: upstream.to_string(),
+            spec,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves a `:0` port).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("chaos: local_addr: {e}"))
+    }
+
+    /// Flag that makes [`ChaosProxy::run`] return. Existing connections
+    /// keep pumping until their endpoints hang up.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accept-and-proxy until the stop flag flips. Returns the number of
+    /// connections proxied. Each connection gets two pump threads — client
+    /// to upstream on stream id `2n`, upstream to client on `2n + 1` — so
+    /// the two directions draw independent fault streams.
+    pub fn run(self) -> Result<u64, String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("chaos: set_nonblocking: {e}"))?;
+        let mut conns: u64 = 0;
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((client, _)) => {
+                    conns += 1;
+                    let Ok(up) = TcpStream::connect(&self.upstream) else {
+                        // Upstream down (e.g. server restarting): refuse by
+                        // hangup; the worker's backoff handles the rest.
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    };
+                    let (Ok(client_r), Ok(up_r)) = (client.try_clone(), up.try_clone()) else {
+                        continue;
+                    };
+                    let spec = self.spec;
+                    let n = conns;
+                    std::thread::spawn(move || pump(client_r, up, spec, 2 * n));
+                    std::thread::spawn(move || pump(up_r, client, spec, 2 * n + 1));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("chaos: accept: {e}")),
+            }
+        }
+        Ok(conns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_draws_are_pure_and_seed_sensitive() {
+        let spec = ChaosSpec::mild(42);
+        for stream in 0..4u64 {
+            for frame in 0..64u64 {
+                assert_eq!(
+                    fault_for(&spec, stream, frame),
+                    fault_for(&spec, stream, frame),
+                    "same (seed, stream, frame) must draw the same fault"
+                );
+            }
+        }
+        // A different seed reshuffles the pattern.
+        let a: Vec<Fault> = (0..256)
+            .map(|f| fault_for(&ChaosSpec::mild(1), 0, f))
+            .collect();
+        let b: Vec<Fault> = (0..256)
+            .map(|f| fault_for(&ChaosSpec::mild(2), 0, f))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fault_rates_track_the_spec_permilles() {
+        let spec = ChaosSpec::nasty(7);
+        let n = 20_000u64;
+        let mut counts = [0u64; 5];
+        for frame in 0..n {
+            let idx = match fault_for(&spec, 0, frame) {
+                Fault::Pass => 0,
+                Fault::Delay(ms) => {
+                    assert!((1..=spec.delay_ms_max).contains(&ms));
+                    1
+                }
+                Fault::Duplicate => 2,
+                Fault::Tear(_) => 3,
+                Fault::Cut(_) => 4,
+            };
+            counts[idx] += 1;
+        }
+        let expect = |permille: u16| (n * permille as u64) / 1000;
+        for (idx, permille) in [
+            (1, spec.delay_permille),
+            (2, spec.dup_permille),
+            (3, spec.tear_permille),
+            (4, spec.cut_permille),
+        ] {
+            let e = expect(permille);
+            assert!(
+                counts[idx] > e / 2 && counts[idx] < e * 2,
+                "fault class {idx}: {} draws vs ~{e} expected",
+                counts[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn zeroed_spec_always_passes() {
+        let spec = ChaosSpec {
+            seed: 9,
+            delay_permille: 0,
+            dup_permille: 0,
+            tear_permille: 0,
+            cut_permille: 0,
+            delay_ms_max: 1,
+        };
+        assert!((0..1000).all(|f| fault_for(&spec, 3, f) == Fault::Pass));
+    }
+}

@@ -26,14 +26,24 @@
 //! appends results to the store in canonical order, so a completed serve
 //! store is *also* byte-identical to the single-host run.
 
+//! The fabric is WAN-hardened end to end: workers reconnect with capped
+//! jittered backoff and resubmit completed results idempotently, lease
+//! heartbeats ([`Msg::Renew`]) keep slow-but-alive cells from being
+//! re-leased, the serve store honors an explicit fsync policy and repairs
+//! torn tails atomically on resume, and the [`chaos`] proxy injects
+//! deterministic WAN faults between the two so the byte-identity contract
+//! is pinned under fire, not just in fair weather.
+
+pub mod chaos;
 pub mod merge;
 pub mod protocol;
 pub mod serve;
 pub mod shard;
 pub mod worker;
 
+pub use chaos::{fault_for, ChaosProxy, ChaosSpec, Fault};
 pub use merge::{merge_stores, MergeOutcome};
 pub use protocol::{Msg, FABRIC_SCHEMA};
-pub use serve::{ServeConfig, ServeOutcome, Server};
+pub use serve::{Ingest, Parked, ServeConfig, ServeOutcome, ServeState, Server};
 pub use shard::{shard_store_path, ShardSelection};
-pub use worker::{run_worker, WorkerConfig, WorkerOutcome};
+pub use worker::{request_drain, run_worker, WorkerConfig, WorkerOutcome};

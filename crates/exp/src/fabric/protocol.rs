@@ -19,9 +19,13 @@
 //!                            ←  Lease{cell,lease_ms}      (a cell is free)
 //!                            ←  Wait{retry_ms}            (all leased out)
 //!                            ←  Drained                   (all cells done)
+//!   Renew{cell}              →     (heartbeat while the cell runs — the
+//!                                   server extends the lease deadline, so
+//!                                   slow-but-alive ≠ dead; fire-and-forget)
 //!   Telemetry{line}          →     (progress stream, zero or more)
 //!   Result{cell,line,…}      →
 //!   Claim                    →      …and so on until Drained.
+//!   Goodbye                  →     (graceful drain: no more claims coming)
 //! ```
 
 use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
@@ -76,6 +80,21 @@ pub enum Msg {
     },
     /// Server → worker: every cell is done; disconnect.
     Drained,
+    /// Worker → server: lease heartbeat — still alive and working on
+    /// `cell`; the server pushes the lease deadline out by one lease
+    /// duration (if this connection still holds the lease; a renewal for a
+    /// reclaimed or foreign lease is ignored). Fire-and-forget: the server
+    /// never replies, so renewals can interleave with the request/reply
+    /// conversation without desyncing it.
+    Renew {
+        /// The leased cell being heartbeat.
+        cell: u64,
+    },
+    /// Worker → server: graceful drain (e.g. SIGTERM) — the worker shipped
+    /// everything it completed and will not claim again. Distinguishes an
+    /// intentional departure from a crash in the server's accounting; the
+    /// connection closes after this.
+    Goodbye,
     /// Worker → server: one `stabcon-telemetry/1` line (snapshot or
     /// cell_profile), shipped verbatim as the live progress stream.
     Telemetry {
@@ -131,6 +150,11 @@ impl Msg {
                 .u64_field("retry_ms", *retry_ms)
                 .finish(),
             Msg::Drained => JsonObj::new().str_field("kind", "drained").finish(),
+            Msg::Renew { cell } => JsonObj::new()
+                .str_field("kind", "renew")
+                .u64_field("cell", *cell)
+                .finish(),
+            Msg::Goodbye => JsonObj::new().str_field("kind", "goodbye").finish(),
             Msg::Telemetry { line } => JsonObj::new()
                 .str_field("kind", "telemetry")
                 .str_field("line", line)
@@ -189,6 +213,10 @@ impl Msg {
                 retry_ms: u64_f("retry_ms")?,
             }),
             "drained" => Ok(Msg::Drained),
+            "renew" => Ok(Msg::Renew {
+                cell: u64_f("cell")?,
+            }),
+            "goodbye" => Ok(Msg::Goodbye),
             "telemetry" => Ok(Msg::Telemetry {
                 line: str_f("line")?,
             }),
@@ -231,6 +259,8 @@ mod tests {
             },
             Msg::Wait { retry_ms: 250 },
             Msg::Drained,
+            Msg::Renew { cell: 3 },
+            Msg::Goodbye,
             Msg::Telemetry {
                 line: "{\"record\": \"snapshot\", \"cell\": 0}".into(),
             },

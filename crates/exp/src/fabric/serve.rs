@@ -1,5 +1,5 @@
-//! First-cut `stabcon serve` daemon: lease cells to connecting workers,
-//! re-claim leases whose worker died, and assemble the canonical store.
+//! The `stabcon serve` daemon: lease cells to connecting workers, re-claim
+//! leases whose worker died, and assemble the canonical store.
 //!
 //! The server is the online counterpart of the batch shard/merge flow. It
 //! expands the campaign once, validates every worker's grid fingerprint in
@@ -8,19 +8,37 @@
 //! a dead host costs nothing but wall clock: its leased cells return to the
 //! pending set (on disconnect immediately, on a hang when the lease
 //! expires) and the re-run by another worker produces the identical bytes.
-//! Duplicate results — the original worker limping back after its lease was
-//! re-claimed — are simply ignored; first ingest wins and is exact.
+//! A *slow* worker is not a dead one: [`Msg::Renew`] heartbeats push the
+//! lease deadline out while the cell runs, so only workers that stop
+//! heartbeating lose their lease. Duplicate results — the original worker
+//! limping back (possibly over a fresh connection) after its result was
+//! already ingested — are deduplicated; first ingest wins and is exact,
+//! and the dedupe count is reported in the [`ServeOutcome`].
 //!
-//! Results are parked in a [`BTreeMap`] and flushed to the store as a
-//! contiguous prefix in cell-index order (the same discipline as the
-//! in-order chunk merger inside `run_cell`), so a completed serve store is
-//! byte-identical to the single-host `stabcon campaign run` store.
+//! All lease deadlines are [`Instant`]s — the OS **monotonic** clock — so a
+//! wall-clock step (NTP correction, manual `date`, DST) can never
+//! mass-expire live leases or stretch them indefinitely.
+//!
+//! The lease/park/flush bookkeeping lives in [`ServeState`], a pure state
+//! machine decoupled from sockets and files: the connection handlers
+//! translate wire frames into state transitions, and property tests drive
+//! arbitrary hostile interleavings (duplicate results, reconnects, expired
+//! leases) against [`ServeState::check_invariants`] directly.
+//!
+//! Results are parked and flushed to the store as a contiguous prefix in
+//! cell-index order (the same discipline as the in-order chunk merger
+//! inside `run_cell`), so a completed serve store is byte-identical to the
+//! single-host `stabcon campaign run` store. The store handle is a
+//! [`store::StoreWriter`], so `--durability {none,cell,batch}` applies the
+//! same fsync policy here as in the single-host runner, and a `kill -9`'d
+//! server restarted with `--resume` repairs any torn tail on open and
+//! finishes the campaign.
 //!
 //! Worker telemetry frames ([`Msg::Telemetry`]) are ingested as the live
-//! progress stream: record lines go to the server's own telemetry sink
-//! (shipped worker sink *headers* are dropped), so `stabcon campaign
-//! report`/`stabcon telemetry check` work on the partially-assembled
-//! campaign while workers are still running.
+//! progress stream — but only lines that fully validate as
+//! `stabcon-telemetry/1` records (shipped worker sink *headers* and torn or
+//! malformed lines are dropped and counted), so a hostile or desynced
+//! worker can never corrupt the server's sink.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
@@ -33,7 +51,7 @@ use std::time::{Duration, Instant};
 use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
 
 use crate::campaign::CampaignSpec;
-use crate::store::{self, StoreHeader};
+use crate::store::{self, Durability, StoreHeader, StoreWriter};
 use crate::telemetry::{self, TELEMETRY_SCHEMA};
 
 use super::protocol::{Msg, FABRIC_SCHEMA};
@@ -41,8 +59,9 @@ use super::protocol::{Msg, FABRIC_SCHEMA};
 /// Serve knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// How long a worker may sit on a leased cell before the server hands
-    /// the cell to someone else.
+    /// How long a worker may sit on a leased cell without heartbeating
+    /// before the server hands the cell to someone else ([`Msg::Renew`]
+    /// extends the deadline by this much each time).
     pub lease: Duration,
     /// Print a progress line per ingested cell to stderr.
     pub progress: bool,
@@ -51,6 +70,8 @@ pub struct ServeConfig {
     pub telemetry: Option<PathBuf>,
     /// Continue an existing store (skip its cells) instead of refusing it.
     pub resume: bool,
+    /// Fsync policy for the assembled store (see [`store::Durability`]).
+    pub durability: Durability,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +81,7 @@ impl Default for ServeConfig {
             progress: false,
             telemetry: None,
             resume: false,
+            durability: Durability::None,
         }
     }
 }
@@ -78,63 +100,202 @@ pub struct ServeOutcome {
     /// Leases returned to the pending set (worker died or hung past the
     /// lease deadline).
     pub leases_reclaimed: u64,
+    /// Lease heartbeats honored (deadline extensions).
+    pub leases_renewed: u64,
+    /// Duplicate [`Msg::Result`] frames ignored (reconnect resubmissions
+    /// and re-runs of reclaimed leases; first ingest wins).
+    pub results_deduped: u64,
+    /// Telemetry lines dropped for failing `stabcon-telemetry/1` record
+    /// validation (torn frames, shipped headers, malformed workers).
+    pub telemetry_dropped: u64,
+    /// Workers that announced a graceful drain ([`Msg::Goodbye`]).
+    pub goodbyes: u64,
     /// The assembled store path.
     pub store_path: PathBuf,
 }
 
 /// One ingested-but-not-yet-flushed result.
-struct Parked {
-    line: String,
-    trials: u64,
-    elapsed_secs: f64,
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parked {
+    /// The raw store cell line.
+    pub line: String,
+    /// Trials the cell ran (timings sidecar).
+    pub trials: u64,
+    /// Worker-reported wall clock (timings sidecar).
+    pub elapsed_secs: f64,
 }
 
-/// Everything the accept loop and the per-connection handlers share.
-struct Shared {
+/// What [`ServeState::ingest`] did with a result frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// Fresh result, parked for in-order flushing.
+    Parked,
+    /// The cell was already parked or written; frame ignored, dedupe
+    /// counter bumped.
+    Duplicate,
+    /// The embedded line's cell id disagreed with the frame's — buggy or
+    /// hostile worker; record dropped, cell back to pending.
+    Rejected,
+}
+
+/// The serve daemon's pure lease/ingest state machine: which cells are
+/// pending, leased (to which connection, until which monotonic deadline),
+/// parked awaiting their flush turn, or written. No sockets, no files —
+/// the connection handlers call into it under a lock, and property tests
+/// drive hostile interleavings against it directly.
+#[derive(Debug)]
+pub struct ServeState {
     /// Cells nobody is working on.
     pending: BTreeSet<u64>,
-    /// Leased cells: id → (connection, deadline).
+    /// Leased cells: id → (connection, monotonic deadline).
     leases: BTreeMap<u64, (u64, Instant)>,
     /// Ingested results waiting for their turn in canonical order.
     parked: BTreeMap<u64, Parked>,
-    /// Cells already in the store file.
+    /// Cells already flushed to the store file.
     written: BTreeSet<u64>,
     /// Smallest id that might still need writing (flush cursor).
     cursor: u64,
-    file: File,
-    timings: File,
-    sink: Option<File>,
     total: u64,
     lease: Duration,
-    progress: bool,
-    workers_seen: u64,
-    leases_reclaimed: u64,
-    cells_ingested: u64,
+    /// Workers whose handshake succeeded.
+    pub workers_seen: u64,
+    /// Leases returned to pending (disconnect or expiry).
+    pub leases_reclaimed: u64,
+    /// Heartbeat extensions honored.
+    pub leases_renewed: u64,
+    /// Duplicate result frames ignored.
+    pub results_deduped: u64,
+    /// Result frames rejected for id mismatch.
+    pub results_rejected: u64,
+    /// Telemetry lines dropped by record validation.
+    pub telemetry_dropped: u64,
+    /// Graceful-drain goodbyes received.
+    pub goodbyes: u64,
+    /// Results accepted (parked) by this invocation.
+    pub cells_ingested: u64,
 }
 
-impl Shared {
-    fn drained(&self) -> bool {
-        self.written.len() as u64 == self.total
-    }
-
-    /// Flush parked results that extend the store's contiguous prefix.
-    fn flush(&mut self) -> Result<(), String> {
-        loop {
-            while self.written.contains(&self.cursor) {
-                self.cursor += 1;
-            }
-            let Some(r) = self.parked.remove(&self.cursor) else {
-                return Ok(());
-            };
-            store::append_line(&mut self.file, &r.line)
-                .map_err(|e| format!("append cell {}: {e}", self.cursor))?;
-            telemetry::append_timing(&mut self.timings, self.cursor, r.trials, r.elapsed_secs)?;
-            self.written.insert(self.cursor);
+impl ServeState {
+    /// Fresh state for a `total`-cell grid with `done` cells already in the
+    /// store (resume) and the given lease duration.
+    pub fn new(total: u64, done: BTreeSet<u64>, lease: Duration) -> Self {
+        let mut cursor = 0u64;
+        while done.contains(&cursor) {
+            cursor += 1;
+        }
+        Self {
+            pending: (0..total).filter(|id| !done.contains(id)).collect(),
+            leases: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            written: done,
+            cursor,
+            total,
+            lease,
+            workers_seen: 0,
+            leases_reclaimed: 0,
+            leases_renewed: 0,
+            results_deduped: 0,
+            results_rejected: 0,
+            telemetry_dropped: 0,
+            goodbyes: 0,
+            cells_ingested: 0,
         }
     }
 
-    /// Return every lease owned by `conn` to the pending set.
-    fn release_conn(&mut self, conn: u64) {
+    /// Every cell is in the store.
+    pub fn drained(&self) -> bool {
+        self.written.len() as u64 == self.total
+    }
+
+    /// Cells flushed so far.
+    pub fn written_len(&self) -> u64 {
+        self.written.len() as u64
+    }
+
+    /// Total cells in the grid.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether `cell` is currently leased, and to which connection.
+    pub fn lease_holder(&self, cell: u64) -> Option<u64> {
+        self.leases.get(&cell).map(|&(conn, _)| conn)
+    }
+
+    /// Answer a claim from `conn` at monotonic time `now`.
+    pub fn claim(&mut self, conn: u64, now: Instant) -> Msg {
+        if self.drained() {
+            Msg::Drained
+        } else if let Some(&cell) = self.pending.iter().next() {
+            self.pending.remove(&cell);
+            self.leases.insert(cell, (conn, now + self.lease));
+            Msg::Lease {
+                cell,
+                lease_ms: self.lease.as_millis() as u64,
+            }
+        } else {
+            // Everything left is leased out; poll back soon so a reclaimed
+            // cell is picked up promptly.
+            Msg::Wait {
+                retry_ms: (self.lease.as_millis() as u64 / 4).clamp(50, 1000),
+            }
+        }
+    }
+
+    /// Heartbeat: push `cell`'s deadline to `now + lease` — but only if
+    /// `conn` still holds the lease. A renewal for a reclaimed (or never
+    /// granted) lease is ignored: the original worker lost it, and its
+    /// eventual duplicate result will be deduped instead.
+    pub fn renew(&mut self, conn: u64, cell: u64, now: Instant) {
+        if let Some(entry) = self.leases.get_mut(&cell) {
+            if entry.0 == conn {
+                entry.1 = now + self.lease;
+                self.leases_renewed += 1;
+            }
+        }
+    }
+
+    /// Ingest one result frame. `id_ok` is whether the embedded store
+    /// line's `cell` field matches `cell` (the caller parses the line; the
+    /// state machine stays serialization-free).
+    pub fn ingest(&mut self, cell: u64, parked: Parked, id_ok: bool) -> Ingest {
+        self.leases.remove(&cell);
+        self.pending.remove(&cell);
+        if self.written.contains(&cell) || self.parked.contains_key(&cell) {
+            self.results_deduped += 1;
+            return Ingest::Duplicate;
+        }
+        if !id_ok || cell >= self.total {
+            // Buggy or hostile worker: drop the record. An in-range cell
+            // goes back to pending so a healthy worker re-runs it.
+            if cell < self.total {
+                self.pending.insert(cell);
+            }
+            self.results_rejected += 1;
+            return Ingest::Rejected;
+        }
+        self.parked.insert(cell, parked);
+        self.cells_ingested += 1;
+        Ingest::Parked
+    }
+
+    /// Pop the next parked result that extends the store's contiguous
+    /// prefix, marking it written. Call in a loop after each ingest; `None`
+    /// means the prefix can't grow yet.
+    pub fn pop_flushable(&mut self) -> Option<(u64, Parked)> {
+        loop {
+            if self.written.contains(&self.cursor) {
+                self.cursor += 1;
+                continue;
+            }
+            let parked = self.parked.remove(&self.cursor)?;
+            self.written.insert(self.cursor);
+            return Some((self.cursor, parked));
+        }
+    }
+
+    /// Return every lease owned by `conn` to the pending set (disconnect).
+    pub fn release_conn(&mut self, conn: u64) {
         let cells: Vec<u64> = self
             .leases
             .iter()
@@ -148,8 +309,10 @@ impl Shared {
         }
     }
 
-    /// Return every lease whose deadline has passed to the pending set.
-    fn sweep_expired(&mut self, now: Instant) {
+    /// Return every lease whose monotonic deadline has passed to the
+    /// pending set. Heartbeats ([`ServeState::renew`]) move deadlines, so
+    /// only silent workers expire.
+    pub fn sweep_expired(&mut self, now: Instant) {
         let expired: Vec<u64> = self
             .leases
             .iter()
@@ -161,6 +324,60 @@ impl Shared {
             self.pending.insert(c);
             self.leases_reclaimed += 1;
         }
+    }
+
+    /// Structural invariants, for property tests: every cell of the grid
+    /// is in exactly one of {pending, leased, parked, written}, the flush
+    /// cursor never passes an unwritten cell, and written cells are never
+    /// simultaneously pending/leased/parked.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for id in 0..self.total {
+            let places = [
+                self.pending.contains(&id),
+                self.leases.contains_key(&id),
+                self.parked.contains_key(&id),
+                self.written.contains(&id),
+            ];
+            let count = places.iter().filter(|&&p| p).count();
+            if count != 1 {
+                return Err(format!(
+                    "cell {id} is in {count} sets (pending={}, leased={}, parked={}, written={})",
+                    places[0], places[1], places[2], places[3]
+                ));
+            }
+        }
+        for id in 0..self.cursor.min(self.total) {
+            if !self.written.contains(&id) {
+                return Err(format!("cursor {} passed unwritten cell {id}", self.cursor));
+            }
+        }
+        if self.parked.keys().any(|&id| id >= self.total) {
+            return Err("out-of-range cell parked".into());
+        }
+        Ok(())
+    }
+}
+
+/// Everything the accept loop and the per-connection handlers share: the
+/// pure state machine plus the I/O it drives.
+struct Shared {
+    state: ServeState,
+    store: StoreWriter,
+    timings: File,
+    sink: Option<File>,
+    progress: bool,
+}
+
+impl Shared {
+    /// Flush parked results that extend the store's contiguous prefix.
+    fn flush(&mut self) -> Result<(), String> {
+        while let Some((cell, r)) = self.state.pop_flushable() {
+            self.store
+                .append(&r.line)
+                .map_err(|e| format!("append cell {cell}: {e}"))?;
+            telemetry::append_timing(&mut self.timings, cell, r.trials, r.elapsed_secs)?;
+        }
+        Ok(())
     }
 }
 
@@ -203,10 +420,11 @@ impl Server {
     ///
     /// Accepts connections forever while running; each worker gets a
     /// handler thread. A worker that disconnects mid-lease has its cells
-    /// re-claimed immediately; one that hangs loses them when the lease
-    /// expires.
+    /// re-claimed immediately; one that stops heartbeating loses them when
+    /// the lease expires.
     pub fn run(self, cfg: &ServeConfig) -> Result<ServeOutcome, String> {
-        let (file, done) = store::open_for_append(&self.store_path, &self.header, cfg.resume)?;
+        let (file, done) =
+            store::open_for_append(&self.store_path, &self.header, cfg.resume, cfg.durability)?;
         let timings = telemetry::open_timings(&self.store_path, cfg.resume)?;
         let total = self.header.cells;
         let cells_skipped = done.len() as u64;
@@ -231,25 +449,12 @@ impl Server {
             None => None,
         };
 
-        let mut cursor = 0u64;
-        while done.contains(&cursor) {
-            cursor += 1;
-        }
         let shared = Arc::new(Mutex::new(Shared {
-            pending: (0..total).filter(|id| !done.contains(id)).collect(),
-            leases: BTreeMap::new(),
-            parked: BTreeMap::new(),
-            written: done,
-            cursor,
-            file,
+            state: ServeState::new(total, done, cfg.lease),
+            store: file,
             timings,
             sink,
-            total,
-            lease: cfg.lease,
             progress: cfg.progress,
-            workers_seen: 0,
-            leases_reclaimed: 0,
-            cells_ingested: 0,
         }));
 
         self.listener
@@ -274,17 +479,24 @@ impl Server {
             }
             {
                 let mut s = shared.lock().map_err(|_| "serve: state poisoned")?;
-                s.sweep_expired(Instant::now());
-                if s.drained() {
+                s.state.sweep_expired(Instant::now());
+                if s.state.drained() {
                     if let Some(sink) = s.sink.as_mut() {
                         let _ = sink.flush();
                     }
+                    s.store
+                        .finish()
+                        .map_err(|e| format!("serve: sync store on finish: {e}"))?;
                     return Ok(ServeOutcome {
                         cells_total: total,
-                        cells_ingested: s.cells_ingested,
+                        cells_ingested: s.state.cells_ingested,
                         cells_skipped,
-                        workers_seen: s.workers_seen,
-                        leases_reclaimed: s.leases_reclaimed,
+                        workers_seen: s.state.workers_seen,
+                        leases_reclaimed: s.state.leases_reclaimed,
+                        leases_renewed: s.state.leases_renewed,
+                        results_deduped: s.state.results_deduped,
+                        telemetry_dropped: s.state.telemetry_dropped,
+                        goodbyes: s.state.goodbyes,
                         store_path: self.store_path.clone(),
                     });
                 }
@@ -347,8 +559,8 @@ fn handle_worker(
     };
     {
         let Ok(mut s) = shared.lock() else { return };
-        s.workers_seen += 1;
-        let total = s.total;
+        s.state.workers_seen += 1;
+        let total = s.state.total();
         if s.progress {
             eprintln!("[serve] worker '{worker_name}' connected ({total} cells)");
         }
@@ -357,7 +569,7 @@ fn handle_worker(
         &mut stream,
         &Msg::Welcome {
             campaign: campaign.into(),
-            cells: shared.lock().map(|s| s.total).unwrap_or(0),
+            cells: shared.lock().map(|s| s.state.total()).unwrap_or(0),
         },
     )
     .is_err()
@@ -374,23 +586,10 @@ fn handle_worker(
         let reply = {
             let Ok(mut s) = shared.lock() else { break };
             match msg {
-                Msg::Claim => {
-                    if s.drained() {
-                        Some(Msg::Drained)
-                    } else if let Some(&cell) = s.pending.iter().next() {
-                        s.pending.remove(&cell);
-                        let deadline = Instant::now() + s.lease;
-                        s.leases.insert(cell, (conn, deadline));
-                        Some(Msg::Lease {
-                            cell,
-                            lease_ms: s.lease.as_millis() as u64,
-                        })
-                    } else {
-                        // Everything left is leased out; poll back soon so a
-                        // reclaimed cell is picked up promptly.
-                        let retry_ms = (s.lease.as_millis() as u64 / 4).clamp(50, 1000);
-                        Some(Msg::Wait { retry_ms })
-                    }
+                Msg::Claim => Some(s.state.claim(conn, Instant::now())),
+                Msg::Renew { cell } => {
+                    s.state.renew(conn, cell, Instant::now());
+                    None
                 }
                 Msg::Result {
                     cell,
@@ -398,55 +597,59 @@ fn handle_worker(
                     elapsed_secs,
                     trials,
                 } => {
-                    s.leases.remove(&cell);
-                    s.pending.remove(&cell);
-                    let duplicate = s.written.contains(&cell) || s.parked.contains_key(&cell);
                     // The embedded id must agree — a mismatch means a buggy
-                    // or hostile worker, and the record is dropped (the cell
-                    // stays pending via the lease sweep).
+                    // or hostile worker, and the record is dropped (the
+                    // cell goes back to pending).
                     let id_ok = parse_flat(&line)
                         .ok()
                         .and_then(|obj| get(&obj, "cell").and_then(JsonScalar::as_u64))
                         == Some(cell);
-                    if !duplicate && id_ok {
-                        s.parked.insert(
-                            cell,
-                            Parked {
-                                line,
-                                trials,
-                                elapsed_secs,
-                            },
-                        );
-                        s.cells_ingested += 1;
-                        if s.flush().is_err() {
-                            break; // store write failed; main loop will stall visibly
+                    let parked = Parked {
+                        line,
+                        trials,
+                        elapsed_secs,
+                    };
+                    match s.state.ingest(cell, parked, id_ok) {
+                        Ingest::Parked => {
+                            if s.flush().is_err() {
+                                break; // store write failed; stall visibly
+                            }
+                            if s.progress {
+                                eprintln!(
+                                    "[serve] cell {cell} from '{worker_name}' ({}/{})",
+                                    s.state.written_len(),
+                                    s.state.total()
+                                );
+                            }
                         }
-                        if s.progress {
-                            eprintln!(
-                                "[serve] cell {cell} from '{worker_name}' ({}/{})",
-                                s.written.len(),
-                                s.total
-                            );
+                        Ingest::Duplicate if s.progress => {
+                            eprintln!("[serve] duplicate cell {cell} from '{worker_name}' ignored");
                         }
-                    } else if !duplicate {
-                        s.pending.insert(cell);
+                        Ingest::Duplicate | Ingest::Rejected => {}
                     }
                     None
                 }
                 Msg::Telemetry { line } => {
-                    // Ingest record lines only; the worker's own sink header
-                    // is superseded by the server's.
+                    // Ingest only lines that fully validate as telemetry
+                    // records; shipped worker headers and torn/malformed
+                    // lines are dropped so the sink always stays valid.
                     if s.sink.is_some() {
-                        let is_record = parse_flat(&line)
-                            .ok()
-                            .is_some_and(|obj| get(&obj, "record").is_some());
-                        if is_record {
+                        if telemetry::validate_record_line(&line).is_ok() {
                             if let Some(sink) = s.sink.as_mut() {
                                 let _ = writeln!(sink, "{line}");
                             }
+                        } else {
+                            s.state.telemetry_dropped += 1;
                         }
                     }
                     None
+                }
+                Msg::Goodbye => {
+                    s.state.goodbyes += 1;
+                    if s.progress {
+                        eprintln!("[serve] worker '{worker_name}' drained gracefully");
+                    }
+                    break;
                 }
                 // Anything else from a worker is a protocol violation.
                 _ => break,
@@ -460,8 +663,121 @@ fn handle_worker(
         }
     }
 
-    // Disconnect (or violation): whatever this worker held goes back.
+    // Disconnect (or violation, or goodbye): whatever this worker held
+    // goes back.
     if let Ok(mut s) = shared.lock() {
-        s.release_conn(conn);
+        s.state.release_conn(conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(total: u64) -> ServeState {
+        ServeState::new(total, BTreeSet::new(), Duration::from_millis(500))
+    }
+
+    fn parked(cell: u64) -> Parked {
+        Parked {
+            line: format!("{{\"kind\": \"cell\", \"cell\": {cell}}}"),
+            trials: 4,
+            elapsed_secs: 0.5,
+        }
+    }
+
+    #[test]
+    fn renew_extends_only_the_holders_lease() {
+        let mut s = state(2);
+        let t0 = Instant::now();
+        let Msg::Lease { cell, .. } = s.claim(1, t0) else {
+            panic!("expected lease")
+        };
+        // Without a heartbeat the lease expires...
+        let after = t0 + Duration::from_millis(600);
+        // ...but a renewal from the holder moves the deadline.
+        s.renew(1, cell, t0 + Duration::from_millis(400));
+        s.sweep_expired(after);
+        assert_eq!(s.leases_reclaimed, 0, "heartbeat kept the lease alive");
+        assert_eq!(s.leases_renewed, 1);
+        // A renewal from a *different* connection is ignored.
+        s.renew(2, cell, after + Duration::from_secs(10));
+        assert_eq!(s.leases_renewed, 1);
+        // Silence past the renewed deadline expires it.
+        s.sweep_expired(t0 + Duration::from_secs(2));
+        assert_eq!(s.leases_reclaimed, 1);
+        s.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn expiry_is_monotonic_deadline_based() {
+        // Deadlines are Instants: sweeping with a `now` *before* the
+        // deadline never expires, at/after always does — there is no
+        // wall-clock involvement to step.
+        let mut s = state(1);
+        let t0 = Instant::now();
+        s.claim(1, t0);
+        s.sweep_expired(t0 + Duration::from_millis(499));
+        assert_eq!(s.leases_reclaimed, 0);
+        s.sweep_expired(t0 + Duration::from_millis(500));
+        assert_eq!(s.leases_reclaimed, 1);
+        s.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn duplicate_results_across_reconnects_are_counted_once_each() {
+        let mut s = state(2);
+        let t0 = Instant::now();
+        let Msg::Lease { cell, .. } = s.claim(1, t0) else {
+            panic!("expected lease")
+        };
+        assert_eq!(s.ingest(cell, parked(cell), true), Ingest::Parked);
+        // The same worker resubmits after a reconnect (conn 2), twice.
+        assert_eq!(s.ingest(cell, parked(cell), true), Ingest::Duplicate);
+        assert_eq!(s.ingest(cell, parked(cell), true), Ingest::Duplicate);
+        assert_eq!(s.results_deduped, 2);
+        assert_eq!(s.cells_ingested, 1);
+        // Flush, then a late re-run of the written cell arrives: still dup.
+        let flushed = s.pop_flushable().expect("flushable");
+        assert_eq!(flushed.0, cell);
+        assert_eq!(s.ingest(cell, parked(cell), true), Ingest::Duplicate);
+        assert_eq!(s.results_deduped, 3);
+        s.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn mismatched_or_out_of_range_results_are_rejected() {
+        let mut s = state(2);
+        let t0 = Instant::now();
+        let Msg::Lease { cell, .. } = s.claim(1, t0) else {
+            panic!("expected lease")
+        };
+        assert_eq!(s.ingest(cell, parked(cell), false), Ingest::Rejected);
+        assert_eq!(s.results_rejected, 1);
+        s.check_invariants().expect("rejected cell back to pending");
+        // Out-of-range cell id: dropped without poisoning the sets.
+        assert_eq!(s.ingest(99, parked(99), true), Ingest::Rejected);
+        s.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn flush_emits_a_contiguous_prefix_in_order() {
+        let mut s = state(3);
+        let t0 = Instant::now();
+        for conn in 1..=3 {
+            s.claim(conn, t0);
+        }
+        // Results arrive out of order: 2, 0, 1.
+        s.ingest(2, parked(2), true);
+        assert!(s.pop_flushable().is_none(), "cell 0 missing: no flush yet");
+        s.ingest(0, parked(0), true);
+        assert_eq!(s.pop_flushable().map(|(c, _)| c), Some(0));
+        assert!(s.pop_flushable().is_none(), "cell 1 missing");
+        s.ingest(1, parked(1), true);
+        assert_eq!(s.pop_flushable().map(|(c, _)| c), Some(1));
+        assert_eq!(s.pop_flushable().map(|(c, _)| c), Some(2));
+        assert!(s.pop_flushable().is_none());
+        assert!(s.drained());
+        s.check_invariants().expect("invariants");
     }
 }

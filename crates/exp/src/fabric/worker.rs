@@ -7,20 +7,59 @@
 //! ships cell specs over the wire, only cell *ids*, so the determinism
 //! story is identical to the batch shard flow: every record the worker
 //! produces is the exact line a single-host run would have written.
+//!
+//! ## WAN hardening
+//!
+//! The worker is built to survive a hostile network between it and the
+//! server:
+//!
+//! * **Reconnect with backoff.** Any session-level failure — refused
+//!   connect, mid-frame disconnect, torn or garbled reply — tears the
+//!   session down and dials again, with capped exponential backoff and
+//!   deterministic jitter (a [`hash3`] draw keyed by the worker name, so
+//!   two workers restarting together don't thundering-herd the server).
+//!   The consecutive-failure budget is [`WorkerConfig::retries`]; any
+//!   successfully decoded server reply resets it.
+//! * **Idempotent resubmission.** A completed cell's [`Msg::Result`] is
+//!   held until the server provably consumed it (a reply to a *later*
+//!   frame on the same connection — TCP ordering — proves the bytes
+//!   arrived). If the connection dies first, the next session resends the
+//!   frame; the server dedupes, so the store is byte-identical either way.
+//! * **Lease heartbeats.** While a cell runs, a background thread sends
+//!   fire-and-forget [`Msg::Renew`] frames every third of the lease, so a
+//!   slow cell on a live worker never gets re-leased out from under it.
+//! * **Graceful drain.** On SIGTERM (the binary installs a handler that
+//!   calls [`request_drain`]) or a test-injected drain flag, the worker
+//!   finishes the cell in flight, ships its result, says [`Msg::Goodbye`],
+//!   and exits cleanly instead of mid-frame.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Lines, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use stabcon_par::ThreadPool;
+use stabcon_util::rng::hash3;
 
 use crate::campaign::CampaignSpec;
-use crate::cell::{chunk_for, run_cell_monitored};
+use crate::cell::{chunk_for, run_cell_monitored, CellSpec};
 use crate::store;
 use crate::telemetry::CampaignTelemetry;
 
 use super::protocol::{Msg, FABRIC_SCHEMA};
+
+/// Process-wide graceful-drain flag, set by the SIGTERM handler in the
+/// `stabcon` binary (signal handlers can only touch static state).
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Request a graceful drain of every worker in this process: finish the
+/// cell in flight, ship its result, send [`Msg::Goodbye`], and return.
+/// Async-signal-safe (a single atomic store) — the `stabcon work` SIGTERM
+/// handler is exactly this call.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
 
 /// Worker knobs.
 #[derive(Debug, Clone)]
@@ -32,6 +71,16 @@ pub struct WorkerConfig {
     pub name: String,
     /// Trials per scheduler chunk; `None` auto-tunes per cell.
     pub chunk: Option<u64>,
+    /// Consecutive session failures (failed connects, dead handshakes,
+    /// torn replies) tolerated before giving up. Any successfully decoded
+    /// server reply resets the count.
+    pub retries: u32,
+    /// Base reconnect backoff in milliseconds; doubles per consecutive
+    /// failure (capped at 64× and 30 s) with deterministic ±50% jitter.
+    pub backoff_ms: u64,
+    /// Extra drain flag ORed with the process-wide SIGTERM flag, so tests
+    /// (and embedders) can drain one worker without draining the process.
+    pub drain: Option<Arc<AtomicBool>>,
 }
 
 impl Default for WorkerConfig {
@@ -40,7 +89,20 @@ impl Default for WorkerConfig {
             threads: stabcon_par::default_threads(),
             name: "worker".into(),
             chunk: None,
+            retries: 5,
+            backoff_ms: 200,
+            drain: None,
         }
+    }
+}
+
+impl WorkerConfig {
+    fn drain_requested(&self) -> bool {
+        DRAIN.load(Ordering::SeqCst)
+            || self
+                .drain
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::SeqCst))
     }
 }
 
@@ -51,6 +113,11 @@ pub struct WorkerOutcome {
     pub cells_run: u64,
     /// Trials executed.
     pub trials_run: u64,
+    /// Sessions re-established after a lost connection.
+    pub reconnects: u64,
+    /// The worker left because a drain was requested (SIGTERM or the
+    /// [`WorkerConfig::drain`] flag), not because the campaign drained.
+    pub drained_early: bool,
 }
 
 /// A telemetry sink that ships each complete line to the server as a
@@ -89,8 +156,297 @@ fn send_locked(stream: &Arc<Mutex<TcpStream>>, msg: &Msg) -> std::io::Result<()>
     s.flush()
 }
 
+/// Reconnect backoff for consecutive failure number `attempt` (1-based):
+/// `base · 2^min(attempt-1, 6)`, jittered to ±50% by a deterministic
+/// [`hash3`] draw keyed on the worker name (distinct workers de-sync, the
+/// same worker is reproducible), capped at 30 s.
+fn backoff_delay(name_seed: u64, attempt: u32, base_ms: u64) -> Duration {
+    let base = base_ms
+        .max(1)
+        .saturating_mul(1 << (attempt.saturating_sub(1)).min(6));
+    let word = hash3(name_seed, 0xbac0ff, attempt as u64);
+    let factor = 0.5 + (word >> 11) as f64 / (1u64 << 53) as f64; // [0.5, 1.5)
+    Duration::from_millis(((base as f64 * factor) as u64).clamp(1, 30_000))
+}
+
+/// FNV-1a of the worker name: the jitter seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Sleep in 25 ms slices so a drain request cuts the wait short.
+fn interruptible_sleep(total: Duration, cfg: &WorkerConfig) {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline && !cfg.drain_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Why a session ended.
+enum SessionEnd {
+    /// Server reported every cell done.
+    CampaignDrained,
+    /// A drain was requested locally; Goodbye sent.
+    DrainRequested,
+}
+
+/// A session-level failure: tear down and reconnect.
+struct SessionLost(String);
+
+/// A fatal refusal: retrying cannot help (handshake reject, grid
+/// mismatch).
+struct Fatal(String);
+
+enum WorkErr {
+    Lost(SessionLost),
+    Fatal(Fatal),
+}
+
+impl From<SessionLost> for WorkErr {
+    fn from(e: SessionLost) -> Self {
+        WorkErr::Lost(e)
+    }
+}
+impl From<Fatal> for WorkErr {
+    fn from(e: Fatal) -> Self {
+        WorkErr::Fatal(e)
+    }
+}
+
+/// Keeps [`Msg::Renew`] heartbeats flowing for one leased cell; stops (and
+/// joins) on drop, so a finished or failed cell never heartbeats a lease
+/// it no longer wants.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(stream: Arc<Mutex<TcpStream>>, cell: u64, lease_ms: u64) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // A third of the lease keeps two renewals of headroom before the
+        // deadline even if one frame is delayed.
+        let interval = Duration::from_millis((lease_ms / 3).clamp(50, 5000));
+        let handle = std::thread::spawn(move || {
+            let mut next = Instant::now() + interval;
+            while !stop2.load(Ordering::SeqCst) {
+                if Instant::now() >= next {
+                    // Fire-and-forget: a send failure means the session is
+                    // dying, which the main loop notices on its own.
+                    if send_locked(&stream, &Msg::Renew { cell }).is_err() {
+                        return;
+                    }
+                    next = Instant::now() + interval;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One established, handshake-validated connection to the server.
+struct Session {
+    stream: Arc<Mutex<TcpStream>>,
+    lines: Lines<BufReader<TcpStream>>,
+}
+
+impl Session {
+    fn recv(&mut self) -> Result<Msg, SessionLost> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| SessionLost("server closed the connection".into()))?
+            .map_err(|e| SessionLost(format!("read: {e}")))?;
+        Msg::decode(&line).map_err(SessionLost)
+    }
+
+    fn send(&self, msg: &Msg) -> Result<(), SessionLost> {
+        send_locked(&self.stream, msg).map_err(|e| SessionLost(format!("send: {e}")))
+    }
+}
+
+/// Dial and handshake. Connect errors are session-level (the server may be
+/// restarting); a [`Msg::Reject`] or grid-size mismatch is fatal.
+fn connect_session(
+    addr: &str,
+    name: &str,
+    fingerprint: &str,
+    local_cells: u64,
+) -> Result<Session, WorkErr> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| SessionLost(format!("connect {addr}: {e}")))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| SessionLost(format!("clone connection: {e}")))?;
+    let mut session = Session {
+        stream: Arc::new(Mutex::new(stream)),
+        lines: BufReader::new(reader).lines(),
+    };
+    session.send(&Msg::Hello {
+        schema: FABRIC_SCHEMA.into(),
+        worker: name.into(),
+        fingerprint: fingerprint.into(),
+    })?;
+    match session.recv()? {
+        Msg::Welcome {
+            cells: server_cells,
+            ..
+        } => {
+            if server_cells != local_cells {
+                return Err(Fatal(format!(
+                    "server grid has {server_cells} cells, local expansion {local_cells} — \
+                     fingerprint collision?"
+                ))
+                .into());
+            }
+        }
+        Msg::Reject { reason } => return Err(Fatal(format!("rejected: {reason}")).into()),
+        other => {
+            return Err(SessionLost(format!("unexpected handshake reply {other:?}")).into());
+        }
+    }
+    Ok(session)
+}
+
+/// Run one leased cell and build its (unshipped) [`Msg::Result`] frame.
+/// Heartbeats flow for the whole computation.
+fn run_leased_cell(
+    session: &Session,
+    pool: &ThreadPool,
+    spec: &CampaignSpec,
+    cells: &[CellSpec],
+    cell: &CellSpec,
+    lease_ms: u64,
+    cfg: &WorkerConfig,
+) -> Result<Msg, String> {
+    let _heartbeat = Heartbeat::start(Arc::clone(&session.stream), cell.id, lease_ms);
+    // Telemetry streams to the server; progress printing stays off (the
+    // server renders progress for the whole campaign).
+    let mut tel = CampaignTelemetry::create_with_sink(
+        &spec.name,
+        pool.threads().max(1),
+        cells.len() as u64,
+        cell.trials,
+        false,
+        Some(Box::new(FrameWriter {
+            stream: Arc::clone(&session.stream),
+            buf: Vec::new(),
+        })),
+    )?;
+    let chunk = cfg
+        .chunk
+        .unwrap_or_else(|| chunk_for(cell.trials, cfg.threads));
+    tel.begin_cell(cell);
+    let started = Instant::now();
+    let agg = run_cell_monitored(pool, cell, chunk, Some(&mut tel));
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    tel.end_cell(cell, agg.trials(), elapsed_secs);
+    tel.finish();
+    Ok(Msg::Result {
+        cell: cell.id,
+        line: store::cell_line(cell, &agg),
+        elapsed_secs,
+        trials: agg.trials(),
+    })
+}
+
+/// The in-flight state that must survive a reconnect.
+struct Progress {
+    outcome: WorkerOutcome,
+    /// A completed cell's Result frame not yet provably consumed by the
+    /// server. Resent at the top of every new session (the server
+    /// dedupes), cleared when a later frame on the same connection gets a
+    /// reply.
+    pending: Option<Msg>,
+}
+
+/// Drive one session until the campaign drains, a drain is requested, or
+/// the session is lost. Updates `progress` in place so nothing is lost on
+/// a reconnect.
+fn run_session(
+    session: &mut Session,
+    pool: &ThreadPool,
+    spec: &CampaignSpec,
+    cells: &[CellSpec],
+    cfg: &WorkerConfig,
+    progress: &mut Progress,
+    attempts: &mut u32,
+) -> Result<SessionEnd, WorkErr> {
+    // The handshake reply proved the server is talking to us.
+    *attempts = 0;
+    // Idempotent resubmission: if a Result was completed but never provably
+    // consumed, it goes out first. A followup reply on this connection
+    // proves (by TCP ordering) the server read it; duplicates are deduped
+    // server-side, so resending is always safe and never loses work.
+    if let Some(result) = progress.pending.clone() {
+        session.send(&result)?;
+    }
+    loop {
+        if cfg.drain_requested() {
+            // Best-effort goodbye; the session is ending either way.
+            let _ = session.send(&Msg::Goodbye);
+            return Ok(SessionEnd::DrainRequested);
+        }
+        session.send(&Msg::Claim)?;
+        let reply = session.recv()?;
+        // A decoded reply to a frame sent *after* the pending Result means
+        // the server consumed the Result bytes: drop the copy.
+        progress.pending = None;
+        *attempts = 0;
+        match reply {
+            Msg::Lease { cell, lease_ms } => {
+                let cell = cells
+                    .get(cell as usize)
+                    .filter(|c| c.id == cell)
+                    .ok_or_else(|| Fatal(format!("leased unknown cell {cell}")))?;
+                let result = run_leased_cell(session, pool, spec, cells, cell, lease_ms, cfg)
+                    .map_err(Fatal)?;
+                let trials = match &result {
+                    Msg::Result { trials, .. } => *trials,
+                    _ => unreachable!("run_leased_cell returns Msg::Result"),
+                };
+                // The cell is done: remember the frame *before* trying to
+                // ship it, so a send failure reships it next session.
+                progress.pending = Some(result.clone());
+                progress.outcome.cells_run += 1;
+                progress.outcome.trials_run += trials;
+                session.send(&result)?;
+            }
+            Msg::Wait { retry_ms } => {
+                interruptible_sleep(Duration::from_millis(retry_ms.clamp(10, 5000)), cfg);
+            }
+            Msg::Drained => return Ok(SessionEnd::CampaignDrained),
+            Msg::Reject { reason } => return Err(Fatal(format!("rejected: {reason}")).into()),
+            other => return Err(SessionLost(format!("unexpected server message {other:?}")).into()),
+        }
+    }
+}
+
 /// Connect to a `stabcon serve` daemon at `addr` and work until the server
-/// reports the campaign drained.
+/// reports the campaign drained (or a graceful drain is requested).
+///
+/// Session failures — refused connects, dropped connections, torn frames —
+/// are retried with capped exponential backoff up to
+/// [`WorkerConfig::retries`] consecutive times; completed-but-unshipped
+/// results survive the reconnect and are resubmitted idempotently.
 pub fn run_worker(
     addr: &str,
     spec: &CampaignSpec,
@@ -98,101 +454,112 @@ pub fn run_worker(
 ) -> Result<WorkerOutcome, String> {
     let cells = spec.expand();
     let header = spec.header();
-    let stream = TcpStream::connect(addr).map_err(|e| format!("work: connect {addr}: {e}"))?;
-    let reader = stream
-        .try_clone()
-        .map_err(|e| format!("work: clone connection: {e}"))?;
-    let mut lines = BufReader::new(reader).lines();
-    let stream = Arc::new(Mutex::new(stream));
-
-    let mut recv = || -> Result<Msg, String> {
-        let line = lines
-            .next()
-            .ok_or("work: server closed the connection")?
-            .map_err(|e| format!("work: read: {e}"))?;
-        Msg::decode(&line)
-    };
-
-    send_locked(
-        &stream,
-        &Msg::Hello {
-            schema: FABRIC_SCHEMA.into(),
-            worker: cfg.name.clone(),
-            fingerprint: format!("{:016x}", header.fingerprint),
+    let fingerprint = format!("{:016x}", header.fingerprint);
+    let seed = name_seed(&cfg.name);
+    let pool = ThreadPool::new(cfg.threads);
+    let mut progress = Progress {
+        outcome: WorkerOutcome {
+            cells_run: 0,
+            trials_run: 0,
+            reconnects: 0,
+            drained_early: false,
         },
-    )
-    .map_err(|e| format!("work: hello: {e}"))?;
-    match recv()? {
-        Msg::Welcome {
-            cells: server_cells,
-            ..
-        } => {
-            if server_cells != cells.len() as u64 {
-                return Err(format!(
-                    "work: server grid has {server_cells} cells, local expansion {} — \
-                     fingerprint collision?",
-                    cells.len()
-                ));
-            }
+        pending: None,
+    };
+    let mut attempts: u32 = 0;
+    let mut sessions_seen: u64 = 0;
+    loop {
+        if cfg.drain_requested() {
+            progress.outcome.drained_early = true;
+            return Ok(progress.outcome);
         }
-        Msg::Reject { reason } => return Err(format!("work: rejected: {reason}")),
-        other => return Err(format!("work: unexpected handshake reply {other:?}")),
+        let lost = match connect_session(addr, &cfg.name, &fingerprint, cells.len() as u64) {
+            Ok(mut session) => {
+                sessions_seen += 1;
+                if sessions_seen > 1 {
+                    progress.outcome.reconnects += 1;
+                }
+                match run_session(
+                    &mut session,
+                    &pool,
+                    spec,
+                    &cells,
+                    cfg,
+                    &mut progress,
+                    &mut attempts,
+                ) {
+                    Ok(SessionEnd::CampaignDrained) => return Ok(progress.outcome),
+                    Ok(SessionEnd::DrainRequested) => {
+                        progress.outcome.drained_early = true;
+                        return Ok(progress.outcome);
+                    }
+                    Err(WorkErr::Fatal(Fatal(msg))) => return Err(format!("work: {msg}")),
+                    Err(WorkErr::Lost(e)) => e,
+                }
+            }
+            Err(WorkErr::Fatal(Fatal(msg))) => return Err(format!("work: {msg}")),
+            Err(WorkErr::Lost(e)) => e,
+        };
+        attempts += 1;
+        if attempts > cfg.retries {
+            return Err(format!(
+                "work: {addr}: gave up after {attempts} consecutive session failures \
+                 (last: {}) — raise --retries/--backoff-ms for flakier links",
+                lost.0
+            ));
+        }
+        let delay = backoff_delay(seed, attempts, cfg.backoff_ms);
+        eprintln!(
+            "work: session with {addr} lost (attempt {attempts}/{}): {} — retrying in {}ms",
+            cfg.retries,
+            lost.0,
+            delay.as_millis()
+        );
+        interruptible_sleep(delay, cfg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_jittered_and_caps() {
+        let seed = name_seed("host-1");
+        let base = backoff_delay(seed, 1, 200);
+        assert!(
+            base >= Duration::from_millis(100) && base < Duration::from_millis(300),
+            "attempt 1 near the base: {base:?}"
+        );
+        // Deterministic: the same (name, attempt) always draws the same
+        // delay; a different worker name draws a different one.
+        assert_eq!(backoff_delay(seed, 1, 200), base);
+        assert_ne!(backoff_delay(name_seed("host-2"), 1, 200), base);
+        // Roughly doubles per attempt...
+        let later = backoff_delay(seed, 4, 200);
+        assert!(later > base, "attempt 4 ({later:?}) > attempt 1 ({base:?})");
+        // ...but the exponent stops at 2^6 and the delay at 30 s.
+        for attempt in [7, 10, 100, u32::MAX] {
+            assert!(backoff_delay(seed, attempt, 200) <= Duration::from_secs(30));
+        }
+        assert_eq!(
+            backoff_delay(seed, 20, 200),
+            backoff_delay(seed, 20, 200),
+            "cap region still deterministic"
+        );
     }
 
-    let pool = ThreadPool::new(cfg.threads);
-    let mut outcome = WorkerOutcome {
-        cells_run: 0,
-        trials_run: 0,
-    };
-    loop {
-        send_locked(&stream, &Msg::Claim).map_err(|e| format!("work: claim: {e}"))?;
-        match recv()? {
-            Msg::Lease { cell, .. } => {
-                let cell = cells
-                    .get(cell as usize)
-                    .filter(|c| c.id == cell)
-                    .ok_or_else(|| format!("work: leased unknown cell {cell}"))?;
-                // Telemetry streams to the server; progress printing stays
-                // off (the server renders progress for the whole campaign).
-                let mut tel = CampaignTelemetry::create_with_sink(
-                    &spec.name,
-                    pool.threads().max(1),
-                    cells.len() as u64,
-                    cell.trials,
-                    false,
-                    Some(Box::new(FrameWriter {
-                        stream: Arc::clone(&stream),
-                        buf: Vec::new(),
-                    })),
-                )?;
-                let chunk = cfg
-                    .chunk
-                    .unwrap_or_else(|| chunk_for(cell.trials, cfg.threads));
-                tel.begin_cell(cell);
-                let started = Instant::now();
-                let agg = run_cell_monitored(&pool, cell, chunk, Some(&mut tel));
-                let elapsed_secs = started.elapsed().as_secs_f64();
-                tel.end_cell(cell, agg.trials(), elapsed_secs);
-                tel.finish();
-                send_locked(
-                    &stream,
-                    &Msg::Result {
-                        cell: cell.id,
-                        line: store::cell_line(cell, &agg),
-                        elapsed_secs,
-                        trials: agg.trials(),
-                    },
-                )
-                .map_err(|e| format!("work: ship cell {}: {e}", cell.id))?;
-                outcome.cells_run += 1;
-                outcome.trials_run += agg.trials();
-            }
-            Msg::Wait { retry_ms } => {
-                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 5000)));
-            }
-            Msg::Drained => return Ok(outcome),
-            Msg::Reject { reason } => return Err(format!("work: rejected: {reason}")),
-            other => return Err(format!("work: unexpected server message {other:?}")),
-        }
+    #[test]
+    fn drain_flag_is_per_config_or_global() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let cfg = WorkerConfig {
+            drain: Some(Arc::clone(&flag)),
+            ..WorkerConfig::default()
+        };
+        assert!(!cfg.drain_requested());
+        flag.store(true, Ordering::SeqCst);
+        assert!(cfg.drain_requested());
+        // The injected flag does not leak into other configs.
+        assert!(!WorkerConfig::default().drain_requested());
     }
 }

@@ -2,10 +2,19 @@
 //!
 //! Line 0 is a campaign header (name, seed, grid fingerprint); every
 //! following line is one completed cell's streamed aggregate. Cells are
-//! appended in cell order and `fsync`-free — a killed campaign leaves at
-//! worst one torn trailing line, which [`load`] detects and [`recover`]
-//! truncates away, so `resume` reproduces the uninterrupted store
-//! byte-for-byte.
+//! appended in cell order; a killed campaign leaves at worst one torn
+//! trailing line, which [`load`] detects and [`recover`] truncates away
+//! (and syncs the truncation), so `resume` reproduces the uninterrupted
+//! store byte-for-byte.
+//!
+//! How much of the store survives a crash harder than a process kill —
+//! power loss, `kill -9` racing the page cache — is the [`Durability`]
+//! policy: `none` (flush to the OS only, the historical behavior), `cell`
+//! (`fsync` after every appended record), or `batch` (`fsync` every
+//! [`BATCH_SYNC_CELLS`] records and on finish). All three policies write
+//! identical bytes; they differ only in when those bytes are forced to
+//! stable storage. [`StoreWriter`] owns the policy so every appender (the
+//! single-host runner and the fabric's serve daemon) applies it uniformly.
 //!
 //! Records are *flat* JSON objects (scalars only) written through
 //! [`stabcon_util::jsonl`], with floats in shortest-roundtrip form: the
@@ -163,6 +172,114 @@ pub fn cell_line(cell: &CellSpec, agg: &CellAggregate) -> String {
     obj.finish()
 }
 
+/// `batch` durability syncs after this many appended records (and on
+/// [`StoreWriter::finish`]).
+pub const BATCH_SYNC_CELLS: u32 = 16;
+
+/// When appended store records are forced to stable storage.
+///
+/// Orthogonal to byte-identity: the bytes are the same under every policy,
+/// only the crash window differs. `none` survives a process kill (the OS
+/// holds the flushed bytes) but can lose buffered records to power loss or
+/// an unsynced host crash; `cell` bounds loss to the record being appended
+/// at the instant of the crash; `batch` bounds it to the last
+/// [`BATCH_SYNC_CELLS`] records at ~1/16th of the fsync cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Flush each record to the OS, never `fsync` (historical behavior).
+    #[default]
+    None,
+    /// `fsync` after every appended record.
+    Cell,
+    /// `fsync` every [`BATCH_SYNC_CELLS`] records and on finish.
+    Batch,
+}
+
+impl Durability {
+    /// Parse a `--durability` CLI value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(Durability::None),
+            "cell" => Ok(Durability::Cell),
+            "batch" => Ok(Durability::Batch),
+            other => Err(format!(
+                "--durability: unknown mode '{other}' (expected none|cell|batch)"
+            )),
+        }
+    }
+
+    /// The CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Cell => "cell",
+            Durability::Batch => "batch",
+        }
+    }
+}
+
+/// An open store plus its [`Durability`] policy: every append goes through
+/// [`StoreWriter::append`] so the policy is applied uniformly by the
+/// single-host runner and the serve daemon alike.
+#[derive(Debug)]
+pub struct StoreWriter {
+    file: std::fs::File,
+    durability: Durability,
+    /// Records appended since the last sync (batch policy).
+    unsynced: u32,
+}
+
+impl StoreWriter {
+    /// Wrap an already-open append handle.
+    pub fn new(file: std::fs::File, durability: Durability) -> Self {
+        Self {
+            file,
+            durability,
+            unsynced: 0,
+        }
+    }
+
+    /// Append one pre-rendered record line (adds the newline), flush, and
+    /// sync per the policy.
+    pub fn append(&mut self, line: &str) -> std::io::Result<()> {
+        append_line(&mut self.file, line)?;
+        self.unsynced += 1;
+        match self.durability {
+            Durability::None => Ok(()),
+            Durability::Cell => self.sync(),
+            Durability::Batch => {
+                if self.unsynced >= BATCH_SYNC_CELLS {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// End-of-run sync: a no-op under `none`, a final `fsync` under `cell`
+    /// (idempotent) and `batch` (flushes the partial batch).
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        match self.durability {
+            Durability::None => Ok(()),
+            Durability::Cell | Durability::Batch => {
+                if self.unsynced > 0 {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
 /// Name the first field on which two headers disagree — "fingerprint
 /// mismatch" alone misdirects when e.g. only the trial count changed.
 pub fn describe_mismatch(stored: &StoreHeader, requested: &StoreHeader) -> String {
@@ -185,14 +302,17 @@ pub fn describe_mismatch(stored: &StoreHeader, requested: &StoreHeader) -> Strin
 /// Open (or create) a store for appending cells under `header`.
 ///
 /// Fresh opens refuse an existing file; with `resume` the stored header is
-/// validated against `header`, any torn tail is truncated away, and the ids
-/// of cells already present are returned so the caller can skip them. Used
-/// by both `run_campaign` and the fabric's `serve` daemon.
+/// validated against `header`, any torn tail is **truncated away and the
+/// truncation synced** before the append handle opens (see [`recover`] —
+/// the repair happens on open, it is not merely tolerated on read), and
+/// the ids of cells already present are returned so the caller can skip
+/// them. Used by both `run_campaign` and the fabric's `serve` daemon.
 pub fn open_for_append(
     path: &Path,
     header: &StoreHeader,
     resume: bool,
-) -> Result<(std::fs::File, BTreeSet<u64>), String> {
+    durability: Durability,
+) -> Result<(StoreWriter, BTreeSet<u64>), String> {
     let mut done = BTreeSet::new();
     let file = if path.exists() {
         if !resume {
@@ -230,7 +350,19 @@ pub fn open_for_append(
         append_line(&mut f, &header.to_line()).map_err(|e| format!("write header: {e}"))?;
         f
     };
-    Ok((file, done))
+    let mut writer = StoreWriter::new(file, durability);
+    if durability != Durability::None {
+        // The header (or repaired prefix) must be stable before any cell
+        // lands on top of it; also best-effort sync the directory entry so
+        // a freshly created store survives a host crash.
+        writer.sync().map_err(|e| format!("sync: {e}"))?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok((writer, done))
 }
 
 /// A store read back from disk.
@@ -290,11 +422,17 @@ pub fn load(path: &Path) -> Result<LoadedStore, String> {
 
 /// Truncate `path` to the valid prefix found by [`load`], discarding a torn
 /// tail so appends resume from a clean record boundary.
+///
+/// The truncation is a single `ftruncate` to a record boundary — there is
+/// no window in which the file holds a *different* partial record — and it
+/// is `fsync`ed before returning, so a crash immediately after repair
+/// cannot resurrect the torn tail.
 pub fn recover(path: &Path, loaded: &LoadedStore) -> std::io::Result<()> {
     let actual = std::fs::metadata(path)?.len();
     if actual != loaded.valid_len {
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(loaded.valid_len)?;
+        f.sync_all()?;
     }
     Ok(())
 }
@@ -337,8 +475,17 @@ mod tests {
         .label("n", "64")
         .metric(HitMetric::Consensus);
         let agg = crate::cell::run_cell(&pool, &cell, 2);
-        let line = cell_line(&cell, &agg);
-        (header, line.clone(), line)
+        let line_a = cell_line(&cell, &agg);
+        let mut cell_b = CellSpec::new(
+            SimSpec::new(96).init(InitialCondition::TwoBins { left: 48 }),
+            4,
+            11,
+        )
+        .label("n", "96")
+        .metric(HitMetric::Consensus);
+        cell_b.id = 1;
+        let agg_b = crate::cell::run_cell(&pool, &cell_b, 2);
+        (header, line_a, cell_line(&cell_b, &agg_b))
     }
 
     #[test]
@@ -357,6 +504,70 @@ mod tests {
         recover(&path, &loaded).expect("recover");
         assert_eq!(std::fs::read_to_string(&path).expect("read"), full);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_of_the_final_record_repairs_on_open() {
+        // Simulate a crash torn anywhere inside the final record (every
+        // byte offset, including the trailing newline): `open_for_append`
+        // must truncate back to the last record boundary, and appending
+        // the lost cell again must reproduce the clean store exactly.
+        let (header, line_a, line_b) = sample_lines();
+        let prefix = format!("{}\n{}\n", header.to_line(), line_a);
+        let full = format!("{prefix}{line_b}\n");
+        let path = tmp("tear-sweep.jsonl");
+        let final_record_len = line_b.len() + 1;
+        for cut in 0..final_record_len {
+            std::fs::write(&path, &full.as_bytes()[..prefix.len() + cut]).expect("write");
+            let (mut w, done) =
+                open_for_append(&path, &header, true, Durability::Cell).expect("open repairs");
+            assert_eq!(
+                std::fs::read_to_string(&path).expect("read"),
+                prefix,
+                "cut at {cut}: torn tail must be gone after open"
+            );
+            assert_eq!(done.into_iter().collect::<Vec<_>>(), vec![0]);
+            w.append(&line_b).expect("append");
+            w.finish().expect("finish");
+            assert_eq!(
+                std::fs::read_to_string(&path).expect("read"),
+                full,
+                "cut at {cut}: re-appended store must match the clean run"
+            );
+        }
+        // The boundary case: the file ends exactly at the record boundary
+        // (nothing torn) — open must not truncate anything.
+        std::fs::write(&path, &full).expect("write");
+        let (_, done) = open_for_append(&path, &header, true, Durability::Batch).expect("open");
+        assert_eq!(done.len(), 2);
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), full);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durability_policies_write_identical_bytes() {
+        let (header, line_a, line_b) = sample_lines();
+        let mut outputs = Vec::new();
+        for durability in [Durability::None, Durability::Cell, Durability::Batch] {
+            let path = tmp(&format!("durability-{}.jsonl", durability.label()));
+            std::fs::remove_file(&path).ok();
+            let (mut w, _) = open_for_append(&path, &header, false, durability).expect("open");
+            w.append(&line_a).expect("append a");
+            w.append(&line_b).expect("append b");
+            w.finish().expect("finish");
+            outputs.push(std::fs::read(&path).expect("read"));
+            std::fs::remove_file(&path).ok();
+        }
+        assert_eq!(outputs[0], outputs[1], "cell durability changed the bytes");
+        assert_eq!(outputs[0], outputs[2], "batch durability changed the bytes");
+    }
+
+    #[test]
+    fn durability_parse_round_trips() {
+        for d in [Durability::None, Durability::Cell, Durability::Batch] {
+            assert_eq!(Durability::parse(d.label()), Ok(d));
+        }
+        assert!(Durability::parse("paranoid").unwrap_err().contains("mode"));
     }
 
     #[test]

@@ -483,17 +483,89 @@ pub struct TelemetryCheck {
     pub cell_profiles: u64,
 }
 
-fn require_u64(obj: &stabcon_util::jsonl::FlatObject, key: &str, ln: usize) -> Result<u64, String> {
+fn require_u64(obj: &stabcon_util::jsonl::FlatObject, key: &str) -> Result<u64, String> {
     get(obj, key)
         .and_then(JsonScalar::as_u64)
-        .ok_or_else(|| format!("line {ln}: missing or non-integer field '{key}'"))
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
 }
 
-fn require_f64(obj: &stabcon_util::jsonl::FlatObject, key: &str, ln: usize) -> Result<(), String> {
+fn require_f64(obj: &stabcon_util::jsonl::FlatObject, key: &str) -> Result<(), String> {
     get(obj, key)
         .and_then(JsonScalar::as_f64)
         .map(|_| ())
-        .ok_or_else(|| format!("line {ln}: missing or non-numeric field '{key}'"))
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+/// Which record type a validated telemetry line is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryRecord {
+    /// A periodic `snapshot` record.
+    Snapshot,
+    /// A per-cell `cell_profile` record.
+    CellProfile,
+}
+
+/// Validate one `stabcon-telemetry/1` *record* line (not the header):
+/// flat JSON, a known `record` kind, and every required field present with
+/// the right type. This is the per-line core of [`check_telemetry`], and
+/// the gate `stabcon serve` applies to worker-shipped [`Telemetry`] frames
+/// before ingesting them into its sink — a torn, interleaved, or malformed
+/// frame fails here and is dropped instead of corrupting the sink.
+///
+/// [`Telemetry`]: crate::fabric::Msg::Telemetry
+pub fn validate_record_line(line: &str) -> Result<TelemetryRecord, String> {
+    let obj = parse_flat(line)?;
+    match get(&obj, "record").and_then(JsonScalar::as_str) {
+        Some("snapshot") => {
+            for key in [
+                "cell",
+                "trials_done",
+                "trials_total",
+                "chunks_issued",
+                "chunks_merged",
+                "cursor_lag",
+                "workers",
+                "worker_trials_min",
+                "worker_trials_max",
+            ] {
+                require_u64(&obj, key)?;
+            }
+            require_f64(&obj, "elapsed_secs")?;
+            require_f64(&obj, "trials_per_sec")?;
+            require_f64(&obj, "eta_secs")?;
+            Ok(TelemetryRecord::Snapshot)
+        }
+        Some("cell_profile") => {
+            for key in [
+                "cell",
+                "trials",
+                "rounds",
+                "trial_p50_nanos",
+                "trial_p99_nanos",
+            ] {
+                require_u64(&obj, key)?;
+            }
+            for ph in Phase::ALL {
+                require_u64(&obj, &format!("phase_{}_nanos", ph.name()))?;
+            }
+            for c in [
+                Counter::NetRequests,
+                Counter::NetDelivered,
+                Counter::NetDropped,
+                Counter::NetLinkDropped,
+                Counter::NetPartitionDropped,
+                Counter::NetForged,
+            ] {
+                require_u64(&obj, c.name())?;
+            }
+            require_u64(&obj, Gauge::NetInFlightPeak.name())?;
+            require_f64(&obj, "elapsed_secs")?;
+            require_f64(&obj, "trials_per_sec")?;
+            Ok(TelemetryRecord::CellProfile)
+        }
+        Some(other) => Err(format!("unknown record type '{other}'")),
+        None => Err("missing 'record' field".into()),
+    }
 }
 
 /// Validate a telemetry file against the `stabcon-telemetry/1` schema:
@@ -514,9 +586,9 @@ pub fn check_telemetry(path: &Path) -> Result<TelemetryCheck, String> {
         Some(other) => return Err(format!("line 1: schema '{other}' != '{TELEMETRY_SCHEMA}'")),
         None => return Err("line 1: missing 'schema' field".into()),
     }
-    require_u64(&header, "threads", 1)?;
-    require_u64(&header, "cells", 1)?;
-    require_u64(&header, "trials_planned", 1)?;
+    require_u64(&header, "threads").map_err(|e| format!("line 1: {e}"))?;
+    require_u64(&header, "cells").map_err(|e| format!("line 1: {e}"))?;
+    require_u64(&header, "trials_planned").map_err(|e| format!("line 1: {e}"))?;
 
     let mut check = TelemetryCheck {
         snapshots: 0,
@@ -528,57 +600,9 @@ pub fn check_telemetry(path: &Path) -> Result<TelemetryCheck, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let obj = parse_flat(&line).map_err(|e| format!("line {ln}: {e}"))?;
-        match get(&obj, "record").and_then(JsonScalar::as_str) {
-            Some("snapshot") => {
-                for key in [
-                    "cell",
-                    "trials_done",
-                    "trials_total",
-                    "chunks_issued",
-                    "chunks_merged",
-                    "cursor_lag",
-                    "workers",
-                    "worker_trials_min",
-                    "worker_trials_max",
-                ] {
-                    require_u64(&obj, key, ln)?;
-                }
-                require_f64(&obj, "elapsed_secs", ln)?;
-                require_f64(&obj, "trials_per_sec", ln)?;
-                require_f64(&obj, "eta_secs", ln)?;
-                check.snapshots += 1;
-            }
-            Some("cell_profile") => {
-                for key in [
-                    "cell",
-                    "trials",
-                    "rounds",
-                    "trial_p50_nanos",
-                    "trial_p99_nanos",
-                ] {
-                    require_u64(&obj, key, ln)?;
-                }
-                for ph in Phase::ALL {
-                    require_u64(&obj, &format!("phase_{}_nanos", ph.name()), ln)?;
-                }
-                for c in [
-                    Counter::NetRequests,
-                    Counter::NetDelivered,
-                    Counter::NetDropped,
-                    Counter::NetLinkDropped,
-                    Counter::NetPartitionDropped,
-                    Counter::NetForged,
-                ] {
-                    require_u64(&obj, c.name(), ln)?;
-                }
-                require_u64(&obj, Gauge::NetInFlightPeak.name(), ln)?;
-                require_f64(&obj, "elapsed_secs", ln)?;
-                require_f64(&obj, "trials_per_sec", ln)?;
-                check.cell_profiles += 1;
-            }
-            Some(other) => return Err(format!("line {ln}: unknown record type '{other}'")),
-            None => return Err(format!("line {ln}: missing 'record' field")),
+        match validate_record_line(&line).map_err(|e| format!("line {ln}: {e}"))? {
+            TelemetryRecord::Snapshot => check.snapshots += 1,
+            TelemetryRecord::CellProfile => check.cell_profiles += 1,
         }
     }
     if check.cell_profiles == 0 {
@@ -587,6 +611,84 @@ pub fn check_telemetry(path: &Path) -> Result<TelemetryCheck, String> {
             path.display()
         ));
     }
+    Ok(check)
+}
+
+/// Read just the `schema` tag from a JSONL file's first line, for CLI
+/// auto-detection: `stabcon telemetry check` accepts both a telemetry sink
+/// (`stabcon-telemetry/1`) and a timings sidecar (`stabcon-timings/1`) and
+/// dispatches on this.
+pub fn peek_schema(path: &Path) -> Result<String, String> {
+    let file = File::open(path).map_err(|e| format!("{}: open: {e}", path.display()))?;
+    let mut first = String::new();
+    BufReader::new(file)
+        .read_line(&mut first)
+        .map_err(|e| format!("{}: read line 1: {e}", path.display()))?;
+    if first.trim().is_empty() {
+        return Err(format!("{}: empty file", path.display()));
+    }
+    let obj = parse_flat(first.trim_end()).map_err(|e| format!("line 1: {e}"))?;
+    get(&obj, "schema")
+        .and_then(JsonScalar::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{}: line 1 has no 'schema' field", path.display()))
+}
+
+/// What [`check_timings`] found in a valid timings sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingsCheck {
+    /// Record lines (excluding the header).
+    pub lines: u64,
+    /// Distinct cell ids.
+    pub cells: u64,
+    /// Lines superseded by a later line for the same cell — re-runs after
+    /// an interrupted append; readers keep the last line per cell.
+    pub duplicates: u64,
+}
+
+/// Validate a `stabcon-timings/1` sidecar: header line first, then one
+/// flat record per cell with `cell`/`trials` integers and
+/// `elapsed_secs`/`trials_per_sec` numbers. Duplicate cell ids are legal
+/// (last wins, as [`load_timings`] resolves them) and are counted.
+pub fn check_timings(path: &Path) -> Result<TimingsCheck, String> {
+    let file =
+        File::open(path).map_err(|e| format!("{}: open timings file: {e}", path.display()))?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty timings file", path.display()))?;
+    let header = header.map_err(|e| format!("line 1: {e}"))?;
+    let header = parse_flat(&header).map_err(|e| format!("line 1: {e}"))?;
+    match get(&header, "schema").and_then(JsonScalar::as_str) {
+        Some(TIMINGS_SCHEMA) => {}
+        Some(other) => return Err(format!("line 1: schema '{other}' != '{TIMINGS_SCHEMA}'")),
+        None => return Err("line 1: missing 'schema' field".into()),
+    }
+
+    let mut check = TimingsCheck {
+        lines: 0,
+        cells: 0,
+        duplicates: 0,
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line.map_err(|e| format!("line {ln}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat(&line).map_err(|e| format!("line {ln}: {e}"))?;
+        let cell = require_u64(&obj, "cell").map_err(|e| format!("line {ln}: {e}"))?;
+        require_u64(&obj, "trials").map_err(|e| format!("line {ln}: {e}"))?;
+        require_f64(&obj, "elapsed_secs").map_err(|e| format!("line {ln}: {e}"))?;
+        require_f64(&obj, "trials_per_sec").map_err(|e| format!("line {ln}: {e}"))?;
+        check.lines += 1;
+        if !seen.insert(cell) {
+            check.duplicates += 1;
+        }
+    }
+    check.cells = seen.len() as u64;
     Ok(check)
 }
 
@@ -659,5 +761,72 @@ mod tests {
         std::fs::write(&p, "{\"schema\":\"other/9\"}\n").expect("write");
         assert!(check_telemetry(&p).unwrap_err().contains("schema"));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn record_validation_rejects_torn_and_foreign_lines() {
+        // A full snapshot record passes.
+        let good = JsonObj::new()
+            .str_field("record", "snapshot")
+            .u64_field("cell", 0)
+            .u64_field("trials_done", 8)
+            .u64_field("trials_total", 64)
+            .fixed_field("elapsed_secs", 0.5, 3)
+            .fixed_field("trials_per_sec", 16.0, 1)
+            .u64_field("chunks_issued", 2)
+            .u64_field("chunks_merged", 1)
+            .u64_field("cursor_lag", 1)
+            .fixed_field("eta_secs", 3.5, 1)
+            .u64_field("workers", 2)
+            .u64_field("worker_trials_min", 3)
+            .u64_field("worker_trials_max", 5)
+            .finish();
+        assert_eq!(
+            validate_record_line(&good).expect("valid snapshot"),
+            TelemetryRecord::Snapshot
+        );
+        // Any torn prefix of it fails — never panics, never passes.
+        for cut in 0..good.len() {
+            assert!(
+                validate_record_line(&good[..cut]).is_err(),
+                "torn prefix of len {cut} must not validate"
+            );
+        }
+        // A shipped header (valid JSON, no 'record') fails.
+        assert!(validate_record_line("{\"schema\": \"stabcon-telemetry/1\"}").is_err());
+        // An unknown record kind fails.
+        assert!(validate_record_line("{\"record\": \"warp\"}").is_err());
+    }
+
+    #[test]
+    fn timings_check_counts_cells_and_last_wins_duplicates() {
+        let store = tmp("timings-check.jsonl");
+        std::fs::remove_file(timings_path(&store)).ok();
+        let mut f = open_timings(&store, false).expect("open");
+        append_timing(&mut f, 0, 100, 2.0).expect("append");
+        append_timing(&mut f, 1, 100, 4.0).expect("append");
+        append_timing(&mut f, 1, 100, 5.0).expect("append"); // re-run: last wins
+        drop(f);
+        let check = check_timings(&timings_path(&store)).expect("valid sidecar");
+        assert_eq!(
+            check,
+            TimingsCheck {
+                lines: 3,
+                cells: 2,
+                duplicates: 1
+            }
+        );
+        assert_eq!(
+            peek_schema(&timings_path(&store)).expect("schema"),
+            TIMINGS_SCHEMA
+        );
+        // A telemetry header peeks as the telemetry schema.
+        let p = tmp("peek-telemetry.jsonl");
+        std::fs::write(&p, "{\"schema\": \"stabcon-telemetry/1\"}\n").expect("write");
+        assert_eq!(peek_schema(&p).expect("schema"), TELEMETRY_SCHEMA);
+        // A timings file with a wrong-schema header is refused.
+        assert!(check_timings(&p).unwrap_err().contains("schema"));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(timings_path(&store)).ok();
     }
 }

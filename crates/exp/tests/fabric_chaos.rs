@@ -1,0 +1,300 @@
+//! Chaos integration for the fabric: a serve daemon and two workers talk
+//! through the deterministic chaos proxy — delayed flushes, duplicated
+//! frames, torn writes, mid-frame disconnects — and the assembled store is
+//! still byte-identical to the clean single-host run, at every seed.
+//!
+//! Also here: the crash-safety acceptance test. A `stabcon serve`
+//! subprocess is `kill -9`'d mid-campaign, its store tail is truncated
+//! mid-record (the torn write a crash can leave), and a restarted server
+//! with `--resume` repairs the tail and completes the campaign to the
+//! exact reference bytes.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
+use stabcon_exp::fabric::{run_worker, ChaosProxy, ChaosSpec, ServeConfig, Server, WorkerConfig};
+use stabcon_exp::presets::preset;
+use stabcon_exp::store::Durability;
+use stabcon_exp::telemetry::timings_path;
+use stabcon_exp::InitSpec;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("stabcon-fabric-chaos");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{}-{tag}.jsonl", std::process::id()))
+}
+
+fn cleanup(store: &PathBuf) {
+    std::fs::remove_file(store).ok();
+    std::fs::remove_file(timings_path(store)).ok();
+}
+
+/// 4 quick cells.
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        name: "chaos-it".into(),
+        seed: 0xC4A0,
+        trials: 4,
+        ns: vec![64, 96],
+        inits: vec![InitSpec::TwoBinsHalf, InitSpec::AllDistinct],
+        ..CampaignSpec::default()
+    }
+}
+
+/// Run one full campaign — serve + 2 retrying workers — through a chaos
+/// proxy seeded with `seed`, and return the assembled store bytes.
+fn campaign_through_chaos(spec: &CampaignSpec, seed: u64, tag: &str) -> Vec<u8> {
+    let store = tmp(tag);
+    cleanup(&store);
+
+    let server = Server::bind("127.0.0.1:0", spec, &store).expect("bind serve");
+    let serve_addr = server.local_addr().expect("serve addr").to_string();
+    let serve_cfg = ServeConfig {
+        // Generous against injected delays; heartbeats carry slow cells.
+        lease: Duration::from_secs(2),
+        durability: Durability::Cell,
+        ..ServeConfig::default()
+    };
+    let serve_thread = std::thread::spawn(move || server.run(&serve_cfg));
+
+    let proxy = ChaosProxy::bind("127.0.0.1:0", &serve_addr, ChaosSpec::mild(seed))
+        .expect("bind chaos proxy");
+    let proxy_addr = proxy.local_addr().expect("proxy addr").to_string();
+    let stop = proxy.stop_handle();
+    let proxy_thread = std::thread::spawn(move || proxy.run());
+
+    // Two workers, both through the proxy, both with a deep retry budget —
+    // every mid-frame cut costs a reconnect, never the campaign. The drain
+    // flag stops them promptly once the server has everything (a worker
+    // mid-reconnect when the campaign drains would otherwise spend its
+    // whole retry budget against a gone server).
+    let drain = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let spec = spec.clone();
+            let addr = proxy_addr.clone();
+            let drain = Arc::clone(&drain);
+            std::thread::spawn(move || {
+                run_worker(
+                    &addr,
+                    &spec,
+                    &WorkerConfig {
+                        threads: 2,
+                        name: format!("chaos-worker-{i}"),
+                        retries: 100,
+                        backoff_ms: 20,
+                        drain: Some(drain),
+                        ..WorkerConfig::default()
+                    },
+                )
+            })
+        })
+        .collect();
+
+    let served = serve_thread
+        .join()
+        .expect("serve thread")
+        .expect("serve outcome");
+    assert_eq!(served.cells_total, 4);
+    assert_eq!(served.cells_ingested, 4);
+
+    // Workers may still be mid-retry against a gone server; their errors
+    // are expected — the store is the contract.
+    drain.store(true, Ordering::SeqCst);
+    for w in workers {
+        let _ = w.join().expect("worker thread");
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = proxy_thread.join().expect("proxy thread");
+
+    let bytes = std::fs::read(&store).expect("read chaos store");
+    cleanup(&store);
+    bytes
+}
+
+#[test]
+fn chaos_campaign_store_is_byte_identical_at_any_seed() {
+    let spec = grid();
+
+    let reference_path = tmp("chaos-reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("single-host run");
+    let reference = std::fs::read(&reference_path).expect("read reference");
+    cleanup(&reference_path);
+
+    for seed in [11u64, 23, 37] {
+        let bytes = campaign_through_chaos(&spec, seed, &format!("chaos-{seed}"));
+        assert_eq!(
+            bytes, reference,
+            "chaos seed {seed}: store differs from the clean single-host run"
+        );
+    }
+}
+
+/// Poll until `path` has at least `lines` newline-terminated lines (or
+/// panic after `timeout`).
+fn wait_for_lines(path: &PathBuf, lines: usize, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let have = std::fs::read(path)
+            .map(|b| b.iter().filter(|&&c| c == b'\n').count())
+            .unwrap_or(0);
+        if have >= lines {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {lines} lines in {} (have {have})",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn kill_dash_nine_server_resumes_from_a_truncated_tail() {
+    // The spec must be expressible as CLI flags so the subprocess expands
+    // the same grid (fingerprint handshake pins this).
+    let spec = {
+        let mut s = preset("smoke").expect("smoke preset");
+        s.trials = 4;
+        s.seed = 0xFEED;
+        s.ns = vec![64, 96];
+        s.name = "kill9".into();
+        s
+    };
+
+    let reference_path = tmp("kill9-reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("single-host run");
+    let reference = std::fs::read(&reference_path).expect("read reference");
+    let total_cells = String::from_utf8_lossy(&reference).lines().count() - 1;
+
+    let store = tmp("kill9-store");
+    cleanup(&store);
+
+    // A free port for the subprocess (bind :0, read it back, release it).
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("probe port")
+        .local_addr()
+        .expect("probe addr")
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+
+    // Phase 1: a real `stabcon serve` subprocess with per-cell fsync.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stabcon"))
+        .args([
+            "serve",
+            "--out",
+            store.to_str().expect("utf8 path"),
+            "--listen",
+            &addr,
+            "--lease-secs",
+            "2",
+            "--durability",
+            "cell",
+            "--preset",
+            "smoke",
+            "--trials",
+            "4",
+            "--seed",
+            "0xFEED",
+            "--ns",
+            "64,96",
+            "--name",
+            "kill9",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve subprocess");
+
+    // A drainable worker feeds it until the store holds a couple of cells.
+    let drain = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let spec = spec.clone();
+        let addr = addr.clone();
+        let drain = Arc::clone(&drain);
+        std::thread::spawn(move || {
+            run_worker(
+                &addr,
+                &spec,
+                &WorkerConfig {
+                    threads: 2,
+                    name: "kill9-worker".into(),
+                    retries: 100,
+                    backoff_ms: 50,
+                    drain: Some(drain),
+                    ..WorkerConfig::default()
+                },
+            )
+        })
+    };
+    wait_for_lines(&store, 3, Duration::from_secs(60)); // header + 2 cells
+    drain.store(true, Ordering::SeqCst);
+    let _ = worker.join().expect("worker thread");
+
+    // kill -9: no atexit, no flush, no goodbye. (If the campaign already
+    // completed, the server exited on its own — the torn-tail repair below
+    // is exercised either way.)
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Simulate the torn tail a crash mid-append can leave: chop the last
+    // record off mid-line. Every byte offset of the final record is
+    // unit-tested in store.rs; here one representative cut proves the
+    // end-to-end path.
+    let bytes = std::fs::read(&store).expect("read crashed store");
+    assert!(bytes.len() > 5);
+    std::fs::write(&store, &bytes[..bytes.len() - 5]).expect("tear the tail");
+
+    // Phase 2: restart with --resume (in-process this time): the torn
+    // tail is repaired on open, the lost cell re-leased, the campaign
+    // completed.
+    let server = Server::bind("127.0.0.1:0", &spec, &store).expect("rebind");
+    let addr2 = server.local_addr().expect("addr").to_string();
+    let serve_cfg = ServeConfig {
+        lease: Duration::from_secs(2),
+        resume: true,
+        durability: Durability::Cell,
+        ..ServeConfig::default()
+    };
+    let serve_thread = std::thread::spawn(move || server.run(&serve_cfg));
+    let outcome = run_worker(
+        &addr2,
+        &spec,
+        &WorkerConfig {
+            threads: 2,
+            name: "kill9-finisher".into(),
+            ..WorkerConfig::default()
+        },
+    )
+    .expect("finishing worker");
+    let served = serve_thread
+        .join()
+        .expect("serve thread")
+        .expect("resume outcome");
+
+    assert!(
+        outcome.cells_run >= 1,
+        "the torn cell (at least) is re-run after the repair"
+    );
+    assert_eq!(served.cells_total as usize, total_cells);
+    assert_eq!(
+        served.cells_skipped + served.cells_ingested,
+        served.cells_total,
+        "resume skips exactly the surviving records"
+    );
+    assert_eq!(
+        std::fs::read(&store).expect("read resumed store"),
+        reference,
+        "kill -9 + torn tail + resume must still converge to the reference bytes"
+    );
+
+    cleanup(&store);
+    cleanup(&reference_path);
+}

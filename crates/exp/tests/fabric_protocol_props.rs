@@ -3,9 +3,20 @@
 //! quotes, backslashes, newlines, control bytes, and non-ASCII — and every
 //! encoding is exactly one line, so the line-oriented framing can never
 //! tear a message.
+//!
+//! Also pinned here: the serve side's WAN-hardening contracts. Torn or
+//! interleaved Telemetry frames never corrupt a `stabcon-telemetry/1`
+//! sink (the server's record validator rejects every mangled line), and
+//! the [`ServeState`] lease/ingest machine keeps its counters and set
+//! invariants consistent under arbitrary hostile interleavings of claims,
+//! renewals, duplicate results, disconnects, and lease expiries.
+
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
-use stabcon_exp::fabric::{Msg, FABRIC_SCHEMA};
+use stabcon_exp::fabric::{Ingest, Msg, Parked, ServeState, FABRIC_SCHEMA};
+use stabcon_exp::telemetry::{check_telemetry, validate_record_line};
 
 /// Escaping stress pool: quotes, backslashes, newlines, control characters,
 /// multi-byte UTF-8, JSON-significant punctuation.
@@ -47,7 +58,9 @@ fn build_msg(kind: usize, x: u64, y: u64, a: usize, b: usize) -> Msg {
         },
         5 => Msg::Wait { retry_ms: x },
         6 => Msg::Drained,
-        7 => Msg::Telemetry {
+        7 => Msg::Renew { cell: x },
+        8 => Msg::Goodbye,
+        9 => Msg::Telemetry {
             line: nasty(a, b, x),
         },
         _ => Msg::Result {
@@ -66,7 +79,7 @@ proptest! {
 
     #[test]
     fn encode_decode_round_trips(
-        kind in 0usize..9,
+        kind in 0usize..11,
         x in any::<u64>(),
         y in any::<u64>(),
         a in 0usize..NASTY.len(),
@@ -92,12 +105,153 @@ proptest! {
         let garbage = format!("{}{}{x}", NASTY[a], NASTY[b]);
         let _ = Msg::decode(&garbage);
         // Also every prefix-truncation of a valid message (torn line).
-        let wire = build_msg(a % 9, x, x, a, b).encode();
+        let wire = build_msg(a % 11, x, x, a, b).encode();
         let mut cut = cut.min(wire.len());
         while !wire.is_char_boundary(cut) {
             cut -= 1;
         }
         let _ = Msg::decode(&wire[..cut]);
+    }
+}
+
+/// One syntactically valid `cell_profile` record, as the telemetry layer
+/// emits it — the seed for the torn-frame sink property.
+fn valid_cell_profile(cell: u64) -> String {
+    use stabcon_obs::{Counter, Gauge, Phase};
+    use stabcon_util::jsonl::JsonObj;
+    let mut line = JsonObj::new()
+        .str_field("record", "cell_profile")
+        .u64_field("cell", cell)
+        .u64_field("trials", 64)
+        .fixed_field("elapsed_secs", 0.5, 3)
+        .fixed_field("trials_per_sec", 128.0, 1)
+        .u64_field("rounds", 4096);
+    for ph in Phase::ALL {
+        line = line.u64_field(&format!("phase_{}_nanos", ph.name()), 1000 + ph as u64);
+    }
+    for c in [
+        Counter::NetRequests,
+        Counter::NetDelivered,
+        Counter::NetDropped,
+        Counter::NetLinkDropped,
+        Counter::NetPartitionDropped,
+        Counter::NetForged,
+    ] {
+        line = line.u64_field(c.name(), 7);
+    }
+    line.u64_field(Gauge::NetInFlightPeak.name(), 3)
+        .u64_field("trial_p50_nanos", 1 << 14)
+        .u64_field("trial_p99_nanos", 1 << 16)
+        .finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The serve-side sink stays schema-valid no matter what Telemetry
+    /// frames arrive: a sink built from a header plus only the lines that
+    /// pass `validate_record_line` — the exact filter `stabcon serve`
+    /// applies — always satisfies `check_telemetry`, even when the frame
+    /// stream is torn prefixes, torn suffixes, two records spliced
+    /// mid-line, and raw garbage.
+    #[test]
+    fn torn_telemetry_frames_never_corrupt_the_sink(
+        cut in 1usize..200,
+        splice in 1usize..200,
+        a in 0usize..NASTY.len(),
+        x in any::<u64>(),
+    ) {
+        let good = valid_cell_profile(x % 16);
+        let other = valid_cell_profile((x % 16) + 1);
+        let mut cut = cut.min(good.len() - 1);
+        while !good.is_char_boundary(cut) { cut -= 1; }
+        let mut splice = splice.min(other.len() - 1);
+        while !other.is_char_boundary(splice) { splice -= 1; }
+        let candidates = [
+            good.clone(),                                  // intact
+            good[..cut].to_string(),                       // torn tail
+            good[cut..].to_string(),                       // torn head
+            format!("{}{}", &good[..cut], &other[splice..]), // mid-line splice
+            format!("{}{x}", NASTY[a]),                    // garbage
+            "{\"schema\": \"stabcon-telemetry/1\"}".into(), // shipped header
+        ];
+
+        // Assemble the sink the way the server does: header first, then
+        // only validated records.
+        let dir = std::env::temp_dir().join("stabcon-fabric-props");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("{}-torn-sink.jsonl", std::process::id()));
+        let mut sink = String::from(
+            "{\"schema\": \"stabcon-telemetry/1\", \"campaign\": \"p\", \
+             \"threads\": 1, \"cells\": 32, \"trials_planned\": 64}\n",
+        );
+        let mut accepted = 0u64;
+        for line in &candidates {
+            if validate_record_line(line).is_ok() {
+                sink.push_str(line);
+                sink.push('\n');
+                accepted += 1;
+            }
+        }
+        prop_assert!(accepted >= 1, "the intact record must validate");
+        std::fs::write(&path, &sink).expect("write sink");
+        let check = check_telemetry(&path).expect("filtered sink is always schema-valid");
+        prop_assert_eq!(check.cell_profiles, accepted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The serve state machine under hostile interleavings: claims,
+    /// renewals for live/reclaimed/foreign leases, duplicate and
+    /// out-of-range results, abrupt disconnects, clock advances past the
+    /// lease, and flushes — in any order. After every step the cell sets
+    /// partition the grid exactly, and the ingest/dedupe counters match an
+    /// independent tally (duplicate Result frames across reconnects are
+    /// counted, never double-ingested).
+    #[test]
+    fn serve_state_invariants_survive_hostile_interleavings(
+        total in 1u64..8,
+        ops in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let mut s = ServeState::new(total, BTreeSet::new(), Duration::from_millis(100));
+        let mut now = Instant::now();
+        let (mut ingested, mut deduped) = (0u64, 0u64);
+        for word in ops {
+            // One word per op: low bits pick the op, a golden-ratio mix
+            // decorrelates the two operand draws.
+            let op = (word % 6) as u8;
+            let x = word >> 3;
+            let y = word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let conn = x % 4;
+            let cell = y % (total + 2); // sometimes out of range
+            match op {
+                0 => { let _ = s.claim(conn, now); }
+                1 => s.renew(conn, cell, now),
+                2 => {
+                    let parked = Parked {
+                        line: format!("{{\"cell\": {cell}}}"),
+                        trials: 1,
+                        elapsed_secs: 0.1,
+                    };
+                    match s.ingest(cell, parked, x % 7 != 0) {
+                        Ingest::Parked => ingested += 1,
+                        Ingest::Duplicate => deduped += 1,
+                        Ingest::Rejected => {}
+                    }
+                }
+                3 => s.release_conn(conn),
+                4 => {
+                    now += Duration::from_millis(x % 250);
+                    s.sweep_expired(now);
+                }
+                _ => while s.pop_flushable().is_some() {},
+            }
+            if let Err(e) = s.check_invariants() {
+                prop_assert!(false, "invariant violated after op {op}: {e}");
+            }
+            prop_assert_eq!(s.cells_ingested, ingested);
+            prop_assert_eq!(s.results_deduped, deduped);
+            prop_assert!(s.written_len() <= total);
+        }
     }
 }
 

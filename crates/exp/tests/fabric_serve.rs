@@ -13,6 +13,7 @@ use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
 use stabcon_exp::fabric::{run_worker, Msg, ServeConfig, Server, WorkerConfig, FABRIC_SCHEMA};
 use stabcon_exp::telemetry::{check_telemetry, timings_path};
 use stabcon_exp::InitSpec;
+use stabcon_util::jsonl::{get, parse_flat, JsonScalar};
 
 fn tmp(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("stabcon-fabric-serve");
@@ -90,9 +91,8 @@ fn serve_survives_killed_and_hung_workers() {
     let addr = server.local_addr().expect("addr").to_string();
     let cfg = ServeConfig {
         lease: Duration::from_millis(300),
-        progress: false,
         telemetry: Some(sink.clone()),
-        resume: false,
+        ..ServeConfig::default()
     };
     let server_thread = std::thread::spawn(move || server.run(&cfg));
 
@@ -127,7 +127,7 @@ fn serve_survives_killed_and_hung_workers() {
         &WorkerConfig {
             threads: 2,
             name: "healthy".into(),
-            chunk: None,
+            ..WorkerConfig::default()
         },
     )
     .expect("healthy worker");
@@ -168,6 +168,148 @@ fn serve_survives_killed_and_hung_workers() {
     cleanup(&reference_path);
     cleanup(&store);
     std::fs::remove_file(&sink).ok();
+}
+
+/// The canonical store cell line for `cell`, looked up in a finished
+/// reference store by id — what an honest worker would ship.
+fn reference_line(reference: &[u8], cell: u64) -> String {
+    String::from_utf8_lossy(reference)
+        .lines()
+        .skip(1) // header
+        .find(|l| {
+            parse_flat(l)
+                .ok()
+                .and_then(|o| get(&o, "cell").and_then(JsonScalar::as_u64))
+                == Some(cell)
+        })
+        .unwrap_or_else(|| panic!("reference store has no cell {cell}"))
+        .to_string()
+}
+
+#[test]
+fn heartbeats_keep_a_slow_but_alive_worker_leased() {
+    // A worker that takes 3× the lease to finish a cell keeps its lease by
+    // heartbeating: the deadline sweep must distinguish slow from dead.
+    let spec = grid();
+    let fingerprint = format!("{:016x}", spec.header().fingerprint);
+
+    let reference_path = tmp("slow-reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("single-host run");
+    let reference = std::fs::read(&reference_path).expect("read reference");
+
+    let store = tmp("slow-served");
+    cleanup(&store);
+    let server = Server::bind("127.0.0.1:0", &spec, &store).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server_thread = std::thread::spawn(move || server.run(&cfg));
+
+    // The slow worker: claims a cell, then "computes" for 3 lease
+    // durations, renewing every lease/3 — and finally ships the exact
+    // line an honest run produces.
+    let (mut slow, mut slow_reader) = handshake(&addr, &fingerprint);
+    let slow_cell = claim_one(&mut slow, &mut slow_reader);
+    for _ in 0..9 {
+        std::thread::sleep(Duration::from_millis(100));
+        writeln!(slow, "{}", Msg::Renew { cell: slow_cell }.encode()).expect("send renew");
+    }
+    let result = Msg::Result {
+        cell: slow_cell,
+        line: reference_line(&reference, slow_cell),
+        elapsed_secs: 0.9,
+        trials: spec.trials,
+    };
+    writeln!(slow, "{}", result.encode()).expect("ship result");
+
+    // A healthy worker drains the rest. If the sweep had reclaimed the
+    // slow worker's cell, the healthy worker would have run 4 cells.
+    let outcome = run_worker(&addr, &spec, &WorkerConfig::default()).expect("healthy worker");
+    assert_eq!(outcome.cells_run, 3, "the slow worker's cell stayed leased");
+
+    let served = server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve outcome");
+    drop(slow);
+    assert_eq!(served.leases_reclaimed, 0, "nobody died, nobody expired");
+    assert!(
+        served.leases_renewed >= 2,
+        "heartbeats extended the lease (got {})",
+        served.leases_renewed
+    );
+    assert_eq!(served.cells_ingested, 4);
+    assert_eq!(
+        std::fs::read(&store).expect("read served store"),
+        reference,
+        "slow-worker store differs from the single-host store"
+    );
+
+    cleanup(&reference_path);
+    cleanup(&store);
+}
+
+#[test]
+fn duplicate_results_across_reconnects_are_deduped_exactly() {
+    // A worker that ships the same completed cell three times — the
+    // reconnect-resubmission pattern, amplified — lands exactly one store
+    // line, and the dedupe counter reports the other two.
+    let spec = grid();
+    let fingerprint = format!("{:016x}", spec.header().fingerprint);
+
+    let reference_path = tmp("dup-reference");
+    cleanup(&reference_path);
+    run_campaign(&spec, &reference_path, &RunConfig::default()).expect("single-host run");
+    let reference = std::fs::read(&reference_path).expect("read reference");
+
+    let store = tmp("dup-served");
+    cleanup(&store);
+    let server = Server::bind("127.0.0.1:0", &spec, &store).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let cfg = ServeConfig {
+        lease: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let server_thread = std::thread::spawn(move || server.run(&cfg));
+
+    let (mut stream, mut reader) = handshake(&addr, &fingerprint);
+    let cell = claim_one(&mut stream, &mut reader);
+    let result = Msg::Result {
+        cell,
+        line: reference_line(&reference, cell),
+        elapsed_secs: 0.1,
+        trials: spec.trials,
+    };
+    for _ in 0..3 {
+        writeln!(stream, "{}", result.encode()).expect("ship result");
+    }
+    // A claim round-trip proves (by in-order processing on this
+    // connection) all three copies were ingested before we assert.
+    writeln!(stream, "{}", Msg::Claim.encode()).expect("send claim");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("claim reply");
+    drop(stream); // releases whatever that claim leased
+
+    let outcome = run_worker(&addr, &spec, &WorkerConfig::default()).expect("healthy worker");
+    assert_eq!(outcome.cells_run, 3);
+
+    let served = server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve outcome");
+    assert_eq!(served.results_deduped, 2, "three copies, one ingest");
+    assert_eq!(served.cells_ingested, 4);
+    assert_eq!(
+        std::fs::read(&store).expect("read served store"),
+        reference,
+        "duplicated results corrupted the store"
+    );
+
+    cleanup(&reference_path);
+    cleanup(&store);
 }
 
 #[test]
