@@ -7,7 +7,12 @@
 //! stabcon campaign merge  --preset figure1-small --out merged.jsonl --from a.jsonl --from b.jsonl
 //! stabcon campaign report --out store.jsonl [--format text|md|csv] [--timings]
 //! stabcon serve           --preset figure1-small --out store.jsonl --listen 0.0.0.0:7677
+//! stabcon serve --queue   --out q.jsonl --listen 0.0.0.0:7677 --resume
 //! stabcon work            --preset figure1-small --connect host:7677
+//! stabcon work --any      --connect host:7677
+//! stabcon submit          --preset figure1-small --connect host:7677 --client lab
+//! stabcon status          --connect host:7677 [--campaign 2]
+//! stabcon cancel          --connect host:7677 --campaign 2
 //! stabcon chaos           --listen 127.0.0.1:7678 --connect 127.0.0.1:7677 --seed 42
 //! stabcon telemetry check --out telemetry.jsonl
 //! ```
@@ -41,16 +46,20 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use stabcon_exp::campaign::{run_campaign, CampaignSpec, RunConfig};
 use stabcon_exp::fabric::{
-    merge_stores, run_worker, shard_store_path, ChaosProxy, ChaosSpec, ServeConfig, Server,
-    ShardSelection, WorkerConfig,
+    cancel_job, job_store_path, jobs_journal_path, merge_stores, query_status, run_worker,
+    run_worker_any, shard_store_path, submit_campaign, ChaosProxy, ChaosSpec, QueueServeConfig,
+    QueueServer, ServeConfig, Server, ShardSelection, SpecDescriptor, WorkerConfig,
 };
 use stabcon_exp::presets::{preset, PRESET_NAMES};
 use stabcon_exp::store::Durability;
 use stabcon_exp::{report, store, telemetry};
+use stabcon_util::table::Table;
 
 struct Args {
     preset: String,
@@ -62,6 +71,9 @@ struct Args {
     trials: Option<u64>,
     seed: Option<u64>,
     ns: Option<Vec<usize>>,
+    /// The raw `--ns` string, shipped verbatim in a submission descriptor
+    /// so the daemon parses exactly what the client typed.
+    ns_raw: Option<String>,
     name: Option<String>,
     progress: bool,
     telemetry: Option<PathBuf>,
@@ -77,6 +89,14 @@ struct Args {
     retries: Option<u32>,
     backoff_ms: Option<u64>,
     nasty: bool,
+    queue: bool,
+    any: bool,
+    client: Option<String>,
+    campaign: Option<u64>,
+    job: Option<u64>,
+    max_active: Option<usize>,
+    quota: Option<usize>,
+    exit_when_idle: bool,
 }
 
 fn usage() -> String {
@@ -87,7 +107,13 @@ fn usage() -> String {
          stabcon campaign merge  --out PATH --from PATH [--from PATH ...] [spec flags]\n  \
          stabcon campaign report --out PATH [--format text|md|csv] [--timings]\n  \
          stabcon serve           --out PATH --listen HOST:PORT [--lease-secs N] [--resume] [spec flags]\n  \
+         stabcon serve --queue   --out PREFIX --listen HOST:PORT [--max-active N] [--quota N]\n  \
+                                 [--resume] [--exit-when-idle] (multi-campaign daemon; SIGTERM drains)\n  \
          stabcon work            --connect HOST:PORT [--worker-name NAME] [spec/exec flags]\n  \
+         stabcon work --any      --connect HOST:PORT (work every campaign the daemon queues)\n  \
+         stabcon submit          --connect HOST:PORT [--client NAME] [spec flags]\n  \
+         stabcon status          --connect HOST:PORT [--campaign ID]\n  \
+         stabcon cancel          --connect HOST:PORT --campaign ID\n  \
          stabcon chaos           --listen HOST:PORT --connect HOST:PORT [--seed N] [--nasty]\n  \
          stabcon telemetry check --out PATH (telemetry sink or timings sidecar; auto-detected)\n\n\
          spec flags:  --preset NAME (one of {names})  --trials N  --seed N\n  \
@@ -102,7 +128,11 @@ fn usage() -> String {
                       default none — bytes are identical under every policy)\n\
          observability: --progress (live lines on stderr)\n  \
                       --telemetry PATH (JSONL snapshots + per-cell profiles)\n\
-         report flags: --timings (join the store's timings sidecar)\n\
+         report flags: --timings (join the store's timings sidecar)\n  \
+                      --job N (report the daemon's per-job store <out>.job-N.jsonl)\n\
+         queue flags: --client NAME (submission identity; quota is per client)\n  \
+                      --campaign ID (status/cancel target)  --max-active N  --quota N\n  \
+                      --exit-when-idle (daemon exits once every job is terminal)\n\
          chaos flags: --seed N (fault-draw seed)  --nasty (hostile fault mix)\n",
         names = PRESET_NAMES.join("|")
     )
@@ -119,6 +149,7 @@ fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
         trials: None,
         seed: None,
         ns: None,
+        ns_raw: None,
         name: None,
         progress: false,
         telemetry: None,
@@ -134,6 +165,14 @@ fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
         retries: None,
         backoff_ms: None,
         nasty: false,
+        queue: false,
+        any: false,
+        client: None,
+        campaign: None,
+        job: None,
+        max_active: None,
+        quota: None,
+        exit_when_idle: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -166,12 +205,22 @@ fn parse_args(argv: &[String], needs_out: bool) -> Result<Args, String> {
             "--retries" => args.retries = Some(parse_num(flag, &value()?)? as u32),
             "--backoff-ms" => args.backoff_ms = Some(parse_num(flag, &value()?)?),
             "--nasty" => args.nasty = true,
+            "--queue" => args.queue = true,
+            "--any" => args.any = true,
+            "--client" => args.client = Some(value()?),
+            "--campaign" => args.campaign = Some(parse_num(flag, &value()?)?),
+            "--job" => args.job = Some(parse_num(flag, &value()?)?),
+            "--max-active" => args.max_active = Some(parse_num(flag, &value()?)?.max(1) as usize),
+            "--quota" => args.quota = Some(parse_num(flag, &value()?)?.max(1) as usize),
+            "--exit-when-idle" => args.exit_when_idle = true,
             "--ns" => {
-                let list = value()?
+                let raw = value()?;
+                let list = raw
                     .split(',')
                     .map(|s| parse_num("--ns", s).map(|n| n as usize))
                     .collect::<Result<Vec<_>, _>>()?;
                 args.ns = Some(list);
+                args.ns_raw = Some(raw);
             }
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
@@ -285,7 +334,89 @@ fn merge(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The campaign as a wire descriptor: preset + the exact override strings
+/// the user typed, so daemon and client build the same spec from the same
+/// inputs.
+fn descriptor_from(args: &Args) -> SpecDescriptor {
+    SpecDescriptor {
+        preset: args.preset.clone(),
+        name: args.name.clone(),
+        trials: args.trials,
+        seed: args.seed,
+        ns: args.ns_raw.clone(),
+    }
+}
+
+/// SIGTERM → queue-daemon halt: stop dealing leases, refuse submissions,
+/// let in-flight cells come home, park the queue in the journal, exit. The
+/// handler body is a single atomic store; a bridge thread forwards the
+/// static flag into the daemon's shutdown handle.
+#[cfg(unix)]
+fn install_sigterm_halt(flag: Arc<AtomicBool>) {
+    static HALT: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_sigterm(_sig: i32) {
+        HALT.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+    std::thread::spawn(move || loop {
+        if HALT.load(Ordering::SeqCst) {
+            flag.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_halt(_flag: Arc<AtomicBool>) {}
+
+fn serve_queue(args: &Args) -> Result<(), String> {
+    let listen = args.listen.as_deref().unwrap_or("127.0.0.1:7677");
+    let server = QueueServer::bind(listen, &args.out)?;
+    eprintln!(
+        "serve: queue on {} → stores {}.job-*.jsonl, journal {}",
+        server.local_addr()?,
+        args.out.display(),
+        jobs_journal_path(&args.out).display()
+    );
+    let halt = Arc::new(AtomicBool::new(false));
+    install_sigterm_halt(Arc::clone(&halt));
+    let outcome = server.run(&QueueServeConfig {
+        lease: Duration::from_secs(args.lease_secs.unwrap_or(60).max(1)),
+        progress: args.progress,
+        resume: args.resume,
+        durability: args.durability,
+        max_active: args.max_active.unwrap_or(4),
+        quota: args.quota.unwrap_or(4),
+        exit_when_idle: args.exit_when_idle,
+        shutdown: Some(halt),
+    })?;
+    eprintln!(
+        "serve: queue {} — {} job(s): {} done, {} cancelled, {} failed, {} queued + {} running \
+         parked for --resume; {} connection(s) → journal {}",
+        if outcome.halted { "halted" } else { "idle" },
+        outcome.jobs,
+        outcome.done,
+        outcome.cancelled,
+        outcome.failed,
+        outcome.queued,
+        outcome.running,
+        outcome.workers_seen,
+        outcome.journal_path.display(),
+    );
+    Ok(())
+}
+
 fn serve(args: &Args) -> Result<(), String> {
+    if args.queue {
+        return serve_queue(args);
+    }
     let spec = build_spec(args)?;
     let listen = args.listen.as_deref().unwrap_or("127.0.0.1:7677");
     let server = Server::bind(listen, &spec, &args.out)?;
@@ -376,7 +507,6 @@ fn install_sigterm_drain() {
 fn install_sigterm_drain() {}
 
 fn work(args: &Args) -> Result<(), String> {
-    let spec = build_spec(args)?;
     let addr = args
         .connect
         .as_deref()
@@ -397,7 +527,14 @@ fn work(args: &Args) -> Result<(), String> {
         cfg.backoff_ms = b;
     }
     let start = std::time::Instant::now();
-    let outcome = run_worker(addr, &spec, &cfg)?;
+    let outcome = if args.any {
+        // Any-campaign mode: no local spec — each lease ships its job's
+        // descriptor, which the worker builds and fingerprint-verifies.
+        run_worker_any(addr, &cfg)?
+    } else {
+        let spec = build_spec(args)?;
+        run_worker(addr, &spec, &cfg)?
+    };
     eprintln!(
         "work '{}': {} cell(s), {} trial(s) in {:.2}s{}{}",
         cfg.name,
@@ -418,9 +555,89 @@ fn work(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn submit(args: &Args) -> Result<(), String> {
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    let client = args.client.as_deref().unwrap_or("cli");
+    let desc = descriptor_from(args);
+    let outcome = submit_campaign(addr, client, &desc)?;
+    eprintln!(
+        "submit: job {} accepted ({} cells) — daemon store {} \
+         (watch it with `stabcon status --connect {addr} --campaign {}`)",
+        outcome.job, outcome.cells, outcome.store, outcome.job,
+    );
+    Ok(())
+}
+
+fn status(args: &Args) -> Result<(), String> {
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    let client = args.client.as_deref().unwrap_or("cli");
+    let status = query_status(addr, client, args.campaign)?;
+    let mut table = Table::new(
+        format!("queue @ {addr}"),
+        &[
+            "job", "name", "state", "client", "cells", "written", "trials", "trials/s", "elapsed",
+        ],
+    );
+    for j in &status.jobs {
+        table.push_row(vec![
+            j.job.to_string(),
+            j.name.clone(),
+            j.state.clone(),
+            j.client.clone(),
+            j.cells.to_string(),
+            j.written.to_string(),
+            j.trials.to_string(),
+            format!("{:.0}", j.trials_per_sec()),
+            format!("{:.1}s", j.elapsed_secs),
+        ]);
+    }
+    table.push_note(format!(
+        "{} — {} queued, {} running, {} done, {} cancelled, {} failed",
+        if status.accepting {
+            "accepting submissions"
+        } else {
+            "draining (submissions refused)"
+        },
+        status.queued,
+        status.running,
+        status.done,
+        status.cancelled,
+        status.failed,
+    ));
+    print!("{}", table.to_text());
+    Ok(())
+}
+
+fn cancel(args: &Args) -> Result<(), String> {
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or_else(|| format!("--connect HOST:PORT is required\n\n{}", usage()))?;
+    let job = args
+        .campaign
+        .ok_or_else(|| format!("--campaign ID is required\n\n{}", usage()))?;
+    let client = args.client.as_deref().unwrap_or("cli");
+    let state = cancel_job(addr, client, job)?;
+    eprintln!("cancel: job {job} is now {state} (its partial store stays on the daemon)");
+    Ok(())
+}
+
 fn report(args: &Args) -> Result<(), String> {
-    let loaded = store::load(&args.out)?;
-    let timings = args.timings.then(|| telemetry::load_timings(&args.out));
+    // `--job N` points at a queue daemon's per-job store by id, so a live
+    // (parked-prefix) store can be reported without spelling out the
+    // derived path; coverage is spelled out for any partial store.
+    let out = match args.job {
+        Some(job) => job_store_path(&args.out, job),
+        None => args.out.clone(),
+    };
+    let loaded = store::load(&out)?;
+    let timings = args.timings.then(|| telemetry::load_timings(&out));
     let table = report::report_table_with_timings(&loaded, timings.as_ref());
     match args.format.as_str() {
         "text" => print!("{}", table.to_text()),
@@ -485,6 +702,18 @@ fn main() -> ExitCode {
         },
         (Some("work"), _) => match parse_args(&argv[1..], false) {
             Ok(args) => work(&args),
+            Err(e) => Err(e),
+        },
+        (Some("submit"), _) => match parse_args(&argv[1..], false) {
+            Ok(args) => submit(&args),
+            Err(e) => Err(e),
+        },
+        (Some("status"), _) => match parse_args(&argv[1..], false) {
+            Ok(args) => status(&args),
+            Err(e) => Err(e),
+        },
+        (Some("cancel"), _) => match parse_args(&argv[1..], false) {
+            Ok(args) => cancel(&args),
             Err(e) => Err(e),
         },
         (Some("chaos"), _) => match parse_args(&argv[1..], false) {

@@ -33,17 +33,35 @@
 //! torn tails atomically on resume, and the [`chaos`] proxy injects
 //! deterministic WAN faults between the two so the byte-identity contract
 //! is pinned under fire, not just in fair weather.
+//!
+//! On top of the single-campaign lease loop sits the submission plane
+//! (`stabcon-fabric/2`): the daemon holds a durable multi-campaign
+//! [`queue::JobQueue`] — submissions over the wire with per-client
+//! admission quotas, FIFO activation, round-robin leasing across running
+//! campaigns, a live status endpoint, and a crash-replayable
+//! `stabcon-jobs/1` journal — while `/1` workers keep speaking the
+//! original pinned protocol unchanged.
 
 pub mod chaos;
+pub mod client;
 pub mod merge;
 pub mod protocol;
+pub mod queue;
 pub mod serve;
 pub mod shard;
 pub mod worker;
 
 pub use chaos::{fault_for, ChaosProxy, ChaosSpec, Fault};
+pub use client::{cancel_job, query_status, submit_campaign, JobInfo, QueueStatus, SubmitOutcome};
 pub use merge::{merge_stores, MergeOutcome};
-pub use protocol::{Msg, FABRIC_SCHEMA};
-pub use serve::{Ingest, Parked, ServeConfig, ServeOutcome, ServeState, Server};
+pub use protocol::{Msg, SpecDescriptor, FABRIC_SCHEMA, FABRIC_SCHEMA_V2};
+pub use queue::{
+    job_store_path, jobs_journal_path, open_journal, JobQueue, JobState, JournalEvent,
+    QueueConfig, Rejection, JOBS_SCHEMA,
+};
+pub use serve::{
+    Ingest, Parked, QueueOutcome, QueueServeConfig, QueueServer, ServeConfig, ServeOutcome,
+    ServeState, Server,
+};
 pub use shard::{shard_store_path, ShardSelection};
-pub use worker::{request_drain, run_worker, WorkerConfig, WorkerOutcome};
+pub use worker::{request_drain, run_worker, run_worker_any, WorkerConfig, WorkerOutcome};

@@ -1,5 +1,6 @@
-//! The line-oriented fabric protocol (`stabcon-fabric/1`) between
-//! `stabcon serve` and `stabcon work`.
+//! The line-oriented fabric protocol (`stabcon-fabric/1` and `/2`)
+//! between `stabcon serve`, `stabcon work`, and the submission clients
+//! (`stabcon submit` / `status` / `cancel`).
 //!
 //! One flat JSON object per line, encoded with the workspace's own
 //! [`stabcon_util::jsonl`] builders — the same escaping the result store
@@ -27,12 +28,131 @@
 //!   Claim                    →      …and so on until Drained.
 //!   Goodbye                  →     (graceful drain: no more claims coming)
 //! ```
+//!
+//! ## Version negotiation (`stabcon-fabric/2`)
+//!
+//! The `schema` field of the [`Msg::Hello`] is the negotiation. A `/1`
+//! hello pins the connection to one campaign by fingerprint and speaks
+//! exactly the conversation above — old workers keep working against a
+//! queue daemon unmodified. A `/2` hello (fingerprint left empty) opens an
+//! *unpinned* session against the daemon's job queue; the same connection
+//! can then submit campaigns, poll status, cancel jobs, or claim cells
+//! across every running campaign:
+//!
+//! ```text
+//! client                          server
+//!   Hello{schema=/2,…,fp=""} →
+//!                            ←  Welcome{campaign,cells}   (campaign is the
+//!                                 queue label; cells counts live jobs)
+//!   Submit{descriptor,fp}    →
+//!                            ←  Accepted{job,cells,store}
+//!                            ←  Rejected{code,reason}     (bad-spec,
+//!                                 over-quota, draining, bad-fingerprint)
+//!   Status{job?}             →
+//!                            ←  StatusReport{…,jobs} + jobs × JobStatus
+//!   Cancel{job}              →
+//!                            ←  Cancelled{job,state} | Rejected{…}
+//!   Claim                    →
+//!                            ←  Lease2{job,cell,descriptor,fp} | Wait |
+//!                                 Drained  (queue idle / daemon draining)
+//!   Renew2{job,cell}         →
+//!   Result2{job,cell,line,…} →
+//! ```
+//!
+//! A `/2` lease ships the campaign's *spec descriptor* (preset name plus
+//! the CLI-shaped overrides) so the worker expands the grid locally and
+//! verifies the per-campaign fingerprint before running a single trial —
+//! the `/1` handshake contract, moved from connection scope to job scope.
 
 use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
 
 /// Version tag a worker sends in its [`Msg::Hello`]; the server rejects any
 /// other value before looking at the fingerprint.
 pub const FABRIC_SCHEMA: &str = "stabcon-fabric/1";
+
+/// Version tag for an unpinned (queue-aware) session: submission clients
+/// and any-campaign workers. The fingerprint in the hello is empty; each
+/// job carries its own fingerprint instead.
+pub const FABRIC_SCHEMA_V2: &str = "stabcon-fabric/2";
+
+/// The CLI-shaped campaign descriptor shipped inside [`Msg::Submit`] and
+/// [`Msg::Lease2`]: a preset name plus the same overrides `stabcon
+/// campaign run` accepts on the command line. Shipping the *description*
+/// rather than the expanded grid keeps the determinism contract: both
+/// sides build and expand the spec themselves and compare fingerprints.
+///
+/// Optional fields are encoded by omission; `ns` is the CLI's
+/// comma-separated list (e.g. `"64,96"`), kept as a string at the wire
+/// layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecDescriptor {
+    /// Preset name (see `stabcon_exp::presets::PRESET_NAMES`).
+    pub preset: String,
+    /// Campaign name override (also the submission's display name).
+    pub name: Option<String>,
+    /// Trials-per-cell override.
+    pub trials: Option<u64>,
+    /// Master seed override.
+    pub seed: Option<u64>,
+    /// Population-size list override, comma-separated.
+    pub ns: Option<String>,
+}
+
+impl SpecDescriptor {
+    /// Append the descriptor's fields to a JSON object under construction
+    /// (shared with the jobs journal, which records submissions in the
+    /// same shape).
+    pub(crate) fn encode_into(&self, mut obj: JsonObj) -> JsonObj {
+        obj = obj.str_field("preset", &self.preset);
+        if let Some(name) = &self.name {
+            obj = obj.str_field("name", name);
+        }
+        if let Some(trials) = self.trials {
+            obj = obj.u64_field("trials", trials);
+        }
+        if let Some(seed) = self.seed {
+            obj = obj.u64_field("seed", seed);
+        }
+        if let Some(ns) = &self.ns {
+            obj = obj.str_field("ns", ns);
+        }
+        obj
+    }
+
+    /// Read the descriptor's fields back out of a parsed flat object.
+    pub(crate) fn decode_from(
+        obj: &stabcon_util::jsonl::FlatObject,
+        kind: &str,
+    ) -> Result<Self, String> {
+        let preset = get(obj, "preset")
+            .and_then(JsonScalar::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("fabric: {kind} message missing string field 'preset'"))?;
+        let opt_str = |key: &str| -> Result<Option<String>, String> {
+            match get(obj, key) {
+                None => Ok(None),
+                Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+                    format!("fabric: {kind} message field '{key}' must be a string")
+                }),
+            }
+        };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match get(obj, key) {
+                None => Ok(None),
+                Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                    format!("fabric: {kind} message field '{key}' must be an integer")
+                }),
+            }
+        };
+        Ok(SpecDescriptor {
+            preset,
+            name: opt_str("name")?,
+            trials: opt_u64("trials")?,
+            seed: opt_u64("seed")?,
+            ns: opt_str("ns")?,
+        })
+    }
+}
 
 /// One fabric protocol message (one line on the wire).
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +234,134 @@ pub enum Msg {
         /// Trials the cell ran.
         trials: u64,
     },
+    /// Client → server (`/2`): submit a campaign. The client builds the
+    /// spec locally and sends its fingerprint; the server re-builds from
+    /// the same descriptor and refuses on mismatch — the submission-side
+    /// version of the worker handshake.
+    Submit {
+        /// Submitting client's name (admission quota is per client).
+        client: String,
+        /// The campaign, as preset + overrides.
+        spec: SpecDescriptor,
+        /// Client-side grid fingerprint as 16 lowercase hex digits.
+        fingerprint: String,
+    },
+    /// Server → client (`/2`): submission admitted and journaled.
+    Accepted {
+        /// Queue-assigned job id (stable across daemon restarts).
+        job: u64,
+        /// Total cells in the expanded grid.
+        cells: u64,
+        /// Daemon-side per-job store path (informational).
+        store: String,
+    },
+    /// Server → client (`/2`): submission (or cancel) refused. The
+    /// connection stays open — a rejection never poisons the queue.
+    Rejected {
+        /// Machine-readable refusal code: `bad-spec`, `over-quota`,
+        /// `draining`, `bad-fingerprint`, `unknown-job`, or `terminal-job`.
+        code: String,
+        /// Human-readable detail.
+        reason: String,
+    },
+    /// Client → server (`/2`): report queue state — for every job, or for
+    /// one job if `job` is set.
+    Status {
+        /// Restrict the report to this job id (encoded by omission).
+        job: Option<u64>,
+    },
+    /// Server → client (`/2`): queue summary. Exactly `jobs` ×
+    /// [`Msg::JobStatus`] frames follow on the same connection.
+    StatusReport {
+        /// Whether new submissions are currently admitted (false once the
+        /// daemon is draining toward shutdown).
+        accepting: bool,
+        /// Jobs waiting for a free activation slot.
+        queued: u64,
+        /// Jobs currently running or draining.
+        running: u64,
+        /// Jobs fully written to their stores.
+        done: u64,
+        /// Jobs cancelled before completion.
+        cancelled: u64,
+        /// Jobs that failed (store I/O on activation).
+        failed: u64,
+        /// Number of `JobStatus` frames that follow.
+        jobs: u64,
+    },
+    /// Server → client (`/2`): one job's status line, following a
+    /// [`Msg::StatusReport`].
+    JobStatus {
+        /// Queue-assigned job id.
+        job: u64,
+        /// Campaign name.
+        name: String,
+        /// Lifecycle state: `queued`, `running`, `draining`, `done`,
+        /// `cancelled`, or `failed`.
+        state: String,
+        /// Submitting client.
+        client: String,
+        /// Total cells in the grid.
+        cells: u64,
+        /// Cells flushed to the store (contiguous prefix) plus parked.
+        written: u64,
+        /// Trials ingested so far (basis for the trials/s rate).
+        trials: u64,
+        /// Wall-clock seconds since the job started running (0 if queued).
+        elapsed_secs: f64,
+    },
+    /// Client → server (`/2`): cancel a job in any non-terminal state.
+    Cancel {
+        /// Job id to cancel.
+        job: u64,
+    },
+    /// Server → client (`/2`): cancel acknowledged; `state` is the job's
+    /// resulting lifecycle state (always `cancelled`).
+    Cancelled {
+        /// The cancelled job id.
+        job: u64,
+        /// Resulting lifecycle state.
+        state: String,
+    },
+    /// Server → worker (`/2`): run this cell of this job. Carries the
+    /// job's spec descriptor and fingerprint so an any-campaign worker can
+    /// expand the grid locally and verify it before running — the `/1`
+    /// handshake, per job instead of per connection.
+    Lease2 {
+        /// Job id the cell belongs to.
+        job: u64,
+        /// Cell id to run.
+        cell: u64,
+        /// Lease duration in milliseconds.
+        lease_ms: u64,
+        /// The job's campaign descriptor.
+        spec: SpecDescriptor,
+        /// The job's grid fingerprint as 16 lowercase hex digits.
+        fingerprint: String,
+    },
+    /// Worker → server (`/2`): one completed cell of one job. Semantics of
+    /// [`Msg::Result`], plus the job tag (cell ids alone are ambiguous
+    /// across campaigns).
+    Result2 {
+        /// Job id the cell belongs to.
+        job: u64,
+        /// Cell id (must match the id inside `line`).
+        cell: u64,
+        /// The raw store cell line.
+        line: String,
+        /// Wall-clock seconds the cell took on the worker.
+        elapsed_secs: f64,
+        /// Trials the cell ran.
+        trials: u64,
+    },
+    /// Worker → server (`/2`): lease heartbeat for one job's cell.
+    /// Fire-and-forget, like [`Msg::Renew`].
+    Renew2 {
+        /// Job id the cell belongs to.
+        job: u64,
+        /// The leased cell being heartbeat.
+        cell: u64,
+    },
 }
 
 impl Msg {
@@ -171,6 +419,118 @@ impl Msg {
                 .f64_field("elapsed_secs", *elapsed_secs)
                 .u64_field("trials", *trials)
                 .finish(),
+            Msg::Submit {
+                client,
+                spec,
+                fingerprint,
+            } => spec
+                .encode_into(
+                    JsonObj::new()
+                        .str_field("kind", "submit")
+                        .str_field("client", client),
+                )
+                .str_field("fingerprint", fingerprint)
+                .finish(),
+            Msg::Accepted { job, cells, store } => JsonObj::new()
+                .str_field("kind", "accepted")
+                .u64_field("job", *job)
+                .u64_field("cells", *cells)
+                .str_field("store", store)
+                .finish(),
+            Msg::Rejected { code, reason } => JsonObj::new()
+                .str_field("kind", "rejected")
+                .str_field("code", code)
+                .str_field("reason", reason)
+                .finish(),
+            Msg::Status { job } => {
+                let obj = JsonObj::new().str_field("kind", "status");
+                match job {
+                    Some(id) => obj.u64_field("job", *id).finish(),
+                    None => obj.finish(),
+                }
+            }
+            Msg::StatusReport {
+                accepting,
+                queued,
+                running,
+                done,
+                cancelled,
+                failed,
+                jobs,
+            } => JsonObj::new()
+                .str_field("kind", "status_report")
+                .bool_field("accepting", *accepting)
+                .u64_field("queued", *queued)
+                .u64_field("running", *running)
+                .u64_field("done", *done)
+                .u64_field("cancelled", *cancelled)
+                .u64_field("failed", *failed)
+                .u64_field("jobs", *jobs)
+                .finish(),
+            Msg::JobStatus {
+                job,
+                name,
+                state,
+                client,
+                cells,
+                written,
+                trials,
+                elapsed_secs,
+            } => JsonObj::new()
+                .str_field("kind", "job_status")
+                .u64_field("job", *job)
+                .str_field("name", name)
+                .str_field("state", state)
+                .str_field("client", client)
+                .u64_field("cells", *cells)
+                .u64_field("written", *written)
+                .u64_field("trials", *trials)
+                .f64_field("elapsed_secs", *elapsed_secs)
+                .finish(),
+            Msg::Cancel { job } => JsonObj::new()
+                .str_field("kind", "cancel")
+                .u64_field("job", *job)
+                .finish(),
+            Msg::Cancelled { job, state } => JsonObj::new()
+                .str_field("kind", "cancelled")
+                .u64_field("job", *job)
+                .str_field("state", state)
+                .finish(),
+            Msg::Lease2 {
+                job,
+                cell,
+                lease_ms,
+                spec,
+                fingerprint,
+            } => spec
+                .encode_into(
+                    JsonObj::new()
+                        .str_field("kind", "lease2")
+                        .u64_field("job", *job)
+                        .u64_field("cell", *cell)
+                        .u64_field("lease_ms", *lease_ms),
+                )
+                .str_field("fingerprint", fingerprint)
+                .finish(),
+            Msg::Result2 {
+                job,
+                cell,
+                line,
+                elapsed_secs,
+                trials,
+            } => JsonObj::new()
+                .str_field("kind", "result2")
+                .u64_field("job", *job)
+                .u64_field("cell", *cell)
+                .str_field("line", line)
+                .f64_field("elapsed_secs", *elapsed_secs)
+                .u64_field("trials", *trials)
+                .finish(),
+            Msg::Renew2 { job, cell } => JsonObj::new()
+                .str_field("kind", "renew2")
+                .u64_field("job", *job)
+                .u64_field("cell", *cell)
+                .finish(),
         }
     }
 
@@ -190,6 +550,11 @@ impl Msg {
             get(&obj, key)
                 .and_then(JsonScalar::as_u64)
                 .ok_or_else(|| format!("fabric: {kind} message missing integer field '{key}'"))
+        };
+        let f64_f = |key: &str| -> Result<f64, String> {
+            get(&obj, key)
+                .and_then(JsonScalar::as_f64)
+                .ok_or_else(|| format!("fabric: {kind} message missing numeric field '{key}'"))
         };
         match kind {
             "hello" => Ok(Msg::Hello {
@@ -223,10 +588,81 @@ impl Msg {
             "result" => Ok(Msg::Result {
                 cell: u64_f("cell")?,
                 line: str_f("line")?,
-                elapsed_secs: get(&obj, "elapsed_secs")
-                    .and_then(JsonScalar::as_f64)
-                    .ok_or("fabric: result message missing numeric field 'elapsed_secs'")?,
+                elapsed_secs: f64_f("elapsed_secs")?,
                 trials: u64_f("trials")?,
+            }),
+            "submit" => Ok(Msg::Submit {
+                client: str_f("client")?,
+                spec: SpecDescriptor::decode_from(&obj, kind)?,
+                fingerprint: str_f("fingerprint")?,
+            }),
+            "accepted" => Ok(Msg::Accepted {
+                job: u64_f("job")?,
+                cells: u64_f("cells")?,
+                store: str_f("store")?,
+            }),
+            "rejected" => Ok(Msg::Rejected {
+                code: str_f("code")?,
+                reason: str_f("reason")?,
+            }),
+            "status" => Ok(Msg::Status {
+                job: match get(&obj, "job") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or("fabric: status message field 'job' must be an integer")?,
+                    ),
+                },
+            }),
+            "status_report" => Ok(Msg::StatusReport {
+                accepting: match get(&obj, "accepting") {
+                    Some(JsonScalar::Bool(b)) => *b,
+                    _ => {
+                        return Err(
+                            "fabric: status_report message missing boolean field 'accepting'"
+                                .into(),
+                        )
+                    }
+                },
+                queued: u64_f("queued")?,
+                running: u64_f("running")?,
+                done: u64_f("done")?,
+                cancelled: u64_f("cancelled")?,
+                failed: u64_f("failed")?,
+                jobs: u64_f("jobs")?,
+            }),
+            "job_status" => Ok(Msg::JobStatus {
+                job: u64_f("job")?,
+                name: str_f("name")?,
+                state: str_f("state")?,
+                client: str_f("client")?,
+                cells: u64_f("cells")?,
+                written: u64_f("written")?,
+                trials: u64_f("trials")?,
+                elapsed_secs: f64_f("elapsed_secs")?,
+            }),
+            "cancel" => Ok(Msg::Cancel { job: u64_f("job")? }),
+            "cancelled" => Ok(Msg::Cancelled {
+                job: u64_f("job")?,
+                state: str_f("state")?,
+            }),
+            "lease2" => Ok(Msg::Lease2 {
+                job: u64_f("job")?,
+                cell: u64_f("cell")?,
+                lease_ms: u64_f("lease_ms")?,
+                spec: SpecDescriptor::decode_from(&obj, kind)?,
+                fingerprint: str_f("fingerprint")?,
+            }),
+            "result2" => Ok(Msg::Result2 {
+                job: u64_f("job")?,
+                cell: u64_f("cell")?,
+                line: str_f("line")?,
+                elapsed_secs: f64_f("elapsed_secs")?,
+                trials: u64_f("trials")?,
+            }),
+            "renew2" => Ok(Msg::Renew2 {
+                job: u64_f("job")?,
+                cell: u64_f("cell")?,
             }),
             other => Err(format!("fabric: unknown message kind '{other}'")),
         }
@@ -270,6 +706,79 @@ mod tests {
                 elapsed_secs: 0.125,
                 trials: 64,
             },
+            Msg::Submit {
+                client: "lab-7".into(),
+                spec: SpecDescriptor {
+                    preset: "smoke".into(),
+                    name: Some("overnight".into()),
+                    trials: Some(64),
+                    seed: Some(0xFEED),
+                    ns: Some("64,96".into()),
+                },
+                fingerprint: "00c0ffee00c0ffee".into(),
+            },
+            Msg::Submit {
+                client: "lab-7".into(),
+                spec: SpecDescriptor {
+                    preset: "hostile-net".into(),
+                    ..SpecDescriptor::default()
+                },
+                fingerprint: "0123456789abcdef".into(),
+            },
+            Msg::Accepted {
+                job: 2,
+                cells: 12,
+                store: "queue.jsonl.job-2.jsonl".into(),
+            },
+            Msg::Rejected {
+                code: "over-quota".into(),
+                reason: "client lab-7 already holds 4 live jobs".into(),
+            },
+            Msg::Status { job: None },
+            Msg::Status { job: Some(2) },
+            Msg::StatusReport {
+                accepting: true,
+                queued: 1,
+                running: 2,
+                done: 3,
+                cancelled: 0,
+                failed: 0,
+                jobs: 6,
+            },
+            Msg::JobStatus {
+                job: 2,
+                name: "overnight".into(),
+                state: "running".into(),
+                client: "lab-7".into(),
+                cells: 12,
+                written: 5,
+                trials: 320,
+                elapsed_secs: 4.5,
+            },
+            Msg::Cancel { job: 2 },
+            Msg::Cancelled {
+                job: 2,
+                state: "cancelled".into(),
+            },
+            Msg::Lease2 {
+                job: 2,
+                cell: 7,
+                lease_ms: 30_000,
+                spec: SpecDescriptor {
+                    preset: "smoke".into(),
+                    trials: Some(64),
+                    ..SpecDescriptor::default()
+                },
+                fingerprint: "00c0ffee00c0ffee".into(),
+            },
+            Msg::Result2 {
+                job: 2,
+                cell: 7,
+                line: "{\"cell\": 7, \"mean\": 1.5}".into(),
+                elapsed_secs: 0.125,
+                trials: 64,
+            },
+            Msg::Renew2 { job: 2, cell: 7 },
         ];
         for msg in msgs {
             let wire = msg.encode();
@@ -289,5 +798,29 @@ mod tests {
         assert!(Msg::decode("{\"kind\": \"lease\", \"cell\": 1}")
             .unwrap_err()
             .contains("lease_ms"));
+        // /2: missing descriptor preset.
+        assert!(
+            Msg::decode("{\"kind\": \"submit\", \"client\": \"c\", \"fingerprint\": \"00\"}")
+                .unwrap_err()
+                .contains("preset")
+        );
+        // /2: a present-but-mistyped optional override is an error, not None.
+        assert!(Msg::decode(
+            "{\"kind\": \"submit\", \"client\": \"c\", \"preset\": \"smoke\", \
+             \"trials\": \"lots\", \"fingerprint\": \"00\"}"
+        )
+        .unwrap_err()
+        .contains("trials"));
+        // /2: status_report requires a real boolean.
+        assert!(Msg::decode("{\"kind\": \"status_report\", \"accepting\": 1}")
+            .unwrap_err()
+            .contains("accepting"));
+    }
+
+    #[test]
+    fn status_job_is_encoded_by_omission() {
+        assert!(!Msg::Status { job: None }.encode().contains("job"));
+        let wire = Msg::Status { job: Some(7) }.encode();
+        assert!(wire.contains("\"job\": 7"), "wire: {wire}");
     }
 }

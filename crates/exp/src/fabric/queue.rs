@@ -1,0 +1,1406 @@
+//! The daemon's multi-campaign job queue: a pure state machine over
+//! submitted campaigns plus the durable journal that makes it crash-safe.
+//!
+//! [`JobQueue`] is the queue-level analogue of [`ServeState`]: no sockets,
+//! no files. Each submitted campaign is a [`Job`] walking the lifecycle
+//!
+//! ```text
+//! Queued → Running ⇄ Draining → Done
+//!    │        │          │
+//!    └────────┴──────────┴────→ Cancelled        (client asked)
+//!    └────────────────────────→ Failed           (store I/O on activation)
+//! ```
+//!
+//! Admission is FIFO with a per-client quota on live (non-terminal) jobs;
+//! activation is FIFO up to `max_active` concurrently running campaigns;
+//! cell leases are dealt round-robin across running jobs so shared workers
+//! interleave campaigns instead of head-of-line blocking on the oldest
+//! one. Per-cell bookkeeping inside a running job *is* a [`ServeState`] —
+//! the lease/park/flush discipline (and its invariants) carry over
+//! unchanged, one instance per campaign.
+//!
+//! `Running ⇄ Draining` is observational: a job drains once every cell is
+//! handed out (nothing pending, results still in flight), and an expired
+//! lease moves it back. Cancellation from any non-terminal state drops the
+//! job's leases; results for a cancelled job are ignored idempotently, and
+//! its partial store stays on disk.
+//!
+//! ## The journal (`stabcon-jobs/1`)
+//!
+//! Every admission and every lifecycle transition is one appended JSONL
+//! line in `<out>.jobs.jsonl`, fsynced per the store's [`Durability`]
+//! policy. The journal is append-only and replayed on `--resume`: folding
+//! the events reconstructs every job's descriptor and last state, jobs
+//! that were running are re-activated against their (torn-tail-repaired)
+//! per-campaign stores, and the daemon converges to the same bytes the
+//! uncrashed daemon would have written. Torn journal tails are truncated
+//! on open, exactly like the result store ([`crate::store::recover`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use stabcon_util::jsonl::{get, parse_flat, JsonObj, JsonScalar};
+
+use crate::campaign::CampaignSpec;
+use crate::presets::{preset, PRESET_NAMES};
+use crate::store::{append_line, Durability, StoreWriter};
+
+use super::protocol::{Msg, SpecDescriptor};
+use super::serve::{Ingest, Parked, ServeState};
+
+/// Jobs-journal schema identifier (line 0 of `<out>.jobs.jsonl`).
+pub const JOBS_SCHEMA: &str = "stabcon-jobs/1";
+
+impl SpecDescriptor {
+    /// Build the concrete [`CampaignSpec`] this descriptor names: the
+    /// preset, with the CLI-shaped overrides applied on top. Both sides of
+    /// the wire run this — the fingerprint comparison catches any drift.
+    pub fn build(&self) -> Result<CampaignSpec, String> {
+        let mut spec = preset(&self.preset).ok_or_else(|| {
+            format!(
+                "unknown preset '{}' (expected one of {})",
+                self.preset,
+                PRESET_NAMES.join(", ")
+            )
+        })?;
+        if let Some(t) = self.trials {
+            spec.trials = t;
+        }
+        if let Some(s) = self.seed {
+            spec.seed = s;
+        }
+        if let Some(ns) = &self.ns {
+            spec.ns = parse_ns(ns)?;
+        }
+        if let Some(name) = &self.name {
+            spec.name = name.clone();
+        }
+        Ok(spec)
+    }
+}
+
+/// Parse the CLI's comma-separated population list (`"64,96"`, hex with
+/// `0x` allowed) — the wire keeps it as a string so every side parses it
+/// through this one function.
+pub fn parse_ns(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            let (digits, radix) = match tok.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (tok, 10),
+            };
+            usize::from_str_radix(digits, radix).map_err(|e| format!("ns: bad number '{tok}': {e}"))
+        })
+        .collect()
+}
+
+/// Per-job store path: `<out>.job-<id>.jsonl`, next to the journal (the
+/// same derived-path discipline as [`super::shard::shard_store_path`]).
+pub fn job_store_path(out: &Path, job: u64) -> PathBuf {
+    let mut name = out.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".job-{job}.jsonl"));
+    out.with_file_name(name)
+}
+
+/// Journal path for a queue rooted at `out`: `<out>.jobs.jsonl`.
+pub fn jobs_journal_path(out: &Path) -> PathBuf {
+    let mut name = out.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".jobs.jsonl");
+    out.with_file_name(name)
+}
+
+/// One campaign's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted and journaled; waiting for an activation slot.
+    Queued,
+    /// Activated: store open, cells being leased out.
+    Running,
+    /// Every cell handed out; results still in flight. An expired lease
+    /// moves the job back to [`JobState::Running`].
+    Draining,
+    /// Every cell flushed to the job's store.
+    Done,
+    /// Cancelled by a client before completion (partial store kept).
+    Cancelled,
+    /// Activation failed (store I/O) or the descriptor no longer builds
+    /// (preset table drift across a daemon upgrade).
+    Failed,
+}
+
+impl JobState {
+    /// Wire/journal label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Draining => "draining",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parse a journal/wire label.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "draining" => Ok(JobState::Draining),
+            "done" => Ok(JobState::Done),
+            "cancelled" => Ok(JobState::Cancelled),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!("jobs: unknown state '{other}'")),
+        }
+    }
+
+    /// Terminal states never transition again.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+
+    /// States that occupy an activation slot.
+    pub fn active(&self) -> bool {
+        matches!(self, JobState::Running | JobState::Draining)
+    }
+}
+
+/// One submitted campaign in the queue.
+#[derive(Debug)]
+pub struct Job {
+    /// Queue-assigned id, stable across daemon restarts (journaled).
+    pub id: u64,
+    /// Submitting client (admission quota is per client).
+    pub client: String,
+    /// The campaign as submitted: preset + overrides.
+    pub descriptor: SpecDescriptor,
+    /// Grid fingerprint (verified against the submitter's at admission).
+    pub fingerprint: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total cells in the expanded grid.
+    pub cells_total: u64,
+    /// The built spec (`None` only for a replayed job whose descriptor no
+    /// longer builds — such jobs are [`JobState::Failed`]).
+    pub spec: Option<CampaignSpec>,
+    /// Per-cell lease/park/flush state while active (and kept after, for
+    /// the final written count).
+    pub cells: Option<ServeState>,
+    /// Trials ingested so far (the numerator of the status trials/s).
+    pub trials_ingested: u64,
+    /// Monotonic activation time (the denominator of trials/s).
+    pub started: Option<Instant>,
+    /// Wall-clock seconds frozen at the terminal transition.
+    pub elapsed_final: f64,
+    /// Whether activation must re-open an existing store (journal replay
+    /// of a job that was already running when the daemon died).
+    pub resume_store: bool,
+}
+
+impl Job {
+    /// Cells already in the job's store (written prefix + parked results).
+    pub fn written(&self) -> u64 {
+        self.cells
+            .as_ref()
+            .map(|c| c.written_len() + c.parked_len())
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock seconds the job has been running (frozen at terminal).
+    pub fn elapsed_secs(&self, now: Instant) -> f64 {
+        if self.state.terminal() {
+            self.elapsed_final
+        } else {
+            self.started
+                .map(|t| now.duration_since(t).as_secs_f64())
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+/// A structured refusal: the wire's [`Msg::Rejected`] payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Machine-readable code (`bad-spec`, `over-quota`, `draining`,
+    /// `bad-fingerprint`, `unknown-job`, `terminal-job`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub reason: String,
+}
+
+impl Rejection {
+    fn new(code: &'static str, reason: String) -> Self {
+        Self { code, reason }
+    }
+
+    /// The wire frame for this refusal.
+    pub fn to_msg(&self) -> Msg {
+        Msg::Rejected {
+            code: self.code.into(),
+            reason: self.reason.clone(),
+        }
+    }
+}
+
+/// Admission and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Campaigns running concurrently (rest wait in FIFO order).
+    pub max_active: usize,
+    /// Live (non-terminal) jobs one client may hold.
+    pub quota: usize,
+    /// Cell lease duration handed to each job's [`ServeState`].
+    pub lease: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self {
+            max_active: 4,
+            quota: 4,
+            lease: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Queue summary counts (the wire's [`Msg::StatusReport`] payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounts {
+    /// Jobs waiting for an activation slot.
+    pub queued: u64,
+    /// Jobs running or draining.
+    pub running: u64,
+    /// Jobs fully written.
+    pub done: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed.
+    pub failed: u64,
+}
+
+/// The pure multi-campaign queue state machine. The daemon translates wire
+/// frames into these transitions under a lock; property tests drive
+/// hostile interleavings against [`JobQueue::check_invariants`] directly.
+#[derive(Debug)]
+pub struct JobQueue {
+    jobs: BTreeMap<u64, Job>,
+    /// Queued job ids in admission order.
+    fifo: Vec<u64>,
+    next_id: u64,
+    cfg: QueueConfig,
+    /// Whether new submissions are admitted (false once draining toward
+    /// shutdown).
+    accepting: bool,
+    /// SIGTERM drain: no new leases are dealt; in-flight cells come home
+    /// (or expire), everything else stays parked for the next `--resume`.
+    halted: bool,
+    /// Last job id that dealt a lease (round-robin pointer).
+    rr_last: u64,
+    /// Result frames for unknown/terminal jobs, ignored idempotently.
+    pub results_ignored: u64,
+}
+
+impl JobQueue {
+    /// An empty, accepting queue.
+    pub fn new(cfg: QueueConfig) -> Self {
+        Self {
+            jobs: BTreeMap::new(),
+            fifo: Vec::new(),
+            next_id: 1,
+            cfg,
+            accepting: true,
+            halted: false,
+            rr_last: 0,
+            results_ignored: 0,
+        }
+    }
+
+    /// Whether submissions are currently admitted.
+    pub fn accepting(&self) -> bool {
+        self.accepting && !self.halted
+    }
+
+    /// Open or close admission (the refusal while closed is `draining`).
+    pub fn set_accepting(&mut self, accepting: bool) {
+        self.accepting = accepting;
+    }
+
+    /// Whether the queue is halting toward shutdown.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// SIGTERM drain: refuse submissions and stop dealing leases. Results
+    /// for cells already in flight are still ingested and flushed; queued
+    /// work stays parked in the journal for the next `--resume`.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// The configured lease duration.
+    pub fn lease(&self) -> Duration {
+        self.cfg.lease
+    }
+
+    /// Look up one job.
+    pub fn job(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs, in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Queue summary counts.
+    pub fn counts(&self) -> QueueCounts {
+        let mut c = QueueCounts::default();
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running | JobState::Draining => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Cancelled => c.cancelled += 1,
+                JobState::Failed => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Nothing queued and nothing active.
+    pub fn idle(&self) -> bool {
+        self.jobs.values().all(|j| j.state.terminal())
+    }
+
+    fn active_count(&self) -> usize {
+        self.jobs.values().filter(|j| j.state.active()).count()
+    }
+
+    fn live_count(&self, client: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.client == client && !j.state.terminal())
+            .count()
+    }
+
+    /// Admit one submission: build and expand the descriptor, verify the
+    /// client's fingerprint, enforce the per-client quota, and enqueue.
+    /// Returns the new job's id and cell count; the caller journals the
+    /// admission before acknowledging it.
+    pub fn submit(
+        &mut self,
+        client: &str,
+        descriptor: &SpecDescriptor,
+        fingerprint_hex: &str,
+    ) -> Result<(u64, u64), Rejection> {
+        if !self.accepting() {
+            return Err(Rejection::new(
+                "draining",
+                "daemon is draining toward shutdown — not accepting submissions".into(),
+            ));
+        }
+        if self.live_count(client) >= self.cfg.quota {
+            return Err(Rejection::new(
+                "over-quota",
+                format!(
+                    "client '{client}' already holds {} live jobs (quota {})",
+                    self.live_count(client),
+                    self.cfg.quota
+                ),
+            ));
+        }
+        let spec = descriptor
+            .build()
+            .map_err(|e| Rejection::new("bad-spec", e))?;
+        let cells = spec.expand().len() as u64;
+        if cells == 0 {
+            return Err(Rejection::new(
+                "bad-spec",
+                "campaign expands to zero cells".into(),
+            ));
+        }
+        let fingerprint = spec.fingerprint();
+        let theirs = u64::from_str_radix(fingerprint_hex, 16).map_err(|e| {
+            Rejection::new("bad-fingerprint", format!("unparsable fingerprint: {e}"))
+        })?;
+        if theirs != fingerprint {
+            return Err(Rejection::new(
+                "bad-fingerprint",
+                format!(
+                    "grid fingerprint {fingerprint_hex} != {fingerprint:016x} — client and \
+                     daemon built different campaigns from the same descriptor"
+                ),
+            ));
+        }
+        let id = self.next_id;
+        self.insert_job(id, client, descriptor.clone(), fingerprint, cells, Some(spec));
+        Ok((id, cells))
+    }
+
+    /// Insert a job in [`JobState::Queued`] with a fixed id (shared by
+    /// admission and journal replay). Advances `next_id` past `id`.
+    fn insert_job(
+        &mut self,
+        id: u64,
+        client: &str,
+        descriptor: SpecDescriptor,
+        fingerprint: u64,
+        cells_total: u64,
+        spec: Option<CampaignSpec>,
+    ) {
+        self.next_id = self.next_id.max(id + 1);
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                client: client.into(),
+                descriptor,
+                fingerprint,
+                state: JobState::Queued,
+                cells_total,
+                spec,
+                cells: None,
+                trials_ingested: 0,
+                started: None,
+                elapsed_final: 0.0,
+                resume_store: false,
+            },
+        );
+        self.fifo.push(id);
+    }
+
+    /// The next job an activation slot should go to, if any: FIFO head
+    /// while fewer than `max_active` jobs are active. The caller opens the
+    /// job's store and then calls [`JobQueue::start`] (or
+    /// [`JobQueue::fail`] if the open failed).
+    pub fn next_activation(&self) -> Option<u64> {
+        if self.halted || self.active_count() >= self.cfg.max_active {
+            return None;
+        }
+        self.fifo.first().copied()
+    }
+
+    /// Activate a queued job: `done` is the set of cells already in its
+    /// (re-opened) store. Flips to Running (or straight to Done when the
+    /// store was already complete).
+    pub fn start(&mut self, id: u64, done: BTreeSet<u64>, now: Instant) -> Result<(), String> {
+        let lease = self.cfg.lease;
+        let job = self
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| format!("start: unknown job {id}"))?;
+        if job.state != JobState::Queued {
+            return Err(format!("start: job {id} is {}", job.state.label()));
+        }
+        job.cells = Some(ServeState::new(job.cells_total, done, lease));
+        job.state = JobState::Running;
+        job.started = Some(now);
+        self.fifo.retain(|&q| q != id);
+        self.refresh_state(id, now);
+        Ok(())
+    }
+
+    /// Mark a queued job failed (its store could not be opened).
+    pub fn fail(&mut self, id: u64, now: Instant) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if !job.state.terminal() {
+                job.elapsed_final = job.elapsed_secs(now);
+                job.state = JobState::Failed;
+                self.fifo.retain(|&q| q != id);
+            }
+        }
+    }
+
+    /// Cancel a job in any non-terminal state. Leased cells are dropped
+    /// (late results will be ignored), the partial store stays on disk.
+    pub fn cancel(&mut self, id: u64, now: Instant) -> Result<JobState, Rejection> {
+        let job = self
+            .jobs
+            .get_mut(&id)
+            .ok_or_else(|| Rejection::new("unknown-job", format!("no job {id} in the queue")))?;
+        if job.state.terminal() {
+            return Err(Rejection::new(
+                "terminal-job",
+                format!("job {id} is already {}", job.state.label()),
+            ));
+        }
+        job.elapsed_final = job.elapsed_secs(now);
+        job.state = JobState::Cancelled;
+        self.fifo.retain(|&q| q != id);
+        Ok(JobState::Cancelled)
+    }
+
+    /// Recompute one active job's Running/Draining/Done split after a
+    /// transition touched its cells. Returns the new state if it changed
+    /// (the daemon journals and logs exactly those).
+    pub fn refresh_state(&mut self, id: u64, now: Instant) -> Option<JobState> {
+        let job = self.jobs.get_mut(&id)?;
+        if !job.state.active() {
+            return None;
+        }
+        let cells = job.cells.as_ref()?;
+        let next = if cells.drained() {
+            JobState::Done
+        } else if cells.pending_len() == 0 {
+            JobState::Draining
+        } else {
+            JobState::Running
+        };
+        if next == job.state {
+            return None;
+        }
+        if next == JobState::Done {
+            job.elapsed_final = job.elapsed_secs(now);
+        }
+        job.state = next;
+        Some(next)
+    }
+
+    /// Find a non-terminal job by grid fingerprint — how a `/1` worker's
+    /// connection-scoped handshake pins to a job in the queue.
+    pub fn job_by_fingerprint(&self, fingerprint: u64) -> Option<u64> {
+        // Prefer an active match so a re-submitted identical campaign
+        // doesn't steal a running one's workers.
+        self.jobs
+            .values()
+            .filter(|j| !j.state.terminal() && j.fingerprint == fingerprint)
+            .max_by_key(|j| (j.state.active(), std::cmp::Reverse(j.id)))
+            .map(|j| j.id)
+    }
+
+    /// Deal a lease to an unpinned (`/2`) worker: round-robin across
+    /// active jobs, starting after the last job that dealt one. Returns
+    /// [`Msg::Lease2`] when a cell is free, [`Msg::Wait`] while work may
+    /// still appear, [`Msg::Drained`] once the queue is idle and closed.
+    pub fn claim(&mut self, conn: u64, now: Instant) -> Msg {
+        if self.halted {
+            return Msg::Drained;
+        }
+        let active: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.state.active())
+            .map(|j| j.id)
+            .collect();
+        // Rotate so the job after `rr_last` gets first refusal.
+        let start = active.partition_point(|&id| id <= self.rr_last);
+        let order = active[start..].iter().chain(active[..start].iter());
+        for &id in order {
+            let job = self.jobs.get_mut(&id).expect("active id");
+            let cells = job.cells.as_mut().expect("active job has cells");
+            if let Msg::Lease { cell, lease_ms } = cells.claim(conn, now) {
+                self.rr_last = id;
+                self.refresh_state(id, now);
+                let job = self.jobs.get(&id).expect("active id");
+                return Msg::Lease2 {
+                    job: id,
+                    cell,
+                    lease_ms,
+                    spec: job.descriptor.clone(),
+                    fingerprint: format!("{:016x}", job.fingerprint),
+                };
+            }
+            self.refresh_state(id, now);
+        }
+        if self.idle() && !self.accepting {
+            Msg::Drained
+        } else {
+            Msg::Wait {
+                retry_ms: (self.cfg.lease.as_millis() as u64 / 4).clamp(50, 1000),
+            }
+        }
+    }
+
+    /// Deal a lease to a `/1` worker pinned to `job` by its handshake.
+    /// Speaks pure `/1` shapes: [`Msg::Lease`] / [`Msg::Wait`] /
+    /// [`Msg::Drained`] (terminal job → drained, queued → wait).
+    pub fn claim_pinned(&mut self, conn: u64, id: u64, now: Instant) -> Msg {
+        if self.halted {
+            return Msg::Drained;
+        }
+        match self.jobs.get_mut(&id) {
+            Some(job) if job.state.active() => {
+                let msg = job.cells.as_mut().expect("active job has cells").claim(conn, now);
+                self.refresh_state(id, now);
+                msg
+            }
+            Some(job) if job.state == JobState::Queued => Msg::Wait {
+                retry_ms: (self.cfg.lease.as_millis() as u64 / 4).clamp(50, 1000),
+            },
+            // Done, cancelled, failed, or gone: nothing left here.
+            _ => Msg::Drained,
+        }
+    }
+
+    /// Heartbeat one job's cell lease.
+    pub fn renew(&mut self, conn: u64, id: u64, cell: u64, now: Instant) {
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if let Some(cells) = job.cells.as_mut() {
+                if job.state.active() {
+                    cells.renew(conn, cell, now);
+                }
+            }
+        }
+    }
+
+    /// Ingest one result frame for one job. Results for unknown or
+    /// non-active jobs are ignored idempotently (a cancelled job's workers
+    /// limp home late; that is not an error).
+    pub fn ingest(&mut self, id: u64, cell: u64, parked: Parked, id_ok: bool, now: Instant) -> Ingest {
+        let trials = parked.trials;
+        match self.jobs.get_mut(&id) {
+            Some(job) if job.state.active() => {
+                let outcome = job
+                    .cells
+                    .as_mut()
+                    .expect("active job has cells")
+                    .ingest(cell, parked, id_ok);
+                if outcome == Ingest::Parked {
+                    job.trials_ingested += trials;
+                }
+                self.refresh_state(id, now);
+                outcome
+            }
+            _ => {
+                self.results_ignored += 1;
+                Ingest::Duplicate
+            }
+        }
+    }
+
+    /// Pop the next flushable result of one job (contiguous-prefix
+    /// order); the final pop flips the job to [`JobState::Done`].
+    pub fn pop_flushable(&mut self, id: u64, now: Instant) -> Option<(u64, Parked)> {
+        let popped = self.jobs.get_mut(&id)?.cells.as_mut()?.pop_flushable();
+        self.refresh_state(id, now);
+        popped
+    }
+
+    /// Return every lease `conn` holds, in every active job (disconnect).
+    pub fn release_conn(&mut self, conn: u64, now: Instant) {
+        let ids: Vec<u64> = self.jobs.keys().copied().collect();
+        for id in ids {
+            if let Some(job) = self.jobs.get_mut(&id) {
+                if job.state.active() {
+                    job.cells
+                        .as_mut()
+                        .expect("active job has cells")
+                        .release_conn(conn);
+                    self.refresh_state(id, now);
+                }
+            }
+        }
+    }
+
+    /// Expire overdue leases in every active job; returns the reclaimed
+    /// `(job, cell)` pairs so the daemon can log each expiry.
+    pub fn sweep_expired(&mut self, now: Instant) -> Vec<(u64, u64)> {
+        let mut reclaimed = Vec::new();
+        let ids: Vec<u64> = self.jobs.keys().copied().collect();
+        for id in ids {
+            if let Some(job) = self.jobs.get_mut(&id) {
+                if job.state.active() {
+                    let cells = job.cells.as_mut().expect("active job has cells");
+                    for cell in cells.sweep_expired(now) {
+                        reclaimed.push((id, cell));
+                    }
+                    self.refresh_state(id, now);
+                }
+            }
+        }
+        reclaimed
+    }
+
+    /// Every in-flight lease has resolved (come home or expired) — the
+    /// SIGTERM drain is complete once this holds while halted.
+    pub fn leases_settled(&self) -> bool {
+        self.jobs
+            .values()
+            .filter(|j| j.state.active())
+            .all(|j| j.cells.as_ref().is_none_or(|c| c.leased_len() == 0))
+    }
+
+    /// Rebuild the queue from journal events (crash recovery). Jobs whose
+    /// last journaled state was queued/running/draining go back into the
+    /// FIFO (in admission order, ahead of nothing — the queue is empty);
+    /// previously-running jobs are flagged to re-open their stores with
+    /// resume. Terminal jobs are kept as records for the status plane.
+    pub fn replay(&mut self, events: &[JournalEvent]) -> Result<(), String> {
+        if !self.jobs.is_empty() {
+            return Err("replay into a non-empty queue".into());
+        }
+        for event in events {
+            match event {
+                JournalEvent::Submit {
+                    job,
+                    client,
+                    spec,
+                    fingerprint,
+                    cells,
+                } => {
+                    if self.jobs.contains_key(job) {
+                        return Err(format!("journal: duplicate submit for job {job}"));
+                    }
+                    // A descriptor that no longer builds (preset drift
+                    // across an upgrade) becomes a Failed record, loudly
+                    // visible in status — never a silently dropped job.
+                    let built = spec.build().ok();
+                    self.insert_job(*job, client, spec.clone(), *fingerprint, *cells, built);
+                }
+                JournalEvent::State { job, state } => {
+                    let j = self
+                        .jobs
+                        .get_mut(job)
+                        .ok_or_else(|| format!("journal: state event for unknown job {job}"))?;
+                    match state {
+                        // Fold to the last journaled lifecycle point. A
+                        // running/draining job has no live ServeState here;
+                        // it re-queues flagged for store resume.
+                        JobState::Running | JobState::Draining => {
+                            j.state = JobState::Queued;
+                            j.resume_store = true;
+                        }
+                        JobState::Queued => j.state = JobState::Queued,
+                        terminal => {
+                            j.state = *terminal;
+                            self.fifo.retain(|&q| q != *job);
+                        }
+                    }
+                }
+            }
+        }
+        // Jobs that replayed to Failed-on-build surface as Failed now.
+        let broken: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.spec.is_none() && !j.state.terminal())
+            .map(|j| j.id)
+            .collect();
+        for id in broken {
+            self.fail(id, Instant::now());
+        }
+        Ok(())
+    }
+
+    /// Structural invariants, for property tests:
+    /// - the FIFO holds exactly the queued jobs, each once;
+    /// - at most `max_active` jobs are active;
+    /// - every active job has cell state satisfying
+    ///   [`ServeState::check_invariants`], with Running ⇔ cells pending
+    ///   and Draining ⇔ none pending, and is never silently complete;
+    /// - done jobs are fully written; queued jobs have no cell state yet.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let queued: Vec<u64> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| j.id)
+            .collect();
+        let mut fifo_sorted = self.fifo.clone();
+        fifo_sorted.sort_unstable();
+        let mut fifo_dedup = fifo_sorted.clone();
+        fifo_dedup.dedup();
+        if fifo_dedup.len() != self.fifo.len() {
+            return Err("fifo holds a duplicate id".into());
+        }
+        if fifo_sorted != queued {
+            return Err(format!(
+                "fifo {:?} disagrees with queued jobs {queued:?}",
+                self.fifo
+            ));
+        }
+        if self.active_count() > self.cfg.max_active {
+            return Err(format!(
+                "{} active jobs exceeds max_active {}",
+                self.active_count(),
+                self.cfg.max_active
+            ));
+        }
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Queued => {
+                    if job.cells.is_some() {
+                        return Err(format!("queued job {} has cell state", job.id));
+                    }
+                }
+                JobState::Running | JobState::Draining => {
+                    let cells = job
+                        .cells
+                        .as_ref()
+                        .ok_or_else(|| format!("active job {} without cell state", job.id))?;
+                    cells
+                        .check_invariants()
+                        .map_err(|e| format!("job {}: {e}", job.id))?;
+                    if cells.drained() {
+                        return Err(format!("job {} complete but not marked done", job.id));
+                    }
+                    let draining = cells.pending_len() == 0;
+                    if draining != (job.state == JobState::Draining) {
+                        return Err(format!(
+                            "job {} is {} with {} pending cells",
+                            job.id,
+                            job.state.label(),
+                            cells.pending_len()
+                        ));
+                    }
+                }
+                JobState::Done => {
+                    // `None` cells = a terminal record restored by journal
+                    // replay; a live completion always has drained cells.
+                    if let Some(cells) = job.cells.as_ref() {
+                        if !cells.drained() {
+                            return Err(format!("done job {} is not fully written", job.id));
+                        }
+                    }
+                }
+                JobState::Cancelled | JobState::Failed => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One journaled queue event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A submission was admitted.
+    Submit {
+        /// Queue-assigned job id.
+        job: u64,
+        /// Submitting client.
+        client: String,
+        /// The campaign descriptor as submitted.
+        spec: SpecDescriptor,
+        /// Verified grid fingerprint.
+        fingerprint: u64,
+        /// Cells in the expanded grid (recorded so replay can report
+        /// terminal jobs without re-expanding them).
+        cells: u64,
+    },
+    /// A job changed lifecycle state.
+    State {
+        /// The job.
+        job: u64,
+        /// Its new state.
+        state: JobState,
+    },
+}
+
+impl JournalEvent {
+    /// Render as one journal line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            JournalEvent::Submit {
+                job,
+                client,
+                spec,
+                fingerprint,
+                cells,
+            } => spec
+                .encode_into(
+                    JsonObj::new()
+                        .str_field("kind", "submit")
+                        .u64_field("job", *job)
+                        .str_field("client", client),
+                )
+                .str_field("fingerprint", &format!("{fingerprint:016x}"))
+                .u64_field("cells", *cells)
+                .finish(),
+            JournalEvent::State { job, state } => JsonObj::new()
+                .str_field("kind", "state")
+                .u64_field("job", *job)
+                .str_field("state", state.label())
+                .finish(),
+        }
+    }
+
+    /// Parse one journal line.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let obj = parse_flat(line).map_err(|e| format!("jobs: bad journal line: {e}"))?;
+        let kind = get(&obj, "kind")
+            .and_then(JsonScalar::as_str)
+            .ok_or("jobs: journal line without 'kind'")?;
+        let u64_f = |key: &str| -> Result<u64, String> {
+            get(&obj, key)
+                .and_then(JsonScalar::as_u64)
+                .ok_or_else(|| format!("jobs: {kind} event missing integer field '{key}'"))
+        };
+        let str_f = |key: &str| -> Result<&str, String> {
+            get(&obj, key)
+                .and_then(JsonScalar::as_str)
+                .ok_or_else(|| format!("jobs: {kind} event missing string field '{key}'"))
+        };
+        match kind {
+            "submit" => Ok(JournalEvent::Submit {
+                job: u64_f("job")?,
+                client: str_f("client")?.to_string(),
+                spec: SpecDescriptor::decode_from(&obj, kind)?,
+                fingerprint: u64::from_str_radix(str_f("fingerprint")?, 16)
+                    .map_err(|e| format!("jobs: bad fingerprint: {e}"))?,
+                cells: u64_f("cells")?,
+            }),
+            "state" => Ok(JournalEvent::State {
+                job: u64_f("job")?,
+                state: JobState::parse(str_f("state")?)?,
+            }),
+            other => Err(format!("jobs: unknown journal event kind '{other}'")),
+        }
+    }
+}
+
+/// The journal header line.
+fn journal_header() -> String {
+    JsonObj::new()
+        .str_field("kind", "jobs")
+        .str_field("schema", JOBS_SCHEMA)
+        .finish()
+}
+
+/// Read a journal, stopping at the first torn or unparsable line — the
+/// same byte-level discipline as [`crate::store::load`].
+///
+/// Returns the parsed events and the byte length of the valid prefix.
+pub fn load_journal(path: &Path) -> Result<(Vec<JournalEvent>, u64), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut events = Vec::new();
+    let mut valid_len = 0u64;
+    let mut saw_header = false;
+    for raw in bytes.split_inclusive(|&b| b == b'\n') {
+        if raw.last() != Some(&b'\n') {
+            break; // torn tail from an interrupted append
+        }
+        let Ok(line) = std::str::from_utf8(raw) else {
+            break; // torn multi-byte character
+        };
+        let trimmed = line.trim_end();
+        if !saw_header {
+            let Ok(obj) = parse_flat(trimmed) else { break };
+            let kind = get(&obj, "kind").and_then(JsonScalar::as_str);
+            let schema = get(&obj, "schema").and_then(JsonScalar::as_str);
+            if kind != Some("jobs") {
+                break;
+            }
+            match schema {
+                Some(JOBS_SCHEMA) => {}
+                Some(other) => return Err(format!("unsupported jobs-journal schema '{other}'")),
+                None => break,
+            }
+            saw_header = true;
+        } else {
+            let Ok(event) = JournalEvent::decode(trimmed) else {
+                break; // corrupt tail
+            };
+            events.push(event);
+        }
+        valid_len += line.len() as u64;
+    }
+    Ok((events, valid_len))
+}
+
+/// Open (or create) the jobs journal for appending.
+///
+/// Fresh opens refuse an existing journal; with `resume` any torn tail is
+/// truncated away and synced before the append handle opens (the
+/// [`crate::store::recover`] discipline), and the surviving events are
+/// returned for [`JobQueue::replay`].
+pub fn open_journal(
+    path: &Path,
+    resume: bool,
+    durability: Durability,
+) -> Result<(StoreWriter, Vec<JournalEvent>), String> {
+    let mut events = Vec::new();
+    let file = if path.exists() {
+        if !resume {
+            return Err(format!(
+                "{}: jobs journal exists — use --resume (or a fresh path)",
+                path.display()
+            ));
+        }
+        let (loaded, valid_len) = load_journal(path)?;
+        if valid_len == 0 {
+            // Nothing valid survived: restart the journal.
+            let mut f =
+                std::fs::File::create(path).map_err(|e| format!("create journal: {e}"))?;
+            append_line(&mut f, &journal_header()).map_err(|e| format!("write header: {e}"))?;
+            f
+        } else {
+            events = loaded;
+            let actual = std::fs::metadata(path)
+                .map_err(|e| format!("journal metadata: {e}"))?
+                .len();
+            if actual != valid_len {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| format!("open journal for repair: {e}"))?;
+                f.set_len(valid_len)
+                    .map_err(|e| format!("truncate torn journal tail: {e}"))?;
+                f.sync_all().map_err(|e| format!("sync repair: {e}"))?;
+            }
+            OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("open journal: {e}"))?
+        }
+    } else {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("create journal: {e}"))?;
+        append_line(&mut f, &journal_header()).map_err(|e| format!("write header: {e}"))?;
+        f
+    };
+    let mut writer = StoreWriter::new(file, durability);
+    if durability != Durability::None {
+        writer.sync().map_err(|e| format!("sync journal: {e}"))?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok((writer, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(preset: &str, name: &str) -> SpecDescriptor {
+        SpecDescriptor {
+            preset: preset.into(),
+            name: Some(name.into()),
+            trials: Some(2),
+            seed: Some(0xBEEF),
+            ns: Some("64".into()),
+        }
+    }
+
+    fn fp_of(d: &SpecDescriptor) -> String {
+        format!("{:016x}", d.build().expect("build").fingerprint())
+    }
+
+    fn queue(max_active: usize, quota: usize) -> JobQueue {
+        JobQueue::new(QueueConfig {
+            max_active,
+            quota,
+            lease: Duration::from_millis(500),
+        })
+    }
+
+    fn parked(cell: u64) -> Parked {
+        Parked {
+            line: format!("{{\"kind\": \"cell\", \"cell\": {cell}}}"),
+            trials: 2,
+            elapsed_secs: 0.1,
+        }
+    }
+
+    #[test]
+    fn descriptor_builds_preset_with_overrides() {
+        let d = desc("smoke", "it");
+        let spec = d.build().expect("build");
+        assert_eq!(spec.name, "it");
+        assert_eq!(spec.trials, 2);
+        assert_eq!(spec.seed, 0xBEEF);
+        assert_eq!(spec.ns, vec![64]);
+        assert!(desc("warp", "x").build().unwrap_err().contains("preset"));
+        assert!(SpecDescriptor {
+            ns: Some("64,oops".into()),
+            ..desc("smoke", "x")
+        }
+        .build()
+        .unwrap_err()
+        .contains("oops"));
+    }
+
+    #[test]
+    fn ns_parses_cli_shapes() {
+        assert_eq!(parse_ns("64,96"), Ok(vec![64, 96]));
+        assert_eq!(parse_ns(" 64 , 0x60 "), Ok(vec![64, 96]));
+        assert!(parse_ns("").is_err());
+    }
+
+    #[test]
+    fn admission_enforces_quota_and_fingerprint() {
+        let mut q = queue(2, 2);
+        let d = desc("smoke", "a");
+        let (id, cells) = q.submit("lab", &d, &fp_of(&d)).expect("admit");
+        assert_eq!(id, 1);
+        assert!(cells > 0);
+        // Wrong fingerprint: structured refusal, queue unpoisoned.
+        let err = q.submit("lab", &d, "0000000000000bad").unwrap_err();
+        assert_eq!(err.code, "bad-fingerprint");
+        // Bad preset: bad-spec.
+        let err = q
+            .submit("lab", &desc("warp", "x"), "0000000000000000")
+            .unwrap_err();
+        assert_eq!(err.code, "bad-spec");
+        // Quota counts live jobs per client.
+        let d2 = desc("smoke", "b");
+        q.submit("lab", &d2, &fp_of(&d2)).expect("second");
+        let d3 = desc("smoke", "c");
+        let err = q.submit("lab", &d3, &fp_of(&d3)).unwrap_err();
+        assert_eq!(err.code, "over-quota");
+        // A different client still gets in.
+        q.submit("other", &d3, &fp_of(&d3)).expect("other client");
+        // Draining queue refuses everything.
+        q.set_accepting(false);
+        let err = q.submit("fresh", &d3, &fp_of(&d3)).unwrap_err();
+        assert_eq!(err.code, "draining");
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn fifo_activation_up_to_max_active() {
+        let mut q = queue(1, 8);
+        let now = Instant::now();
+        for name in ["a", "b"] {
+            let d = desc("smoke", name);
+            q.submit("lab", &d, &fp_of(&d)).expect("admit");
+        }
+        assert_eq!(q.next_activation(), Some(1));
+        q.start(1, BTreeSet::new(), now).expect("start");
+        // Slot taken: job 2 waits.
+        assert_eq!(q.next_activation(), None);
+        assert_eq!(q.job(2).unwrap().state, JobState::Queued);
+        // Finish job 1 by ingesting every cell.
+        let total = q.job(1).unwrap().cells_total;
+        for _ in 0..total {
+            let Msg::Lease2 { job, cell: c, .. } = q.claim(7, now) else {
+                panic!("expected lease")
+            };
+            assert_eq!(job, 1);
+            assert_eq!(q.ingest(job, c, parked(c), true, now), Ingest::Parked);
+            while q.pop_flushable(job, now).is_some() {}
+        }
+        assert_eq!(q.job(1).unwrap().state, JobState::Done);
+        assert_eq!(q.next_activation(), Some(2));
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn leases_interleave_across_running_jobs() {
+        let mut q = queue(2, 8);
+        let now = Instant::now();
+        for name in ["a", "b"] {
+            let d = desc("smoke", name);
+            q.submit("lab", &d, &fp_of(&d)).expect("admit");
+        }
+        q.start(1, BTreeSet::new(), now).expect("start 1");
+        q.start(2, BTreeSet::new(), now).expect("start 2");
+        // Round-robin: consecutive claims alternate jobs.
+        let Msg::Lease2 { job: j1, .. } = q.claim(7, now) else {
+            panic!("lease")
+        };
+        let Msg::Lease2 { job: j2, .. } = q.claim(7, now) else {
+            panic!("lease")
+        };
+        assert_ne!(j1, j2, "shared worker interleaves campaigns");
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn cancel_drops_leases_and_ignores_late_results() {
+        let mut q = queue(2, 8);
+        let now = Instant::now();
+        let d = desc("smoke", "a");
+        q.submit("lab", &d, &fp_of(&d)).expect("admit");
+        q.start(1, BTreeSet::new(), now).expect("start");
+        let Msg::Lease2 { job, cell, .. } = q.claim(7, now) else {
+            panic!("lease")
+        };
+        assert_eq!(q.cancel(1, now), Ok(JobState::Cancelled));
+        // The in-flight worker ships its result anyway: ignored, counted.
+        assert_eq!(
+            q.ingest(job, cell, parked(cell), true, now),
+            Ingest::Duplicate
+        );
+        assert_eq!(q.results_ignored, 1);
+        // Cancel again: terminal-job.
+        assert_eq!(q.cancel(1, now).unwrap_err().code, "terminal-job");
+        // Unknown job: unknown-job.
+        assert_eq!(q.cancel(99, now).unwrap_err().code, "unknown-job");
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn draining_tracks_pending_and_reverses_on_expiry() {
+        let mut q = queue(1, 8);
+        let now = Instant::now();
+        let d = desc("smoke", "a");
+        q.submit("lab", &d, &fp_of(&d)).expect("admit");
+        q.start(1, BTreeSet::new(), now).expect("start");
+        let total = q.job(1).unwrap().cells_total;
+        // Lease every cell out: the job drains.
+        for _ in 0..total {
+            let Msg::Lease2 { .. } = q.claim(7, now) else {
+                panic!("lease")
+            };
+        }
+        assert_eq!(q.job(1).unwrap().state, JobState::Draining);
+        q.check_invariants().expect("invariants while draining");
+        // The silent worker's leases expire: back to Running.
+        q.sweep_expired(now + Duration::from_secs(2));
+        assert_eq!(q.job(1).unwrap().state, JobState::Running);
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn journal_events_round_trip() {
+        let events = [
+            JournalEvent::Submit {
+                job: 3,
+                client: "lab \"7\"".into(),
+                spec: desc("smoke", "nasty \n name"),
+                fingerprint: 0xC0FFEE,
+                cells: 12,
+            },
+            JournalEvent::Submit {
+                job: 4,
+                client: "minimal".into(),
+                spec: SpecDescriptor {
+                    preset: "smoke".into(),
+                    ..SpecDescriptor::default()
+                },
+                fingerprint: 1,
+                cells: 1,
+            },
+            JournalEvent::State {
+                job: 3,
+                state: JobState::Running,
+            },
+            JournalEvent::State {
+                job: 3,
+                state: JobState::Cancelled,
+            },
+        ];
+        for event in &events {
+            let line = event.to_line();
+            assert!(!line.contains('\n'), "one line: {line}");
+            assert_eq!(&JournalEvent::decode(&line).expect("decode"), event);
+        }
+        assert!(JournalEvent::decode("{\"kind\": \"warp\"}").is_err());
+        assert!(JournalEvent::decode("not json").is_err());
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_the_queue() {
+        let d_a = desc("smoke", "a");
+        let d_b = desc("smoke", "b");
+        let d_c = desc("smoke", "c");
+        let fp = |d: &SpecDescriptor| d.build().unwrap().fingerprint();
+        let events = vec![
+            JournalEvent::Submit {
+                job: 1,
+                client: "lab".into(),
+                spec: d_a.clone(),
+                fingerprint: fp(&d_a),
+                cells: 2,
+            },
+            JournalEvent::Submit {
+                job: 2,
+                client: "lab".into(),
+                spec: d_b.clone(),
+                fingerprint: fp(&d_b),
+                cells: 2,
+            },
+            JournalEvent::Submit {
+                job: 3,
+                client: "lab".into(),
+                spec: d_c.clone(),
+                fingerprint: fp(&d_c),
+                cells: 2,
+            },
+            // Job 1 ran and finished; job 2 was mid-run at the crash.
+            JournalEvent::State {
+                job: 1,
+                state: JobState::Running,
+            },
+            JournalEvent::State {
+                job: 1,
+                state: JobState::Done,
+            },
+            JournalEvent::State {
+                job: 2,
+                state: JobState::Running,
+            },
+        ];
+        let mut q = queue(2, 8);
+        q.replay(&events).expect("replay");
+        assert_eq!(q.job(1).unwrap().state, JobState::Done);
+        assert_eq!(q.job(2).unwrap().state, JobState::Queued);
+        assert!(
+            q.job(2).unwrap().resume_store,
+            "mid-run job re-opens its store"
+        );
+        assert_eq!(q.job(3).unwrap().state, JobState::Queued);
+        assert!(!q.job(3).unwrap().resume_store);
+        // Admission order survives: job 2 reactivates before job 3.
+        assert_eq!(q.next_activation(), Some(2));
+        // Fresh submissions pick up past the highest journaled id.
+        let (id, _) = q
+            .submit("lab", &d_a, &format!("{:016x}", fp(&d_a)))
+            .expect("admit");
+        assert_eq!(id, 4);
+        q.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn journal_open_repairs_torn_tails_and_refuses_fresh_overwrite() {
+        let dir = std::env::temp_dir().join("stabcon-jobs-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(format!("{}-journal.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let event = JournalEvent::State {
+            job: 1,
+            state: JobState::Running,
+        };
+        {
+            let (mut w, events) =
+                open_journal(&path, false, Durability::Cell).expect("fresh open");
+            assert!(events.is_empty());
+            w.append(&event.to_line()).expect("append");
+            w.finish().expect("finish");
+        }
+        // A second fresh open must refuse.
+        assert!(open_journal(&path, false, Durability::None)
+            .unwrap_err()
+            .contains("resume"));
+        // Tear the tail mid-record; resume repairs and replays the prefix.
+        let clean = std::fs::read(&path).expect("read");
+        let mut torn = clean.clone();
+        torn.extend_from_slice(b"{\"kind\": \"sta");
+        std::fs::write(&path, &torn).expect("tear");
+        let (mut w, events) = open_journal(&path, true, Durability::Cell).expect("resume");
+        assert_eq!(events, vec![event.clone()]);
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            clean,
+            "torn tail truncated on open"
+        );
+        // Appending after repair lands on a clean boundary.
+        w.append(&event.to_line()).expect("append");
+        w.finish().expect("finish");
+        let (events, _) = load_journal(&path).expect("load");
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn job_and_journal_paths_derive_from_out() {
+        let out = PathBuf::from("/tmp/q/campaigns.jsonl");
+        assert_eq!(
+            job_store_path(&out, 7),
+            PathBuf::from("/tmp/q/campaigns.jsonl.job-7.jsonl")
+        );
+        assert_eq!(
+            jobs_journal_path(&out),
+            PathBuf::from("/tmp/q/campaigns.jsonl.jobs.jsonl")
+        );
+    }
+}

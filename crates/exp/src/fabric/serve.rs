@@ -45,6 +45,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -54,7 +55,11 @@ use crate::campaign::CampaignSpec;
 use crate::store::{self, Durability, StoreHeader, StoreWriter};
 use crate::telemetry::{self, TELEMETRY_SCHEMA};
 
-use super::protocol::{Msg, FABRIC_SCHEMA};
+use super::protocol::{Msg, SpecDescriptor, FABRIC_SCHEMA, FABRIC_SCHEMA_V2};
+use super::queue::{
+    job_store_path, jobs_journal_path, open_journal, Job, JobQueue, JobState, JournalEvent,
+    QueueConfig,
+};
 
 /// Serve knobs.
 #[derive(Debug, Clone)]
@@ -217,6 +222,21 @@ impl ServeState {
         self.total
     }
 
+    /// Cells nobody is working on.
+    pub fn pending_len(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Cells currently leased out.
+    pub fn leased_len(&self) -> u64 {
+        self.leases.len() as u64
+    }
+
+    /// Ingested cells waiting for their flush turn.
+    pub fn parked_len(&self) -> u64 {
+        self.parked.len() as u64
+    }
+
     /// Whether `cell` is currently leased, and to which connection.
     pub fn lease_holder(&self, cell: u64) -> Option<u64> {
         self.leases.get(&cell).map(|&(conn, _)| conn)
@@ -295,35 +315,39 @@ impl ServeState {
     }
 
     /// Return every lease owned by `conn` to the pending set (disconnect).
-    pub fn release_conn(&mut self, conn: u64) {
+    /// Returns the reclaimed cell ids so callers can log each one.
+    pub fn release_conn(&mut self, conn: u64) -> Vec<u64> {
         let cells: Vec<u64> = self
             .leases
             .iter()
             .filter(|(_, &(owner, _))| owner == conn)
             .map(|(&c, _)| c)
             .collect();
-        for c in cells {
+        for &c in &cells {
             self.leases.remove(&c);
             self.pending.insert(c);
             self.leases_reclaimed += 1;
         }
+        cells
     }
 
     /// Return every lease whose monotonic deadline has passed to the
     /// pending set. Heartbeats ([`ServeState::renew`]) move deadlines, so
-    /// only silent workers expire.
-    pub fn sweep_expired(&mut self, now: Instant) {
+    /// only silent workers expire. Returns the reclaimed cell ids so
+    /// callers can log each one.
+    pub fn sweep_expired(&mut self, now: Instant) -> Vec<u64> {
         let expired: Vec<u64> = self
             .leases
             .iter()
             .filter(|(_, &(_, deadline))| now >= deadline)
             .map(|(&c, _)| c)
             .collect();
-        for c in expired {
+        for &c in &expired {
             self.leases.remove(&c);
             self.pending.insert(c);
             self.leases_reclaimed += 1;
         }
+        expired
     }
 
     /// Structural invariants, for property tests: every cell of the grid
@@ -667,6 +691,718 @@ fn handle_worker(
     // goes back.
     if let Ok(mut s) = shared.lock() {
         s.state.release_conn(conn);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue mode: the long-lived multi-campaign daemon (`stabcon serve --queue`).
+// ---------------------------------------------------------------------------
+
+/// Queue-mode serve knobs.
+#[derive(Clone)]
+pub struct QueueServeConfig {
+    /// Cell lease duration (same heartbeat semantics as [`ServeConfig`]).
+    pub lease: Duration,
+    /// Print per-lease and per-flush progress lines (accept / reject /
+    /// expire / done events are always logged).
+    pub progress: bool,
+    /// Replay an existing jobs journal instead of refusing it.
+    pub resume: bool,
+    /// Fsync policy for the journal and every per-job store.
+    pub durability: Durability,
+    /// Campaigns running concurrently (rest wait in FIFO order).
+    pub max_active: usize,
+    /// Live jobs one client may hold (admission control).
+    pub quota: usize,
+    /// Exit once the queue holds at least one job and all are terminal
+    /// (batch drains: `--resume --exit-when-idle` finishes parked work).
+    pub exit_when_idle: bool,
+    /// SIGTERM hook: when the flag flips, stop dealing leases, refuse
+    /// submissions, wait for in-flight leases to settle, and exit with the
+    /// queue parked durably in the journal.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for QueueServeConfig {
+    fn default() -> Self {
+        Self {
+            lease: Duration::from_secs(60),
+            progress: false,
+            resume: false,
+            durability: Durability::None,
+            max_active: 4,
+            quota: 4,
+            exit_when_idle: false,
+            shutdown: None,
+        }
+    }
+}
+
+/// What a queue-mode daemon run left behind.
+#[derive(Debug, Clone)]
+pub struct QueueOutcome {
+    /// Jobs the queue has ever seen (including replayed records).
+    pub jobs: u64,
+    /// Jobs still queued at exit (parked for the next `--resume`).
+    pub queued: u64,
+    /// Jobs still running/draining at exit (parked likewise).
+    pub running: u64,
+    /// Jobs fully written to their stores.
+    pub done: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Jobs that failed to activate.
+    pub failed: u64,
+    /// Connections whose handshake succeeded (workers and clients).
+    pub workers_seen: u64,
+    /// Whether the daemon exited on the shutdown flag (vs idle).
+    pub halted: bool,
+    /// The jobs journal path.
+    pub journal_path: PathBuf,
+}
+
+/// Per-active-job file handles: the store plus its timings sidecar.
+struct JobIo {
+    store: StoreWriter,
+    timings: File,
+}
+
+/// Everything queue-mode connections share: the pure [`JobQueue`] plus the
+/// journal and per-job store handles it drives.
+struct QShared {
+    queue: JobQueue,
+    stores: BTreeMap<u64, JobIo>,
+    journal: StoreWriter,
+    out: PathBuf,
+    durability: Durability,
+    progress: bool,
+    workers_seen: u64,
+}
+
+/// A job's display name: the built spec's name, else what the descriptor
+/// would call it.
+fn job_name(job: &Job) -> String {
+    job.spec
+        .as_ref()
+        .map(|s| s.name.clone())
+        .or_else(|| job.descriptor.name.clone())
+        .unwrap_or_else(|| job.descriptor.preset.clone())
+}
+
+impl QShared {
+    fn journal_event(&mut self, ev: &JournalEvent) -> Result<(), String> {
+        self.journal
+            .append(&ev.to_line())
+            .map_err(|e| format!("jobs journal append: {e}"))
+    }
+
+    /// Fill free activation slots from the FIFO head. An activation
+    /// failure fails that job and moves on — one bad store never wedges
+    /// the queue.
+    fn activate_ready(&mut self, now: Instant) {
+        while let Some(id) = self.queue.next_activation() {
+            if let Err(e) = self.activate(id, now) {
+                eprintln!("serve: job {id} failed — {e}");
+                self.queue.fail(id, now);
+                if let Err(e) = self.journal_event(&JournalEvent::State {
+                    job: id,
+                    state: JobState::Failed,
+                }) {
+                    eprintln!("serve: job {id} failure not journaled — {e}");
+                }
+            }
+        }
+    }
+
+    /// Activate one queued job: journal the transition *first* (so a crash
+    /// between journal and store open replays as a resumable Running job,
+    /// and [`store::open_for_append`] creates the missing store fresh),
+    /// then open its store/timings and hand the done-set to the queue.
+    fn activate(&mut self, id: u64, now: Instant) -> Result<(), String> {
+        let (header, resume) = {
+            let job = self.queue.job(id).ok_or_else(|| format!("unknown job {id}"))?;
+            let spec = job
+                .spec
+                .as_ref()
+                .ok_or_else(|| "descriptor no longer builds".to_string())?;
+            (spec.header(), job.resume_store)
+        };
+        self.journal_event(&JournalEvent::State {
+            job: id,
+            state: JobState::Running,
+        })?;
+        let path = job_store_path(&self.out, id);
+        let (store, done) = store::open_for_append(&path, &header, resume, self.durability)?;
+        let timings = telemetry::open_timings(&path, resume)?;
+        self.stores.insert(id, JobIo { store, timings });
+        let done_len = done.len();
+        self.queue.start(id, done, now)?;
+        eprintln!(
+            "serve: job {id} running — store {} ({done_len}/{} cells already present)",
+            path.display(),
+            header.cells
+        );
+        // A resumed store that was already complete flips straight to Done.
+        self.flush_job(id, now)
+    }
+
+    /// Ingest one result frame for one job; flush if it parked.
+    fn ingest_result(
+        &mut self,
+        job: u64,
+        cell: u64,
+        line: String,
+        elapsed_secs: f64,
+        trials: u64,
+        now: Instant,
+    ) -> Result<(), String> {
+        let id_ok = parse_flat(&line)
+            .ok()
+            .and_then(|obj| get(&obj, "cell").and_then(JsonScalar::as_u64))
+            == Some(cell);
+        let parked = Parked {
+            line,
+            trials,
+            elapsed_secs,
+        };
+        if self.queue.ingest(job, cell, parked, id_ok, now) == Ingest::Parked {
+            self.flush_job(job, now)?;
+        }
+        Ok(())
+    }
+
+    /// Flush one job's parked results that extend its store's contiguous
+    /// prefix; journal + close the store when the final flush finishes it.
+    fn flush_job(&mut self, id: u64, now: Instant) -> Result<(), String> {
+        if !self.stores.contains_key(&id) {
+            return Ok(());
+        }
+        let mut flushed = 0u64;
+        while let Some((cell, r)) = self.queue.pop_flushable(id, now) {
+            let io = self.stores.get_mut(&id).expect("checked above");
+            io.store
+                .append(&r.line)
+                .map_err(|e| format!("job {id}: append cell {cell}: {e}"))?;
+            telemetry::append_timing(&mut io.timings, cell, r.trials, r.elapsed_secs)?;
+            flushed += 1;
+        }
+        if flushed > 0 && self.progress {
+            if let Some(job) = self.queue.job(id) {
+                eprintln!(
+                    "serve: job {id} flushed {flushed} cells ({}/{})",
+                    job.written(),
+                    job.cells_total
+                );
+            }
+        }
+        self.finalize_done(id, now)
+    }
+
+    /// If `id` just drained to [`JobState::Done`], journal it, sync and
+    /// close its store, and log the completion.
+    fn finalize_done(&mut self, id: u64, now: Instant) -> Result<(), String> {
+        let Some(job) = self.queue.job(id) else {
+            return Ok(());
+        };
+        if job.state != JobState::Done {
+            return Ok(());
+        }
+        let total = job.cells_total;
+        let elapsed = job.elapsed_secs(now);
+        if let Some(mut io) = self.stores.remove(&id) {
+            io.store
+                .finish()
+                .map_err(|e| format!("job {id}: sync store on finish: {e}"))?;
+            self.journal_event(&JournalEvent::State {
+                job: id,
+                state: JobState::Done,
+            })?;
+            eprintln!("serve: job {id} done — {total} cells in {elapsed:.1}s");
+        }
+        Ok(())
+    }
+
+    /// Admit (or refuse) one submission: journal *before* acknowledging,
+    /// so every `Accepted` the client ever sees survives a daemon crash.
+    fn handle_submit(
+        &mut self,
+        client: &str,
+        spec: &SpecDescriptor,
+        fingerprint: &str,
+        now: Instant,
+    ) -> Msg {
+        match self.queue.submit(client, spec, fingerprint) {
+            Ok((id, cells)) => {
+                let fp = self.queue.job(id).expect("just admitted").fingerprint;
+                let ev = JournalEvent::Submit {
+                    job: id,
+                    client: client.into(),
+                    spec: spec.clone(),
+                    fingerprint: fp,
+                    cells,
+                };
+                if let Err(e) = self.journal_event(&ev) {
+                    self.queue.fail(id, now);
+                    eprintln!("serve: job {id} rejected for '{client}': internal — {e}");
+                    return Msg::Rejected {
+                        code: "internal".into(),
+                        reason: e,
+                    };
+                }
+                let store = job_store_path(&self.out, id).display().to_string();
+                eprintln!("serve: job {id} accepted from '{client}' ({cells} cells) — store {store}");
+                self.activate_ready(now);
+                Msg::Accepted { job: id, cells, store }
+            }
+            Err(rej) => {
+                eprintln!(
+                    "serve: submit rejected for '{client}': {} — {}",
+                    rej.code, rej.reason
+                );
+                rej.to_msg()
+            }
+        }
+    }
+
+    /// Cancel a job: journal the transition, close its store (the partial
+    /// file stays on disk), free the activation slot.
+    fn handle_cancel(&mut self, job: u64, now: Instant) -> Msg {
+        match self.queue.cancel(job, now) {
+            Ok(state) => {
+                if let Err(e) = self.journal_event(&JournalEvent::State { job, state }) {
+                    eprintln!("serve: job {job} cancel not journaled — {e}");
+                }
+                if let Some(mut io) = self.stores.remove(&job) {
+                    let _ = io.store.finish();
+                }
+                eprintln!("serve: job {job} cancelled — partial store kept on disk");
+                self.activate_ready(now);
+                Msg::Cancelled {
+                    job,
+                    state: state.label().into(),
+                }
+            }
+            Err(rej) => {
+                eprintln!(
+                    "serve: cancel job {job} rejected: {} — {}",
+                    rej.code, rej.reason
+                );
+                rej.to_msg()
+            }
+        }
+    }
+
+    /// The status plane: one [`Msg::StatusReport`] followed by exactly
+    /// `jobs` × [`Msg::JobStatus`] frames (all jobs, or the one requested).
+    fn status_frames(&self, job: Option<u64>, now: Instant) -> Vec<Msg> {
+        let selected: Vec<&Job> = match job {
+            Some(id) => match self.queue.job(id) {
+                Some(j) => vec![j],
+                None => {
+                    return vec![Msg::Rejected {
+                        code: "unknown-job".into(),
+                        reason: format!("no job {id} in the queue"),
+                    }]
+                }
+            },
+            None => self.queue.jobs().collect(),
+        };
+        let c = self.queue.counts();
+        let mut frames = vec![Msg::StatusReport {
+            accepting: self.queue.accepting(),
+            queued: c.queued,
+            running: c.running,
+            done: c.done,
+            cancelled: c.cancelled,
+            failed: c.failed,
+            jobs: selected.len() as u64,
+        }];
+        for j in selected {
+            frames.push(Msg::JobStatus {
+                job: j.id,
+                name: job_name(j),
+                state: j.state.label().into(),
+                client: j.client.clone(),
+                cells: j.cells_total,
+                written: j.written(),
+                trials: j.trials_ingested,
+                elapsed_secs: j.elapsed_secs(now),
+            });
+        }
+        frames
+    }
+
+    /// Sync everything on the way out and summarize the queue.
+    fn outcome(&mut self, halted: bool) -> Result<QueueOutcome, String> {
+        for (id, io) in self.stores.iter_mut() {
+            io.store
+                .finish()
+                .map_err(|e| format!("job {id}: sync store on exit: {e}"))?;
+        }
+        self.journal
+            .finish()
+            .map_err(|e| format!("sync jobs journal on exit: {e}"))?;
+        let c = self.queue.counts();
+        Ok(QueueOutcome {
+            jobs: self.queue.jobs().count() as u64,
+            queued: c.queued,
+            running: c.running,
+            done: c.done,
+            cancelled: c.cancelled,
+            failed: c.failed,
+            workers_seen: self.workers_seen,
+            halted,
+            journal_path: jobs_journal_path(&self.out),
+        })
+    }
+}
+
+/// A bound (but not yet running) queue-mode daemon.
+pub struct QueueServer {
+    listener: TcpListener,
+    out: PathBuf,
+}
+
+/// Which protocol a queue-mode connection negotiated in its Hello.
+#[derive(Clone, Copy)]
+enum ConnMode {
+    /// `stabcon-fabric/2`: submissions, status, cancel, and any-campaign
+    /// claims ([`Msg::Lease2`]/[`Msg::Result2`]).
+    Unpinned,
+    /// `stabcon-fabric/1`: the Hello's grid fingerprint pinned this
+    /// connection to one job; it speaks pure `/1` frames.
+    Pinned(u64),
+}
+
+impl QueueServer {
+    /// Bind the daemon on `addr`. `out` is the store *prefix*: job `N`'s
+    /// store lands at `<out>.job-N.jsonl`, the journal at
+    /// `<out>.jobs.jsonl`.
+    pub fn bind(addr: &str, out: &Path) -> Result<Self, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("serve: bind {addr}: {e}"))?;
+        Ok(Self {
+            listener,
+            out: out.to_path_buf(),
+        })
+    }
+
+    /// The bound address (resolves a `:0` port).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener
+            .local_addr()
+            .map_err(|e| format!("serve: local_addr: {e}"))
+    }
+
+    /// Run the daemon: open (or replay) the journal, then accept
+    /// submissions, lease cells, and flush stores until the shutdown flag
+    /// flips (drain leases, park the queue, exit) or — with
+    /// `exit_when_idle` — until every job the queue has seen is terminal.
+    pub fn run(self, cfg: &QueueServeConfig) -> Result<QueueOutcome, String> {
+        let journal_path = jobs_journal_path(&self.out);
+        let (journal, events) = open_journal(&journal_path, cfg.resume, cfg.durability)?;
+        let mut queue = JobQueue::new(QueueConfig {
+            max_active: cfg.max_active,
+            quota: cfg.quota,
+            lease: cfg.lease,
+        });
+        queue.replay(&events)?;
+        if !events.is_empty() {
+            let c = queue.counts();
+            eprintln!(
+                "serve: journal replayed — {} jobs ({} queued, {} done, {} cancelled, {} failed)",
+                queue.jobs().count(),
+                c.queued,
+                c.done,
+                c.cancelled,
+                c.failed
+            );
+        }
+        let shared = Arc::new(Mutex::new(QShared {
+            queue,
+            stores: BTreeMap::new(),
+            journal,
+            out: self.out.clone(),
+            durability: cfg.durability,
+            progress: cfg.progress,
+            workers_seen: 0,
+        }));
+        {
+            let mut q = shared.lock().map_err(|_| "serve: state poisoned")?;
+            q.activate_ready(Instant::now());
+        }
+
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("serve: set_nonblocking: {e}"))?;
+        // Exit-when-idle linger: long enough for every connected worker to
+        // wake from a Wait sleep, claim once more, and hear Drained —
+        // instead of finding a dead socket and burning its retry budget.
+        let retry_ms = (cfg.lease.as_millis() as u64 / 4).clamp(50, 1000);
+        let grace = Duration::from_millis(retry_ms * 2 + 200);
+        let mut idle_since: Option<Instant> = None;
+        let mut conn_id = 0u64;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    conn_id += 1;
+                    let conn = conn_id;
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        handle_queue_conn(stream, conn, &shared);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(format!("serve: accept: {e}")),
+            }
+            {
+                let mut q = shared.lock().map_err(|_| "serve: state poisoned")?;
+                let now = Instant::now();
+                for (job, cell) in q.queue.sweep_expired(now) {
+                    eprintln!("serve: job {job} cell {cell} lease expired — reclaimed");
+                }
+                q.activate_ready(now);
+                let halt_requested = cfg
+                    .shutdown
+                    .as_ref()
+                    .is_some_and(|f| f.load(Ordering::Relaxed));
+                if halt_requested && !q.queue.halted() {
+                    q.queue.halt();
+                    eprintln!(
+                        "serve: halt requested — draining leases, parking queue, \
+                         refusing submissions"
+                    );
+                }
+                if q.queue.halted() && q.queue.leases_settled() {
+                    return q.outcome(true);
+                }
+                if cfg.exit_when_idle && q.queue.jobs().next().is_some() && q.queue.idle() {
+                    match idle_since {
+                        None => {
+                            // Stop accepting so claims answer Drained, and
+                            // linger so connected workers hear it.
+                            q.queue.set_accepting(false);
+                            idle_since = Some(now);
+                            eprintln!("serve: queue idle — draining workers before exit");
+                        }
+                        Some(since) if now.duration_since(since) >= grace => {
+                            return q.outcome(false);
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+/// One queue-mode connection, from version-negotiating handshake to
+/// disconnect. `/2` Hellos get the full submission/status/claim plane;
+/// `/1` Hellos are pinned to the queued job matching their fingerprint and
+/// speak the original worker protocol unchanged.
+fn handle_queue_conn(mut stream: TcpStream, conn: u64, shared: &Arc<Mutex<QShared>>) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut lines = BufReader::new(reader).lines();
+
+    let (mode, worker_name) = match lines.next() {
+        Some(Ok(line)) => match Msg::decode(&line) {
+            Ok(Msg::Hello {
+                schema,
+                worker,
+                fingerprint,
+            }) => {
+                if schema == FABRIC_SCHEMA_V2 {
+                    (ConnMode::Unpinned, worker)
+                } else if schema == FABRIC_SCHEMA {
+                    let fp = match u64::from_str_radix(&fingerprint, 16) {
+                        Ok(fp) => fp,
+                        Err(e) => {
+                            let _ = send(
+                                &mut stream,
+                                &Msg::Reject {
+                                    reason: format!("unparsable fingerprint: {e}"),
+                                },
+                            );
+                            return;
+                        }
+                    };
+                    let pinned = shared
+                        .lock()
+                        .ok()
+                        .and_then(|q| q.queue.job_by_fingerprint(fp));
+                    match pinned {
+                        Some(id) => (ConnMode::Pinned(id), worker),
+                        None => {
+                            let _ = send(
+                                &mut stream,
+                                &Msg::Reject {
+                                    reason: format!(
+                                        "no live campaign with grid fingerprint {fingerprint} \
+                                         in the queue"
+                                    ),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                } else {
+                    let _ = send(
+                        &mut stream,
+                        &Msg::Reject {
+                            reason: format!(
+                                "protocol version '{schema}' is neither '{FABRIC_SCHEMA}' \
+                                 nor '{FABRIC_SCHEMA_V2}'"
+                            ),
+                        },
+                    );
+                    return;
+                }
+            }
+            _ => {
+                let _ = send(
+                    &mut stream,
+                    &Msg::Reject {
+                        reason: "expected hello".into(),
+                    },
+                );
+                return;
+            }
+        },
+        _ => return,
+    };
+
+    let welcome = {
+        let Ok(mut q) = shared.lock() else { return };
+        q.workers_seen += 1;
+        match mode {
+            ConnMode::Pinned(id) => {
+                let Some(job) = q.queue.job(id) else { return };
+                Msg::Welcome {
+                    campaign: job_name(job),
+                    cells: job.cells_total,
+                }
+            }
+            ConnMode::Unpinned => Msg::Welcome {
+                campaign: "queue".into(),
+                cells: q.queue.jobs().filter(|j| !j.state.terminal()).count() as u64,
+            },
+        }
+    };
+    if send(&mut stream, &welcome).is_err() {
+        return;
+    }
+
+    for line in lines {
+        let Ok(line) = line else { break };
+        let Ok(msg) = Msg::decode(&line) else { break }; // desynced: drop
+        let now = Instant::now();
+        let (replies, quit) = {
+            let Ok(mut q) = shared.lock() else { break };
+            match (mode, msg) {
+                (ConnMode::Unpinned, Msg::Claim) => {
+                    let reply = q.queue.claim(conn, now);
+                    if let Msg::Lease2 { job, cell, .. } = &reply {
+                        if q.progress {
+                            eprintln!("serve: job {job} cell {cell} leased to '{worker_name}'");
+                        }
+                    }
+                    (vec![reply], false)
+                }
+                (ConnMode::Pinned(id), Msg::Claim) => {
+                    let reply = q.queue.claim_pinned(conn, id, now);
+                    if let Msg::Lease { cell, .. } = &reply {
+                        if q.progress {
+                            eprintln!("serve: job {id} cell {cell} leased to '{worker_name}'");
+                        }
+                    }
+                    (vec![reply], false)
+                }
+                (ConnMode::Unpinned, Msg::Renew2 { job, cell }) => {
+                    q.queue.renew(conn, job, cell, now);
+                    (vec![], false)
+                }
+                (ConnMode::Pinned(id), Msg::Renew { cell }) => {
+                    q.queue.renew(conn, id, cell, now);
+                    (vec![], false)
+                }
+                (
+                    ConnMode::Unpinned,
+                    Msg::Result2 {
+                        job,
+                        cell,
+                        line,
+                        elapsed_secs,
+                        trials,
+                    },
+                ) => {
+                    let quit = match q.ingest_result(job, cell, line, elapsed_secs, trials, now)
+                    {
+                        Ok(()) => false,
+                        Err(e) => {
+                            eprintln!("serve: job {job} flush failed — {e}");
+                            true // store write failed; stall visibly
+                        }
+                    };
+                    q.activate_ready(now); // a finished job frees a slot
+                    (vec![], quit)
+                }
+                (
+                    ConnMode::Pinned(id),
+                    Msg::Result {
+                        cell,
+                        line,
+                        elapsed_secs,
+                        trials,
+                    },
+                ) => {
+                    let quit = match q.ingest_result(id, cell, line, elapsed_secs, trials, now) {
+                        Ok(()) => false,
+                        Err(e) => {
+                            eprintln!("serve: job {id} flush failed — {e}");
+                            true
+                        }
+                    };
+                    q.activate_ready(now);
+                    (vec![], quit)
+                }
+                (
+                    ConnMode::Unpinned,
+                    Msg::Submit {
+                        client,
+                        spec,
+                        fingerprint,
+                    },
+                ) => (vec![q.handle_submit(&client, &spec, &fingerprint, now)], false),
+                (ConnMode::Unpinned, Msg::Status { job }) => (q.status_frames(job, now), false),
+                (ConnMode::Unpinned, Msg::Cancel { job }) => {
+                    (vec![q.handle_cancel(job, now)], false)
+                }
+                // Telemetry has no sink in queue mode; dropped silently.
+                (_, Msg::Telemetry { .. }) => (vec![], false),
+                (_, Msg::Goodbye) => (vec![], true),
+                // Anything else on this connection is a protocol violation.
+                _ => (vec![], true),
+            }
+        };
+        let mut dead = false;
+        for reply in &replies {
+            let drained = matches!(reply, Msg::Drained);
+            if send(&mut stream, reply).is_err() || drained {
+                dead = true;
+                break;
+            }
+        }
+        if dead || quit {
+            break;
+        }
+    }
+
+    // Disconnect (or violation, or goodbye): whatever this connection held
+    // goes back to its jobs' pending sets.
+    if let Ok(mut q) = shared.lock() {
+        q.queue.release_conn(conn, Instant::now());
     }
 }
 

@@ -33,6 +33,7 @@
 //!   finishes the cell in flight, ships its result, says [`Msg::Goodbye`],
 //!   and exits cleanly instead of mid-frame.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Lines, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,7 +48,7 @@ use crate::cell::{chunk_for, run_cell_monitored, CellSpec};
 use crate::store;
 use crate::telemetry::CampaignTelemetry;
 
-use super::protocol::{Msg, FABRIC_SCHEMA};
+use super::protocol::{Msg, SpecDescriptor, FABRIC_SCHEMA, FABRIC_SCHEMA_V2};
 
 /// Process-wide graceful-drain flag, set by the SIGTERM handler in the
 /// `stabcon` binary (signal handlers can only touch static state).
@@ -226,7 +227,9 @@ struct Heartbeat {
 }
 
 impl Heartbeat {
-    fn start(stream: Arc<Mutex<TcpStream>>, cell: u64, lease_ms: u64) -> Self {
+    /// `renew` is the frame to repeat — [`Msg::Renew`] for a `/1` session,
+    /// [`Msg::Renew2`] (job-tagged) for a `/2` one.
+    fn start(stream: Arc<Mutex<TcpStream>>, renew: Msg, lease_ms: u64) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         // A third of the lease keeps two renewals of headroom before the
@@ -238,7 +241,7 @@ impl Heartbeat {
                 if Instant::now() >= next {
                     // Fire-and-forget: a send failure means the session is
                     // dying, which the main loop notices on its own.
-                    if send_locked(&stream, &Msg::Renew { cell }).is_err() {
+                    if send_locked(&stream, &renew).is_err() {
                         return;
                     }
                     next = Instant::now() + interval;
@@ -285,11 +288,15 @@ impl Session {
 
 /// Dial and handshake. Connect errors are session-level (the server may be
 /// restarting); a [`Msg::Reject`] or grid-size mismatch is fatal.
+/// `expect_cells` validates the Welcome's cell count against the local
+/// expansion (`/1` sessions only — an unpinned `/2` Welcome reports the
+/// live job count instead).
 fn connect_session(
     addr: &str,
     name: &str,
+    schema: &str,
     fingerprint: &str,
-    local_cells: u64,
+    expect_cells: Option<u64>,
 ) -> Result<Session, WorkErr> {
     let stream =
         TcpStream::connect(addr).map_err(|e| SessionLost(format!("connect {addr}: {e}")))?;
@@ -301,7 +308,7 @@ fn connect_session(
         lines: BufReader::new(reader).lines(),
     };
     session.send(&Msg::Hello {
-        schema: FABRIC_SCHEMA.into(),
+        schema: schema.into(),
         worker: name.into(),
         fingerprint: fingerprint.into(),
     })?;
@@ -310,12 +317,14 @@ fn connect_session(
             cells: server_cells,
             ..
         } => {
-            if server_cells != local_cells {
-                return Err(Fatal(format!(
-                    "server grid has {server_cells} cells, local expansion {local_cells} — \
-                     fingerprint collision?"
-                ))
-                .into());
+            if let Some(local_cells) = expect_cells {
+                if server_cells != local_cells {
+                    return Err(Fatal(format!(
+                        "server grid has {server_cells} cells, local expansion {local_cells} — \
+                         fingerprint collision?"
+                    ))
+                    .into());
+                }
             }
         }
         Msg::Reject { reason } => return Err(Fatal(format!("rejected: {reason}")).into()),
@@ -326,8 +335,10 @@ fn connect_session(
     Ok(session)
 }
 
-/// Run one leased cell and build its (unshipped) [`Msg::Result`] frame.
-/// Heartbeats flow for the whole computation.
+/// Run one leased cell and build its (unshipped) result frame —
+/// [`Msg::Result`] for a `/1` session, [`Msg::Result2`] when `job` tags
+/// the lease. Heartbeats flow for the whole computation.
+#[allow(clippy::too_many_arguments)]
 fn run_leased_cell(
     session: &Session,
     pool: &ThreadPool,
@@ -335,9 +346,14 @@ fn run_leased_cell(
     cells: &[CellSpec],
     cell: &CellSpec,
     lease_ms: u64,
+    job: Option<u64>,
     cfg: &WorkerConfig,
 ) -> Result<Msg, String> {
-    let _heartbeat = Heartbeat::start(Arc::clone(&session.stream), cell.id, lease_ms);
+    let renew = match job {
+        Some(job) => Msg::Renew2 { job, cell: cell.id },
+        None => Msg::Renew { cell: cell.id },
+    };
+    let _heartbeat = Heartbeat::start(Arc::clone(&session.stream), renew, lease_ms);
     // Telemetry streams to the server; progress printing stays off (the
     // server renders progress for the whole campaign).
     let mut tel = CampaignTelemetry::create_with_sink(
@@ -360,11 +376,22 @@ fn run_leased_cell(
     let elapsed_secs = started.elapsed().as_secs_f64();
     tel.end_cell(cell, agg.trials(), elapsed_secs);
     tel.finish();
-    Ok(Msg::Result {
-        cell: cell.id,
-        line: store::cell_line(cell, &agg),
-        elapsed_secs,
-        trials: agg.trials(),
+    let line = store::cell_line(cell, &agg);
+    let trials = agg.trials();
+    Ok(match job {
+        Some(job) => Msg::Result2 {
+            job,
+            cell: cell.id,
+            line,
+            elapsed_secs,
+            trials,
+        },
+        None => Msg::Result {
+            cell: cell.id,
+            line,
+            elapsed_secs,
+            trials,
+        },
     })
 }
 
@@ -417,8 +444,9 @@ fn run_session(
                     .get(cell as usize)
                     .filter(|c| c.id == cell)
                     .ok_or_else(|| Fatal(format!("leased unknown cell {cell}")))?;
-                let result = run_leased_cell(session, pool, spec, cells, cell, lease_ms, cfg)
-                    .map_err(Fatal)?;
+                let result =
+                    run_leased_cell(session, pool, spec, cells, cell, lease_ms, None, cfg)
+                        .map_err(Fatal)?;
                 let trials = match &result {
                     Msg::Result { trials, .. } => *trials,
                     _ => unreachable!("run_leased_cell returns Msg::Result"),
@@ -473,7 +501,13 @@ pub fn run_worker(
             progress.outcome.drained_early = true;
             return Ok(progress.outcome);
         }
-        let lost = match connect_session(addr, &cfg.name, &fingerprint, cells.len() as u64) {
+        let lost = match connect_session(
+            addr,
+            &cfg.name,
+            FABRIC_SCHEMA,
+            &fingerprint,
+            Some(cells.len() as u64),
+        ) {
             Ok(mut session) => {
                 sessions_seen += 1;
                 if sessions_seen > 1 {
@@ -484,6 +518,183 @@ pub fn run_worker(
                     &pool,
                     spec,
                     &cells,
+                    cfg,
+                    &mut progress,
+                    &mut attempts,
+                ) {
+                    Ok(SessionEnd::CampaignDrained) => return Ok(progress.outcome),
+                    Ok(SessionEnd::DrainRequested) => {
+                        progress.outcome.drained_early = true;
+                        return Ok(progress.outcome);
+                    }
+                    Err(WorkErr::Fatal(Fatal(msg))) => return Err(format!("work: {msg}")),
+                    Err(WorkErr::Lost(e)) => e,
+                }
+            }
+            Err(WorkErr::Fatal(Fatal(msg))) => return Err(format!("work: {msg}")),
+            Err(WorkErr::Lost(e)) => e,
+        };
+        attempts += 1;
+        if attempts > cfg.retries {
+            return Err(format!(
+                "work: {addr}: gave up after {attempts} consecutive session failures \
+                 (last: {}) — raise --retries/--backoff-ms for flakier links",
+                lost.0
+            ));
+        }
+        let delay = backoff_delay(seed, attempts, cfg.backoff_ms);
+        eprintln!(
+            "work: session with {addr} lost (attempt {attempts}/{}): {} — retrying in {}ms",
+            cfg.retries,
+            lost.0,
+            delay.as_millis()
+        );
+        interruptible_sleep(delay, cfg);
+    }
+}
+
+/// One job's locally built-and-verified grid, cached across leases so the
+/// any-campaign worker expands each campaign once.
+struct JobGrid {
+    spec: CampaignSpec,
+    cells: Vec<CellSpec>,
+}
+
+/// Build (or fetch) the grid for a leased job, verifying that the locally
+/// computed fingerprint matches the server's — the `/1` determinism
+/// handshake, per job instead of per connection. A mismatch is fatal: the
+/// two sides would write different bytes.
+fn grid_for<'a>(
+    grids: &'a mut HashMap<u64, JobGrid>,
+    job: u64,
+    desc: &SpecDescriptor,
+    fingerprint: &str,
+) -> Result<&'a JobGrid, Fatal> {
+    match grids.entry(job) {
+        std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let spec = desc
+                .build()
+                .map_err(|err| Fatal(format!("job {job}: descriptor does not build: {err}")))?;
+            let local = format!("{:016x}", spec.fingerprint());
+            if local != fingerprint {
+                return Err(Fatal(format!(
+                    "job {job}: server grid fingerprint {fingerprint} != local {local} — \
+                     server and worker built different campaigns from the same descriptor"
+                )));
+            }
+            let cells = spec.expand();
+            Ok(e.insert(JobGrid { spec, cells }))
+        }
+    }
+}
+
+/// Drive one unpinned (`/2`) session: leases arrive tagged with a job id
+/// and carry that job's descriptor + fingerprint; results ship back as
+/// [`Msg::Result2`]. Everything else — pending-result resubmission, drain,
+/// backoff bookkeeping — matches [`run_session`].
+fn run_session_any(
+    session: &mut Session,
+    pool: &ThreadPool,
+    grids: &mut HashMap<u64, JobGrid>,
+    cfg: &WorkerConfig,
+    progress: &mut Progress,
+    attempts: &mut u32,
+) -> Result<SessionEnd, WorkErr> {
+    *attempts = 0;
+    if let Some(result) = progress.pending.clone() {
+        session.send(&result)?;
+    }
+    loop {
+        if cfg.drain_requested() {
+            let _ = session.send(&Msg::Goodbye);
+            return Ok(SessionEnd::DrainRequested);
+        }
+        session.send(&Msg::Claim)?;
+        let reply = session.recv()?;
+        progress.pending = None;
+        *attempts = 0;
+        match reply {
+            Msg::Lease2 {
+                job,
+                cell,
+                lease_ms,
+                spec,
+                fingerprint,
+            } => {
+                let grid = grid_for(grids, job, &spec, &fingerprint).map_err(WorkErr::Fatal)?;
+                let cell = grid
+                    .cells
+                    .get(cell as usize)
+                    .filter(|c| c.id == cell)
+                    .ok_or_else(|| Fatal(format!("job {job}: leased unknown cell {cell}")))?;
+                let result = run_leased_cell(
+                    session,
+                    pool,
+                    &grid.spec,
+                    &grid.cells,
+                    cell,
+                    lease_ms,
+                    Some(job),
+                    cfg,
+                )
+                .map_err(Fatal)?;
+                let trials = match &result {
+                    Msg::Result2 { trials, .. } => *trials,
+                    _ => unreachable!("run_leased_cell with a job returns Msg::Result2"),
+                };
+                progress.pending = Some(result.clone());
+                progress.outcome.cells_run += 1;
+                progress.outcome.trials_run += trials;
+                session.send(&result)?;
+            }
+            Msg::Wait { retry_ms } => {
+                interruptible_sleep(Duration::from_millis(retry_ms.clamp(10, 5000)), cfg);
+            }
+            Msg::Drained => return Ok(SessionEnd::CampaignDrained),
+            Msg::Reject { reason } => return Err(Fatal(format!("rejected: {reason}")).into()),
+            other => return Err(SessionLost(format!("unexpected server message {other:?}")).into()),
+        }
+    }
+}
+
+/// Connect to a queue-mode `stabcon serve` daemon at `addr` and work on
+/// *whatever campaigns it has*: the `/2` handshake carries no fingerprint,
+/// and each [`Msg::Lease2`] ships its job's spec descriptor, which the
+/// worker builds and fingerprint-verifies locally before running a single
+/// trial. Runs until the daemon reports the queue drained (or a graceful
+/// drain is requested); reconnect/backoff/resubmission semantics match
+/// [`run_worker`].
+pub fn run_worker_any(addr: &str, cfg: &WorkerConfig) -> Result<WorkerOutcome, String> {
+    let seed = name_seed(&cfg.name);
+    let pool = ThreadPool::new(cfg.threads);
+    let mut grids: HashMap<u64, JobGrid> = HashMap::new();
+    let mut progress = Progress {
+        outcome: WorkerOutcome {
+            cells_run: 0,
+            trials_run: 0,
+            reconnects: 0,
+            drained_early: false,
+        },
+        pending: None,
+    };
+    let mut attempts: u32 = 0;
+    let mut sessions_seen: u64 = 0;
+    loop {
+        if cfg.drain_requested() {
+            progress.outcome.drained_early = true;
+            return Ok(progress.outcome);
+        }
+        let lost = match connect_session(addr, &cfg.name, FABRIC_SCHEMA_V2, "", None) {
+            Ok(mut session) => {
+                sessions_seen += 1;
+                if sessions_seen > 1 {
+                    progress.outcome.reconnects += 1;
+                }
+                match run_session_any(
+                    &mut session,
+                    &pool,
+                    &mut grids,
                     cfg,
                     &mut progress,
                     &mut attempts,

@@ -1,8 +1,9 @@
-//! Property tests for the `stabcon-fabric/1` wire protocol: every message
-//! survives an encode→decode round trip — including payload strings with
-//! quotes, backslashes, newlines, control bytes, and non-ASCII — and every
-//! encoding is exactly one line, so the line-oriented framing can never
-//! tear a message.
+//! Property tests for the `stabcon-fabric/1` and `/2` wire protocols:
+//! every message — including the `/2` submission-plane frames and the
+//! spec descriptors they carry — survives an encode→decode round trip
+//! with payload strings full of quotes, backslashes, newlines, control
+//! bytes, and non-ASCII, and every encoding is exactly one line, so the
+//! line-oriented framing can never tear a message.
 //!
 //! Also pinned here: the serve side's WAN-hardening contracts. Torn or
 //! interleaved Telemetry frames never corrupt a `stabcon-telemetry/1`
@@ -15,7 +16,9 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
-use stabcon_exp::fabric::{Ingest, Msg, Parked, ServeState, FABRIC_SCHEMA};
+use stabcon_exp::fabric::{
+    Ingest, Msg, Parked, ServeState, SpecDescriptor, FABRIC_SCHEMA, FABRIC_SCHEMA_V2,
+};
 use stabcon_exp::telemetry::{check_telemetry, validate_record_line};
 
 /// Escaping stress pool: quotes, backslashes, newlines, control characters,
@@ -37,10 +40,28 @@ fn nasty(a: usize, b: usize, tail: u64) -> String {
     format!("{}{}{tail}", NASTY[a % NASTY.len()], NASTY[b % NASTY.len()])
 }
 
+/// Total message kinds covered by [`build_msg`] (`/1` + `/2`).
+const MSG_KINDS: usize = 22;
+
+/// A [`SpecDescriptor`] whose override fields are present or absent by
+/// bits of `y` and whose string payloads draw from the nasty pool —
+/// descriptors ride inside `/2` Submit and Lease2 frames, so they share
+/// the escaping stress.
+fn build_descriptor(x: u64, y: u64, a: usize, b: usize) -> SpecDescriptor {
+    SpecDescriptor {
+        preset: nasty(a, b, x),
+        name: (y & 1 != 0).then(|| nasty(b, a, y)),
+        trials: (y & 2 != 0).then_some(x),
+        seed: (y & 4 != 0).then_some(y),
+        ns: (y & 8 != 0).then(|| nasty(a.wrapping_add(1), b, x ^ y)),
+    }
+}
+
 fn build_msg(kind: usize, x: u64, y: u64, a: usize, b: usize) -> Msg {
     match kind {
         0 => Msg::Hello {
-            schema: FABRIC_SCHEMA.into(),
+            // Both live schema tags: version negotiation rides this field.
+            schema: if y & 1 != 0 { FABRIC_SCHEMA_V2 } else { FABRIC_SCHEMA }.into(),
             worker: nasty(a, b, x),
             fingerprint: format!("{y:016x}"),
         },
@@ -63,7 +84,7 @@ fn build_msg(kind: usize, x: u64, y: u64, a: usize, b: usize) -> Msg {
         9 => Msg::Telemetry {
             line: nasty(a, b, x),
         },
-        _ => Msg::Result {
+        10 => Msg::Result {
             cell: x,
             line: nasty(a, b, x),
             // Finite by construction: JSON has no NaN/inf, and the writer
@@ -71,6 +92,62 @@ fn build_msg(kind: usize, x: u64, y: u64, a: usize, b: usize) -> Msg {
             elapsed_secs: (y % 1_000_000_000) as f64 / 1024.0,
             trials: y,
         },
+        11 => Msg::Submit {
+            client: nasty(b, a, x),
+            spec: build_descriptor(x, y, a, b),
+            fingerprint: format!("{y:016x}"),
+        },
+        12 => Msg::Accepted {
+            job: x,
+            cells: y,
+            store: nasty(a, b, y),
+        },
+        13 => Msg::Rejected {
+            code: nasty(a, b, x),
+            reason: nasty(b, a, y),
+        },
+        14 => Msg::Status {
+            job: (y & 1 != 0).then_some(x),
+        },
+        15 => Msg::StatusReport {
+            accepting: y & 2 != 0,
+            queued: x,
+            running: y,
+            done: x ^ y,
+            cancelled: x.wrapping_add(y),
+            failed: x.wrapping_mul(3),
+            jobs: y.wrapping_mul(5),
+        },
+        16 => Msg::JobStatus {
+            job: x,
+            name: nasty(a, b, x),
+            state: nasty(b, a, y),
+            client: nasty(a, a, x ^ y),
+            cells: y,
+            written: x ^ y,
+            trials: x.wrapping_add(y),
+            elapsed_secs: (x % 1_000_000_000) as f64 / 1024.0,
+        },
+        17 => Msg::Cancel { job: x },
+        18 => Msg::Cancelled {
+            job: x,
+            state: nasty(a, b, y),
+        },
+        19 => Msg::Lease2 {
+            job: x,
+            cell: y,
+            lease_ms: x ^ y,
+            spec: build_descriptor(y, x, b, a),
+            fingerprint: format!("{x:016x}"),
+        },
+        20 => Msg::Result2 {
+            job: y,
+            cell: x,
+            line: nasty(a, b, x),
+            elapsed_secs: (y % 1_000_000_000) as f64 / 1024.0,
+            trials: y,
+        },
+        _ => Msg::Renew2 { job: x, cell: y },
     }
 }
 
@@ -79,7 +156,7 @@ proptest! {
 
     #[test]
     fn encode_decode_round_trips(
-        kind in 0usize..11,
+        kind in 0usize..MSG_KINDS,
         x in any::<u64>(),
         y in any::<u64>(),
         a in 0usize..NASTY.len(),
@@ -105,7 +182,7 @@ proptest! {
         let garbage = format!("{}{}{x}", NASTY[a], NASTY[b]);
         let _ = Msg::decode(&garbage);
         // Also every prefix-truncation of a valid message (torn line).
-        let wire = build_msg(a % 11, x, x, a, b).encode();
+        let wire = build_msg((x % MSG_KINDS as u64) as usize, x, x, a, b).encode();
         let mut cut = cut.min(wire.len());
         while !wire.is_char_boundary(cut) {
             cut -= 1;
@@ -238,7 +315,9 @@ proptest! {
                         Ingest::Rejected => {}
                     }
                 }
-                3 => s.release_conn(conn),
+                3 => {
+                    let _ = s.release_conn(conn);
+                }
                 4 => {
                     now += Duration::from_millis(x % 250);
                     s.sweep_expired(now);
